@@ -1,0 +1,109 @@
+"""Section 7.4: local-rotate sketches vs explicit-rotation sketches.
+
+The paper's analysis: explicit-rotation sketches describe a strictly
+larger program space (rotations are free-standing components), so they
+scale poorly — box blur stays tractable either way, but Gx blows up (the
+paper measured 400+ seconds to a first solution vs ~70 with local
+rotate).  We synthesize box blur under both styles and give the explicit
+Gx query a bounded time budget, reporting a lower bound if it times out.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import write_report
+
+from repro.analysis.tables import render_table
+from repro.core.cegis import SynthesisConfig, SynthesisError, synthesize
+from repro.core.sketches import default_sketch_for, explicit_rotation_variant
+from repro.spec import get_spec
+
+GX_EXPLICIT_BUDGET = float(os.environ.get("REPRO_GX_EXPLICIT_BUDGET", "60"))
+
+_results: dict[str, tuple[float, bool]] = {}
+
+
+def _synthesize(name, sketch, max_components, timeout):
+    spec = get_spec(name)
+    config = SynthesisConfig(
+        max_components=max_components,
+        initial_timeout=timeout,
+        optimize=False,  # compare time-to-first-solution, as in the paper
+    )
+    start = time.monotonic()
+    try:
+        result = synthesize(spec, sketch, config)
+        assert spec.verify_program(result.program).equivalent
+        return time.monotonic() - start, True
+    except SynthesisError:
+        return time.monotonic() - start, False
+
+
+def test_bench_box_blur_local(benchmark):
+    sketch = default_sketch_for(get_spec("box_blur"))
+    elapsed, done = benchmark.pedantic(
+        _synthesize, args=("box_blur", sketch, 3, 300.0),
+        rounds=1, iterations=1,
+    )
+    assert done
+    _results["box_blur local-rotate"] = (elapsed, done)
+
+
+def test_bench_box_blur_explicit(benchmark):
+    sketch = explicit_rotation_variant(default_sketch_for(get_spec("box_blur")))
+    # explicit style: rotations are components, so the solution needs
+    # 2 adds + 2 rotations = 4 components
+    elapsed, done = benchmark.pedantic(
+        _synthesize, args=("box_blur", sketch, 5, 300.0),
+        rounds=1, iterations=1,
+    )
+    assert done
+    _results["box_blur explicit"] = (elapsed, done)
+
+
+def test_bench_gx_local(benchmark):
+    sketch = default_sketch_for(get_spec("gx"))
+    elapsed, done = benchmark.pedantic(
+        _synthesize, args=("gx", sketch, 4, 600.0), rounds=1, iterations=1
+    )
+    assert done
+    _results["gx local-rotate"] = (elapsed, done)
+
+
+def test_bench_gx_explicit(benchmark):
+    """Bounded run: the paper saw 400+ seconds; we cap and report >= cap."""
+    sketch = explicit_rotation_variant(default_sketch_for(get_spec("gx")))
+    elapsed, done = benchmark.pedantic(
+        _synthesize, args=("gx", sketch, 7, GX_EXPLICIT_BUDGET),
+        rounds=1, iterations=1,
+    )
+    _results["gx explicit"] = (elapsed, done)
+    # either it finished (fine) or it exhausted the budget (paper's shape)
+
+
+def test_sketch_ablation_report(benchmark):
+    assert len(_results) == 4, "run the four synthesis benchmarks first"
+    rows = []
+    for label, (elapsed, done) in _results.items():
+        rows.append([label, f"{elapsed:.2f}" if done else f">{elapsed:.0f}",
+                     "yes" if done else "timed out"])
+    text = benchmark(
+        lambda: render_table(
+            ["sketch", "time to first solution (s)", "completed"],
+            rows,
+            title="Section 7.4: local-rotate vs explicit-rotation sketches",
+        )
+    )
+    write_report("sketch_ablation.txt", text)
+
+    # Shape: local rotate never loses badly, and on Gx the explicit style
+    # is dramatically slower (or fails to finish inside its budget).
+    gx_local_time, gx_local_done = _results["gx local-rotate"]
+    gx_explicit_time, gx_explicit_done = _results["gx explicit"]
+    assert gx_local_done
+    if gx_explicit_done:
+        assert gx_explicit_time > gx_local_time
+    else:
+        assert gx_explicit_time >= GX_EXPLICIT_BUDGET * 0.95

@@ -1,0 +1,156 @@
+"""Shared benchmark fixtures: the synthesized-kernel suite with a disk cache.
+
+Synthesizing the full suite takes minutes (Roberts cross and L2 dominate,
+as in the paper's Table 3), so synthesized programs and their statistics
+are cached under ``benchmarks/.cache``.  Delete the directory or set
+``REPRO_BENCH_REFRESH=1`` to regenerate everything from scratch.
+
+Environment knobs:
+
+* ``REPRO_BENCH_RUNS``    — encrypted executions per measurement (default 3)
+* ``REPRO_OPT_TIMEOUT``   — cost-minimization budget per kernel, seconds
+  (default 60; the paper used a 20-minute no-progress timeout)
+* ``REPRO_BENCH_REFRESH`` — ignore the synthesis cache
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.baselines import baseline_for
+from repro.core.cegis import SynthesisConfig, synthesize
+from repro.core.compiler import config_for
+from repro.core.multistep import compose_harris, compose_sobel
+from repro.core.sketches import default_sketch_for
+from repro.quill.cost import program_cost
+from repro.quill.ir import Program
+from repro.quill.latency import default_latency_model
+from repro.quill.parser import parse_program
+from repro.quill.printer import format_program
+from repro.spec import DIRECT_SPECS, get_spec
+
+CACHE_DIR = Path(__file__).parent / ".cache"
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass
+class KernelEntry:
+    """One kernel's synthesized program plus its synthesis statistics."""
+
+    name: str
+    program: Program
+    baseline: Program
+    stats: dict
+
+
+def _cache_path(name: str) -> Path:
+    return CACHE_DIR / f"{name}.json"
+
+
+def _load_cached(name: str) -> KernelEntry | None:
+    if os.environ.get("REPRO_BENCH_REFRESH"):
+        return None
+    path = _cache_path(name)
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    return KernelEntry(
+        name=name,
+        program=parse_program(payload["program"]),
+        baseline=baseline_for(name),
+        stats=payload["stats"],
+    )
+
+
+def _store_cached(entry: KernelEntry) -> None:
+    CACHE_DIR.mkdir(exist_ok=True)
+    _cache_path(entry.name).write_text(
+        json.dumps(
+            {"program": format_program(entry.program), "stats": entry.stats},
+            indent=2,
+        )
+    )
+
+
+def synthesize_entry(name: str) -> KernelEntry:
+    """Synthesize one kernel (no cache) and package its statistics."""
+    spec = get_spec(name)
+    sketch = default_sketch_for(spec)
+    optimize_timeout = float(os.environ.get("REPRO_OPT_TIMEOUT", "60"))
+    config = config_for(spec, optimize_timeout=optimize_timeout)
+    result = synthesize(spec, sketch, config)
+    verified = spec.verify_program(result.program)
+    assert verified.equivalent, f"{name}: synthesized program failed verification"
+    stats = {
+        "components": result.components,
+        "examples": result.examples_used,
+        "initial_time": result.initial_time,
+        "total_time": result.total_time,
+        "initial_cost": result.initial_cost,
+        "final_cost": result.final_cost,
+        "proof_complete": result.proof_complete,
+        "nodes": result.nodes,
+    }
+    return KernelEntry(
+        name=name,
+        program=result.program,
+        baseline=baseline_for(name),
+        stats=stats,
+    )
+
+
+def _multistep_entry(name: str, program: Program) -> KernelEntry:
+    spec = get_spec(name)
+    verified = spec.verify_program(program)
+    assert verified.equivalent, f"{name}: composed program failed verification"
+    model = default_latency_model(spec.params_name)
+    stats = {
+        "components": program.arithmetic_count(),
+        "multi_step": True,
+        "final_cost": program_cost(program, model),
+    }
+    return KernelEntry(
+        name=name, program=program, baseline=baseline_for(name), stats=stats
+    )
+
+
+@pytest.fixture(scope="session")
+def kernel_suite() -> dict[str, KernelEntry]:
+    """All 11 kernels: 9 synthesized directly + Sobel/Harris multi-step."""
+    suite: dict[str, KernelEntry] = {}
+    for factory in DIRECT_SPECS:
+        name = factory().name
+        entry = _load_cached(name)
+        if entry is None:
+            entry = synthesize_entry(name)
+            _store_cached(entry)
+        suite[name] = entry
+    suite["sobel"] = _multistep_entry(
+        "sobel", compose_sobel(suite["gx"].program, suite["gy"].program)
+    )
+    suite["harris"] = _multistep_entry(
+        "harris",
+        compose_harris(
+            suite["gx"].program,
+            suite["gy"].program,
+            suite["box_blur"].program,
+        ),
+    )
+    return suite
+
+
+def write_report(filename: str, text: str) -> str:
+    """Persist a rendered table/figure under benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return text

@@ -1,0 +1,52 @@
+"""The paper's published numbers, for side-by-side reporting.
+
+Sources: Table 2 (instruction count / depth), Table 3 (synthesis time and
+cost), Figure 4 (run-time speedup percentages, read off the bar labels).
+"""
+
+# kernel -> ((baseline instr, baseline depth), (synth instr, synth depth))
+PAPER_TABLE2 = {
+    "box_blur": ((6, 3), (4, 4)),
+    "dot_product": ((7, 7), (7, 7)),
+    "hamming": ((6, 6), (6, 6)),
+    "l2": ((9, 9), (9, 9)),
+    "linear_regression": ((4, 4), (4, 4)),
+    "polynomial_regression": ((9, 6), (7, 5)),
+    "gx": ((12, 4), (7, 6)),
+    "gy": ((12, 4), (7, 6)),
+    "roberts": ((10, 5), (10, 5)),
+    "sobel": ((31, 7), (21, 9)),
+    "harris": ((59, 14), (43, 17)),
+}
+
+# kernel -> (examples, initial time s, total time s, initial cost, final cost)
+PAPER_TABLE3 = {
+    "box_blur": (1, 1.99, 9.88, 1182, 592),
+    "dot_product": (2, 1.27, 15.16, 1466, 1466),
+    "hamming": (3, 0.87, 2.24, 1270, 680),
+    "l2": (2, 27.57, 114.28, 1436, 1436),
+    "linear_regression": (2, 0.50, 0.69, 878, 878),
+    "polynomial_regression": (2, 24.59, 47.88, 2631, 2631),
+    "gx": (1, 14.87, 70.08, 1357, 975),
+    "gy": (1, 9.74, 49.52, 1773, 767),
+    "roberts": (1, 212.52, 609.64, 2692, 2692),
+}
+
+# kernel -> speedup % over the hand-written baseline (Figure 4 labels)
+PAPER_FIGURE4 = {
+    "box_blur": 39.1,
+    "dot_product": 1.0,
+    "hamming": 0.1,
+    "l2": -0.9,
+    "linear_regression": 0.6,
+    "polynomial_regression": 28.0,
+    "gx": 26.6,
+    "gy": 52.0,
+    "roberts": -0.5,
+    "sobel": 4.2,
+    "harris": 15.4,
+}
+
+# The paper's headline claims checked by the report benches.
+PAPER_GEOMEAN_SPEEDUP = 11.0  # "11% geometric mean"
+PAPER_MAX_SPEEDUP = 52.0  # "up to 51%" in text; 52.0 in the figure

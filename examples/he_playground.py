@@ -1,0 +1,65 @@
+"""Tour of the BFV substrate: the cryptosystem Porcupine compiles to.
+
+Demonstrates the raw homomorphic-encryption layer without the compiler:
+batching, SIMD arithmetic, rotations, noise budgets, and what happens
+when the noise budget runs out.
+
+Run:  python examples/he_playground.py
+"""
+
+import numpy as np
+
+from repro.he import BFVContext, NoiseBudgetExhausted, small_params, toy_params
+
+
+def main() -> None:
+    params = small_params()
+    print(f"parameters: {params}")
+    print(f"slots: {params.slot_count} (2 rows x {params.row_size})\n")
+    ctx = BFVContext(params, seed=0)
+
+    # SIMD batching: one ciphertext holds thousands of integers.
+    a = np.array([1, 2, 3, 4, 5, 6, 7, 8])
+    b = np.array([10, 20, 30, 40, 50, 60, 70, 80])
+    ct_a = ctx.encrypt_vector(a)
+    ct_b = ctx.encrypt_vector(b)
+    print(f"a = {a}")
+    print(f"b = {b}")
+    print(f"fresh noise budget: {ctx.noise_budget(ct_a)} bits\n")
+
+    # element-wise SIMD arithmetic on ciphertexts
+    print(f"a + b  -> {ctx.decrypt_vector(ctx.add(ct_a, ct_b))[:8]}")
+    print(f"a - b  -> {ctx.decrypt_vector(ctx.sub(ct_a, ct_b))[:8]}")
+    product = ctx.multiply(ct_a, ct_b)
+    print(f"a * b  -> {ctx.decrypt_vector(product)[:8]} "
+          f"(budget now {ctx.noise_budget(product)} bits)")
+
+    # rotation: the only way to move data across slots
+    left2 = ctx.rotate_rows(ct_a, 2)
+    right1 = ctx.rotate_rows(ct_a, -1)
+    print(f"rot(a, 2)  -> {ctx.decrypt_vector(left2)[:8]}")
+    print(f"rot(a, -1) -> {ctx.decrypt_vector(right1)[:8]}")
+
+    # ciphertext-plaintext ops are cheaper and add less noise
+    weights = ctx.encode(np.full(8, 3))
+    tripled = ctx.multiply_plain(ct_a, weights)
+    print(f"a * 3 (plain) -> {ctx.decrypt_vector(tripled)[:8]} "
+          f"(budget {ctx.noise_budget(tripled)} bits)\n")
+
+    # noise exhaustion: the failure mode Porcupine's cost model avoids
+    print("squaring repeatedly on tiny parameters until the budget dies:")
+    tiny = BFVContext(toy_params(), seed=1)
+    ct = tiny.encrypt_vector([2])
+    try:
+        for step in range(1, 10):
+            ct = tiny.multiply(ct, ct)
+            budget = tiny.noise_budget(ct)
+            print(f"  depth {step}: budget {budget} bits")
+            tiny.decrypt(ct)
+    except NoiseBudgetExhausted:
+        print("  -> NoiseBudgetExhausted raised: decryption refused, "
+              "exactly what larger q (and lower-depth kernels) prevent")
+
+
+if __name__ == "__main__":
+    main()

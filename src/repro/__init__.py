@@ -1,0 +1,24 @@
+"""Reproduction of *Porcupine: A Synthesizing Compiler for Vectorized
+Homomorphic Encryption* (Cowan et al., PLDI 2021).
+
+Subpackages:
+
+* :mod:`repro.core` — the Porcupine compiler: sketches, CEGIS synthesis,
+  cost optimization, multi-step composition, SEAL code generation.
+* :mod:`repro.quill` — the Quill DSL: BFV instruction set with noise and
+  latency semantics.
+* :mod:`repro.spec` — kernel specifications (references + data layouts).
+* :mod:`repro.symbolic` — exact polynomial verification substrate.
+* :mod:`repro.solver` — the pruned backtracking search substrate.
+* :mod:`repro.he` — a from-scratch BFV cryptosystem (the SEAL stand-in).
+* :mod:`repro.runtime` — encrypted execution and latency profiling.
+* :mod:`repro.baselines` — expert hand-written depth-minimized kernels.
+
+Typical entry points::
+
+    from repro.core import compile_kernel
+    from repro.runtime import HEExecutor
+    from repro.spec import get_spec
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                     — the kernel suite with descriptions
+* ``compile <kernel>``         — synthesize and print Quill + SEAL code
+* ``baseline <kernel>``        — print the hand-written baseline
+* ``run <kernel>``             — synthesize, then execute under encryption
+* ``profile``                  — measure per-instruction latencies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_list(args) -> int:
+    from repro.baselines import BASELINE_BUILDERS
+    from repro.spec import ALL_SPECS
+
+    print(f"{'kernel':24s} {'baseline':>9s}  description")
+    for factory in ALL_SPECS:
+        spec = factory()
+        baseline = BASELINE_BUILDERS[spec.name]()
+        print(
+            f"{spec.name:24s} {baseline.instruction_count():6d} in  "
+            f"{spec.description}"
+        )
+    return 0
+
+
+def _compile(name: str, opt_timeout: float, optimize: bool):
+    from repro.core import compile_kernel
+    from repro.core.compiler import config_for
+    from repro.spec import get_spec
+
+    spec = get_spec(name)
+    config = config_for(spec, optimize_timeout=opt_timeout, optimize=optimize)
+    return spec, compile_kernel(spec, config=config)
+
+
+def _cmd_compile(args) -> int:
+    spec, result = _compile(args.kernel, args.opt_timeout, not args.no_optimize)
+    stats = result.synthesis
+    print(
+        f"# synthesized {result.program.instruction_count()} instructions "
+        f"in {stats.total_time:.2f}s (initial {stats.initial_time:.2f}s, "
+        f"{stats.examples_used} example(s), "
+        f"{'optimal' if stats.proof_complete else 'best-effort'})",
+        file=sys.stderr,
+    )
+    print(result.program)
+    if args.seal:
+        with open(args.seal, "w") as handle:
+            handle.write(result.seal_code + "\n")
+        print(f"# SEAL code written to {args.seal}", file=sys.stderr)
+    else:
+        print()
+        print(result.seal_code)
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    from repro.baselines import baseline_for
+    from repro.quill.noise import multiplicative_depth
+
+    program = baseline_for(args.kernel)
+    print(
+        f"# {program.instruction_count()} instructions, depth "
+        f"{program.critical_depth()}, multiplicative depth "
+        f"{multiplicative_depth(program)}",
+        file=sys.stderr,
+    )
+    print(program)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.runtime import HEExecutor
+    from repro.runtime.estimator import estimate_noise_budget
+
+    spec, result = _compile(args.kernel, args.opt_timeout, not args.no_optimize)
+    executor = HEExecutor(spec, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    logical = {
+        p.name: rng.integers(0, spec.backend_bound + 1, p.shape)
+        for p in spec.layout.inputs
+    }
+    predicted = estimate_noise_budget(result.program, executor.params)
+    report = executor.run(result.program, logical)
+    for name, value in logical.items():
+        print(f"input {name} = {np.asarray(value).ravel().tolist()}")
+    print(f"output (decrypted) = {report.logical_output.ravel().tolist()}")
+    print(f"reference          = {report.expected_output.ravel().tolist()}")
+    print(f"matches reference: {report.matches_reference}")
+    print(
+        f"noise budget: {report.output_noise_budget} bits measured, "
+        f">= {predicted:.0f} bits predicted"
+    )
+    print(f"evaluation time: {report.wall_time:.2f}s on {executor.params.name}")
+    return 0 if report.matches_reference else 1
+
+
+def _cmd_profile(args) -> int:
+    from repro.he.params import large_params, small_params, toy_params
+    from repro.runtime.profiler import format_latency_table, profile_instructions
+
+    presets = {
+        "toy": toy_params,
+        "small": small_params,
+        "large": large_params,
+    }
+    params = presets[args.preset]()
+    model = profile_instructions(params, repeats=args.repeats)
+    print(format_latency_table(model))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Porcupine reproduction: synthesizing HE kernels",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the kernel suite")
+
+    for verb, helptext in (
+        ("compile", "synthesize a kernel and emit Quill + SEAL code"),
+        ("run", "synthesize a kernel and execute it under encryption"),
+    ):
+        cmd = sub.add_parser(verb, help=helptext)
+        cmd.add_argument("kernel")
+        cmd.add_argument("--opt-timeout", type=float, default=30.0,
+                         help="cost-minimization budget in seconds")
+        cmd.add_argument("--no-optimize", action="store_true",
+                         help="stop after the initial solution")
+        if verb == "compile":
+            cmd.add_argument("--seal", metavar="FILE",
+                             help="write SEAL C++ here instead of stdout")
+        else:
+            cmd.add_argument("--seed", type=int, default=0)
+
+    baseline = sub.add_parser("baseline", help="print a hand-written baseline")
+    baseline.add_argument("kernel")
+
+    profile = sub.add_parser("profile", help="profile instruction latencies")
+    profile.add_argument("--preset", choices=("toy", "small", "large"),
+                         default="toy")
+    profile.add_argument("--repeats", type=int, default=3)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "compile": _cmd_compile,
+        "baseline": _cmd_baseline,
+        "run": _cmd_run,
+        "profile": _cmd_profile,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

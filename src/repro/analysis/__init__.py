@@ -1,0 +1,12 @@
+"""Result formatting: render the paper's tables and figures as text."""
+
+from repro.analysis.figures import render_figure4, render_program_comparison
+from repro.analysis.tables import render_table, render_table2_row, render_table3_row
+
+__all__ = [
+    "render_figure4",
+    "render_program_comparison",
+    "render_table",
+    "render_table2_row",
+    "render_table3_row",
+]

@@ -1,0 +1,61 @@
+"""ASCII renderings of the paper's figures."""
+
+from __future__ import annotations
+
+from repro.quill.ir import Program
+from repro.quill.noise import multiplicative_depth
+from repro.quill.printer import format_listing
+
+
+def render_figure4(
+    speedups: list[tuple[str, float, float | None]], width: int = 50
+) -> str:
+    """Horizontal bar chart of percentage speedups (Figure 4).
+
+    ``speedups`` holds (kernel, measured %, paper % or None).
+    """
+    lines = ["Figure 4: speedup of synthesized kernels over baselines (%)"]
+    if not speedups:
+        return lines[0]
+    peak = max(abs(s) for _, s, _ in speedups) or 1.0
+    for kernel, measured, paper in speedups:
+        bar = "#" * max(0, int(round(abs(measured) / peak * width)))
+        sign = "-" if measured < 0 else ""
+        paper_note = f"  (paper: {paper:+.1f}%)" if paper is not None else ""
+        lines.append(
+            f"{kernel:24s} {measured:+7.1f}% {sign}{bar}{paper_note}"
+        )
+    return "\n".join(lines)
+
+
+def render_program_comparison(
+    title: str, synthesized: Program, baseline: Program
+) -> str:
+    """Side-by-side listing in the style of Figures 5 and 6."""
+
+    def describe(tag: str, program: Program) -> list[str]:
+        return [
+            f"[{tag}] {program.name}: {program.instruction_count()} "
+            f"instructions, depth {program.critical_depth()}, "
+            f"mult-depth {multiplicative_depth(program)}",
+            format_listing(program),
+        ]
+
+    lines = [title]
+    lines += describe("synthesized", synthesized)
+    lines.append("")
+    lines += describe("baseline", baseline)
+    return "\n".join(lines)
+
+
+def render_schedule_trace(
+    program: Program, wires: list, slots: list[int], labels: list[str]
+) -> str:
+    """Per-instruction slot trace (Figure 7's right-hand column)."""
+    lines = [f"schedule trace for {program.name} (slots {slots})"]
+    for index, (instr, value) in enumerate(zip(program.instructions, wires)):
+        picked = ", ".join(
+            f"{label}={value[slot]}" for label, slot in zip(labels, slots)
+        )
+        lines.append(f"  c{index + 1:<3} {instr.opcode.value:10s} {picked}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width table with a header rule, GitHub-log friendly."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table2_row(
+    kernel: str,
+    baseline_instr: int,
+    baseline_depth: int,
+    synth_instr: int,
+    synth_depth: int,
+    paper_baseline: tuple[int, int] | None = None,
+    paper_synth: tuple[int, int] | None = None,
+) -> list:
+    """One row of Table 2 with the paper's numbers alongside ours."""
+    row = [kernel, baseline_instr, baseline_depth, synth_instr, synth_depth]
+    if paper_baseline and paper_synth:
+        row += [
+            f"{paper_baseline[0]}/{paper_baseline[1]}",
+            f"{paper_synth[0]}/{paper_synth[1]}",
+        ]
+    return row
+
+
+def render_table3_row(
+    kernel: str,
+    examples: int,
+    initial_time: float,
+    total_time: float,
+    initial_cost: float,
+    final_cost: float,
+    paper_initial: float | None = None,
+    paper_total: float | None = None,
+) -> list:
+    row = [
+        kernel,
+        examples,
+        f"{initial_time:.2f}",
+        f"{total_time:.2f}",
+        f"{initial_cost:.0f}",
+        f"{final_cost:.0f}",
+    ]
+    if paper_initial is not None:
+        row += [f"{paper_initial:.2f}", f"{paper_total:.2f}"]
+    return row

@@ -1,0 +1,39 @@
+"""Expert hand-written baseline HE kernels.
+
+The paper's baselines (section 7.1) are written by hand to minimize
+logical depth — the state-of-the-art heuristic for optimizing HE programs
+before Porcupine: align window elements with rotations first, then combine
+them in balanced reduction trees, and use packed inputs throughout.
+"""
+
+from repro.baselines.handwritten import (
+    BASELINE_BUILDERS,
+    baseline_for,
+    box_blur_baseline,
+    dot_product_baseline,
+    gx_baseline,
+    gy_baseline,
+    hamming_baseline,
+    harris_baseline,
+    l2_baseline,
+    linear_regression_baseline,
+    polynomial_regression_baseline,
+    roberts_baseline,
+    sobel_baseline,
+)
+
+__all__ = [
+    "BASELINE_BUILDERS",
+    "baseline_for",
+    "box_blur_baseline",
+    "dot_product_baseline",
+    "gx_baseline",
+    "gy_baseline",
+    "hamming_baseline",
+    "harris_baseline",
+    "l2_baseline",
+    "linear_regression_baseline",
+    "polynomial_regression_baseline",
+    "roberts_baseline",
+    "sobel_baseline",
+]

@@ -1,0 +1,49 @@
+"""Porcupine: the synthesizing compiler (the paper's primary contribution).
+
+Pipeline (paper Figure 3): a kernel *specification* (reference program +
+data layout, :mod:`repro.spec`) and a *sketch* (HE kernel template with
+holes) go into a CEGIS synthesis engine that completes the sketch into a
+verified Quill program, minimizes its cost, and emits SEAL code.
+"""
+
+from repro.core.cegis import (
+    SynthesisConfig,
+    SynthesisError,
+    SynthesisResult,
+    synthesize,
+)
+from repro.core.compiler import CompileResult, compile_kernel
+from repro.core.codegen import generate_seal_code
+from repro.core.multistep import compose_harris, compose_sobel, inline_program
+from repro.core.restrictions import (
+    sliding_window_rotations,
+    tree_reduction_rotations,
+)
+from repro.core.sketch import (
+    ComponentChoice,
+    CtHole,
+    CtRotHole,
+    Sketch,
+)
+from repro.core.sketches import default_sketch_for, explicit_rotation_variant
+
+__all__ = [
+    "ComponentChoice",
+    "CompileResult",
+    "CtHole",
+    "CtRotHole",
+    "Sketch",
+    "SynthesisConfig",
+    "SynthesisError",
+    "SynthesisResult",
+    "compile_kernel",
+    "compose_harris",
+    "compose_sobel",
+    "default_sketch_for",
+    "explicit_rotation_variant",
+    "generate_seal_code",
+    "inline_program",
+    "sliding_window_rotations",
+    "synthesize",
+    "tree_reduction_rotations",
+]

@@ -1,0 +1,176 @@
+"""Porcupine's synthesis engine: the CEGIS loop of Algorithm 1.
+
+Phase 1 (*synthesize an initial solution*): starting from the smallest
+sketch size, complete the sketch against a set of concrete input-output
+examples; verify candidates exactly against the specification; on
+verification failure, extract a counterexample, add it to the example set
+and retry.  Exhausting a size proves no L-component program exists for it,
+so L is incremented — the first verified solution therefore uses the
+minimum number of components.
+
+Phase 2 (*cost minimization*): keep searching the same sketch size for
+verified programs with strictly lower cost ``latency * (1 + mdepth)``,
+with branch-and-bound pruning, until the space is exhausted (optimality
+proof, like the paper's re-issued synthesis queries with cost constraints)
+or a timeout fires (the paper times out after 20 minutes of no progress
+and returns the best solution found).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sketch import Sketch
+from repro.quill.cost import program_cost
+from repro.quill.ir import Program
+from repro.quill.latency import LatencyModel, default_latency_model
+from repro.solver.engine import SketchSearch, materialize_assignment
+from repro.spec.reference import Example, Spec
+
+
+class SynthesisError(Exception):
+    """Raised when no verified kernel can be synthesized."""
+
+
+@dataclass
+class SynthesisConfig:
+    """Tunables for one synthesis run (paper section 7.1 methodology)."""
+
+    min_components: int = 1
+    max_components: int = 8
+    seed: int = 0
+    seed_examples: int = 1
+    initial_timeout: float = 900.0
+    optimize_timeout: float = 120.0
+    optimize: bool = True
+    latency_model: LatencyModel | None = None
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesized kernel plus the statistics Table 3 reports."""
+
+    program: Program
+    initial_program: Program
+    spec_name: str
+    components: int
+    examples_used: int
+    initial_time: float
+    total_time: float
+    initial_cost: float
+    final_cost: float
+    proof_complete: bool
+    nodes: int
+    examples: list[Example] = field(repr=False, default_factory=list)
+
+
+def synthesize(
+    spec: Spec, sketch: Sketch, config: SynthesisConfig | None = None
+) -> SynthesisResult:
+    """Compile a specification to a verified, optimized Quill kernel."""
+    config = config or SynthesisConfig()
+    model = config.latency_model or default_latency_model(spec.params_name)
+    rng = np.random.default_rng(config.seed)
+    examples = [spec.make_example(rng) for _ in range(config.seed_examples)]
+
+    start = time.monotonic()
+    deadline = start + config.initial_timeout
+    nodes = 0
+    initial_program: Program | None = None
+    components_used = 0
+
+    for length in range(config.min_components, config.max_components + 1):
+        found_at_this_length = False
+        while True:  # counterexample loop at this sketch size
+            search = SketchSearch(sketch, spec.layout, examples, model, length)
+            state: dict = {}
+
+            def on_candidate(assignment):
+                program = materialize_assignment(
+                    sketch, spec.layout, assignment, name=f"{spec.name}_synth"
+                )
+                verdict = spec.verify_program(program)
+                if verdict.equivalent:
+                    state["program"] = program
+                else:
+                    state["witness"] = verdict.counterexample
+                return True, None  # stop either way: accept or add example
+
+            outcome = search.run(on_candidate, deadline=deadline)
+            nodes += outcome.nodes
+            if "program" in state:
+                initial_program = state["program"]
+                components_used = length
+                found_at_this_length = True
+                break
+            if "witness" in state:
+                examples.append(
+                    spec.example_from_witness(state["witness"], rng)
+                )
+                continue
+            if outcome.status == "timeout":
+                raise SynthesisError(
+                    f"{spec.name}: initial synthesis timed out at "
+                    f"{length} components after "
+                    f"{time.monotonic() - start:.1f}s ({nodes} nodes)"
+                )
+            break  # exhausted: no program of this size exists
+        if found_at_this_length:
+            break
+    if initial_program is None:
+        raise SynthesisError(
+            f"{spec.name}: sketch has no solution with up to "
+            f"{config.max_components} components"
+        )
+
+    initial_time = time.monotonic() - start
+    initial_cost = program_cost(initial_program, model)
+
+    best_program = initial_program
+    best_cost = initial_cost
+    proof_complete = not config.optimize
+    if config.optimize:
+        optimize_deadline = time.monotonic() + config.optimize_timeout
+        search = SketchSearch(
+            sketch, spec.layout, examples, model, components_used
+        )
+        best_box = {"program": best_program, "cost": best_cost}
+
+        def on_better(assignment):
+            program = materialize_assignment(
+                sketch, spec.layout, assignment, name=f"{spec.name}_synth"
+            )
+            cost = program_cost(program, model)
+            if cost >= best_box["cost"]:
+                return False, None
+            if spec.verify_program(program).equivalent:
+                best_box["program"] = program
+                best_box["cost"] = cost
+                return False, cost
+            return False, None  # matches examples but not the spec
+
+        outcome = search.run(
+            on_better, cost_bound=best_cost, deadline=optimize_deadline
+        )
+        nodes += outcome.nodes
+        best_program = best_box["program"]
+        best_cost = best_box["cost"]
+        proof_complete = outcome.status == "exhausted"
+
+    return SynthesisResult(
+        program=best_program,
+        initial_program=initial_program,
+        spec_name=spec.name,
+        components=components_used,
+        examples_used=len(examples),
+        initial_time=initial_time,
+        total_time=time.monotonic() - start,
+        initial_cost=initial_cost,
+        final_cost=best_cost,
+        proof_complete=proof_complete,
+        nodes=nodes,
+        examples=examples,
+    )

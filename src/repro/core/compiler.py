@@ -1,0 +1,60 @@
+"""Top-level compiler API: specification in, verified SEAL kernel out.
+
+This is the user-facing entry point matching the paper's Figure 3
+pipeline: ``compile_kernel`` picks (or accepts) a sketch, runs the CEGIS
+synthesis engine, and emits SEAL C++ alongside the verified Quill program
+and synthesis statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cegis import SynthesisConfig, SynthesisResult, synthesize
+from repro.core.codegen import generate_seal_code
+from repro.core.sketch import Sketch
+from repro.core.sketches import KERNEL_SYNTH_SETTINGS, default_sketch_for
+from repro.quill.ir import Program
+from repro.spec.reference import Spec
+
+
+@dataclass
+class CompileResult:
+    """Everything Porcupine produces for one kernel."""
+
+    spec_name: str
+    program: Program
+    seal_code: str
+    synthesis: SynthesisResult
+
+    def __str__(self) -> str:
+        return (
+            f"CompileResult({self.spec_name}: "
+            f"{self.program.instruction_count()} instructions, "
+            f"initial {self.synthesis.initial_time:.2f}s, "
+            f"total {self.synthesis.total_time:.2f}s)"
+        )
+
+
+def config_for(spec: Spec, **overrides) -> SynthesisConfig:
+    """Synthesis configuration with per-kernel search-depth guidance."""
+    settings = dict(KERNEL_SYNTH_SETTINGS.get(spec.name, {}))
+    settings.update(overrides)
+    return SynthesisConfig(**settings)
+
+
+def compile_kernel(
+    spec: Spec,
+    sketch: Sketch | None = None,
+    config: SynthesisConfig | None = None,
+) -> CompileResult:
+    """Synthesize, verify, optimize, and code-generate one kernel."""
+    sketch = sketch or default_sketch_for(spec)
+    config = config or config_for(spec)
+    synthesis = synthesize(spec, sketch, config)
+    return CompileResult(
+        spec_name=spec.name,
+        program=synthesis.program,
+        seal_code=generate_seal_code(synthesis.program),
+        synthesis=synthesis,
+    )

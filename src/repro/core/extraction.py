@@ -1,0 +1,230 @@
+"""Automatic sketch extraction from a reference implementation.
+
+The paper notes that "the arithmetic instructions can be extracted from
+the specification" (section 4.4): the component menu of a sketch is the
+multiset of arithmetic operations the plaintext reference performs.  This
+module automates that step by *tracing* the reference — executing it on
+proxy values whose operator overloads record every ``+ - *`` together
+with the HE kind of each operand (ciphertext data, symbolic plaintext
+input, or compile-time constant).
+
+Extraction rules mirror how a Porcupine user writes sketches:
+
+* ct (op) ct            -> ciphertext-ciphertext component
+* ct (op) plaintext     -> ciphertext-plaintext component (``$input``)
+* ct * (+/-k)           -> |k| == 1 folds away (negation becomes a
+  subtract component); |k| > 1 becomes ``mul-ct-pt`` with a broadcast
+  constant — tracing Gx recovers exactly the paper's example sketch
+  (add, subtract, multiply-by-2)
+* const (op) const      -> folded at compile time, no component
+
+The user still supplies the rotation restriction (section 6.1) — layouts
+do not determine window shapes.  Output hygiene, e.g. L2's masked output,
+is invisible to tracing (it is a property of the layout, not of the
+arithmetic), so extracted sketches are a *starting point* the user may
+refine, which is the paper's workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sketch import ComponentChoice, CtHole, CtRotHole, Sketch
+from repro.quill.ir import Opcode, PtConst, PtInput
+from repro.spec.reference import Spec
+
+
+class ExtractionError(Exception):
+    """Raised when the reference performs HE-inexpressible arithmetic."""
+
+
+@dataclass
+class _Recorder:
+    """Shared log of traced operations."""
+
+    cc_ops: set[Opcode]
+    constants: set[int]  # |k| > 1 multiplier constants
+    pt_ops: set[tuple[Opcode, str]]  # ciphertext-plaintext ops by input name
+    additive_constants: set[tuple[Opcode, int]]  # ct +/- k components
+    needs_sub: bool = False
+
+
+class _Traced:
+    """A proxy value whose arithmetic is recorded instead of computed."""
+
+    __slots__ = ("kind", "name", "const", "recorder")
+
+    def __init__(self, kind, recorder, name=None, const=None):
+        self.kind = kind  # "ct" | "pt" | "const"
+        self.recorder = recorder
+        self.name = name  # plaintext input name, when kind == "pt"
+        self.const = const  # value, when kind == "const"
+
+    # -- helpers -----------------------------------------------------------
+
+    def _coerce(self, other) -> "_Traced":
+        if isinstance(other, _Traced):
+            return other
+        if isinstance(other, (int, np.integer)):
+            return _Traced("const", self.recorder, const=int(other))
+        raise ExtractionError(f"cannot trace operand {other!r}")
+
+    def _record_mul_const(self, value: int) -> None:
+        if value < 0:
+            self.recorder.needs_sub = True
+            value = -value
+        if value > 1:
+            self.recorder.constants.add(value)
+            self.recorder.cc_ops.add(Opcode.MUL_CP)
+
+    def _combine(self, other, op: str, reverse=False) -> "_Traced":
+        other = self._coerce(other)
+        left, right = (other, self) if reverse else (self, other)
+        rec = self.recorder
+        kinds = (left.kind, right.kind)
+        if kinds == ("const", "const"):
+            value = {
+                "add": left.const + right.const,
+                "sub": left.const - right.const,
+                "mul": left.const * right.const,
+            }[op]
+            return _Traced("const", rec, const=value)
+        if "ct" in kinds:
+            other_kind = kinds[1] if kinds[0] == "ct" else kinds[0]
+            if other_kind == "ct":
+                rec.cc_ops.add(
+                    {"add": Opcode.ADD_CC, "sub": Opcode.SUB_CC,
+                     "mul": Opcode.MUL_CC}[op]
+                )
+            elif other_kind == "pt":
+                pt = left if left.kind == "pt" else right
+                rec.pt_ops.add(
+                    ({"add": Opcode.ADD_CP, "sub": Opcode.SUB_CP,
+                      "mul": Opcode.MUL_CP}[op], pt.name)
+                )
+            else:  # constant operand
+                const = left if left.kind == "const" else right
+                if op == "mul":
+                    self._record_mul_const(const.const)
+                elif const.const != 0:
+                    # additive constants become add/sub-plain components
+                    rec.additive_constants.add(
+                        (
+                            Opcode.ADD_CP if op == "add" else Opcode.SUB_CP,
+                            const.const,
+                        )
+                    )
+                if op == "sub" and left.kind == "const":
+                    rec.needs_sub = True
+            return _Traced("ct", rec)
+        # plaintext-only arithmetic cannot be named as an HE operand
+        if "pt" in kinds:
+            raise ExtractionError(
+                "reference derives new plaintext values from plaintext "
+                "inputs; precompute them as separate inputs instead"
+            )
+        raise ExtractionError(f"untraceable combination {kinds}")
+
+    # -- operator protocol ---------------------------------------------------
+
+    def __add__(self, other):
+        return self._combine(other, "add")
+
+    def __radd__(self, other):
+        return self._combine(other, "add", reverse=True)
+
+    def __sub__(self, other):
+        return self._combine(other, "sub")
+
+    def __rsub__(self, other):
+        return self._combine(other, "sub", reverse=True)
+
+    def __mul__(self, other):
+        return self._combine(other, "mul")
+
+    def __rmul__(self, other):
+        return self._combine(other, "mul", reverse=True)
+
+    def __pow__(self, exponent):
+        if not isinstance(exponent, int) or exponent < 1:
+            raise ExtractionError("only positive integer powers trace")
+        result = self
+        for _ in range(exponent - 1):
+            result = result * self
+        return result
+
+    def __neg__(self):
+        self.recorder.needs_sub = True
+        return _Traced(self.kind, self.recorder, self.name, self.const)
+
+
+_CONSTANT_NAMES = {2: "two", 3: "three", 4: "four", 16: "sixteen"}
+
+
+def extract_sketch(
+    spec: Spec,
+    rotations: tuple[int, ...],
+    rotate_operands: bool = True,
+) -> Sketch:
+    """Trace the reference implementation and build its sketch.
+
+    Args:
+        spec: the kernel specification to trace.
+        rotations: the rotation restriction (user-supplied, section 6.1).
+        rotate_operands: when true, ciphertext-ciphertext additions and
+            subtractions get ``??ct-r`` operand holes; multiplications
+            keep plain holes (squares never need realignment in the
+            paper's kernels).
+    """
+    recorder = _Recorder(
+        cc_ops=set(), constants=set(), pt_ops=set(), additive_constants=set()
+    )
+    env = {}
+    for packed in spec.layout.inputs:
+        kind = "ct" if packed.kind == "ct" else "pt"
+        flat = [
+            _Traced(kind, recorder, name=packed.name)
+            for _ in range(packed.size)
+        ]
+        env[packed.name] = np.array(flat, dtype=object).reshape(packed.shape)
+    spec.reference(**env)
+
+    if recorder.needs_sub:
+        recorder.cc_ops.add(Opcode.SUB_CC)
+
+    hole = CtRotHole() if (rotate_operands and rotations) else CtHole()
+    choices: list[ComponentChoice] = []
+    for opcode in (Opcode.ADD_CC, Opcode.SUB_CC, Opcode.MUL_CC):
+        if opcode in recorder.cc_ops:
+            operand = CtHole() if opcode is Opcode.MUL_CC else hole
+            choices.append(ComponentChoice(opcode, operand, operand))
+    constants: dict[str, int] = {}
+    for value in sorted(recorder.constants):
+        name = _CONSTANT_NAMES.get(value, f"k{value}")
+        constants[name] = value
+        choices.append(
+            ComponentChoice(Opcode.MUL_CP, CtHole(), PtConst(name))
+        )
+    for opcode, value in sorted(
+        recorder.additive_constants, key=lambda p: (p[0].value, p[1])
+    ):
+        name = _CONSTANT_NAMES.get(value, f"k{value}")
+        if name not in constants:
+            constants[name] = value
+        choices.append(ComponentChoice(opcode, CtHole(), PtConst(name)))
+    for opcode, input_name in sorted(
+        recorder.pt_ops, key=lambda p: (p[0].value, p[1])
+    ):
+        choices.append(
+            ComponentChoice(opcode, CtHole(), PtInput(input_name))
+        )
+    if not choices:
+        raise ExtractionError("reference performs no traceable arithmetic")
+    return Sketch(
+        name=f"{spec.name}-extracted",
+        choices=tuple(choices),
+        rotations=tuple(rotations),
+        constants=constants,
+    )

@@ -1,0 +1,118 @@
+"""Multi-step synthesis: composing synthesized kernels (paper section 6.3).
+
+Program synthesis stops scaling around 10-12 instructions, but image
+pipelines have natural break points.  Porcupine synthesizes the core
+kernels (Gx, Gy, box blur) directly and stitches them into larger
+applications: the Sobel operator (``Gx^2 + Gy^2``) and the Harris corner
+response.  ``inline_program`` splices one Quill program into another
+builder with input remapping; identical rotations are shared across steps
+by the builder's CSE, exactly like the paper's code generator.
+"""
+
+from __future__ import annotations
+
+from repro.quill.builder import ProgramBuilder
+from repro.quill.ir import (
+    CtInput,
+    Opcode,
+    Program,
+    PtConst,
+    PtInput,
+    Ref,
+    Wire,
+)
+
+
+def inline_program(
+    builder: ProgramBuilder, program: Program, input_map: dict[str, Ref]
+) -> Ref:
+    """Splice ``program`` into ``builder``, remapping its ciphertext inputs.
+
+    Plaintext inputs and constants must already be declared on the target
+    builder under the same names.  Returns the reference holding the
+    spliced program's output.
+    """
+    wire_map: dict[int, Ref] = {}
+
+    def resolve(ref: Ref) -> Ref:
+        if isinstance(ref, Wire):
+            return wire_map[ref.index]
+        if isinstance(ref, CtInput):
+            return input_map[ref.name]
+        return ref  # plaintext refs resolve by name on the target builder
+
+    for index, instr in enumerate(program.instructions):
+        if instr.opcode is Opcode.ROTATE:
+            wire_map[index] = builder.rotate(
+                resolve(instr.operands[0]), instr.amount
+            )
+            continue
+        a = resolve(instr.operands[0])
+        b = resolve(instr.operands[1])
+        if instr.opcode in (Opcode.ADD_CC, Opcode.ADD_CP):
+            wire_map[index] = builder.add(a, b)
+        elif instr.opcode in (Opcode.SUB_CC, Opcode.SUB_CP):
+            wire_map[index] = builder.sub(a, b)
+        else:
+            wire_map[index] = builder.mul(a, b)
+    return resolve(program.output)
+
+
+def compose_sobel(gx: Program, gy: Program, name: str = "sobel_synth") -> Program:
+    """Sobel operator from gradient kernels: ``Gx^2 + Gy^2``."""
+    if gx.vector_size != gy.vector_size:
+        raise ValueError("gradient kernels use different vector sizes")
+    builder = ProgramBuilder(gx.vector_size, name=name)
+    img = builder.ct_input("img")
+    _declare_plains(builder, gx, gy)
+    gx_out = inline_program(builder, gx, {"img": img})
+    gy_out = inline_program(builder, gy, {"img": img})
+    magnitude = builder.add(
+        builder.mul(gx_out, gx_out), builder.mul(gy_out, gy_out)
+    )
+    return builder.build(magnitude)
+
+
+def compose_harris(
+    gx: Program,
+    gy: Program,
+    blur: Program,
+    name: str = "harris_synth",
+) -> Program:
+    """Harris response from synthesized pieces (k = 1/16).
+
+    ``response = 16 * (Sxx*Syy - Sxy^2) - (Sxx + Syy)^2`` where each
+    ``S``-term is the box blur of a gradient product.
+    """
+    sizes = {gx.vector_size, gy.vector_size, blur.vector_size}
+    if len(sizes) != 1:
+        raise ValueError("component kernels use different vector sizes")
+    builder = ProgramBuilder(gx.vector_size, name=name)
+    img = builder.ct_input("img")
+    _declare_plains(builder, gx, gy, blur)
+    sixteen = builder.constant("sixteen", 16)
+    gx_out = inline_program(builder, gx, {"img": img})
+    gy_out = inline_program(builder, gy, {"img": img})
+    blur_input = blur.ct_inputs[0]
+    sxx = inline_program(builder, blur, {blur_input: builder.mul(gx_out, gx_out)})
+    syy = inline_program(builder, blur, {blur_input: builder.mul(gy_out, gy_out)})
+    sxy = inline_program(builder, blur, {blur_input: builder.mul(gx_out, gy_out)})
+    det = builder.sub(builder.mul(sxx, syy), builder.mul(sxy, sxy))
+    trace = builder.add(sxx, syy)
+    response = builder.sub(builder.mul(det, sixteen), builder.mul(trace, trace))
+    return builder.build(response)
+
+
+def _declare_plains(builder: ProgramBuilder, *programs: Program) -> None:
+    """Declare the union of plaintext inputs/constants on the target."""
+    declared_pt: set[str] = set()
+    declared_const: set[str] = set()
+    for program in programs:
+        for name in program.pt_inputs:
+            if name not in declared_pt:
+                builder.pt_input(name)
+                declared_pt.add(name)
+        for name, value in program.constants.items():
+            if name not in declared_const:
+                builder.constant(name, value)
+                declared_const.add(name)

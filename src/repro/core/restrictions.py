@@ -1,0 +1,63 @@
+"""Rotation restrictions (paper section 6.1).
+
+Only a few rotation patterns are ever useful: sliding-window kernels need
+rotations that align elements inside the window, and in-ciphertext
+reductions need power-of-two steps so summation happens as a balanced
+tree.  Restricting the rotation holes to these sets prunes the synthesis
+search space dramatically without excluding real solutions.
+"""
+
+from __future__ import annotations
+
+
+def sliding_window_rotations(
+    grid_width: int,
+    window_height: int,
+    window_width: int,
+    centered: bool = False,
+) -> tuple[int, ...]:
+    """Rotations aligning sliding-window elements to the output slot.
+
+    Each output of a stencil kernel depends only on its neighbours inside
+    the window, so the only useful rotations move a window element onto
+    the output slot: ``dr * grid_width + dc`` for every in-window offset
+    ``(dr, dc)``, in both directions.  ``centered`` selects a window
+    centered on the output (3x3 stencils) versus anchored at its top-left
+    corner (2x2 windows).
+
+    Examples on a width-5 grid: a centered 3x3 window gives
+    {±1, ±4, ±5, ±6} — the amounts in the paper's Gx kernel (Figure 6) —
+    and an anchored 2x2 window gives {±1, ±5, ±6} (Figure 5).
+    """
+    if centered:
+        rows = range(-((window_height - 1) // 2), window_height // 2 + 1)
+        cols = range(-((window_width - 1) // 2), window_width // 2 + 1)
+    else:
+        rows = range(window_height)
+        cols = range(window_width)
+    offsets: set[int] = set()
+    for dr in rows:
+        for dc in cols:
+            offset = dr * grid_width + dc
+            if offset:
+                offsets.add(offset)
+                offsets.add(-offset)
+    return tuple(sorted(offsets, key=lambda x: (abs(x), x)))
+
+
+def tree_reduction_rotations(length: int) -> tuple[int, ...]:
+    """Power-of-two steps for reducing ``length`` packed elements.
+
+    Constrains synthesized reductions to balanced trees (paper 6.1): for a
+    length-8 reduction the legal amounts are {1, 2, 4}.  Only left
+    rotations are generated — the reduction accumulates toward slot 0,
+    which doubles as the paper's left-rotation symmetry breaking.
+    """
+    if length < 2 or length & (length - 1) != 0:
+        raise ValueError("reduction length must be a power of two >= 2")
+    steps = []
+    step = length // 2
+    while step >= 1:
+        steps.append(step)
+        step //= 2
+    return tuple(steps)

@@ -1,0 +1,158 @@
+"""Sketches: HE-kernel templates with holes (paper section 4.4).
+
+A sketch lists the *components* (arithmetic instructions with operand
+holes) that the synthesizer may instantiate, plus the set of legal
+rotation amounts.  Porcupine's signature design is the *local rotate*:
+rotation is an operand modifier of arithmetic instructions (``??ct-r``
+holes) rather than a free-standing component, which shrinks the program
+space without losing solutions (rotations are only useful when an
+arithmetic instruction needs realigned operands).
+
+The ``explicit`` style (rotations as standalone components with their own
+amount holes) is also implemented for the paper's section 7.4 ablation.
+
+Hole kinds:
+
+* ``CtHole``        — any already-available ciphertext (``??ct``).
+* ``CtRotHole``     — an available ciphertext, optionally rotated by one
+  of the sketch's legal amounts (``??ct-r``; includes "not rotated").
+* plaintext operand — a *named* plaintext input or constant; plaintext
+  operands are never holes in the paper's sketches and are fixed here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.quill.ir import Opcode, PtConst, PtInput
+
+
+@dataclass(frozen=True)
+class CtHole:
+    """``??ct``: choose any previously available ciphertext."""
+
+    def __str__(self) -> str:
+        return "??ct"
+
+
+@dataclass(frozen=True)
+class CtRotHole:
+    """``??ct-r``: choose a ciphertext and a rotation (or none)."""
+
+    def __str__(self) -> str:
+        return "??ct-r"
+
+
+OperandHole = CtHole | CtRotHole
+
+
+@dataclass(frozen=True)
+class ComponentChoice:
+    """One entry of the sketch's component menu.
+
+    For ciphertext-ciphertext opcodes both operands are holes.  For
+    ciphertext-plaintext opcodes the second operand names a plaintext
+    input (``PtInput``) or constant (``PtConst``).  ``max_uses`` bounds
+    how many slots may pick this choice (the paper treats the component
+    list as a multiset extracted from the reference implementation).
+    """
+
+    opcode: Opcode
+    operand1: OperandHole
+    operand2: OperandHole | PtInput | PtConst
+    max_uses: int | None = None
+
+    def __post_init__(self):
+        if self.opcode is Opcode.ROTATE:
+            raise ValueError(
+                "rotations are not sketch components in local-rotate "
+                "sketches; use CtRotHole operands (or RotationChoice for "
+                "explicit sketches)"
+            )
+        if self.opcode.has_plain_operand:
+            if not isinstance(self.operand2, (PtInput, PtConst)):
+                raise ValueError(
+                    f"{self.opcode.value} needs a named plaintext operand"
+                )
+        elif not isinstance(self.operand2, (CtHole, CtRotHole)):
+            raise ValueError(
+                f"{self.opcode.value} needs a ciphertext operand hole"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.opcode.value} ({self.operand1}) ({self.operand2})"
+
+
+@dataclass(frozen=True)
+class RotationChoice:
+    """Explicit-rotation-sketch component: ``rot (??ct) ??r``."""
+
+    max_uses: int | None = None
+
+    def __str__(self) -> str:
+        return "rot (??ct) ??r"
+
+
+@dataclass(frozen=True)
+class Sketch:
+    """A kernel template: component menu + rotation restriction.
+
+    Attributes:
+        name: sketch identifier (usually the kernel name).
+        choices: the component menu; each program slot picks one choice
+            (subject to ``max_uses``) and the engine fills its holes.
+        rotations: legal nonzero rotation amounts (signed; the "no
+            rotation" option is always available for ``??ct-r`` holes).
+        constants: named plaintext constant vectors/scalars used by
+            ciphertext-plaintext components.
+        style: ``"local-rotate"`` (default) or ``"explicit"`` (rotations
+            as standalone components, for the section 7.4 comparison).
+    """
+
+    name: str
+    choices: tuple[ComponentChoice | RotationChoice, ...]
+    rotations: tuple[int, ...]
+    constants: dict[str, tuple[int, ...] | int] = field(default_factory=dict)
+    style: str = "local-rotate"
+
+    def __post_init__(self):
+        if self.style not in ("local-rotate", "explicit"):
+            raise ValueError(f"unknown sketch style {self.style!r}")
+        if 0 in self.rotations:
+            raise ValueError("rotation sets list nonzero amounts only")
+        if len(set(self.rotations)) != len(self.rotations):
+            raise ValueError("duplicate rotation amounts")
+        for choice in self.choices:
+            if isinstance(choice, RotationChoice):
+                if self.style != "explicit":
+                    raise ValueError(
+                        "RotationChoice requires the explicit sketch style"
+                    )
+            elif self.style == "explicit":
+                if isinstance(choice.operand1, CtRotHole) or isinstance(
+                    choice.operand2, CtRotHole
+                ):
+                    raise ValueError(
+                        "explicit sketches use plain ??ct operand holes"
+                    )
+            if isinstance(choice, ComponentChoice) and isinstance(
+                choice.operand2, PtConst
+            ):
+                if choice.operand2.name not in self.constants:
+                    raise ValueError(
+                        f"sketch constant {choice.operand2.name!r} undefined"
+                    )
+
+    def describe(self) -> str:
+        lines = [f"sketch {self.name} ({self.style})"]
+        lines.append(
+            "rotations: {" + ", ".join(str(r) for r in self.rotations) + "}"
+        )
+        for choice in self.choices:
+            uses = (
+                ""
+                if getattr(choice, "max_uses", None) is None
+                else f"  (max {choice.max_uses})"
+            )
+            lines.append(f"  {choice}{uses}")
+        return "\n".join(lines)

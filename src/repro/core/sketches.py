@@ -1,0 +1,224 @@
+"""Per-kernel sketches: the artifact a Porcupine user writes (section 4.4).
+
+Each sketch lists the arithmetic components extracted from the reference
+implementation (as a multiset — the synthesizer may use fewer), marks
+which operands are plain ciphertext holes versus ciphertext-rotation
+holes, and picks a rotation restriction (section 6.1): sliding-window
+amounts for stencils, power-of-two amounts for in-ciphertext reductions.
+
+``explicit_rotation_variant`` converts a local-rotate sketch into the
+paper's section-7.4 comparison point, where rotations are free-standing
+components with their own amount holes.
+"""
+
+from __future__ import annotations
+
+from repro.core.restrictions import (
+    sliding_window_rotations,
+    tree_reduction_rotations,
+)
+from repro.core.sketch import (
+    ComponentChoice,
+    CtHole,
+    CtRotHole,
+    RotationChoice,
+    Sketch,
+)
+from repro.quill.ir import Opcode, PtConst, PtInput
+from repro.spec.kernels import GRID_WIDTH
+from repro.spec.reference import Spec
+
+
+def _cc(opcode, rot1=False, rot2=False, max_uses=None):
+    return ComponentChoice(
+        opcode,
+        CtRotHole() if rot1 else CtHole(),
+        CtRotHole() if rot2 else CtHole(),
+        max_uses=max_uses,
+    )
+
+
+def _cp(opcode, operand2, max_uses=None):
+    return ComponentChoice(opcode, CtHole(), operand2, max_uses=max_uses)
+
+
+def default_sketch_for(spec: Spec) -> Sketch:
+    """The local-rotate sketch a user would write for each paper kernel."""
+    builders = {
+        "box_blur": _box_blur_sketch,
+        "gx": _gx_sketch,
+        "gy": _gy_sketch,
+        "roberts": _roberts_sketch,
+        "dot_product": _dot_product_sketch,
+        "hamming": _hamming_sketch,
+        "l2": _l2_sketch,
+        "linear_regression": _linear_regression_sketch,
+        "polynomial_regression": _polynomial_regression_sketch,
+    }
+    try:
+        return builders[spec.name](spec)
+    except KeyError:
+        raise KeyError(
+            f"no direct-synthesis sketch for {spec.name!r} "
+            "(Sobel and Harris are multi-step kernels, see core.multistep)"
+        ) from None
+
+
+def _box_blur_sketch(spec: Spec) -> Sketch:
+    return Sketch(
+        name="box_blur",
+        choices=(_cc(Opcode.ADD_CC, rot1=True, rot2=True),),
+        rotations=sliding_window_rotations(GRID_WIDTH, 2, 2),
+    )
+
+
+def _gx_sketch(spec: Spec) -> Sketch:
+    # Components mirror the paper's Gx sketch: add, subtract, multiply-by-2.
+    return Sketch(
+        name="gx",
+        choices=(
+            _cc(Opcode.ADD_CC, rot1=True, rot2=True),
+            _cc(Opcode.SUB_CC, rot1=True, rot2=True),
+            _cp(Opcode.MUL_CP, PtConst("two")),
+        ),
+        rotations=sliding_window_rotations(GRID_WIDTH, 3, 3, centered=True),
+        constants={"two": 2},
+    )
+
+
+def _gy_sketch(spec: Spec) -> Sketch:
+    return Sketch(
+        name="gy",
+        choices=(
+            _cc(Opcode.ADD_CC, rot1=True, rot2=True),
+            _cc(Opcode.SUB_CC, rot1=True, rot2=True),
+            _cp(Opcode.MUL_CP, PtConst("two")),
+        ),
+        rotations=sliding_window_rotations(GRID_WIDTH, 3, 3, centered=True),
+        constants={"two": 2},
+    )
+
+
+def _roberts_sketch(spec: Spec) -> Sketch:
+    # Multiset from the reference: two differences, two squares, one sum.
+    return Sketch(
+        name="roberts",
+        choices=(
+            _cc(Opcode.SUB_CC, rot1=True, rot2=True, max_uses=2),
+            _cc(Opcode.MUL_CC, max_uses=2),
+            _cc(Opcode.ADD_CC, max_uses=1),
+        ),
+        rotations=sliding_window_rotations(GRID_WIDTH, 2, 2),
+    )
+
+
+def _dot_product_sketch(spec: Spec) -> Sketch:
+    n = spec.layout.input("x").size
+    return Sketch(
+        name="dot_product",
+        choices=(
+            _cp(Opcode.MUL_CP, PtInput("w"), max_uses=1),
+            _cc(Opcode.ADD_CC, rot2=True),
+        ),
+        rotations=tree_reduction_rotations(n),
+    )
+
+
+def _hamming_sketch(spec: Spec) -> Sketch:
+    n = spec.layout.input("x").size
+    return Sketch(
+        name="hamming",
+        choices=(
+            _cc(Opcode.SUB_CC, max_uses=1),
+            _cc(Opcode.MUL_CC, max_uses=1),
+            _cc(Opcode.ADD_CC, rot2=True),
+        ),
+        rotations=tree_reduction_rotations(n),
+    )
+
+
+def _l2_sketch(spec: Spec) -> Sketch:
+    n = spec.layout.input("x").size
+    mask = [0] * spec.layout.vector_size
+    mask[spec.layout.origin] = 1
+    return Sketch(
+        name="l2",
+        choices=(
+            _cc(Opcode.SUB_CC, max_uses=1),
+            _cc(Opcode.MUL_CC, max_uses=1),
+            _cc(Opcode.ADD_CC, rot2=True),
+            _cp(Opcode.MUL_CP, PtConst("mask"), max_uses=1),
+        ),
+        rotations=tree_reduction_rotations(n),
+        constants={"mask": tuple(mask)},
+    )
+
+
+def _linear_regression_sketch(spec: Spec) -> Sketch:
+    n = spec.layout.input("x").size
+    return Sketch(
+        name="linear_regression",
+        choices=(
+            _cp(Opcode.MUL_CP, PtInput("w"), max_uses=1),
+            _cc(Opcode.ADD_CC, rot2=True),
+        ),
+        rotations=tree_reduction_rotations(n),
+    )
+
+
+def _polynomial_regression_sketch(spec: Spec) -> Sketch:
+    # Element-wise kernel: no rotations at all, multiplies and adds only.
+    return Sketch(
+        name="polynomial_regression",
+        choices=(
+            _cc(Opcode.MUL_CC, max_uses=3),
+            _cc(Opcode.ADD_CC, max_uses=2),
+        ),
+        rotations=(),
+    )
+
+
+def explicit_rotation_variant(sketch: Sketch) -> Sketch:
+    """Rewrite a local-rotate sketch in the explicit-rotation style (7.4).
+
+    Every ``??ct-r`` hole becomes a plain ``??ct`` hole and rotations move
+    into a free-standing ``rot (??ct) ??r`` component, enlarging the space
+    of candidate programs the solver must cover.
+    """
+    new_choices: list = [RotationChoice()]
+    for choice in sketch.choices:
+        if isinstance(choice, RotationChoice):
+            continue
+        operand2 = (
+            CtHole()
+            if isinstance(choice.operand2, CtRotHole)
+            else choice.operand2
+        )
+        new_choices.append(
+            ComponentChoice(
+                choice.opcode, CtHole(), operand2, max_uses=choice.max_uses
+            )
+        )
+    return Sketch(
+        name=f"{sketch.name}-explicit",
+        choices=tuple(new_choices),
+        rotations=sketch.rotations,
+        constants=dict(sketch.constants),
+        style="explicit",
+    )
+
+
+# Search-depth and timeout guidance per kernel: the smallest known solution
+# size plus one (so exhaustion proofs stay affordable), mirroring how a
+# user sizes a sketch from the reference implementation's operation count.
+KERNEL_SYNTH_SETTINGS: dict[str, dict] = {
+    "box_blur": {"max_components": 3},
+    "gx": {"max_components": 4},
+    "gy": {"max_components": 4},
+    "roberts": {"max_components": 5},
+    "dot_product": {"max_components": 5},
+    "hamming": {"max_components": 5},
+    "l2": {"max_components": 6},
+    "linear_regression": {"max_components": 4},
+    "polynomial_regression": {"max_components": 5},
+}

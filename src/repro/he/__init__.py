@@ -1,0 +1,38 @@
+"""Homomorphic-encryption substrate: a from-scratch BFV implementation.
+
+This package stands in for Microsoft SEAL (the backend the Porcupine paper
+compiles to).  It implements the Brakerski/Fan-Vercauteren scheme over the
+ring ``R_q = Z_q[x]/(x^N + 1)``:
+
+* number-theoretic transforms over RNS primes for fast ring multiplication,
+* CRT batching so a ciphertext behaves like a SIMD vector of slots,
+* public-key encryption, relinearization, and slot rotation via Galois
+  automorphisms with key switching,
+* invariant-noise-budget measurement, mirroring SEAL's diagnostics.
+
+The public entry point is :class:`~repro.he.context.BFVContext` together
+with the parameter presets in :mod:`repro.he.params`.
+"""
+
+from repro.he.context import BFVContext, Ciphertext, Plaintext
+from repro.he.errors import (
+    DecryptionError,
+    HEError,
+    InvalidParameterError,
+    NoiseBudgetExhausted,
+)
+from repro.he.params import BFVParams, large_params, small_params, toy_params
+
+__all__ = [
+    "BFVContext",
+    "BFVParams",
+    "Ciphertext",
+    "DecryptionError",
+    "HEError",
+    "InvalidParameterError",
+    "NoiseBudgetExhausted",
+    "Plaintext",
+    "large_params",
+    "small_params",
+    "toy_params",
+]

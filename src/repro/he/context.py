@@ -1,0 +1,336 @@
+"""The BFV cryptosystem: keygen, encryption, and homomorphic evaluation.
+
+This module is the substrate equivalent of SEAL's ``Evaluator`` /
+``Encryptor`` / ``Decryptor`` stack.  It implements textbook BFV (Fan &
+Vercauteren 2012, the paper's reference [16]) with:
+
+* public-key encryption ``ct = (p0*u + e1 + Delta*m, p1*u + e2)``,
+* ciphertext-ciphertext and ciphertext-plaintext add/sub/multiply,
+* relinearization of the 3-part product ciphertext using base-T digit
+  decomposition,
+* SIMD slot rotation via Galois automorphisms plus key switching,
+* invariant-noise-budget measurement mirroring SEAL's diagnostics.
+
+All ring arithmetic is RNS/NTT-based (:mod:`repro.he.poly`); exact integer
+arithmetic appears only where BFV requires it (the tensor-and-rescale step
+of multiplication, decryption rounding, digit decomposition).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.he.encoder import BatchEncoder
+from repro.he.errors import HEError, NoiseBudgetExhausted
+from repro.he.keys import GaloisKeys, KSwitchKey, PublicKey, SecretKey
+from repro.he.params import BFVParams
+from repro.he.poly import RingContext, RingElement, exact_negacyclic_product
+from repro.he.primes import find_ntt_primes
+from repro.he.rns import centered
+
+
+class Plaintext:
+    """A plaintext polynomial (coefficients mod t) with a cached ring lift."""
+
+    __slots__ = ("coeffs", "_lift")
+
+    def __init__(self, coeffs: np.ndarray):
+        self.coeffs = np.asarray(coeffs, dtype=np.int64)
+        self._lift: RingElement | None = None
+
+    def lift(self, ring: RingContext, t: int) -> RingElement:
+        """Centered lift of the plaintext into R_q (noise-minimal)."""
+        if self._lift is None:
+            half = t // 2
+            signed = np.where(self.coeffs > half, self.coeffs - t, self.coeffs)
+            self._lift = ring.from_int_coeffs([int(c) for c in signed])
+        return self._lift
+
+
+class Ciphertext:
+    """A BFV ciphertext: 2 (or transiently 3) ring elements."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: list[RingElement]):
+        if len(parts) not in (2, 3):
+            raise HEError("ciphertexts must have 2 or 3 parts")
+        self.parts = parts
+
+    @property
+    def size(self) -> int:
+        return len(self.parts)
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext([p.copy() for p in self.parts])
+
+
+class BFVContext:
+    """One key pair plus every homomorphic operation over it."""
+
+    def __init__(self, params: BFVParams, seed: int | None = None):
+        self.params = params
+        self.ring = RingContext(params.poly_degree, list(params.coeff_primes))
+        self.encoder = BatchEncoder(params)
+        self._rng = np.random.default_rng(seed)
+        self.q = params.coeff_modulus
+        self.t = params.plain_modulus
+        self.delta = self.q // self.t
+        self._digit_count = math.ceil(self.q.bit_length() / params.decomp_bits)
+        self._ext_ring = self._build_extension_ring()
+        self._keygen()
+        self.galois_keys = GaloisKeys()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _build_extension_ring(self) -> RingContext:
+        """RNS basis big enough for exact integer tensor products.
+
+        BFV multiplication forms integer products of centered ciphertext
+        polynomials; coefficients are bounded by ``N * q^2`` (Karatsuba
+        operand sums reach ``q``), so the extension modulus must exceed
+        ``4 * N * q^2`` to allow a centered reconstruction with margin.
+        """
+        n = self.params.poly_degree
+        needed_bits = 2 * self.q.bit_length() + n.bit_length() + 3
+        count = needed_bits // 25 + 1
+        primes = find_ntt_primes(count, 26, 2 * n)
+        overlap = set(primes) & set(self.params.coeff_primes)
+        if overlap:
+            raise HEError(f"extension primes collide with coeff primes: {overlap}")
+        return RingContext(n, primes)
+
+    def _sample_ternary(self) -> RingElement:
+        coeffs = self._rng.integers(-1, 2, self.params.poly_degree)
+        return self.ring.from_int_coeffs([int(c) for c in coeffs])
+
+    def _sample_error(self) -> RingElement:
+        std = self.params.error_std
+        raw = self._rng.normal(0.0, std, self.params.poly_degree)
+        clipped = np.clip(np.rint(raw), -6 * std, 6 * std).astype(np.int64)
+        return self.ring.from_int_coeffs([int(c) for c in clipped])
+
+    def _sample_uniform(self) -> RingElement:
+        rows = [
+            self._rng.integers(0, p, self.params.poly_degree, dtype=np.int64)
+            for p in self.params.coeff_primes
+        ]
+        return RingElement(self.ring, np.stack(rows, axis=0))
+
+    def _keygen(self) -> None:
+        s = self._sample_ternary()
+        a = self._sample_uniform()
+        e = self._sample_error()
+        self.secret_key = SecretKey(s)
+        self.public_key = PublicKey(p0=-(a * s + e), p1=a)
+        self.relin_key = self._make_kswitch_key(s * s)
+
+    def _make_kswitch_key(self, source_secret: RingElement) -> KSwitchKey:
+        """Key switching ``source_secret -> s`` with base-T digits."""
+        pairs = []
+        factor = 1
+        for _ in range(self._digit_count):
+            a = self._sample_uniform()
+            e = self._sample_error()
+            k0 = -(a * self.secret_key.s + e) + source_secret.scalar_mul(factor)
+            pairs.append((k0, a))
+            factor <<= self.params.decomp_bits
+        return KSwitchKey(pairs)
+
+    def generate_galois_key(self, galois_elt: int) -> None:
+        if galois_elt not in self.galois_keys:
+            rotated_secret = self.secret_key.s.automorphism(galois_elt)
+            self.galois_keys.add(galois_elt, self._make_kswitch_key(rotated_secret))
+
+    # ------------------------------------------------------------------
+    # Encode / encrypt / decrypt
+    # ------------------------------------------------------------------
+
+    def encode(self, values) -> Plaintext:
+        return Plaintext(self.encoder.encode(values))
+
+    def decode(self, plaintext: Plaintext, signed: bool = True) -> np.ndarray:
+        return self.encoder.decode(plaintext.coeffs, signed=signed)
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        u = self._sample_ternary()
+        e1 = self._sample_error()
+        e2 = self._sample_error()
+        m_scaled = plaintext.lift(self.ring, self.t).scalar_mul(self.delta)
+        c0 = self.public_key.p0 * u + e1 + m_scaled
+        c1 = self.public_key.p1 * u + e2
+        return Ciphertext([c0, c1])
+
+    def encrypt_vector(self, values) -> Ciphertext:
+        return self.encrypt(self.encode(values))
+
+    def _noise_poly(self, ct: Ciphertext) -> list[int]:
+        """Coefficients of ``c0 + c1*s (+ c2*s^2)`` in ``[0, q)``."""
+        s = self.secret_key.s
+        acc = ct.parts[0] + ct.parts[1] * s
+        if ct.size == 3:
+            acc = acc + ct.parts[2] * (s * s)
+        return acc.to_int_coeffs()
+
+    def decrypt(self, ct: Ciphertext, check_budget: bool = True) -> Plaintext:
+        if check_budget and self.noise_budget(ct) <= 0:
+            raise NoiseBudgetExhausted(
+                "ciphertext noise budget exhausted; decryption would corrupt"
+            )
+        q, t = self.q, self.t
+        w = self._noise_poly(ct)
+        coeffs = np.array(
+            [(t * c + q // 2) // q % t for c in w], dtype=np.int64
+        )
+        return Plaintext(coeffs)
+
+    def decrypt_vector(self, ct: Ciphertext, signed: bool = True) -> np.ndarray:
+        return self.decode(self.decrypt(ct), signed=signed)
+
+    def noise_budget(self, ct: Ciphertext) -> int:
+        """Bits of invariant-noise headroom (0 means decryption may fail)."""
+        q, t = self.q, self.t
+        max_u = 0
+        for c in self._noise_poly(ct):
+            u = abs(centered(t * c % q, q))
+            if u > max_u:
+                max_u = u
+        if max_u == 0:
+            return q.bit_length() - 1
+        budget = (q // (2 * max_u)).bit_length() - 1
+        return max(0, budget)
+
+    # ------------------------------------------------------------------
+    # Homomorphic operations
+    # ------------------------------------------------------------------
+
+    def add(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        self._check_sizes(ct1, ct2)
+        return Ciphertext([a + b for a, b in zip(ct1.parts, ct2.parts)])
+
+    def sub(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        self._check_sizes(ct1, ct2)
+        return Ciphertext([a - b for a, b in zip(ct1.parts, ct2.parts)])
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        return Ciphertext([-p for p in ct.parts])
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        m_scaled = pt.lift(self.ring, self.t).scalar_mul(self.delta)
+        parts = [ct.parts[0] + m_scaled] + [p.copy() for p in ct.parts[1:]]
+        return Ciphertext(parts)
+
+    def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        m_scaled = pt.lift(self.ring, self.t).scalar_mul(self.delta)
+        parts = [ct.parts[0] - m_scaled] + [p.copy() for p in ct.parts[1:]]
+        return Ciphertext(parts)
+
+    def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        lift = pt.lift(self.ring, self.t)
+        return Ciphertext([p * lift for p in ct.parts])
+
+    def multiply(
+        self, ct1: Ciphertext, ct2: Ciphertext, relinearize: bool = True
+    ) -> Ciphertext:
+        """BFV multiply: exact integer tensor, rescale by t/q, relinearize."""
+        if ct1.size != 2 or ct2.size != 2:
+            raise HEError("multiply expects relinearized (2-part) operands")
+        a0 = ct1.parts[0].to_centered_coeffs()
+        a1 = ct1.parts[1].to_centered_coeffs()
+        b0 = ct2.parts[0].to_centered_coeffs()
+        b1 = ct2.parts[1].to_centered_coeffs()
+        # Karatsuba: three exact products instead of four.
+        p00 = exact_negacyclic_product(a0, b0, self._ext_ring)
+        p11 = exact_negacyclic_product(a1, b1, self._ext_ring)
+        asum = [x + y for x, y in zip(a0, a1)]
+        bsum = [x + y for x, y in zip(b0, b1)]
+        pss = exact_negacyclic_product(asum, bsum, self._ext_ring)
+        p01 = [s - x - y for s, x, y in zip(pss, p00, p11)]
+        parts = [
+            self._rescale_to_ring(p00),
+            self._rescale_to_ring(p01),
+            self._rescale_to_ring(p11),
+        ]
+        product = Ciphertext(parts)
+        if relinearize:
+            product = self.relinearize(product)
+        return product
+
+    def _rescale_to_ring(self, coeffs: list[int]) -> RingElement:
+        """``round(t * v / q) mod q`` applied coefficient-wise."""
+        q, t = self.q, self.t
+        scaled = [(t * v + q // 2) // q for v in coeffs]
+        return self.ring.from_int_coeffs(scaled)
+
+    def relinearize(self, ct: Ciphertext) -> Ciphertext:
+        """Fold the quadratic part of a 3-part ciphertext back to 2 parts."""
+        if ct.size == 2:
+            return ct.copy()
+        d0, d1 = self._key_switch(ct.parts[2], self.relin_key)
+        return Ciphertext([ct.parts[0] + d0, ct.parts[1] + d1])
+
+    def rotate_rows(self, ct: Ciphertext, steps: int) -> Ciphertext:
+        """Rotate both batching rows left by ``steps`` (negative = right)."""
+        if ct.size != 2:
+            raise HEError("rotate expects a relinearized (2-part) ciphertext")
+        steps = steps % self.encoder.row_size
+        if steps == 0:
+            return ct.copy()
+        g = self.encoder.galois_element_for_rotation(steps)
+        return self._apply_galois(ct, g)
+
+    def rotate_columns(self, ct: Ciphertext) -> Ciphertext:
+        """Swap the two batching rows."""
+        if ct.size != 2:
+            raise HEError("rotate expects a relinearized (2-part) ciphertext")
+        return self._apply_galois(ct, self.encoder.galois_element_row_swap)
+
+    def _apply_galois(self, ct: Ciphertext, galois_elt: int) -> Ciphertext:
+        self.generate_galois_key(galois_elt)
+        key = self.galois_keys.get(galois_elt)
+        c0g = ct.parts[0].automorphism(galois_elt)
+        c1g = ct.parts[1].automorphism(galois_elt)
+        d0, d1 = self._key_switch(c1g, key)
+        return Ciphertext([c0g + d0, d1])
+
+    def _key_switch(
+        self, poly: RingElement, key: KSwitchKey
+    ) -> tuple[RingElement, RingElement]:
+        """Inner product of base-T digits with an NTT-domain switch key."""
+        ring = self.ring
+        bits = self.params.decomp_bits
+        mask = (1 << bits) - 1
+        coeffs = poly.to_int_coeffs()
+        primes_col = ring._primes_col
+        acc0 = np.zeros_like(poly.residues)
+        acc1 = np.zeros_like(poly.residues)
+        for j in range(len(key)):
+            shift = bits * j
+            digit = np.array(
+                [(c >> shift) & mask for c in coeffs], dtype=np.int64
+            )
+            digit_res = digit[None, :] % primes_col
+            digit_eval = np.stack(
+                [ntt.forward(digit_res[i]) for i, ntt in enumerate(ring.ntts)]
+            )
+            acc0 = (acc0 + digit_eval * key._ntt_cache_0[j]) % primes_col
+            acc1 = (acc1 + digit_eval * key._ntt_cache_1[j]) % primes_col
+        out0 = np.stack(
+            [ntt.inverse(acc0[i]) for i, ntt in enumerate(ring.ntts)]
+        )
+        out1 = np.stack(
+            [ntt.inverse(acc1[i]) for i, ntt in enumerate(ring.ntts)]
+        )
+        return RingElement(ring, out0), RingElement(ring, out1)
+
+    @staticmethod
+    def _check_sizes(ct1: Ciphertext, ct2: Ciphertext) -> None:
+        if ct1.size != ct2.size:
+            raise HEError(
+                f"ciphertext sizes differ ({ct1.size} vs {ct2.size}); "
+                "relinearize first"
+            )

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the BFV substrate."""
+
+
+class HEError(Exception):
+    """Base class for all homomorphic-encryption errors."""
+
+
+class InvalidParameterError(HEError):
+    """Raised when BFV parameters are malformed or insecure without opt-in."""
+
+
+class NoiseBudgetExhausted(HEError):
+    """Raised when an operation would (or did) exhaust the noise budget.
+
+    BFV ciphertexts carry noise that grows with every operation; once the
+    invariant noise exceeds 1/2 the plaintext can no longer be recovered
+    (paper section 2.2, "Noise").
+    """
+
+
+class DecryptionError(HEError):
+    """Raised when decryption produces an inconsistent result."""
+
+
+class KeyError_(HEError):
+    """Raised when a required evaluation key (relin/Galois) is missing."""

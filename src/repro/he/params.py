@@ -1,0 +1,158 @@
+"""BFV parameter sets.
+
+Follows the HomomorphicEncryption.org security standard (Albrecht et al.
+2018, the paper's reference [1]): for a ternary secret at 128-bit classical
+security the total coefficient-modulus size ``log2(q)`` is bounded per ring
+dimension ``N``.  The paper's evaluation fixes 128-bit security for both
+baseline and synthesized kernels (section 7.1); we do the same and select
+the smallest ring that supports each kernel's multiplicative depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.he.errors import InvalidParameterError
+from repro.he.primes import find_ntt_primes, is_prime
+
+# Max log2(q) for 128-bit classical security, ternary secret
+# (HomomorphicEncryption.org standard, Table 1).
+SECURITY_128_MAX_LOGQ = {
+    1024: 27,
+    2048: 54,
+    4096: 109,
+    8192: 218,
+    16384: 438,
+    32768: 881,
+}
+
+
+@dataclass(frozen=True)
+class BFVParams:
+    """Complete description of one BFV instantiation.
+
+    Attributes:
+        poly_degree: ring dimension ``N`` (power of two); a ciphertext
+            batches ``N`` integer slots arranged as a 2 x (N/2) matrix.
+        plain_modulus: plaintext modulus ``t`` (prime, ``t = 1 mod 2N`` so
+            batching is available).
+        coeff_primes: RNS primes whose product is the ciphertext modulus
+            ``q``.
+        error_std: standard deviation of the discrete-Gaussian error
+            sampler (SEAL default 3.2).
+        decomp_bits: digit width for relinearization / Galois key switching.
+        allow_insecure: opt-in flag for test-only parameter sets that
+            exceed the 128-bit security bound.
+    """
+
+    poly_degree: int
+    plain_modulus: int
+    coeff_primes: tuple[int, ...]
+    error_std: float = 3.2
+    decomp_bits: int = 32
+    allow_insecure: bool = False
+    name: str = field(default="custom")
+
+    def __post_init__(self):
+        n = self.poly_degree
+        if n & (n - 1) != 0 or n < 8:
+            raise InvalidParameterError("poly_degree must be a power of two >= 8")
+        t = self.plain_modulus
+        if not is_prime(t):
+            raise InvalidParameterError("plain_modulus must be prime")
+        if (t - 1) % (2 * n) != 0:
+            raise InvalidParameterError(
+                "plain_modulus must be 1 mod 2N to enable batching"
+            )
+        for p in self.coeff_primes:
+            if (p - 1) % (2 * n) != 0:
+                raise InvalidParameterError(f"coeff prime {p} is not 1 mod 2N")
+            if p == t:
+                raise InvalidParameterError("plain modulus must differ from q primes")
+        if not self.allow_insecure:
+            max_logq = SECURITY_128_MAX_LOGQ.get(n)
+            if max_logq is None or self.logq > max_logq:
+                raise InvalidParameterError(
+                    f"log2(q)={self.logq} exceeds the 128-bit security bound "
+                    f"for N={n}; pass allow_insecure=True for test-only use"
+                )
+
+    @property
+    def coeff_modulus(self) -> int:
+        q = 1
+        for p in self.coeff_primes:
+            q *= p
+        return q
+
+    @property
+    def logq(self) -> int:
+        return self.coeff_modulus.bit_length()
+
+    @property
+    def slot_count(self) -> int:
+        """Total SIMD slots (two rows of ``N/2`` each, as in SEAL)."""
+        return self.poly_degree
+
+    @property
+    def row_size(self) -> int:
+        return self.poly_degree // 2
+
+    def __repr__(self) -> str:
+        return (
+            f"BFVParams(name={self.name!r}, N={self.poly_degree}, "
+            f"t={self.plain_modulus}, logq={self.logq})"
+        )
+
+
+def toy_params() -> BFVParams:
+    """Tiny, *insecure* parameters for fast unit tests (N=1024).
+
+    The modulus is far larger than the 128-bit bound allows at this ring
+    size; never use outside tests.
+    """
+    return BFVParams(
+        poly_degree=1024,
+        plain_modulus=12289,  # 12 * 1024 + 1
+        coeff_primes=tuple(find_ntt_primes(2, 30, 2048)),
+        decomp_bits=20,
+        allow_insecure=True,
+        name="toy-insecure",
+    )
+
+
+def small_params() -> BFVParams:
+    """128-bit secure N=4096 set for multiplicative depth <= 1 kernels."""
+    return BFVParams(
+        poly_degree=4096,
+        plain_modulus=65537,
+        coeff_primes=tuple(find_ntt_primes(4, 27, 8192)),
+        decomp_bits=24,
+        name="n4096-depth1",
+    )
+
+
+def large_params() -> BFVParams:
+    """128-bit secure N=8192 set for multiplicative depth <= 3 kernels.
+
+    The plaintext modulus 786433 = 3 * 2^18 + 1 widens the value range to
+    roughly +/-393k so the Harris response ``16*det - trace^2`` cannot wrap.
+    """
+    return BFVParams(
+        poly_degree=8192,
+        plain_modulus=786433,
+        coeff_primes=tuple(find_ntt_primes(8, 27, 16384)),
+        decomp_bits=32,
+        name="n8192-depth3",
+    )
+
+
+def params_for_depth(depth: int) -> BFVParams:
+    """Pick the smallest 128-bit-secure preset supporting a given depth."""
+    if depth <= 1:
+        return small_params()
+    if depth <= 3:
+        return large_params()
+    raise InvalidParameterError(
+        f"no preset supports multiplicative depth {depth}; "
+        "construct BFVParams explicitly"
+    )

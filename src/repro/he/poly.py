@@ -1,0 +1,154 @@
+"""Ring elements of ``R_q = Z_q[x]/(x^N + 1)`` in RNS representation.
+
+A :class:`RingElement` stores one residue row per RNS prime (shape
+``(k, N)`` int64), so additions, negacyclic multiplications (via NTT), and
+Galois automorphisms are all vectorized numpy operations.  Big-integer
+coefficient views are materialised only at scheme boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.he.ntt import NTTContext
+from repro.he.rns import RNSBasis
+
+
+class RingContext:
+    """Shared tables for one polynomial ring: basis primes + NTT contexts."""
+
+    def __init__(self, n: int, primes: list[int]):
+        self.n = n
+        self.basis = RNSBasis(primes)
+        self.ntts = [NTTContext(n, p) for p in primes]
+        self._primes_col = np.array(primes, dtype=np.int64)[:, None]
+        self._automorphism_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def modulus(self) -> int:
+        return self.basis.modulus
+
+    def zero(self) -> "RingElement":
+        shape = (len(self.basis), self.n)
+        return RingElement(self, np.zeros(shape, dtype=np.int64))
+
+    def from_int_coeffs(self, coeffs) -> "RingElement":
+        """Build an element from integer coefficients (any magnitude/sign)."""
+        if len(coeffs) != self.n:
+            raise ValueError(f"expected {self.n} coefficients")
+        return RingElement(self, self.basis.decompose(coeffs))
+
+    def from_residues(self, residues: np.ndarray) -> "RingElement":
+        return RingElement(self, residues % self._primes_col)
+
+    def constant(self, value: int) -> "RingElement":
+        coeffs = [value] + [0] * (self.n - 1)
+        return self.from_int_coeffs(coeffs)
+
+    def automorphism_tables(self, galois_elt: int):
+        """Permutation/sign tables for ``x -> x^g`` on coefficient vectors.
+
+        Coefficient ``i`` of the input lands at position ``i*g mod 2N``; the
+        negacyclic relation ``x^N = -1`` folds positions >= N back with a
+        sign flip.
+        """
+        if galois_elt % 2 == 0:
+            raise ValueError("Galois elements must be odd")
+        cached = self._automorphism_cache.get(galois_elt)
+        if cached is not None:
+            return cached
+        n = self.n
+        dest = np.empty(n, dtype=np.int64)
+        sign = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            d = i * galois_elt % (2 * n)
+            if d < n:
+                dest[i] = d
+                sign[i] = 1
+            else:
+                dest[i] = d - n
+                sign[i] = -1
+        self._automorphism_cache[galois_elt] = (dest, sign)
+        return dest, sign
+
+
+class RingElement:
+    """One polynomial of ``R_q``, stored as an RNS residue matrix."""
+
+    __slots__ = ("ctx", "residues")
+
+    def __init__(self, ctx: RingContext, residues: np.ndarray):
+        self.ctx = ctx
+        self.residues = residues
+
+    def copy(self) -> "RingElement":
+        return RingElement(self.ctx, self.residues.copy())
+
+    def __add__(self, other: "RingElement") -> "RingElement":
+        res = (self.residues + other.residues) % self.ctx._primes_col
+        return RingElement(self.ctx, res)
+
+    def __sub__(self, other: "RingElement") -> "RingElement":
+        res = (self.residues - other.residues) % self.ctx._primes_col
+        return RingElement(self.ctx, res)
+
+    def __neg__(self) -> "RingElement":
+        return RingElement(self.ctx, (-self.residues) % self.ctx._primes_col)
+
+    def __mul__(self, other: "RingElement") -> "RingElement":
+        """Negacyclic product via per-prime NTT convolution."""
+        out = np.empty_like(self.residues)
+        for i, ntt in enumerate(self.ctx.ntts):
+            fa = ntt.forward(self.residues[i])
+            fb = ntt.forward(other.residues[i])
+            out[i] = ntt.inverse(fa * fb % ntt.prime)
+        return RingElement(self.ctx, out)
+
+    def scalar_mul(self, scalar: int) -> "RingElement":
+        scalars = np.array(
+            [scalar % p for p in self.ctx.basis.primes], dtype=np.int64
+        )[:, None]
+        return RingElement(
+            self.ctx, self.residues * scalars % self.ctx._primes_col
+        )
+
+    def automorphism(self, galois_elt: int) -> "RingElement":
+        dest, sign = self.ctx.automorphism_tables(galois_elt)
+        out = np.empty_like(self.residues)
+        signed = self.residues * sign[None, :] % self.ctx._primes_col
+        out[:, dest] = signed
+        return RingElement(self.ctx, out)
+
+    def to_int_coeffs(self) -> list[int]:
+        """Coefficients in ``[0, q)``."""
+        return self.ctx.basis.compose(self.residues)
+
+    def to_centered_coeffs(self) -> list[int]:
+        """Coefficients in ``(-q/2, q/2]`` (the noise-minimal lift)."""
+        return self.ctx.basis.compose_centered(self.residues)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RingElement):
+            return NotImplemented
+        return bool(np.array_equal(self.residues, other.residues))
+
+    def __repr__(self) -> str:
+        return f"RingElement(n={self.ctx.n}, k={len(self.ctx.basis)})"
+
+
+def exact_negacyclic_product(
+    a_coeffs: list[int], b_coeffs: list[int], ext_ring: RingContext
+) -> list[int]:
+    """Exact integer negacyclic product of two coefficient vectors.
+
+    Used by BFV multiplication, whose tensor step must be computed over the
+    integers (not mod q) before rescaling by ``t/q``.  The product is taken
+    in an extended RNS basis large enough to hold every coefficient of the
+    result, then reconstructed with centered CRT.
+
+    The caller is responsible for passing centered inputs and an extension
+    ring whose modulus exceeds ``2 * N * max|a| * max|b|``.
+    """
+    a = ext_ring.from_int_coeffs(a_coeffs)
+    b = ext_ring.from_int_coeffs(b_coeffs)
+    return (a * b).to_centered_coeffs()

@@ -1,0 +1,93 @@
+"""Prime-number utilities for NTT-friendly modulus generation.
+
+BFV over ``Z_q[x]/(x^N + 1)`` needs primes ``p`` with ``p = 1 (mod 2N)`` so
+that ``Z_p`` contains a primitive ``2N``-th root of unity and negacyclic
+convolutions can be computed with an NTT.  SEAL ships a table of such
+primes; we generate them deterministically instead.
+"""
+
+from __future__ import annotations
+
+# Witness set sufficient for deterministic Miller-Rabin below 3.3 * 10^24.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test for 64-bit-scale integers.
+
+    Exact for every ``n < 3.3 * 10^24``, which covers all moduli used in
+    this library (NTT primes are < 2^31 and plaintext moduli < 2^30).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_ntt_primes(count: int, bits: int, two_n: int) -> list[int]:
+    """Return ``count`` distinct primes ``p = 1 (mod two_n)`` of ``bits`` bits.
+
+    Primes are found by scanning downward from ``2**bits`` so the result is
+    deterministic for a given ``(count, bits, two_n)``.  All returned primes
+    fit NTT butterflies in int64 arithmetic when ``bits <= 31``.
+    """
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    primes: list[int] = []
+    # Largest candidate of the right residue class below 2**bits.
+    candidate = (1 << bits) - ((1 << bits) - 1) % two_n
+    while len(primes) < count:
+        if candidate < (1 << (bits - 1)):
+            raise ValueError(
+                f"not enough {bits}-bit primes = 1 mod {two_n} "
+                f"(found {len(primes)} of {count})"
+            )
+        if is_prime(candidate):
+            primes.append(candidate)
+        candidate -= two_n
+    return primes
+
+
+def primitive_root_of_unity(order: int, modulus: int) -> int:
+    """Return a primitive ``order``-th root of unity modulo a prime.
+
+    Requires ``order`` to divide ``modulus - 1``.  The root is found by
+    raising candidate generators to ``(modulus - 1) / order`` and checking
+    primitivity; deterministic scan keeps context setup reproducible.
+    """
+    if (modulus - 1) % order != 0:
+        raise ValueError(f"{order} does not divide {modulus} - 1")
+    exponent = (modulus - 1) // order
+    for base in range(2, modulus):
+        root = pow(base, exponent, modulus)
+        if root == 1:
+            continue
+        # Primitive iff root^(order/p) != 1 for every prime p | order.
+        # order is always a power of two here, so a single check suffices.
+        if pow(root, order // 2, modulus) != 1:
+            return root
+    raise ValueError(f"no primitive {order}-th root of unity mod {modulus}")

@@ -1,0 +1,81 @@
+"""Residue number system (CRT) arithmetic over a basis of NTT primes.
+
+Ciphertext polynomials live modulo a large composite ``q = p_1 * ... * p_k``.
+Storing each coefficient as its vector of residues lets every ring operation
+run as vectorized int64 numpy arithmetic; big integers only appear at scheme
+boundaries (encryption scaling, decryption rounding, digit decomposition),
+exactly as in RNS variants of SEAL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RNSBasis:
+    """A fixed list of pairwise-coprime word-sized primes with CRT tables."""
+
+    def __init__(self, primes: list[int]):
+        if len(set(primes)) != len(primes):
+            raise ValueError("RNS primes must be distinct")
+        self.primes = list(primes)
+        self.modulus = 1
+        for p in self.primes:
+            self.modulus *= p
+        # Garner-style reconstruction tables: m_i = M / p_i and its inverse.
+        self._m_over_p = [self.modulus // p for p in self.primes]
+        self._m_over_p_inv = [
+            pow(m, -1, p) for m, p in zip(self._m_over_p, self.primes)
+        ]
+        self._primes_arr = np.array(self.primes, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.primes)
+
+    def __repr__(self) -> str:
+        bits = self.modulus.bit_length()
+        return f"RNSBasis({len(self.primes)} primes, {bits}-bit modulus)"
+
+    def decompose(self, coeffs: list[int] | np.ndarray) -> np.ndarray:
+        """Map integer coefficients to a residue matrix of shape (k, N).
+
+        Accepts arbitrarily large Python ints (negative values are reduced
+        into ``[0, p)`` per prime, consistent with values mod ``M``).
+        """
+        columns = [
+            np.array([c % p for c in coeffs], dtype=np.int64)
+            for p in self.primes
+        ]
+        return np.stack(columns, axis=0)
+
+    def compose(self, residues: np.ndarray) -> list[int]:
+        """Reconstruct coefficients in ``[0, M)`` from a (k, N) residue matrix."""
+        k, n = residues.shape
+        if k != len(self.primes):
+            raise ValueError("residue matrix does not match basis size")
+        out = [0] * n
+        modulus = self.modulus
+        for i, p in enumerate(self.primes):
+            # term_i = r_i * inv_i mod p_i, contribution term_i * (M / p_i)
+            scale = self._m_over_p[i]
+            inv = self._m_over_p_inv[i]
+            row = residues[i]
+            for j in range(n):
+                out[j] += (int(row[j]) * inv % p) * scale
+        return [c % modulus for c in out]
+
+    def compose_centered(self, residues: np.ndarray) -> list[int]:
+        """Reconstruct signed coefficients in ``(-M/2, M/2]``."""
+        half = self.modulus // 2
+        modulus = self.modulus
+        return [
+            c - modulus if c > half else c for c in self.compose(residues)
+        ]
+
+
+def centered(value: int, modulus: int) -> int:
+    """Map ``value mod modulus`` to the centered range ``(-q/2, q/2]``."""
+    v = value % modulus
+    if v > modulus // 2:
+        v -= modulus
+    return v

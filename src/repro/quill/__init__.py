@@ -1,0 +1,57 @@
+"""Quill: the paper's DSL for vectorized homomorphic encryption kernels.
+
+Quill describes straight-line SIMD programs over ciphertext and plaintext
+vectors using the BFV instruction set (paper Table 1): element-wise add /
+subtract / multiply between two ciphertexts or a ciphertext and a
+plaintext, plus slot rotation.  Quill programs are *behavioural models* of
+HE programs — operands are plain integer vectors manipulated only through
+HE-legal instructions — which lets the synthesizer search and verify code
+without paying for actual encryption (paper section 4.2).
+
+Rotation semantics: Quill models a kernel window of ``vector_size`` slots
+carved out of a much larger zero-padded ciphertext, so ``rot c k`` shifts
+slots by ``k`` positions (left for positive ``k``) and fills vacated slots
+with zeros.  :mod:`repro.runtime.executor` checks the layout margin that
+makes this exactly equal to true cyclic rotation of the backing ciphertext.
+"""
+
+from repro.quill.builder import ProgramBuilder
+from repro.quill.cost import program_cost
+from repro.quill.interpreter import evaluate
+from repro.quill.ir import (
+    CtInput,
+    Instruction,
+    Opcode,
+    Program,
+    PtConst,
+    PtInput,
+    Ref,
+    Wire,
+)
+from repro.quill.latency import LatencyModel, default_latency_model
+from repro.quill.noise import multiplicative_depth, wire_depths
+from repro.quill.parser import parse_program
+from repro.quill.printer import format_program
+from repro.quill.validate import QuillValidationError, validate_program
+
+__all__ = [
+    "CtInput",
+    "Instruction",
+    "LatencyModel",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "PtConst",
+    "PtInput",
+    "QuillValidationError",
+    "Ref",
+    "Wire",
+    "default_latency_model",
+    "evaluate",
+    "format_program",
+    "multiplicative_depth",
+    "parse_program",
+    "program_cost",
+    "validate_program",
+    "wire_depths",
+]

@@ -1,0 +1,109 @@
+"""Fluent construction of Quill programs.
+
+The builder keeps SSA bookkeeping out of kernel definitions::
+
+    b = ProgramBuilder(vector_size=25, name="box-blur")
+    img = b.ct_input("img")
+    s1 = b.add(img, b.rotate(img, 1))
+    out = b.add(s1, b.rotate(s1, 5))
+    program = b.build(out)
+
+It also deduplicates identical rotations (the paper's code generator emits
+each distinct rotation once even when a local-rotate sketch uses it in
+several operands).
+"""
+
+from __future__ import annotations
+
+from repro.quill.ir import (
+    CtInput,
+    Instruction,
+    Opcode,
+    Program,
+    PtConst,
+    PtInput,
+    Ref,
+    Wire,
+)
+
+
+class ProgramBuilder:
+    """Incrementally builds a validated straight-line Quill program."""
+
+    def __init__(self, vector_size: int, name: str = "kernel"):
+        self._program = Program(
+            vector_size=vector_size, ct_inputs=[], name=name
+        )
+        self._rotation_cache: dict[tuple[Ref, int], Wire] = {}
+
+    # -- declarations ---------------------------------------------------
+
+    def ct_input(self, name: str) -> CtInput:
+        if name in self._program.ct_inputs:
+            raise ValueError(f"duplicate ciphertext input {name!r}")
+        self._program.ct_inputs.append(name)
+        return CtInput(name)
+
+    def pt_input(self, name: str) -> PtInput:
+        if name in self._program.pt_inputs:
+            raise ValueError(f"duplicate plaintext input {name!r}")
+        self._program.pt_inputs.append(name)
+        return PtInput(name)
+
+    def constant(self, name: str, value: int | list[int] | tuple[int, ...]) -> PtConst:
+        if name in self._program.constants:
+            raise ValueError(f"duplicate constant {name!r}")
+        if not isinstance(value, int):
+            value = tuple(int(v) for v in value)
+            if len(value) != self._program.vector_size:
+                raise ValueError(
+                    f"constant {name!r} has length {len(value)}, "
+                    f"expected {self._program.vector_size}"
+                )
+        self._program.constants[name] = value
+        return PtConst(name)
+
+    # -- instructions ----------------------------------------------------
+
+    def _emit(self, opcode: Opcode, operands: tuple[Ref, ...], amount: int = 0) -> Wire:
+        self._program.instructions.append(Instruction(opcode, operands, amount))
+        return Wire(len(self._program.instructions) - 1)
+
+    def rotate(self, ct: Ref, amount: int) -> Ref:
+        """Shift ``ct`` by ``amount`` slots (shared across identical uses)."""
+        if amount == 0:
+            return ct
+        n = self._program.vector_size
+        if not -n < amount < n:
+            raise ValueError(f"rotation amount {amount} out of range for n={n}")
+        key = (ct, amount)
+        cached = self._rotation_cache.get(key)
+        if cached is not None:
+            return cached
+        wire = self._emit(Opcode.ROTATE, (ct,), amount)
+        self._rotation_cache[key] = wire
+        return wire
+
+    def add(self, a: Ref, b: Ref) -> Wire:
+        return self._emit(self._cc_or_cp(Opcode.ADD_CC, Opcode.ADD_CP, b), (a, b))
+
+    def sub(self, a: Ref, b: Ref) -> Wire:
+        return self._emit(self._cc_or_cp(Opcode.SUB_CC, Opcode.SUB_CP, b), (a, b))
+
+    def mul(self, a: Ref, b: Ref) -> Wire:
+        return self._emit(self._cc_or_cp(Opcode.MUL_CC, Opcode.MUL_CP, b), (a, b))
+
+    @staticmethod
+    def _cc_or_cp(cc: Opcode, cp: Opcode, second_operand: Ref) -> Opcode:
+        if isinstance(second_operand, (PtInput, PtConst)):
+            return cp
+        return cc
+
+    # -- finalization ------------------------------------------------------
+
+    def build(self, output: Ref) -> Program:
+        from repro.quill.validate import validate_program
+
+        self._program.output = output
+        validate_program(self._program)
+        return self._program

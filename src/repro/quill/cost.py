@@ -1,0 +1,20 @@
+"""Porcupine's program cost function.
+
+``cost(p) = latency(p) * (1 + mdepth(p))`` — estimated latency scaled by
+multiplicative depth to penalise high-noise programs, which would force
+larger HE parameters and slow every instruction down (paper section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.quill.ir import Program
+from repro.quill.latency import LatencyModel, default_latency_model
+from repro.quill.noise import multiplicative_depth
+
+
+def program_cost(program: Program, model: LatencyModel | None = None) -> float:
+    """The objective Porcupine minimizes during synthesis."""
+    if model is None:
+        model = default_latency_model()
+    latency = model.program_latency(program)
+    return latency * (1 + multiplicative_depth(program))

@@ -1,0 +1,192 @@
+"""Quill intermediate representation: opcodes, references, programs.
+
+A program is a straight line of SSA instructions.  Instruction ``i``
+defines wire ``c{i+1}`` (``c0``..name the ciphertext inputs in listings);
+operands reference either inputs, earlier wires, or plaintext values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Opcode(enum.Enum):
+    """The BFV-level instruction set (paper Table 1)."""
+
+    ADD_CC = "add-ct-ct"
+    SUB_CC = "sub-ct-ct"
+    MUL_CC = "mul-ct-ct"
+    ADD_CP = "add-ct-pt"
+    SUB_CP = "sub-ct-pt"
+    MUL_CP = "mul-ct-pt"
+    ROTATE = "rot"
+
+    @property
+    def is_rotation(self) -> bool:
+        return self is Opcode.ROTATE
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self is not Opcode.ROTATE
+
+    @property
+    def has_plain_operand(self) -> bool:
+        return self in (Opcode.ADD_CP, Opcode.SUB_CP, Opcode.MUL_CP)
+
+    @property
+    def is_multiply(self) -> bool:
+        return self in (Opcode.MUL_CC, Opcode.MUL_CP)
+
+    @property
+    def is_commutative(self) -> bool:
+        return self in (Opcode.ADD_CC, Opcode.MUL_CC)
+
+
+@dataclass(frozen=True)
+class CtInput:
+    """Reference to a named ciphertext input."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PtInput:
+    """Reference to a named *symbolic* plaintext input (server-side data)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class PtConst:
+    """Reference to a named plaintext constant baked into the program."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Wire:
+    """Reference to the result of instruction ``index``."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"c{self.index + 1}"
+
+
+# Any value an instruction operand may reference.
+Ref = CtInput | PtInput | PtConst | Wire
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One SSA instruction; its destination is implicit (its position).
+
+    ``amount`` is the signed rotation offset for ``ROTATE`` (positive =
+    left shift, negative = right shift) and must be 0 otherwise.
+    """
+
+    opcode: Opcode
+    operands: tuple[Ref, ...]
+    amount: int = 0
+
+    def __post_init__(self):
+        expected = 1 if self.opcode.is_rotation else 2
+        if len(self.operands) != expected:
+            raise ValueError(
+                f"{self.opcode.value} takes {expected} operand(s), "
+                f"got {len(self.operands)}"
+            )
+        if not self.opcode.is_rotation and self.amount != 0:
+            raise ValueError("only rotations carry a shift amount")
+
+
+@dataclass
+class Program:
+    """A straight-line Quill kernel.
+
+    Attributes:
+        vector_size: the model slot count every operand vector has.
+        ct_inputs: ciphertext input names, in argument order.
+        pt_inputs: symbolic plaintext input names (server-side operands
+            the kernel must be correct for *all* values of).
+        constants: named fixed plaintext vectors (masks, filter weights);
+            scalars are broadcast to ``vector_size`` at evaluation time.
+        instructions: the SSA instruction list.
+        output: reference to the program result (usually the last wire).
+        name: optional kernel name for listings.
+    """
+
+    vector_size: int
+    ct_inputs: list[str]
+    pt_inputs: list[str] = field(default_factory=list)
+    constants: dict[str, tuple[int, ...] | int] = field(default_factory=dict)
+    instructions: list[Instruction] = field(default_factory=list)
+    output: Ref | None = None
+    name: str = "kernel"
+
+    # ------------------------------------------------------------------
+    # Static metrics (paper Table 2 reports these per kernel)
+    # ------------------------------------------------------------------
+
+    def instruction_count(self) -> int:
+        """Total instructions, rotations included (Table 2 convention)."""
+        return len(self.instructions)
+
+    def rotation_count(self) -> int:
+        return sum(1 for i in self.instructions if i.opcode.is_rotation)
+
+    def arithmetic_count(self) -> int:
+        return sum(1 for i in self.instructions if i.opcode.is_arithmetic)
+
+    def multiply_cc_count(self) -> int:
+        return sum(1 for i in self.instructions if i.opcode is Opcode.MUL_CC)
+
+    def critical_depth(self) -> int:
+        """Longest instruction chain from any input to the output.
+
+        This is the "Depth" column of Table 2: every instruction (including
+        rotations) counts one level.
+        """
+        depths: list[int] = []
+        for instr in self.instructions:
+            operand_depth = 0
+            for ref in instr.operands:
+                if isinstance(ref, Wire):
+                    operand_depth = max(operand_depth, depths[ref.index])
+            depths.append(operand_depth + 1)
+        if isinstance(self.output, Wire):
+            return depths[self.output.index]
+        return 0
+
+    def wires_used(self) -> set[int]:
+        """Indices of instructions whose results are consumed somewhere."""
+        used: set[int] = set()
+        for instr in self.instructions:
+            for ref in instr.operands:
+                if isinstance(ref, Wire):
+                    used.add(ref.index)
+        if isinstance(self.output, Wire):
+            used.add(self.output.index)
+        return used
+
+    def constant_vector(self, name: str) -> tuple[int, ...]:
+        """The constant as a full-width tuple (scalars broadcast)."""
+        value = self.constants[name]
+        if isinstance(value, int):
+            return (value,) * self.vector_size
+        return tuple(value)
+
+    def __str__(self) -> str:
+        from repro.quill.printer import format_program
+
+        return format_program(self)

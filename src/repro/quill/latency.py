@@ -1,0 +1,80 @@
+"""Per-instruction latency model.
+
+The paper associates each Quill instruction with a latency profiled from
+the SEAL library (section 4.2).  We do the same against our BFV substrate:
+:mod:`repro.runtime.profiler` measures every opcode on a chosen parameter
+set, and the tables below are one such profile checked in so that synthesis
+is deterministic and does not require re-profiling.
+
+Only the *relative* magnitudes matter to Porcupine's cost function; they
+share SEAL's structure (ciphertext multiply >> rotate >> plain multiply >>
+add/sub) because the underlying algorithms are the same: multiply pays for
+the integer tensor product and relinearization, rotate for an automorphism
+plus key switching, while additions are coefficient-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.quill.ir import Instruction, Opcode, Program
+
+# Microseconds per instruction, profiled on the n4096-depth1 preset.
+_N4096_TABLE = {
+    Opcode.ADD_CC: 310.0,
+    Opcode.SUB_CC: 310.0,
+    Opcode.MUL_CC: 326_000.0,
+    Opcode.ADD_CP: 2_600.0,
+    Opcode.SUB_CP: 2_600.0,
+    Opcode.MUL_CP: 21_000.0,
+    Opcode.ROTATE: 65_000.0,
+}
+
+# Microseconds per instruction, profiled on the n8192-depth3 preset.
+_N8192_TABLE = {
+    Opcode.ADD_CC: 800.0,
+    Opcode.SUB_CC: 800.0,
+    Opcode.MUL_CC: 980_000.0,
+    Opcode.ADD_CP: 8_000.0,
+    Opcode.SUB_CP: 8_000.0,
+    Opcode.MUL_CP: 81_000.0,
+    Opcode.ROTATE: 260_000.0,
+}
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Maps opcodes to microsecond latencies; programs sum sequentially."""
+
+    table: dict[Opcode, float]
+    name: str = "custom"
+
+    def instruction_latency(self, instr: Instruction) -> float:
+        return self.table[instr.opcode]
+
+    def program_latency(self, program: Program) -> float:
+        """Estimated microseconds for one sequential execution."""
+        return sum(self.table[i.opcode] for i in program.instructions)
+
+    def scaled(self, factor: float, name: str | None = None) -> "LatencyModel":
+        scaled_table = {op: lat * factor for op, lat in self.table.items()}
+        return LatencyModel(scaled_table, name or f"{self.name}-x{factor}")
+
+
+_MODELS = {
+    "n4096-depth1": LatencyModel(_N4096_TABLE, "n4096-depth1"),
+    "n8192-depth3": LatencyModel(_N8192_TABLE, "n8192-depth3"),
+    # The toy preset is test-only; reuse the n4096 ratios.
+    "toy-insecure": LatencyModel(_N4096_TABLE, "toy-insecure"),
+}
+
+
+def default_latency_model(params_name: str = "n4096-depth1") -> LatencyModel:
+    """The checked-in latency profile for a parameter preset."""
+    model = _MODELS.get(params_name)
+    if model is None:
+        raise KeyError(
+            f"no latency profile for {params_name!r}; "
+            f"known: {sorted(_MODELS)} (run repro.runtime.profiler to add one)"
+        )
+    return model

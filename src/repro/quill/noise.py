@@ -1,0 +1,38 @@
+"""Noise modelling: multiplicative depth per paper Table 1.
+
+Quill tracks each ciphertext's multiplicative depth as its noise proxy:
+fresh ciphertexts (and plaintexts) start at depth 0; additions,
+subtractions, and rotations propagate the maximum operand depth; every
+multiplication that involves a ciphertext adds one level.  The paper uses
+this to penalise high-noise kernels in the cost function without modelling
+bit-exact noise growth (section 4.2, "State in Quill").
+"""
+
+from __future__ import annotations
+
+from repro.quill.ir import Opcode, Program, Ref, Wire
+
+
+def wire_depths(program: Program) -> list[int]:
+    """Multiplicative depth of every instruction result."""
+    depths: list[int] = []
+
+    def depth_of(ref: Ref) -> int:
+        if isinstance(ref, Wire):
+            return depths[ref.index]
+        return 0  # inputs (ct or pt) are fresh
+
+    for instr in program.instructions:
+        operand_depth = max(depth_of(ref) for ref in instr.operands)
+        if instr.opcode.is_multiply:
+            depths.append(operand_depth + 1)
+        else:
+            depths.append(operand_depth)
+    return depths
+
+
+def multiplicative_depth(program: Program) -> int:
+    """Depth of the program output — the noise level Porcupine minimizes."""
+    if not isinstance(program.output, Wire):
+        return 0
+    return wire_depths(program)[program.output.index]

@@ -1,0 +1,131 @@
+"""Parser for the Quill text format (inverse of :mod:`repro.quill.printer`)."""
+
+from __future__ import annotations
+
+import re
+
+from repro.quill.ir import (
+    CtInput,
+    Instruction,
+    Opcode,
+    Program,
+    PtConst,
+    PtInput,
+    Ref,
+    Wire,
+)
+from repro.quill.validate import QuillValidationError, validate_program
+
+_HEADER = re.compile(r'^quill kernel "(?P<name>[^"]*)"$')
+_ASSIGN = re.compile(r"^c(?P<dest>\d+) = (?P<rhs>.+)$")
+_OPCODES = {op.value: op for op in Opcode}
+
+
+class QuillParseError(Exception):
+    """Raised on malformed Quill text."""
+
+
+def parse_program(text: str) -> Program:
+    """Parse the canonical text format produced by ``format_program``."""
+    lines = [
+        line.strip()
+        for line in text.strip().splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not lines or not (header := _HEADER.match(lines[0])):
+        raise QuillParseError('expected header: quill kernel "<name>"')
+    if len(lines) < 2 or not lines[1].startswith("vec "):
+        raise QuillParseError("expected vector size line: vec <n>")
+
+    program = Program(
+        vector_size=_parse_int(lines[1][4:], "vector size"),
+        ct_inputs=[],
+        name=header.group("name"),
+    )
+    body_start = 2
+    for line in lines[2:]:
+        if line.startswith("ct "):
+            program.ct_inputs.append(line[3:].strip())
+        elif line.startswith("pt "):
+            program.pt_inputs.append(line[3:].strip())
+        elif line.startswith("const "):
+            name, value = _parse_const(line)
+            program.constants[name] = value
+        else:
+            break
+        body_start += 1
+
+    expected_dest = 1
+    for line in lines[body_start:]:
+        if line.startswith("out "):
+            program.output = _parse_ref(line[4:].strip(), program)
+            break
+        match = _ASSIGN.match(line)
+        if not match:
+            raise QuillParseError(f"cannot parse instruction: {line!r}")
+        if int(match.group("dest")) != expected_dest:
+            raise QuillParseError(
+                f"expected destination c{expected_dest}, got line {line!r}"
+            )
+        program.instructions.append(_parse_rhs(match.group("rhs"), program))
+        expected_dest += 1
+    else:
+        raise QuillParseError("missing output line: out <ref>")
+
+    try:
+        validate_program(program)
+    except QuillValidationError as exc:
+        raise QuillParseError(f"parsed program is invalid: {exc}") from exc
+    return program
+
+
+def _parse_rhs(rhs: str, program: Program) -> Instruction:
+    tokens = rhs.split()
+    if tokens[0] == "rot":
+        if len(tokens) != 3:
+            raise QuillParseError(f"rot takes two arguments: {rhs!r}")
+        return Instruction(
+            Opcode.ROTATE,
+            (_parse_ref(tokens[1], program),),
+            _parse_int(tokens[2], "rotation amount"),
+        )
+    opcode = _OPCODES.get(tokens[0])
+    if opcode is None or len(tokens) != 3:
+        raise QuillParseError(f"cannot parse instruction rhs: {rhs!r}")
+    return Instruction(
+        opcode,
+        (_parse_ref(tokens[1], program), _parse_ref(tokens[2], program)),
+    )
+
+
+def _parse_ref(token: str, program: Program) -> Ref:
+    if token.startswith("$"):
+        return PtInput(token[1:])
+    if token.startswith("%"):
+        return PtConst(token[1:])
+    if re.match(r"^c\d+$", token):
+        return Wire(int(token[1:]) - 1)
+    return CtInput(token)
+
+
+def _parse_const(line: str) -> tuple[str, int | tuple[int, ...]]:
+    match = re.match(r"^const (\w+) = (.+)$", line)
+    if not match:
+        raise QuillParseError(f"cannot parse constant: {line!r}")
+    name, body = match.group(1), match.group(2).strip()
+    if body.startswith("["):
+        if not body.endswith("]"):
+            raise QuillParseError(f"unterminated constant vector: {line!r}")
+        values = tuple(
+            _parse_int(tok, "constant element")
+            for tok in body[1:-1].replace(",", " ").split()
+        )
+        return name, values
+    return name, _parse_int(body, "constant")
+
+
+def _parse_int(token: str, what: str) -> int:
+    try:
+        return int(token)
+    except ValueError as exc:
+        raise QuillParseError(f"bad {what}: {token!r}") from exc

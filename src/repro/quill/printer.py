@@ -1,0 +1,44 @@
+"""Textual rendering of Quill programs (the listings style of the paper)."""
+
+from __future__ import annotations
+
+from repro.quill.ir import Program
+
+
+def format_program(program: Program) -> str:
+    """Render a program in the round-trippable Quill text format."""
+    lines = [f'quill kernel "{program.name}"', f"vec {program.vector_size}"]
+    for name in program.ct_inputs:
+        lines.append(f"ct {name}")
+    for name in program.pt_inputs:
+        lines.append(f"pt {name}")
+    for name, value in program.constants.items():
+        if isinstance(value, int):
+            lines.append(f"const {name} = {value}")
+        else:
+            body = " ".join(str(v) for v in value)
+            lines.append(f"const {name} = [{body}]")
+    for index, instr in enumerate(program.instructions):
+        dest = f"c{index + 1}"
+        if instr.opcode.is_rotation:
+            lines.append(
+                f"{dest} = rot {instr.operands[0]} {instr.amount}"
+            )
+        else:
+            a, b = instr.operands
+            lines.append(f"{dest} = {instr.opcode.value} {a} {b}")
+    lines.append(f"out {program.output}")
+    return "\n".join(lines)
+
+
+def format_listing(program: Program, indent: str = "  ") -> str:
+    """Instructions only, for figures and side-by-side comparisons."""
+    body = []
+    for index, instr in enumerate(program.instructions):
+        dest = f"c{index + 1}"
+        if instr.opcode.is_rotation:
+            body.append(f"{indent}{dest} = rot {instr.operands[0]} {instr.amount}")
+        else:
+            a, b = instr.operands
+            body.append(f"{indent}{dest} = {instr.opcode.value} {a} {b}")
+    return "\n".join(body)

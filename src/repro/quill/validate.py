@@ -1,0 +1,110 @@
+"""Static well-formedness checks for Quill programs."""
+
+from __future__ import annotations
+
+import re
+
+from repro.quill.ir import (
+    CtInput,
+    Opcode,
+    Program,
+    PtConst,
+    PtInput,
+    Ref,
+    Wire,
+)
+
+_WIRE_NAME = re.compile(r"^c\d+$")
+
+
+class QuillValidationError(Exception):
+    """Raised when a Quill program violates a structural invariant."""
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`QuillValidationError` on any malformed construct."""
+    if program.vector_size < 1:
+        raise QuillValidationError("vector_size must be positive")
+
+    _check_names(program)
+    for index, instr in enumerate(program.instructions):
+        _check_instruction(program, index, instr)
+
+    if program.output is None:
+        raise QuillValidationError("program has no output")
+    _check_ct_ref(program, len(program.instructions), program.output, "output")
+
+
+def _check_names(program: Program) -> None:
+    seen: set[str] = set()
+    for kind, names in (
+        ("ciphertext input", program.ct_inputs),
+        ("plaintext input", program.pt_inputs),
+        ("constant", list(program.constants)),
+    ):
+        for name in names:
+            if not name:
+                raise QuillValidationError(f"empty {kind} name")
+            if _WIRE_NAME.match(name):
+                raise QuillValidationError(
+                    f"{kind} name {name!r} collides with wire naming"
+                )
+            if name in seen:
+                raise QuillValidationError(f"duplicate name {name!r}")
+            seen.add(name)
+    for name, value in program.constants.items():
+        if not isinstance(value, int) and len(value) != program.vector_size:
+            raise QuillValidationError(
+                f"constant {name!r} has length {len(value)}, "
+                f"expected {program.vector_size}"
+            )
+
+
+def _check_instruction(program: Program, index: int, instr) -> None:
+    where = f"instruction {index} ({instr.opcode.value})"
+    if instr.opcode is Opcode.ROTATE:
+        n = program.vector_size
+        if not -n < instr.amount < n:
+            raise QuillValidationError(
+                f"{where}: rotation amount {instr.amount} out of range"
+            )
+        if instr.amount == 0:
+            raise QuillValidationError(f"{where}: rotation by zero is not canonical")
+        _check_ct_ref(program, index, instr.operands[0], where)
+        return
+    _check_ct_ref(program, index, instr.operands[0], where)
+    if instr.opcode.has_plain_operand:
+        second = instr.operands[1]
+        if isinstance(second, PtInput):
+            if second.name not in program.pt_inputs:
+                raise QuillValidationError(
+                    f"{where}: undeclared plaintext input {second.name!r}"
+                )
+        elif isinstance(second, PtConst):
+            if second.name not in program.constants:
+                raise QuillValidationError(
+                    f"{where}: undeclared constant {second.name!r}"
+                )
+        else:
+            raise QuillValidationError(
+                f"{where}: ct-pt instruction needs a plaintext second operand"
+            )
+    else:
+        _check_ct_ref(program, index, instr.operands[1], where)
+
+
+def _check_ct_ref(program: Program, index: int, ref: Ref, where: str) -> None:
+    if isinstance(ref, Wire):
+        if not 0 <= ref.index < index:
+            raise QuillValidationError(
+                f"{where}: wire c{ref.index + 1} referenced before definition"
+            )
+    elif isinstance(ref, CtInput):
+        if ref.name not in program.ct_inputs:
+            raise QuillValidationError(
+                f"{where}: undeclared ciphertext input {ref.name!r}"
+            )
+    else:
+        raise QuillValidationError(
+            f"{where}: expected a ciphertext operand, got {ref!r}"
+        )

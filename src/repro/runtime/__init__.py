@@ -1,0 +1,14 @@
+"""Runtime: executing Quill kernels on the real BFV backend.
+
+The executor plays the role of SEAL in the paper's toolchain: it encrypts
+packed inputs, maps each Quill instruction onto the corresponding
+homomorphic operation, decrypts the result, and checks it against the
+plaintext reference — including that the noise budget never ran out.  The
+profiler measures per-instruction latencies to (re)generate the latency
+tables in :mod:`repro.quill.latency`.
+"""
+
+from repro.runtime.executor import ExecutionReport, HEExecutor
+from repro.runtime.profiler import profile_instructions
+
+__all__ = ["ExecutionReport", "HEExecutor", "profile_instructions"]

@@ -1,0 +1,113 @@
+"""Conservative noise-budget estimation and parameter auto-selection.
+
+Porcupine's cost model penalises multiplicative depth because deeper
+kernels force larger HE parameters (paper section 3.3).  This module
+closes that loop for the runtime: given a Quill program and a BFV
+parameter set, it walks the dataflow with standard worst-case noise-growth
+heuristics (Fan-Vercauteren style bounds, in log2 space) and predicts how
+many bits of invariant-noise budget the output ciphertext will have left.
+
+The estimate is deliberately *conservative* — tests assert it never
+predicts more budget than a real encrypted execution measures — so
+``recommended_params`` can safely pick the smallest 128-bit-secure preset
+for a kernel.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.he.params import BFVParams, large_params, small_params
+from repro.quill.ir import Opcode, Program, Ref, Wire
+
+
+def _fresh_noise_bits(params: BFVParams) -> float:
+    """log2 of the scaled invariant noise of a fresh encryption."""
+    lt = math.log2(params.plain_modulus)
+    ln = math.log2(params.poly_degree)
+    lb = math.log2(6 * params.error_std)
+    return lt + lb + ln + 3
+
+
+def _key_switch_bits(params: BFVParams) -> float:
+    """log2 of the additive key-switching noise (relin and rotations)."""
+    digits = math.ceil(
+        params.coeff_modulus.bit_length() / params.decomp_bits
+    )
+    lt = math.log2(params.plain_modulus)
+    ln = math.log2(params.poly_degree)
+    lb = math.log2(6 * params.error_std)
+    return lt + math.log2(digits) + ln + params.decomp_bits + lb - 1
+
+
+def estimate_output_noise_bits(program: Program, params: BFVParams) -> float:
+    """Worst-case log2 scaled-noise of the program's output ciphertext."""
+    fresh = _fresh_noise_bits(params)
+    ks = _key_switch_bits(params)
+    lt = math.log2(params.plain_modulus)
+    ln = math.log2(params.poly_degree)
+    bits: list[float] = []
+
+    def of(ref: Ref) -> float:
+        if isinstance(ref, Wire):
+            return bits[ref.index]
+        return fresh
+
+    for instr in program.instructions:
+        if instr.opcode is Opcode.ROTATE:
+            value = _log2_sum(of(instr.operands[0]), ks)
+        elif instr.opcode in (Opcode.ADD_CC, Opcode.SUB_CC):
+            value = max(of(instr.operands[0]), of(instr.operands[1])) + 1
+        elif instr.opcode in (Opcode.ADD_CP, Opcode.SUB_CP):
+            value = of(instr.operands[0]) + 0.5
+        elif instr.opcode is Opcode.MUL_CP:
+            value = of(instr.operands[0]) + lt + ln / 2 + 1
+        else:  # MUL_CC: multiplicative growth plus relinearization
+            grown = max(of(instr.operands[0]), of(instr.operands[1]))
+            value = _log2_sum(grown + lt + ln + 3, ks)
+        bits.append(value)
+    if not isinstance(program.output, Wire):
+        return fresh
+    return bits[program.output.index]
+
+
+def estimate_noise_budget(program: Program, params: BFVParams) -> float:
+    """Predicted bits of budget left after running ``program``.
+
+    Comparable to :meth:`repro.he.context.BFVContext.noise_budget`: the
+    output decrypts correctly while this stays above zero.
+    """
+    logq = math.log2(params.coeff_modulus)
+    return logq - 1 - estimate_output_noise_bits(program, params)
+
+
+def fits(program: Program, params: BFVParams, margin_bits: float = 0.0) -> bool:
+    """Whether the program is predicted to decrypt under these parameters."""
+    return estimate_noise_budget(program, params) > margin_bits
+
+
+def recommended_params(
+    program: Program, margin_bits: float = 5.0
+) -> BFVParams:
+    """Smallest 128-bit-secure preset predicted to run the program.
+
+    Also requires the program's model vector to fit one batching row.
+    Raises ``ValueError`` when no preset suffices (e.g. depth > 3).
+    """
+    for make in (small_params, large_params):
+        params = make()
+        if program.vector_size > params.row_size:
+            continue
+        if fits(program, params, margin_bits):
+            return params
+    raise ValueError(
+        f"no 128-bit preset supports {program.name!r} "
+        f"(estimated budget at N=8192: "
+        f"{estimate_noise_budget(program, large_params()):.1f} bits)"
+    )
+
+
+def _log2_sum(a: float, b: float) -> float:
+    """log2(2^a + 2^b), numerically stable."""
+    hi, lo = (a, b) if a >= b else (b, a)
+    return hi + math.log2(1 + 2 ** (lo - hi))

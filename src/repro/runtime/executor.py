@@ -1,0 +1,246 @@
+"""Execute Quill programs homomorphically and validate against the spec.
+
+Model-to-ciphertext mapping: the model vector (layout slots) occupies the
+first ``vector_size`` slots of batching row 0 of a BFV ciphertext, with
+the rest of the row zero.  Quill's shift-with-zero-fill rotation equals
+true cyclic row rotation *provided data never crosses the model window's
+edges*; ``check_displacement`` verifies that statically from the layout's
+margins before execution, so a passing run is genuine evidence of
+equivalence, not luck.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.he import BFVContext
+from repro.he.params import BFVParams
+from repro.quill.ir import (
+    CtInput,
+    Opcode,
+    Program,
+    PtConst,
+    PtInput,
+    Ref,
+    Wire,
+)
+from repro.quill.noise import multiplicative_depth
+from repro.spec.reference import Spec
+
+
+class DisplacementError(Exception):
+    """Raised when a program could push packed data beyond its margins."""
+
+
+def displacement_bounds(program: Program) -> tuple[int, int]:
+    """Worst-case (left, right) slot displacement of any data element."""
+    bounds: list[tuple[int, int]] = []
+
+    def of(ref: Ref) -> tuple[int, int]:
+        if isinstance(ref, Wire):
+            return bounds[ref.index]
+        return (0, 0)
+
+    for instr in program.instructions:
+        if instr.opcode is Opcode.ROTATE:
+            left, right = of(instr.operands[0])
+            if instr.amount > 0:
+                left += instr.amount
+            else:
+                right -= instr.amount
+            bounds.append((left, right))
+        else:
+            lefts, rights = zip(*(of(r) for r in instr.operands))
+            bounds.append((max(lefts), max(rights)))
+    if not isinstance(program.output, Wire):
+        return (0, 0)
+    return bounds[program.output.index]
+
+
+def check_displacement(program: Program, spec: Spec) -> None:
+    """Assert the layout margins absorb the program's data movement.
+
+    Conservative: takes the worst bound over every wire, not just the
+    output, since every intermediate must stay inside the model window.
+    """
+    max_left = max_right = 0
+    bounds: list[tuple[int, int]] = []
+
+    def of(ref: Ref) -> tuple[int, int]:
+        if isinstance(ref, Wire):
+            return bounds[ref.index]
+        return (0, 0)
+
+    for instr in program.instructions:
+        if instr.opcode is Opcode.ROTATE:
+            left, right = of(instr.operands[0])
+            if instr.amount > 0:
+                left += instr.amount
+            else:
+                right -= instr.amount
+            bounds.append((left, right))
+        else:
+            lefts, rights = zip(*(of(r) for r in instr.operands))
+            bounds.append((max(lefts), max(rights)))
+        max_left = max(max_left, bounds[-1][0])
+        max_right = max(max_right, bounds[-1][1])
+    budget_left, budget_right = spec.layout.max_displacement_budget()
+    if max_left > budget_left or max_right > budget_right:
+        raise DisplacementError(
+            f"program moves data {max_left} left / {max_right} right but the "
+            f"layout margins allow only {budget_left} / {budget_right}; "
+            "shift semantics would diverge from cyclic rotation"
+        )
+
+
+@dataclass
+class ExecutionReport:
+    """Everything one homomorphic run produced."""
+
+    model_output: np.ndarray
+    logical_output: np.ndarray
+    expected_output: np.ndarray
+    matches_reference: bool
+    output_noise_budget: int
+    wall_time: float
+    instruction_seconds: dict[str, float] = field(default_factory=dict)
+
+
+class HEExecutor:
+    """Runs Quill programs under real BFV encryption."""
+
+    def __init__(
+        self,
+        spec: Spec,
+        params: BFVParams | None = None,
+        seed: int | None = None,
+    ):
+        self.spec = spec
+        if params is None:
+            from repro.he.params import large_params, small_params
+
+            params = {
+                "n4096-depth1": small_params,
+                "n8192-depth3": large_params,
+            }.get(spec.params_name, small_params)()
+        if spec.layout.vector_size > params.row_size:
+            raise ValueError(
+                "model vector does not fit one batching row; "
+                "choose a larger polynomial degree"
+            )
+        self.params = params
+        self.ctx = BFVContext(params, seed=seed)
+        self._plaintext_cache: dict[bytes, object] = {}
+
+    def prepare(self, program: Program) -> None:
+        """Generate the Galois keys the program needs (outside timing)."""
+        check_displacement(program, self.spec)
+        for instr in program.instructions:
+            if instr.opcode is Opcode.ROTATE:
+                g = self.ctx.encoder.galois_element_for_rotation(instr.amount)
+                self.ctx.generate_galois_key(g)
+
+    def run(
+        self,
+        program: Program,
+        logical_env: dict[str, np.ndarray],
+        check: bool = True,
+    ) -> ExecutionReport:
+        """Encrypt, evaluate homomorphically, decrypt, and compare."""
+        if check:
+            check_displacement(program, self.spec)
+        layout = self.spec.layout
+        ct_env, pt_env = self.spec.packed_env(logical_env)
+        encrypted = {
+            name: self.ctx.encrypt_vector(vec) for name, vec in ct_env.items()
+        }
+        plain = {
+            name: self._encode_cached(vec) for name, vec in pt_env.items()
+        }
+        for name in program.constants:
+            plain[name] = self._encode_cached(
+                np.array(program.constant_vector(name), dtype=np.int64)
+            )
+        self.prepare(program)
+
+        ctx = self.ctx
+        wires = []
+        per_opcode: dict[str, float] = {}
+        start = time.perf_counter()
+
+        def fetch_ct(ref: Ref):
+            if isinstance(ref, Wire):
+                return wires[ref.index]
+            assert isinstance(ref, CtInput)
+            return encrypted[ref.name]
+
+        for instr in program.instructions:
+            t0 = time.perf_counter()
+            if instr.opcode is Opcode.ROTATE:
+                value = ctx.rotate_rows(fetch_ct(instr.operands[0]), instr.amount)
+            else:
+                a = fetch_ct(instr.operands[0])
+                second = instr.operands[1]
+                if isinstance(second, (PtInput, PtConst)):
+                    pt = plain[second.name]
+                    op = {
+                        Opcode.ADD_CP: ctx.add_plain,
+                        Opcode.SUB_CP: ctx.sub_plain,
+                        Opcode.MUL_CP: ctx.multiply_plain,
+                    }[instr.opcode]
+                    value = op(a, pt)
+                else:
+                    b = fetch_ct(second)
+                    op = {
+                        Opcode.ADD_CC: ctx.add,
+                        Opcode.SUB_CC: ctx.sub,
+                        Opcode.MUL_CC: ctx.multiply,
+                    }[instr.opcode]
+                    value = op(a, b)
+            elapsed = time.perf_counter() - t0
+            key = instr.opcode.value
+            per_opcode[key] = per_opcode.get(key, 0.0) + elapsed
+            wires.append(value)
+        wall = time.perf_counter() - start
+
+        output_ct = fetch_ct(program.output)
+        budget = ctx.noise_budget(output_ct)
+        decrypted = ctx.decrypt_vector(output_ct)
+        model_output = decrypted[: layout.vector_size]
+        logical_output = layout.unpack_output(model_output)
+        expected = np.array(
+            self.spec.reference_output(logical_env), dtype=np.int64
+        ).reshape(layout.output_shape)
+        return ExecutionReport(
+            model_output=model_output,
+            logical_output=logical_output,
+            expected_output=expected,
+            matches_reference=bool(np.array_equal(logical_output, expected)),
+            output_noise_budget=budget,
+            wall_time=wall,
+            instruction_seconds=per_opcode,
+        )
+
+    def _encode_cached(self, vec: np.ndarray):
+        key = vec.tobytes()
+        cached = self._plaintext_cache.get(key)
+        if cached is None:
+            cached = self.ctx.encode(vec)
+            self._plaintext_cache[key] = cached
+        return cached
+
+    def sanity_check(self, program: Program, seed: int = 0) -> ExecutionReport:
+        """One end-to-end encrypted run on random in-range inputs."""
+        rng = np.random.default_rng(seed)
+        logical = {}
+        for packed in self.spec.layout.inputs:
+            logical[packed.name] = rng.integers(
+                0, self.spec.backend_bound + 1, packed.shape, dtype=np.int64
+            )
+        report = self.run(program, logical)
+        if multiplicative_depth(program) > 0 and report.output_noise_budget <= 0:
+            raise RuntimeError("noise budget exhausted during sanity check")
+        return report

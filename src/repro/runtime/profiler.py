@@ -1,0 +1,63 @@
+"""Instruction latency profiling against the BFV backend.
+
+The paper derives Quill's per-instruction latencies by profiling SEAL
+(section 4.2); this module does the same against :mod:`repro.he`.  The
+resulting table can be checked into :mod:`repro.quill.latency` so that
+synthesis stays deterministic across machines — only relative magnitudes
+matter to the cost model.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.he import BFVContext
+from repro.he.params import BFVParams
+from repro.quill.ir import Opcode
+from repro.quill.latency import LatencyModel
+
+
+def profile_instructions(
+    params: BFVParams, repeats: int = 5, seed: int = 0
+) -> LatencyModel:
+    """Measure the median latency of every Quill opcode in microseconds."""
+    ctx = BFVContext(params, seed=seed)
+    rng = np.random.default_rng(seed)
+    n = min(64, params.row_size)
+    a = ctx.encrypt_vector(rng.integers(-20, 21, n))
+    b = ctx.encrypt_vector(rng.integers(-20, 21, n))
+    pt = ctx.encode(rng.integers(-20, 21, n))
+    # pre-generate the rotation key so key generation is not measured
+    ctx.generate_galois_key(ctx.encoder.galois_element_for_rotation(1))
+    # warm the plaintext lift cache the same way repeated execution would
+    ctx.multiply_plain(a, pt)
+
+    operations = {
+        Opcode.ADD_CC: lambda: ctx.add(a, b),
+        Opcode.SUB_CC: lambda: ctx.sub(a, b),
+        Opcode.MUL_CC: lambda: ctx.multiply(a, b),
+        Opcode.ADD_CP: lambda: ctx.add_plain(a, pt),
+        Opcode.SUB_CP: lambda: ctx.sub_plain(a, pt),
+        Opcode.MUL_CP: lambda: ctx.multiply_plain(a, pt),
+        Opcode.ROTATE: lambda: ctx.rotate_rows(a, 1),
+    }
+    table: dict[Opcode, float] = {}
+    for opcode, operation in operations.items():
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            operation()
+            samples.append((time.perf_counter() - t0) * 1e6)
+        table[opcode] = float(np.median(samples))
+    return LatencyModel(table, name=f"profiled-{params.name}")
+
+
+def format_latency_table(model: LatencyModel) -> str:
+    """Render a profiled table as Python source for checking in."""
+    lines = [f"# profiled on preset {model.name}", "{"]
+    for opcode, latency in model.table.items():
+        lines.append(f"    Opcode.{opcode.name}: {latency:_.1f},")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Constraint-search substrate: the synthesis engine's "solver".
+
+This package stands in for the SMT solver (Boolector via Rosette) in the
+paper's toolchain.  A synthesis query — *complete this sketch so the
+program maps the example inputs to the example outputs* — is solved by
+backtracking search over the sketch's holes with aggressive pruning:
+
+* observational-equivalence deduplication (a candidate whose value on all
+  examples duplicates an existing value cannot appear in a minimal
+  program),
+* dead-value bounds (every component must eventually feed the output),
+* the paper's symmetry breaking (canonical operand order for commutative
+  instructions, canonical order for adjacent independent instructions —
+  section 6.2),
+* component-multiset accounting (section 4.4),
+* cost-bounded branch-and-bound for the optimization phase, using the
+  same cost function Porcupine minimizes,
+* goal-directed enumeration of the final instruction.
+
+The engine is exact for the queries it answers: "exhausted" means no
+completion of the sketch at that size matches the examples.
+"""
+
+from repro.solver.engine import (
+    SearchOptions,
+    SearchOutcome,
+    SketchSearch,
+    materialize_assignment,
+)
+from repro.solver.values import ValueStore, shift_matrix
+
+__all__ = [
+    "SearchOptions",
+    "SearchOutcome",
+    "SketchSearch",
+    "ValueStore",
+    "materialize_assignment",
+    "shift_matrix",
+]

@@ -1,0 +1,545 @@
+"""Backtracking search over sketch holes (the synthesis "solve" query).
+
+Given a sketch, a program length ``L``, and a set of input-output
+examples, the engine enumerates hole assignments — one component choice
+plus operand/rotation fills per slot — and reports every assignment whose
+program maps each example input to its expected output.  Pruning rules are
+documented in the package docstring; all of them are *sound*: an exhausted
+search proves no L-component completion of the sketch matches the
+examples.
+
+The caller (the CEGIS loop in :mod:`repro.core.cegis`) owns verification,
+counterexamples, and cost accounting; the engine calls back on every
+goal-matching assignment and honours the returned directive (stop, or
+continue with a tightened cost bound).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sketch import (
+    ComponentChoice,
+    CtRotHole,
+    RotationChoice,
+    Sketch,
+)
+from repro.quill.builder import ProgramBuilder
+from repro.quill.ir import Opcode, Program, PtConst, PtInput
+from repro.quill.latency import LatencyModel
+from repro.solver.values import ValueStore
+from repro.spec.layout import Layout
+from repro.spec.reference import Example
+
+
+class _Timeout(Exception):
+    pass
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one engine run."""
+
+    status: str  # "stopped" | "exhausted" | "timeout"
+    nodes: int
+    candidates: int  # assignments that matched the examples
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Pruning toggles, used by the optimization-ablation benchmark.
+
+    All rules are sound, so disabling them only slows the search down;
+    the defaults match the paper's section 6.2 configuration.
+    """
+
+    dedup: bool = True  # observational-equivalence deduplication
+    symmetry: bool = True  # commutative/adjacent-order symmetry breaking
+    dead_value: bool = True  # every component must feed the output
+
+
+@dataclass
+class _Comp:
+    """A sketch choice compiled against the current example set."""
+
+    choice_index: int
+    is_rotation: bool
+    opcode: Opcode | None
+    commutative: bool
+    rots1: tuple[int, ...]
+    rots2: tuple[int, ...] | None  # None for plaintext second operands
+    pt_matrix: np.ndarray | None
+    pt_ref: PtInput | PtConst | None
+    rot_amounts: tuple[int, ...] | None  # explicit rotation components
+    latency: float
+    depth_inc: int
+    max_uses: int
+
+
+_ADD_OPS = (Opcode.ADD_CC, Opcode.ADD_CP)
+_SUB_OPS = (Opcode.SUB_CC, Opcode.SUB_CP)
+
+
+def _apply(opcode: Opcode, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if opcode in _ADD_OPS:
+        return a + b
+    if opcode in _SUB_OPS:
+        return a - b
+    return a * b
+
+
+class SketchSearch:
+    """One synthesis query: sketch x length x example set."""
+
+    def __init__(
+        self,
+        sketch: Sketch,
+        layout: Layout,
+        examples: list[Example],
+        latency_model: LatencyModel,
+        length: int,
+        options: SearchOptions | None = None,
+    ):
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        if not examples:
+            raise ValueError("at least one example is required")
+        self.sketch = sketch
+        self.layout = layout
+        self.length = length
+        self.examples = examples
+        self.latency_model = latency_model
+        self.options = options or SearchOptions()
+
+        base = [
+            np.stack([ex.ct_env[name] for ex in examples])
+            for name in layout.ct_names
+        ]
+        self.store = ValueStore(base)
+        self.goal = np.stack([ex.goal for ex in examples])
+        self.out_slots = list(layout.output_slots)
+
+        rots_with_identity = (0,) + tuple(sketch.rotations)
+        self.components: list[_Comp] = []
+        for index, choice in enumerate(sketch.choices):
+            self.components.append(
+                self._compile_choice(index, choice, rots_with_identity)
+            )
+        self.rot_latency = latency_model.table[Opcode.ROTATE]
+        self.min_latency = min(c.latency for c in self.components)
+
+    def _compile_choice(self, index, choice, rots_with_identity) -> _Comp:
+        model = self.latency_model
+        if isinstance(choice, RotationChoice):
+            return _Comp(
+                choice_index=index,
+                is_rotation=True,
+                opcode=Opcode.ROTATE,
+                commutative=False,
+                rots1=(0,),
+                rots2=None,
+                pt_matrix=None,
+                pt_ref=None,
+                rot_amounts=tuple(self.sketch.rotations),
+                latency=model.table[Opcode.ROTATE],
+                depth_inc=0,
+                max_uses=choice.max_uses or self.length,
+            )
+        assert isinstance(choice, ComponentChoice)
+        rots1 = (
+            rots_with_identity
+            if isinstance(choice.operand1, CtRotHole)
+            else (0,)
+        )
+        pt_matrix = None
+        pt_ref = None
+        rots2: tuple[int, ...] | None
+        if choice.opcode.has_plain_operand:
+            rots2 = None
+            pt_ref = choice.operand2
+            pt_matrix = self._plaintext_matrix(pt_ref)
+        else:
+            rots2 = (
+                rots_with_identity
+                if isinstance(choice.operand2, CtRotHole)
+                else (0,)
+            )
+        return _Comp(
+            choice_index=index,
+            is_rotation=False,
+            opcode=choice.opcode,
+            commutative=choice.opcode.is_commutative,
+            rots1=rots1,
+            rots2=rots2,
+            pt_matrix=pt_matrix,
+            pt_ref=pt_ref,
+            rot_amounts=None,
+            latency=model.table[choice.opcode],
+            depth_inc=1 if choice.opcode.is_multiply else 0,
+            max_uses=choice.max_uses or self.length,
+        )
+
+    def _plaintext_matrix(self, ref: PtInput | PtConst) -> np.ndarray:
+        if isinstance(ref, PtInput):
+            return np.stack([ex.pt_env[ref.name] for ex in self.examples])
+        value = self.sketch.constants[ref.name]
+        if isinstance(value, int):
+            row = np.full(self.layout.vector_size, value, dtype=np.int64)
+        else:
+            row = np.array(value, dtype=np.int64)
+        return np.tile(row, (len(self.examples), 1))
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        on_candidate,
+        cost_bound: float = float("inf"),
+        deadline: float | None = None,
+    ) -> SearchOutcome:
+        """Enumerate matching assignments, calling back on each.
+
+        ``on_candidate(assignment)`` must return ``(stop, new_bound)``:
+        stop aborts the search (initial-solution mode); a non-None bound
+        tightens branch-and-bound pruning (optimization mode).
+        """
+        self._on_candidate = on_candidate
+        self._bound = cost_bound
+        self._deadline = deadline
+        self._nodes = 0
+        self._candidates = 0
+        self._stopped = False
+        self._assignment: list[tuple] = []
+        self._uses = [0] * len(self.components)
+        self._used_flags: list[bool] = []
+        self._unused = 0
+        self._latency_sum = 0.0
+        self._rotset: set[tuple[int, int]] = set()
+        self._max_depth = 0
+        status = "exhausted"
+        try:
+            self._slot(0)
+        except _Timeout:
+            status = "timeout"
+        if self._stopped:
+            status = "stopped"
+        return SearchOutcome(
+            status=status, nodes=self._nodes, candidates=self._candidates
+        )
+
+    # -- bookkeeping helpers -----------------------------------------------
+
+    def _tick(self) -> None:
+        self._nodes += 1
+        if self._deadline is not None and self._nodes % 4096 == 0:
+            if time.monotonic() > self._deadline:
+                raise _Timeout()
+
+    def _mark_used(self, *ops: int) -> list[int]:
+        base = self.store.base_count
+        newly = []
+        for op in ops:
+            if op is None or op < base:
+                continue
+            wire = op - base
+            if not self._used_flags[wire]:
+                self._used_flags[wire] = True
+                self._unused -= 1
+                newly.append(wire)
+        return newly
+
+    def _unmark(self, newly: list[int]) -> None:
+        for wire in newly:
+            self._used_flags[wire] = False
+            self._unused += 1
+
+    def _new_rotations(self, *pairs) -> list[tuple[int, int]]:
+        added = []
+        for op, rot in pairs:
+            if op is None or rot == 0:
+                continue
+            key = (op, rot)
+            if key not in self._rotset:
+                self._rotset.add(key)
+                added.append(key)
+        return added
+
+    def _cost_lb(self, slots_left: int) -> float:
+        latency = (
+            self._latency_sum
+            + len(self._rotset) * self.rot_latency
+            + slots_left * self.min_latency
+        )
+        return latency * (1 + self._max_depth)
+
+    # -- slot enumeration -------------------------------------------------------
+
+    def _slot(self, slot: int) -> None:
+        if self._stopped:
+            return
+        if slot == self.length - 1:
+            self._final_slot()
+            return
+        store = self.store
+        base = store.base_count
+        prev = self._assignment[slot - 1] if slot > 0 else None
+        prev_wire = base + slot - 1
+        for comp in self.components:
+            if self._uses[comp.choice_index] >= comp.max_uses:
+                continue
+            if comp.is_rotation:
+                self._try_rotation_comp(slot, comp, prev, prev_wire)
+                continue
+            avail = len(store)
+            for op1 in range(avail - 1, -1, -1):
+                for r1 in comp.rots1:
+                    v1 = store.shifted(op1, r1)
+                    if comp.pt_matrix is not None:
+                        value = _apply(comp.opcode, v1, comp.pt_matrix)
+                        self._try_push(
+                            slot, comp, op1, r1, None, 0, value, prev, prev_wire
+                        )
+                        if self._stopped:
+                            return
+                        continue
+                    for op2 in range(avail - 1, -1, -1):
+                        for r2 in comp.rots2:
+                            if (
+                                self.options.symmetry
+                                and comp.commutative
+                                and (op2, r2) < (op1, r1)
+                            ):
+                                continue
+                            self._tick()
+                            value = _apply(
+                                comp.opcode, v1, store.shifted(op2, r2)
+                            )
+                            self._try_push(
+                                slot, comp, op1, r1, op2, r2, value,
+                                prev, prev_wire,
+                            )
+                            if self._stopped:
+                                return
+
+    def _try_rotation_comp(self, slot, comp, prev, prev_wire) -> None:
+        store = self.store
+        for op1 in range(len(store) - 1, -1, -1):
+            for amount in comp.rot_amounts:
+                self._tick()
+                value = store.shifted(op1, amount).copy()
+                self._try_push(
+                    slot, comp, op1, amount, None, 0, value, prev, prev_wire
+                )
+                if self._stopped:
+                    return
+
+    def _try_push(
+        self, slot, comp, op1, r1, op2, r2, value, prev, prev_wire
+    ) -> None:
+        # canonical order for adjacent independent components (symmetry
+        # breaking, paper 6.2): if this slot does not consume the previous
+        # wire, require its encoding to exceed the previous slot's.
+        encode = (comp.choice_index, op1, r1, -1 if op2 is None else op2, r2)
+        if (
+            self.options.symmetry
+            and prev is not None
+            and op1 != prev_wire
+            and op2 != prev_wire
+            and encode < prev[5]
+        ):
+            return
+        depth = self.store.depths[op1] + comp.depth_inc
+        if op2 is not None:
+            depth = max(depth, self.store.depths[op2] + comp.depth_inc)
+        if not self.store.try_push(value, depth, force=not self.options.dedup):
+            return  # observational-equivalence dedup
+        self._used_flags.append(False)
+        self._unused += 1
+        newly_used = self._mark_used(op1, op2)
+        # dead-value bound: r remaining slots can retire at most r+1 values
+        slots_left = self.length - 1 - slot
+        if self.options.dead_value and self._unused > slots_left + 1:
+            self._undo_push(newly_used)
+            return
+        prev_depth = self._max_depth
+        self._max_depth = max(self._max_depth, depth)
+        self._latency_sum += comp.latency
+        new_rots = (
+            self._new_rotations((op1, r1), (op2, r2))
+            if not comp.is_rotation
+            else []
+        )
+        self._uses[comp.choice_index] += 1
+        if self._cost_lb(slots_left) < self._bound:
+            self._assignment.append((comp, op1, r1, op2, r2, encode))
+            self._slot(slot + 1)
+            self._assignment.pop()
+        self._uses[comp.choice_index] -= 1
+        for key in new_rots:
+            self._rotset.discard(key)
+        self._latency_sum -= comp.latency
+        self._max_depth = prev_depth
+        self._undo_push(newly_used)
+
+    def _undo_push(self, newly_used) -> None:
+        self._unmark(newly_used)
+        self._used_flags.pop()
+        self._unused -= 1
+        self.store.pop()
+
+    # -- final slot: goal-directed enumeration ---------------------------------
+
+    def _final_slot(self) -> None:
+        store = self.store
+        base = store.base_count
+        unused = [
+            base + wire
+            for wire, used in enumerate(self._used_flags)
+            if not used
+        ]
+        if len(unused) > 2:
+            return
+        avail = range(len(store) - 1, -1, -1)
+        for comp in self.components:
+            if self._uses[comp.choice_index] >= comp.max_uses:
+                continue
+            if comp.is_rotation:
+                if len(unused) > 1:
+                    continue
+                ops = unused if unused else list(avail)
+                for op1 in ops:
+                    for amount in comp.rot_amounts:
+                        self._tick()
+                        value = store.shifted(op1, amount)
+                        self._check_goal(comp, op1, amount, None, 0, value)
+                        if self._stopped:
+                            return
+                continue
+            if comp.pt_matrix is not None:
+                if len(unused) > 1:
+                    continue
+                ops = unused if unused else list(avail)
+                for op1 in ops:
+                    for r1 in comp.rots1:
+                        self._tick()
+                        value = _apply(
+                            comp.opcode,
+                            store.shifted(op1, r1),
+                            comp.pt_matrix,
+                        )
+                        self._check_goal(comp, op1, r1, None, 0, value)
+                        if self._stopped:
+                            return
+                continue
+            for op1, op2, sym in self._final_pairs(unused, len(store), comp):
+                for r1 in comp.rots1:
+                    v1 = store.shifted(op1, r1)
+                    for r2 in comp.rots2:
+                        # the symmetry skip is only sound when the mirrored
+                        # operand order is also enumerated (or op1 == op2,
+                        # where swapping rotations mirrors the pair)
+                        if (
+                            comp.commutative
+                            and (sym or op1 == op2)
+                            and (op2, r2) < (op1, r1)
+                        ):
+                            continue
+                        self._tick()
+                        value = _apply(comp.opcode, v1, store.shifted(op2, r2))
+                        self._check_goal(comp, op1, r1, op2, r2, value)
+                        if self._stopped:
+                            return
+
+    def _final_pairs(self, unused, avail, comp):
+        """Operand pairs for the final slot, covering all unused wires.
+
+        The third element says whether the mirrored order of the pair is
+        also generated, which gates the commutative symmetry skip.
+        """
+        if len(unused) == 2:
+            a, b = unused
+            yield a, b, False
+            if not comp.commutative:
+                yield b, a, False
+        elif len(unused) == 1:
+            u = unused[0]
+            for other in range(avail):
+                yield u, other, False
+                if other != u and not comp.commutative:
+                    yield other, u, False
+        else:  # only when length == 1 (no previous wires exist)
+            for a in range(avail):
+                for b in range(avail):
+                    yield a, b, True
+
+    def _check_goal(self, comp, op1, r1, op2, r2, value) -> None:
+        if not np.array_equal(value[:, self.out_slots], self.goal):
+            return
+        self._candidates += 1
+        encode = (comp.choice_index, op1, r1, -1 if op2 is None else op2, r2)
+        self._assignment.append((comp, op1, r1, op2, r2, encode))
+        stop, new_bound = self._on_candidate(list(self._assignment))
+        self._assignment.pop()
+        if new_bound is not None and new_bound < self._bound:
+            self._bound = new_bound
+        if stop:
+            self._stopped = True
+
+
+# ---------------------------------------------------------------------------
+# Materialization: assignment -> Quill program
+# ---------------------------------------------------------------------------
+
+def materialize_assignment(
+    sketch: Sketch,
+    layout: Layout,
+    assignment: list[tuple],
+    name: str = "synthesized",
+) -> Program:
+    """Build the Quill program for a search assignment.
+
+    Operand rotations become explicit ``rot`` instructions, shared across
+    identical uses (the builder's CSE), which is how the paper counts
+    instructions in Table 2.
+    """
+    builder = ProgramBuilder(layout.vector_size, name=name)
+    input_refs = [builder.ct_input(n) for n in layout.ct_names]
+    pt_refs = {n: builder.pt_input(n) for n in layout.pt_names}
+    for const_name, const_value in sketch.constants.items():
+        builder.constant(const_name, const_value)
+    base = len(input_refs)
+    wire_refs: list = []
+
+    def resolve(index: int):
+        if index < base:
+            return input_refs[index]
+        return wire_refs[index - base]
+
+    last = None
+    for comp, op1, r1, op2, r2, _ in assignment:
+        if comp.is_rotation:
+            last = builder.rotate(resolve(op1), r1)
+            wire_refs.append(last)
+            continue
+        first = builder.rotate(resolve(op1), r1)
+        if comp.pt_ref is not None:
+            second = (
+                pt_refs[comp.pt_ref.name]
+                if isinstance(comp.pt_ref, PtInput)
+                else comp.pt_ref
+            )
+        else:
+            second = builder.rotate(resolve(op2), r2)
+        if comp.opcode in _ADD_OPS:
+            last = builder.add(first, second)
+        elif comp.opcode in _SUB_OPS:
+            last = builder.sub(first, second)
+        else:
+            last = builder.mul(first, second)
+        wire_refs.append(last)
+    return builder.build(last)

@@ -1,0 +1,92 @@
+"""Concrete value tracking for the synthesis search.
+
+Every available ciphertext (packed inputs, then one per chosen component)
+is an ``(E, n)`` int64 matrix: one row per CEGIS example.  The store keeps
+
+* a byte-level index for observational-equivalence deduplication,
+* a per-value cache of rotated (shifted) variants, since the same operand
+  rotation is probed many times across the search tree,
+* the multiplicative depth of each value for cost lower bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def shift_matrix(matrix: np.ndarray, amount: int) -> np.ndarray:
+    """Row-wise shift with zero fill (Quill rotation semantics, per example)."""
+    _, n = matrix.shape
+    out = np.zeros_like(matrix)
+    if amount >= 0:
+        if amount < n:
+            out[:, : n - amount] = matrix[:, amount:]
+    else:
+        if -amount < n:
+            out[:, -amount:] = matrix[:, : n + amount]
+    return out
+
+
+class ValueStore:
+    """Stack of available ciphertext values with dedup and shift caching."""
+
+    def __init__(self, base_vectors: list[np.ndarray]):
+        self.vectors: list[np.ndarray] = []
+        self.depths: list[int] = []
+        self._index: dict[bytes, int] = {}
+        self._shift_cache: list[dict[int, np.ndarray]] = []
+        self._keys: list[bytes] = []
+        self._serial = 0
+        for vec in base_vectors:
+            added = self.try_push(np.ascontiguousarray(vec, dtype=np.int64), 0)
+            if not added:
+                raise ValueError(
+                    "duplicate input values; inputs must be distinguishable "
+                    "on the example set"
+                )
+        self.base_count = len(self.vectors)
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def try_push(self, vec: np.ndarray, depth: int, force: bool = False) -> bool:
+        """Add a value unless it duplicates an existing one.
+
+        Returns False (and adds nothing) on duplicates: any minimal program
+        computing the same value twice could drop the second computation,
+        so such candidates cannot be part of a minimum-size solution.
+        ``force`` admits duplicates under a unique key (used only by the
+        deduplication-ablation benchmark).
+        """
+        key: bytes = vec.tobytes()
+        if key in self._index:
+            if not force:
+                return False
+            self._serial += 1
+            key = key + self._serial.to_bytes(8, "little")
+        self._index[key] = len(self.vectors)
+        self.vectors.append(vec)
+        self.depths.append(depth)
+        self._shift_cache.append({})
+        self._keys.append(key)
+        return True
+
+    def pop(self) -> None:
+        """Remove the most recent value (backtracking)."""
+        if len(self.vectors) <= self.base_count:
+            raise IndexError("cannot pop base input values")
+        self.vectors.pop()
+        self.depths.pop()
+        self._shift_cache.pop()
+        del self._index[self._keys.pop()]
+
+    def shifted(self, index: int, amount: int) -> np.ndarray:
+        """The value at ``index`` rotated by ``amount`` (cached)."""
+        if amount == 0:
+            return self.vectors[index]
+        cache = self._shift_cache[index]
+        hit = cache.get(amount)
+        if hit is None:
+            hit = shift_matrix(self.vectors[index], amount)
+            cache[amount] = hit
+        return hit

@@ -1,0 +1,55 @@
+"""Kernel specifications: reference implementations plus data layouts.
+
+A Porcupine specification "completely describes a target kernel's
+functional behaviour" (paper section 4.3): a plaintext reference
+implementation plus the vector data layout inputs and outputs must adhere
+to.  Reference implementations here are plain Python functions over numpy
+arrays; because they only use ``+ - *`` they can be executed either on
+integer arrays (concrete examples) or on arrays of
+:class:`~repro.symbolic.polynomial.Poly` (symbolic lifting, standing in
+for Rosette).
+"""
+
+from repro.spec.kernels import (
+    ALL_SPECS,
+    DIRECT_SPECS,
+    MULTISTEP_SPECS,
+    box_blur_spec,
+    dot_product_spec,
+    get_spec,
+    gx_spec,
+    gy_spec,
+    hamming_spec,
+    harris_spec,
+    l2_spec,
+    linear_regression_spec,
+    polynomial_regression_spec,
+    roberts_spec,
+    sobel_spec,
+)
+from repro.spec.layout import Layout, PackedInput, image_layout, vector_layout
+from repro.spec.reference import Example, Spec
+
+__all__ = [
+    "ALL_SPECS",
+    "DIRECT_SPECS",
+    "Example",
+    "Layout",
+    "MULTISTEP_SPECS",
+    "PackedInput",
+    "Spec",
+    "box_blur_spec",
+    "dot_product_spec",
+    "get_spec",
+    "gx_spec",
+    "gy_spec",
+    "hamming_spec",
+    "harris_spec",
+    "image_layout",
+    "l2_spec",
+    "linear_regression_spec",
+    "polynomial_regression_spec",
+    "roberts_spec",
+    "sobel_spec",
+    "vector_layout",
+]

@@ -1,0 +1,356 @@
+"""The paper's kernel suite (Table 3): nine direct + two multi-step kernels.
+
+The paper does not publish exact input sizes; the configurations here are
+the smallest ones consistent with its reported baseline structure and the
+rotation amounts visible in Figures 5-7 (see DESIGN.md):
+
+* image kernels pack a 4x4 image onto width-5 grid rows (so ``rot 5``
+  moves one grid row, matching the figures) with zero padding;
+* reductions use power-of-two lengths so baseline reduction trees match
+  the Table 2 instruction counts.
+
+All image kernels share one layout geometry so multi-step synthesis can
+compose them (Sobel = Gx^2 + Gy^2, Harris uses Gx, Gy and box blur).
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.spec.layout import image_layout, vector_layout
+from repro.spec.reference import Spec
+
+# ---------------------------------------------------------------------------
+# Shared image geometry
+# ---------------------------------------------------------------------------
+
+IMAGE_HEIGHT = 4
+IMAGE_WIDTH = 4
+GRID_WIDTH = 5  # one zero-padding column; "rot 5" = one grid row
+IMAGE_MARGIN = 24
+
+# valid output pixels per window shape
+_VALID_2X2 = [(r, c) for r in range(3) for c in range(3)]
+_VALID_3X3 = [(r, c) for r in (1, 2) for c in (1, 2)]
+_VALID_HARRIS = [(1, 1)]
+
+GX_TAPS = [
+    (dr, dc, w)
+    for dr, row in enumerate([[1, 0, -1], [2, 0, -2], [1, 0, -1]])
+    for dc, w in enumerate(row)
+    if w
+]
+GY_TAPS = [(dc, dr, w) for dr, dc, w in GX_TAPS]
+BOX_TAPS = [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 1)]
+
+
+def _stencil(img, taps, centers, centered: bool):
+    offset = 1 if centered else 0
+    outputs = []
+    for r, c in centers:
+        total = 0
+        for dr, dc, weight in taps:
+            total = total + weight * img[r + dr - offset, c + dc - offset]
+        outputs.append(total)
+    return outputs
+
+
+def _image_layout(valid, extra_inputs=None):
+    return image_layout(
+        height=IMAGE_HEIGHT,
+        width=IMAGE_WIDTH,
+        grid_width=GRID_WIDTH,
+        valid=valid,
+        margin=IMAGE_MARGIN,
+        extra_inputs=extra_inputs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Image-processing kernels
+# ---------------------------------------------------------------------------
+
+@cache
+def box_blur_spec() -> Spec:
+    """2x2 box blur (unnormalised window sum), as in Figure 5."""
+
+    def reference(img):
+        return _stencil(img, BOX_TAPS, _VALID_2X2, centered=False)
+
+    return Spec(
+        name="box_blur",
+        layout=_image_layout(_VALID_2X2),
+        reference=reference,
+        backend_bound=255,
+        description="2x2 window sum over a packed 4x4 image",
+    )
+
+
+@cache
+def gx_spec() -> Spec:
+    """Sobel x-gradient: [1,2,1]^T (x) [1,0,-1] (Figures 6 and 7)."""
+
+    def reference(img):
+        return _stencil(img, GX_TAPS, _VALID_3X3, centered=True)
+
+    return Spec(
+        name="gx",
+        layout=_image_layout(_VALID_3X3),
+        reference=reference,
+        backend_bound=255,
+        description="3x3 x-gradient over a packed 4x4 image",
+    )
+
+
+@cache
+def gy_spec() -> Spec:
+    """Sobel y-gradient (transpose of Gx)."""
+
+    def reference(img):
+        return _stencil(img, GY_TAPS, _VALID_3X3, centered=True)
+
+    return Spec(
+        name="gy",
+        layout=_image_layout(_VALID_3X3),
+        reference=reference,
+        backend_bound=255,
+        description="3x3 y-gradient over a packed 4x4 image",
+    )
+
+
+@cache
+def roberts_spec() -> Spec:
+    """Roberts cross response: (I(r,c)-I(r+1,c+1))^2 + (I(r+1,c)-I(r,c+1))^2."""
+
+    def reference(img):
+        outputs = []
+        for r, c in _VALID_2X2:
+            d1 = img[r, c] - img[r + 1, c + 1]
+            d2 = img[r + 1, c] - img[r, c + 1]
+            outputs.append(d1 * d1 + d2 * d2)
+        return outputs
+
+    return Spec(
+        name="roberts",
+        layout=_image_layout(_VALID_2X2),
+        reference=reference,
+        backend_bound=100,
+        description="Roberts cross edge response over a packed 4x4 image",
+    )
+
+
+@cache
+def sobel_spec() -> Spec:
+    """Sobel edge response Gx^2 + Gy^2 (multi-step target)."""
+
+    def reference(img):
+        gx = _stencil(img, GX_TAPS, _VALID_3X3, centered=True)
+        gy = _stencil(img, GY_TAPS, _VALID_3X3, centered=True)
+        return [a * a + b * b for a, b in zip(gx, gy)]
+
+    return Spec(
+        name="sobel",
+        layout=_image_layout(_VALID_3X3),
+        reference=reference,
+        backend_bound=15,
+        description="Sobel operator composed from Gx and Gy (multi-step)",
+    )
+
+
+@cache
+def harris_spec() -> Spec:
+    """Harris corner response 16*det(S) - trace(S)^2 (i.e. k = 1/16).
+
+    BFV is integer-only, so the conventional k = 0.04..0.06 is replaced by
+    k = 1/16 and the response scaled by 16; the paper's Harris likewise
+    returns pre-threshold response values for the client to threshold.
+    """
+
+    def reference(img):
+        def grad(taps, r, c):
+            total = 0
+            for dr, dc, w in taps:
+                total = total + w * img[r + dr - 1, c + dc - 1]
+            return total
+
+        (r0, c0) = _VALID_HARRIS[0]
+        sxx = syy = sxy = 0
+        for dr in (0, 1):
+            for dc in (0, 1):
+                gx = grad(GX_TAPS, r0 + dr, c0 + dc)
+                gy = grad(GY_TAPS, r0 + dr, c0 + dc)
+                sxx = sxx + gx * gx
+                syy = syy + gy * gy
+                sxy = sxy + gx * gy
+        det = sxx * syy - sxy * sxy
+        trace = sxx + syy
+        return [16 * det - trace * trace]
+
+    return Spec(
+        name="harris",
+        layout=_image_layout(_VALID_HARRIS),
+        reference=reference,
+        backend_bound=1,  # binary image keeps the response inside t
+        params_name="n8192-depth3",
+        description="Harris corner response (multi-step: Gx, Gy, box blur)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Linear-algebra / ML kernels
+# ---------------------------------------------------------------------------
+
+@cache
+def dot_product_spec(n: int = 8) -> Spec:
+    """Dot product of a packed client vector with server plaintext data."""
+
+    def reference(x, w):
+        total = 0
+        for a, b in zip(x, w):
+            total = total + a * b
+        return [total]
+
+    return Spec(
+        name="dot_product",
+        layout=vector_layout([("x", "ct", n), ("w", "pt", n)]),
+        reference=reference,
+        backend_bound=50,
+        description=f"length-{n} ct x pt dot product (Figure 2)",
+    )
+
+
+@cache
+def hamming_spec(n: int = 4) -> Spec:
+    """Hamming distance via sum of squared differences (0/1 vectors)."""
+
+    def reference(x, y):
+        total = 0
+        for a, b in zip(x, y):
+            d = a - b
+            total = total + d * d
+        return [total]
+
+    return Spec(
+        name="hamming",
+        layout=vector_layout([("x", "ct", n), ("y", "ct", n)]),
+        reference=reference,
+        backend_bound=40,
+        description=f"length-{n} Hamming distance (sum of squared diffs)",
+    )
+
+
+@cache
+def l2_spec(n: int = 8) -> Spec:
+    """Squared L2 distance with masked (privacy-clean) output.
+
+    The output ciphertext must contain *only* the distance: every other
+    slot is zero, so partial sums do not leak to the client.  This is what
+    the paper's 9-instruction baseline (reduction + output mask) computes.
+    """
+    layout_inputs = [("x", "ct", n), ("y", "ct", n)]
+    base = vector_layout(layout_inputs)
+    origin, size = base.origin, base.vector_size
+    layout = vector_layout(
+        layout_inputs,
+        output_slots=list(range(size)),
+        output_shape=(size,),
+    )
+
+    def reference(x, y):
+        total = 0
+        for a, b in zip(x, y):
+            d = a - b
+            total = total + d * d
+        return [total if slot == origin else 0 for slot in range(size)]
+
+    return Spec(
+        name="l2",
+        layout=layout,
+        reference=reference,
+        backend_bound=30,
+        description=f"length-{n} squared L2 distance, masked scalar output",
+    )
+
+
+@cache
+def linear_regression_spec(features: int = 2) -> Spec:
+    """Linear model inference: y = w . x + b (packed features)."""
+
+    def reference(x, w, b):
+        total = b[0]
+        for a, ww in zip(x, w):
+            total = total + a * ww
+        return [total]
+
+    return Spec(
+        name="linear_regression",
+        layout=vector_layout(
+            [("x", "ct", features), ("w", "pt", features), ("b", "ct", 1)],
+            margin=4,
+        ),
+        reference=reference,
+        backend_bound=80,
+        description=f"{features}-feature linear regression inference",
+    )
+
+
+@cache
+def polynomial_regression_spec(n: int = 4) -> Spec:
+    """Quadratic model inference: y_i = a_i x_i^2 + b_i x_i + c_i.
+
+    The kernel where Porcupine discovers the Horner factorization
+    a x^2 + b x = (a x + b) x, saving one ciphertext multiply.
+    """
+
+    def reference(a, b, c, x):
+        return [
+            ai * xi * xi + bi * xi + ci
+            for ai, bi, ci, xi in zip(a, b, c, x)
+        ]
+
+    base = vector_layout(
+        [("a", "ct", n), ("b", "ct", n), ("c", "ct", n), ("x", "ct", n)]
+    )
+    layout = vector_layout(
+        [("a", "ct", n), ("b", "ct", n), ("c", "ct", n), ("x", "ct", n)],
+        output_slots=list(range(base.origin, base.origin + n)),
+        output_shape=(n,),
+    )
+    return Spec(
+        name="polynomial_regression",
+        layout=layout,
+        reference=reference,
+        backend_bound=30,
+        params_name="n8192-depth3",
+        description=f"element-wise quadratic evaluation over {n} samples",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+DIRECT_SPECS = (
+    box_blur_spec,
+    dot_product_spec,
+    hamming_spec,
+    l2_spec,
+    linear_regression_spec,
+    polynomial_regression_spec,
+    gx_spec,
+    gy_spec,
+    roberts_spec,
+)
+
+MULTISTEP_SPECS = (sobel_spec, harris_spec)
+
+ALL_SPECS = DIRECT_SPECS + MULTISTEP_SPECS
+
+
+def get_spec(name: str) -> Spec:
+    """Look up any kernel spec by its name."""
+    for factory in ALL_SPECS:
+        spec = factory()
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown kernel {name!r}")

@@ -1,0 +1,198 @@
+"""Data layouts: how logical inputs/outputs map onto ciphertext slots.
+
+A layout places each logical input array at fixed slots of the model
+vector and records which slots hold the kernel's outputs.  Model vectors
+carry a zero *margin* on both sides of the packed data so that Quill's
+shift-with-zero-fill rotation semantics coincide exactly with cyclic
+rotation of the (much larger, zero-padded) real ciphertext — see
+:mod:`repro.runtime.executor`, which checks the displacement bound that
+makes the equivalence hold.
+
+Image kernels use the paper's packing (section 4.3 / Figure 7): the image
+is flattened row-major onto grid rows of a fixed width, with zero padding
+columns on the right, so "rotate by grid_width" aligns vertically adjacent
+pixels and "rotate by 1" horizontally adjacent ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.symbolic.polynomial import Poly
+
+
+@dataclass(frozen=True)
+class PackedInput:
+    """One logical input and where its elements live in the model vector."""
+
+    name: str
+    kind: Literal["ct", "pt"]
+    shape: tuple[int, ...]
+    slots: tuple[int, ...]  # flat logical index -> absolute model slot
+
+    @property
+    def size(self) -> int:
+        return len(self.slots)
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Complete slot map for a kernel's inputs and outputs."""
+
+    vector_size: int
+    origin: int
+    inputs: tuple[PackedInput, ...]
+    output_slots: tuple[int, ...]
+    output_shape: tuple[int, ...]
+
+    def __post_init__(self):
+        for packed in self.inputs:
+            for slot in packed.slots:
+                if not 0 <= slot < self.vector_size:
+                    raise ValueError(
+                        f"input {packed.name!r} slot {slot} out of range"
+                    )
+            if int(np.prod(packed.shape)) != packed.size:
+                raise ValueError(f"input {packed.name!r} shape/slots mismatch")
+        for slot in self.output_slots:
+            if not 0 <= slot < self.vector_size:
+                raise ValueError(f"output slot {slot} out of range")
+        if int(np.prod(self.output_shape)) != len(self.output_slots):
+            raise ValueError("output shape does not match output slots")
+
+    # -- lookups -----------------------------------------------------------
+
+    def input(self, name: str) -> PackedInput:
+        for packed in self.inputs:
+            if packed.name == name:
+                return packed
+        raise KeyError(f"no input named {name!r}")
+
+    @property
+    def ct_names(self) -> list[str]:
+        return [p.name for p in self.inputs if p.kind == "ct"]
+
+    @property
+    def pt_names(self) -> list[str]:
+        return [p.name for p in self.inputs if p.kind == "pt"]
+
+    # -- packing ------------------------------------------------------------
+
+    def pack(self, name: str, values: np.ndarray) -> np.ndarray:
+        """Place a logical array into a zero model vector."""
+        packed = self.input(name)
+        flat = np.asarray(values, dtype=np.int64).reshape(-1)
+        if flat.shape != (packed.size,):
+            raise ValueError(
+                f"input {name!r} expects shape {packed.shape}, "
+                f"got {np.asarray(values).shape}"
+            )
+        vec = np.zeros(self.vector_size, dtype=np.int64)
+        vec[list(packed.slots)] = flat
+        return vec
+
+    def pack_symbolic(self, name: str) -> list[Poly]:
+        """Model vector of fresh variables ``name[flat_index]`` (zeros elsewhere)."""
+        packed = self.input(name)
+        vec: list[Poly] = [Poly.zero()] * self.vector_size
+        for flat_index, slot in enumerate(packed.slots):
+            vec[slot] = Poly.var(f"{name}[{flat_index}]")
+        return vec
+
+    def unpack_output(self, model_vector: np.ndarray) -> np.ndarray:
+        """Extract the logical output array from a model/decrypted vector."""
+        flat = np.asarray(model_vector)[list(self.output_slots)]
+        return flat.reshape(self.output_shape)
+
+    def max_displacement_budget(self) -> tuple[int, int]:
+        """(left, right) slack between packed data and the vector edges."""
+        lowest = min(min(p.slots) for p in self.inputs)
+        highest = max(max(p.slots) for p in self.inputs)
+        return lowest, self.vector_size - 1 - highest
+
+
+def vector_layout(
+    inputs: list[tuple[str, str, int]],
+    margin: int | None = None,
+    output_slots: list[int] | None = None,
+    output_shape: tuple[int, ...] | None = None,
+) -> Layout:
+    """Pack 1-D logical vectors, all starting at the same origin.
+
+    Args:
+        inputs: (name, kind, length) triples; every vector starts at
+            ``origin`` so element-wise SIMD instructions align them.
+        margin: zero slots on each side (default: the longest input).
+        output_slots: absolute output slots; default is the single slot at
+            ``origin`` (scalar reduction result).
+        output_shape: logical output shape; default matches output_slots.
+    """
+    longest = max(length for _, _, length in inputs)
+    if margin is None:
+        margin = longest
+    origin = margin
+    packed = tuple(
+        PackedInput(
+            name=name,
+            kind=kind,  # type: ignore[arg-type]
+            shape=(length,),
+            slots=tuple(range(origin, origin + length)),
+        )
+        for name, kind, length in inputs
+    )
+    if output_slots is None:
+        output_slots = [origin]
+    if output_shape is None:
+        output_shape = (len(output_slots),)
+    return Layout(
+        vector_size=margin + longest + margin,
+        origin=origin,
+        inputs=packed,
+        output_slots=tuple(output_slots),
+        output_shape=tuple(output_shape),
+    )
+
+
+def image_layout(
+    height: int,
+    width: int,
+    grid_width: int,
+    valid: list[tuple[int, int]],
+    margin: int,
+    name: str = "img",
+    extra_inputs: list[tuple[str, str]] | None = None,
+) -> Layout:
+    """Row-major packing of an image onto padded grid rows (Figure 7).
+
+    Args:
+        height, width: logical image dimensions.
+        grid_width: slots per grid row (> width leaves zero padding
+            columns, so horizontal window reads never cross rows).
+        valid: (row, col) positions whose outputs the kernel must produce.
+        margin: zero slots before/after the grid.
+        name: the image input name.
+        extra_inputs: additional same-shape image inputs (name, kind).
+    """
+    if grid_width <= width:
+        raise ValueError("grid_width must exceed image width for padding")
+    origin = margin
+    slots = tuple(
+        origin + r * grid_width + c
+        for r in range(height)
+        for c in range(width)
+    )
+    inputs = [PackedInput(name, "ct", (height, width), slots)]
+    for extra_name, kind in extra_inputs or []:
+        inputs.append(PackedInput(extra_name, kind, (height, width), slots))  # type: ignore[arg-type]
+    output_slots = tuple(origin + r * grid_width + c for r, c in valid)
+    span = (height - 1) * grid_width + width
+    return Layout(
+        vector_size=margin + span + margin,
+        origin=origin,
+        inputs=tuple(inputs),
+        output_slots=output_slots,
+        output_shape=(len(valid),),
+    )

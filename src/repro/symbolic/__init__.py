@@ -1,0 +1,35 @@
+"""Exact symbolic verification substrate.
+
+Replaces the paper's Rosette + SMT verification pipeline.  Straight-line
+HE-compatible kernels compute polynomial functions of their inputs, so we
+lift both the candidate Quill program and the plaintext reference
+implementation to vectors of exact multivariate polynomials over the
+integers and compare them slot by slot.  Polynomial identity over Z is a
+*sound and complete* equivalence check for this program class — strictly
+stronger than the bounded bit-vector check an SMT solver performs.
+
+Counterexamples for CEGIS are extracted by Schwartz-Zippel sampling of the
+difference polynomial.
+"""
+
+from repro.symbolic.polynomial import Poly
+from repro.symbolic.symvec import (
+    evaluate_symbolic,
+    symbolic_vector,
+    zeros_vector,
+)
+from repro.symbolic.verify import (
+    VerificationResult,
+    check_equivalence,
+    find_counterexample,
+)
+
+__all__ = [
+    "Poly",
+    "VerificationResult",
+    "check_equivalence",
+    "evaluate_symbolic",
+    "find_counterexample",
+    "symbolic_vector",
+    "zeros_vector",
+]

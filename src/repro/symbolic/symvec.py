@@ -1,0 +1,83 @@
+"""Symbolic evaluation of Quill programs over polynomial vectors."""
+
+from __future__ import annotations
+
+from repro.quill.ir import CtInput, Opcode, Program, PtConst, PtInput, Ref, Wire
+from repro.symbolic.polynomial import Poly
+
+
+def symbolic_vector(prefix: str, size: int) -> list[Poly]:
+    """A vector of fresh variables named ``prefix[i]``."""
+    return [Poly.var(f"{prefix}[{i}]") for i in range(size)]
+
+
+def zeros_vector(size: int) -> list[Poly]:
+    return [Poly.zero()] * size
+
+
+def shift_symbolic(vec: list[Poly], amount: int) -> list[Poly]:
+    """Shift-with-zero-fill on a polynomial vector (matches interpreter)."""
+    n = len(vec)
+    zero = Poly.zero()
+    out = [zero] * n
+    if amount >= 0:
+        for i in range(n - amount):
+            out[i] = vec[i + amount]
+    else:
+        for i in range(-amount, n):
+            out[i] = vec[i + amount]
+    return out
+
+
+def evaluate_symbolic(
+    program: Program,
+    ct_env: dict[str, list[Poly]],
+    pt_env: dict[str, list[Poly]] | None = None,
+    all_wires: bool = False,
+):
+    """Run a program with polynomial slot values.
+
+    Mirrors :func:`repro.quill.interpreter.evaluate` exactly, which is
+    asserted by property tests: plugging concrete values into the symbolic
+    output equals concrete evaluation.
+    """
+    pt_env = pt_env or {}
+    n = program.vector_size
+
+    def fetch(ref: Ref) -> list[Poly]:
+        if isinstance(ref, Wire):
+            return wires[ref.index]
+        if isinstance(ref, CtInput):
+            return _checked(ct_env[ref.name], n)
+        if isinstance(ref, PtInput):
+            return _checked(pt_env[ref.name], n)
+        if isinstance(ref, PtConst):
+            return [Poly.const(v) for v in program.constant_vector(ref.name)]
+        raise TypeError(f"unknown reference {ref!r}")
+
+    wires: list[list[Poly]] = []
+    for instr in program.instructions:
+        if instr.opcode is Opcode.ROTATE:
+            value = shift_symbolic(fetch(instr.operands[0]), instr.amount)
+        else:
+            a = fetch(instr.operands[0])
+            b = fetch(instr.operands[1])
+            if instr.opcode in (Opcode.ADD_CC, Opcode.ADD_CP):
+                value = [x + y for x, y in zip(a, b)]
+            elif instr.opcode in (Opcode.SUB_CC, Opcode.SUB_CP):
+                value = [x - y for x, y in zip(a, b)]
+            else:
+                value = [x * y for x, y in zip(a, b)]
+        wires.append(value)
+
+    if all_wires:
+        return wires
+    if program.output is None:
+        raise ValueError("program has no output")
+    return fetch(program.output)
+
+
+def _checked(vec: list[Poly], n: int) -> list[Poly]:
+    if len(vec) != n:
+        raise ValueError(f"expected a symbolic vector of {n} slots")
+    return vec

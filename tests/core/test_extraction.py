@@ -1,0 +1,138 @@
+"""Tests for automatic sketch extraction from reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.core.cegis import SynthesisConfig, synthesize
+from repro.core.extraction import ExtractionError, extract_sketch
+from repro.core.restrictions import (
+    sliding_window_rotations,
+    tree_reduction_rotations,
+)
+from repro.core.sketch import ComponentChoice, CtRotHole
+from repro.quill.ir import Opcode, PtConst, PtInput
+from repro.spec import get_spec
+from repro.spec.layout import vector_layout
+from repro.spec.reference import Spec
+
+
+def _opcodes(sketch):
+    return sorted(c.opcode.value for c in sketch.choices)
+
+
+def test_gx_extraction_recovers_paper_sketch():
+    """Tracing Gx yields the paper's example: add, subtract, multiply-by-2."""
+    sketch = extract_sketch(
+        get_spec("gx"), sliding_window_rotations(5, 3, 3, centered=True)
+    )
+    assert _opcodes(sketch) == ["add-ct-ct", "mul-ct-pt", "sub-ct-ct"]
+    assert sketch.constants == {"two": 2}
+    mul = next(c for c in sketch.choices if c.opcode is Opcode.MUL_CP)
+    assert mul.operand2 == PtConst("two")
+
+
+def test_box_blur_extraction_is_add_only():
+    sketch = extract_sketch(
+        get_spec("box_blur"), sliding_window_rotations(5, 2, 2)
+    )
+    assert _opcodes(sketch) == ["add-ct-ct"]
+    add = sketch.choices[0]
+    assert isinstance(add.operand1, CtRotHole)
+
+
+def test_hamming_extraction():
+    sketch = extract_sketch(get_spec("hamming"), tree_reduction_rotations(4))
+    assert _opcodes(sketch) == ["add-ct-ct", "mul-ct-ct", "sub-ct-ct"]
+
+
+def test_dot_product_extraction_uses_plaintext_input():
+    sketch = extract_sketch(
+        get_spec("dot_product"), tree_reduction_rotations(8)
+    )
+    assert _opcodes(sketch) == ["add-ct-ct", "mul-ct-pt"]
+    mul = next(c for c in sketch.choices if c.opcode is Opcode.MUL_CP)
+    assert mul.operand2 == PtInput("w")
+
+
+def test_polynomial_regression_extraction():
+    sketch = extract_sketch(get_spec("polynomial_regression"), ())
+    assert _opcodes(sketch) == ["add-ct-ct", "mul-ct-ct"]
+
+
+def test_extracted_sketch_synthesizes_box_blur():
+    """End to end: trace the spec, then synthesize from the traced sketch."""
+    spec = get_spec("box_blur")
+    sketch = extract_sketch(spec, sliding_window_rotations(5, 2, 2))
+    result = synthesize(
+        spec, sketch, SynthesisConfig(max_components=3, optimize_timeout=5.0)
+    )
+    assert result.program.instruction_count() == 4
+    assert spec.verify_program(result.program).equivalent
+
+
+def test_extracted_sketch_synthesizes_horner():
+    spec = get_spec("polynomial_regression")
+    sketch = extract_sketch(spec, ())
+    result = synthesize(
+        spec, sketch, SynthesisConfig(max_components=5, optimize_timeout=5.0)
+    )
+    assert result.program.multiply_cc_count() == 2  # Horner rediscovered
+    assert spec.verify_program(result.program).equivalent
+
+
+def test_additive_constant_traces_to_plain_add():
+    spec = Spec(
+        name="affine",
+        layout=vector_layout([("x", "ct", 2)], output_slots=[2, 3],
+                             output_shape=(2,)),
+        reference=lambda x: [v * 3 + 7 for v in x],
+    )
+    sketch = extract_sketch(spec, ())
+    values = _opcodes(sketch)
+    assert "mul-ct-pt" in values  # times 3
+    assert "add-ct-pt" in values  # plus 7
+    assert sketch.constants["three"] == 3
+
+
+def test_negative_weight_introduces_subtract():
+    spec = Spec(
+        name="negate",
+        layout=vector_layout([("x", "ct", 2)], output_slots=[2, 3],
+                             output_shape=(2,)),
+        reference=lambda x: [-1 * v for v in x],
+    )
+    sketch = extract_sketch(spec, ())
+    assert "sub-ct-ct" in _opcodes(sketch)
+    assert sketch.constants == {}  # |−1| folds away
+
+
+def test_plaintext_derivation_rejected():
+    spec = Spec(
+        name="bad",
+        layout=vector_layout([("x", "ct", 2), ("w", "pt", 2)]),
+        reference=lambda x, w: [x[0] * (w[0] + w[1])],
+    )
+    with pytest.raises(ExtractionError):
+        extract_sketch(spec, ())
+
+
+def test_arithmetic_free_reference_rejected():
+    spec = Spec(
+        name="identity",
+        layout=vector_layout([("x", "ct", 2)], output_slots=[2, 3],
+                             output_shape=(2,)),
+        reference=lambda x: [x[0], x[1]],
+    )
+    with pytest.raises(ExtractionError):
+        extract_sketch(spec, ())
+
+
+def test_power_operator_traces_as_multiplications():
+    spec = Spec(
+        name="square",
+        layout=vector_layout([("x", "ct", 2)], output_slots=[2, 3],
+                             output_shape=(2,)),
+        reference=lambda x: [v**2 for v in x],
+    )
+    sketch = extract_sketch(spec, ())
+    assert _opcodes(sketch) == ["mul-ct-ct"]

@@ -1,0 +1,114 @@
+"""Tests for multi-step composition and SEAL code generation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    box_blur_baseline,
+    gx_baseline,
+    gy_baseline,
+)
+from repro.core.codegen import generate_seal_code, required_galois_rotations
+from repro.core.multistep import compose_harris, compose_sobel, inline_program
+from repro.quill.builder import ProgramBuilder
+from repro.quill.interpreter import evaluate
+from repro.quill.noise import multiplicative_depth
+from repro.spec import get_spec
+
+
+# Composition is independent of where the sub-kernels came from, so these
+# tests compose the (already verified) baselines; the benchmarks compose
+# the synthesized kernels.
+
+@pytest.fixture(scope="module")
+def sobel_composed():
+    return compose_sobel(gx_baseline(), gy_baseline())
+
+
+@pytest.fixture(scope="module")
+def harris_composed():
+    return compose_harris(gx_baseline(), gy_baseline(), box_blur_baseline())
+
+
+def test_sobel_composition_verifies(sobel_composed):
+    assert get_spec("sobel").verify_program(sobel_composed).equivalent
+
+
+def test_harris_composition_verifies(harris_composed):
+    assert get_spec("harris").verify_program(harris_composed).equivalent
+
+
+def test_composition_shares_rotations(sobel_composed):
+    # gx and gy baselines share ±4 and ±6 rotations of the input image
+    separate = gx_baseline().rotation_count() + gy_baseline().rotation_count()
+    assert sobel_composed.rotation_count() < separate
+
+
+def test_harris_depth(harris_composed):
+    assert multiplicative_depth(harris_composed) == 3
+
+
+def test_inline_program_remaps_inputs():
+    inner_builder = ProgramBuilder(vector_size=8, name="inner")
+    x = inner_builder.ct_input("x")
+    inner = inner_builder.build(inner_builder.add(x, inner_builder.rotate(x, 1)))
+
+    outer_builder = ProgramBuilder(vector_size=8, name="outer")
+    img = outer_builder.ct_input("img")
+    doubled = outer_builder.add(img, img)
+    out = inline_program(outer_builder, inner, {"x": doubled})
+    program = outer_builder.build(out)
+    result = evaluate(program, {"img": np.arange(8)})
+    doubled_v = 2 * np.arange(8)
+    expected = doubled_v + np.append(doubled_v[1:], 0)
+    assert np.array_equal(result, expected)
+
+
+def test_compose_rejects_mismatched_sizes():
+    small = ProgramBuilder(vector_size=4)
+    x = small.ct_input("img")
+    tiny = small.build(small.add(x, x))
+    with pytest.raises(ValueError):
+        compose_sobel(gx_baseline(), tiny)
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+def test_seal_code_structure():
+    code = generate_seal_code(gx_baseline())
+    assert code.count("ev.rotate_rows") == gx_baseline().rotation_count()
+    assert "seal::Evaluator &ev" in code
+    assert "const seal::GaloisKeys &gal_keys" in code
+    assert "const seal::Ciphertext &img" in code
+    assert code.strip().endswith("}")
+
+
+def test_seal_code_inserts_relinearization_after_ct_ct_multiply():
+    program = compose_sobel(gx_baseline(), gy_baseline())
+    code = generate_seal_code(program)
+    assert code.count("ev.relinearize_inplace") == program.multiply_cc_count()
+
+
+def test_seal_code_plain_operands():
+    from repro.baselines import dot_product_baseline, l2_baseline
+
+    dot_code = generate_seal_code(dot_product_baseline())
+    assert "ev.multiply_plain" in dot_code
+    assert "const seal::Plaintext &w" in dot_code
+    l2_code = generate_seal_code(l2_baseline())
+    assert "const seal::Plaintext &mask" in l2_code
+
+
+def test_required_galois_rotations():
+    assert required_galois_rotations(box_blur_baseline()) == [1, 5, 6]
+    gx_rotations = required_galois_rotations(gx_baseline())
+    assert gx_rotations == [-6, -4, -1, 1, 4, 6]
+
+
+def test_codegen_depth_comment():
+    code = generate_seal_code(compose_harris(
+        gx_baseline(), gy_baseline(), box_blur_baseline()
+    ))
+    assert "multiplicative depth: 3" in code

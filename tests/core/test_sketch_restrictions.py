@@ -1,0 +1,106 @@
+"""Tests for sketch construction and rotation restrictions."""
+
+import pytest
+
+from repro.core.restrictions import (
+    sliding_window_rotations,
+    tree_reduction_rotations,
+)
+from repro.core.sketch import (
+    ComponentChoice,
+    CtHole,
+    CtRotHole,
+    RotationChoice,
+    Sketch,
+)
+from repro.core.sketches import (
+    KERNEL_SYNTH_SETTINGS,
+    default_sketch_for,
+    explicit_rotation_variant,
+)
+from repro.quill.ir import Opcode, PtConst
+from repro.spec import DIRECT_SPECS, get_spec
+
+
+def test_sliding_window_anchored():
+    # 2x2 window on a width-5 grid: offsets {1, 5, 6} both directions
+    assert set(sliding_window_rotations(5, 2, 2)) == {1, -1, 5, -5, 6, -6}
+
+
+def test_sliding_window_centered():
+    # 3x3 centered window: the paper's Gx amounts {±1, ±4, ±5, ±6}
+    rotations = sliding_window_rotations(5, 3, 3, centered=True)
+    assert set(rotations) == {1, -1, 4, -4, 5, -5, 6, -6}
+
+
+def test_tree_reduction():
+    assert tree_reduction_rotations(8) == (4, 2, 1)
+    assert tree_reduction_rotations(2) == (1,)
+    with pytest.raises(ValueError):
+        tree_reduction_rotations(6)
+    with pytest.raises(ValueError):
+        tree_reduction_rotations(1)
+
+
+def test_component_choice_validation():
+    with pytest.raises(ValueError):
+        ComponentChoice(Opcode.ROTATE, CtHole(), CtHole())
+    with pytest.raises(ValueError):
+        ComponentChoice(Opcode.MUL_CP, CtHole(), CtHole())  # needs pt ref
+    with pytest.raises(ValueError):
+        ComponentChoice(Opcode.ADD_CC, CtHole(), PtConst("k"))  # needs hole
+
+
+def test_sketch_validation():
+    add = ComponentChoice(Opcode.ADD_CC, CtHole(), CtRotHole())
+    with pytest.raises(ValueError):
+        Sketch(name="s", choices=(add,), rotations=(0, 1))  # zero rotation
+    with pytest.raises(ValueError):
+        Sketch(name="s", choices=(add,), rotations=(1, 1))  # duplicate
+    with pytest.raises(ValueError):
+        Sketch(name="s", choices=(add,), rotations=(1,), style="weird")
+    with pytest.raises(ValueError):
+        Sketch(  # rotation component in local-rotate style
+            name="s", choices=(RotationChoice(),), rotations=(1,)
+        )
+    with pytest.raises(ValueError):
+        Sketch(  # undefined constant
+            name="s",
+            choices=(
+                ComponentChoice(Opcode.MUL_CP, CtHole(), PtConst("nope")),
+            ),
+            rotations=(1,),
+        )
+
+
+def test_default_sketches_exist_for_all_direct_kernels():
+    for factory in DIRECT_SPECS:
+        spec = factory()
+        sketch = default_sketch_for(spec)
+        assert sketch.name == spec.name
+        assert spec.name in KERNEL_SYNTH_SETTINGS
+
+
+def test_default_sketch_rejects_multistep_kernels():
+    with pytest.raises(KeyError):
+        default_sketch_for(get_spec("sobel"))
+
+
+def test_explicit_variant_structure():
+    local = default_sketch_for(get_spec("box_blur"))
+    explicit = explicit_rotation_variant(local)
+    assert explicit.style == "explicit"
+    assert any(isinstance(c, RotationChoice) for c in explicit.choices)
+    for choice in explicit.choices:
+        if isinstance(choice, ComponentChoice):
+            assert isinstance(choice.operand1, CtHole)
+            assert not isinstance(choice.operand2, CtRotHole)
+    assert explicit.rotations == local.rotations
+
+
+def test_sketch_describe():
+    sketch = default_sketch_for(get_spec("gx"))
+    text = sketch.describe()
+    assert "gx" in text
+    assert "add-ct-ct" in text
+    assert "??ct-r" in text

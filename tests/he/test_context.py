@@ -1,0 +1,191 @@
+"""End-to-end tests for the BFV context: every homomorphic op round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.he import BFVContext, toy_params
+from repro.he.errors import HEError, NoiseBudgetExhausted
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return BFVContext(toy_params(), seed=42)
+
+
+def _vec(rng, n=16, lo=-100, hi=100):
+    return rng.integers(lo, hi, n)
+
+
+def test_encrypt_decrypt_roundtrip(ctx):
+    rng = np.random.default_rng(0)
+    values = _vec(rng)
+    decrypted = ctx.decrypt_vector(ctx.encrypt_vector(values))
+    assert np.array_equal(decrypted[:16], values)
+
+
+def test_fresh_noise_budget_positive(ctx):
+    ct = ctx.encrypt_vector([1, 2, 3])
+    assert ctx.noise_budget(ct) > 10
+
+
+def test_encryption_is_randomized(ctx):
+    pt = ctx.encode([7])
+    c1, c2 = ctx.encrypt(pt), ctx.encrypt(pt)
+    assert c1.parts[0].to_int_coeffs() != c2.parts[0].to_int_coeffs()
+    assert np.array_equal(
+        ctx.decrypt_vector(c1)[:1], ctx.decrypt_vector(c2)[:1]
+    )
+
+
+def test_add_sub_negate(ctx):
+    rng = np.random.default_rng(1)
+    a, b = _vec(rng), _vec(rng)
+    ca, cb = ctx.encrypt_vector(a), ctx.encrypt_vector(b)
+    assert np.array_equal(ctx.decrypt_vector(ctx.add(ca, cb))[:16], a + b)
+    assert np.array_equal(ctx.decrypt_vector(ctx.sub(ca, cb))[:16], a - b)
+    assert np.array_equal(ctx.decrypt_vector(ctx.negate(ca))[:16], -a)
+
+
+def test_plain_ops(ctx):
+    # products must stay inside the centered plaintext range (+/- t/2 = 6144)
+    rng = np.random.default_rng(2)
+    a, b = _vec(rng, lo=-70, hi=70), _vec(rng, lo=-70, hi=70)
+    ca = ctx.encrypt_vector(a)
+    pb = ctx.encode(b)
+    assert np.array_equal(ctx.decrypt_vector(ctx.add_plain(ca, pb))[:16], a + b)
+    assert np.array_equal(ctx.decrypt_vector(ctx.sub_plain(ca, pb))[:16], a - b)
+    assert np.array_equal(
+        ctx.decrypt_vector(ctx.multiply_plain(ca, pb))[:16], a * b
+    )
+
+
+def test_multiply(ctx):
+    rng = np.random.default_rng(3)
+    a, b = _vec(rng, lo=-30, hi=30), _vec(rng, lo=-30, hi=30)
+    ca, cb = ctx.encrypt_vector(a), ctx.encrypt_vector(b)
+    prod = ctx.multiply(ca, cb)
+    assert prod.size == 2  # relinearized
+    assert np.array_equal(ctx.decrypt_vector(prod)[:16], a * b)
+
+
+def test_multiply_without_relinearization(ctx):
+    rng = np.random.default_rng(4)
+    a, b = _vec(rng, lo=-10, hi=10), _vec(rng, lo=-10, hi=10)
+    ca, cb = ctx.encrypt_vector(a), ctx.encrypt_vector(b)
+    prod = ctx.multiply(ca, cb, relinearize=False)
+    assert prod.size == 3
+    # 3-part ciphertexts still decrypt correctly (c0 + c1 s + c2 s^2)
+    assert np.array_equal(ctx.decrypt_vector(prod)[:16], a * b)
+    relin = ctx.relinearize(prod)
+    assert relin.size == 2
+    assert np.array_equal(ctx.decrypt_vector(relin)[:16], a * b)
+
+
+def test_multiply_reduces_noise_budget(ctx):
+    a = ctx.encrypt_vector([2, 3])
+    before = ctx.noise_budget(a)
+    after = ctx.noise_budget(ctx.multiply(a, a))
+    assert after < before
+
+
+def test_rotate_rows_left_and_right(ctx):
+    values = np.arange(1, 13)
+    ct = ctx.encrypt_vector(values)
+    left = ctx.decrypt_vector(ctx.rotate_rows(ct, 3))
+    assert np.array_equal(left[:9], values[3:])
+    right = ctx.decrypt_vector(ctx.rotate_rows(ct, -2))
+    assert np.array_equal(right[2:14], values)
+    assert right[0] == 0 and right[1] == 0  # zero padding rotated in
+
+
+def test_rotate_zero_is_identity(ctx):
+    ct = ctx.encrypt_vector([5, 6, 7])
+    out = ctx.rotate_rows(ct, 0)
+    assert np.array_equal(ctx.decrypt_vector(out), ctx.decrypt_vector(ct))
+
+
+def test_rotation_is_cyclic_within_row(ctx):
+    row = ctx.params.row_size
+    values = np.zeros(row, dtype=np.int64)
+    values[0] = 9
+    ct = ctx.encrypt_vector(values)
+    # rotating left by 1 moves slot 0 to slot row-1
+    out = ctx.decrypt_vector(ctx.rotate_rows(ct, 1))
+    assert out[row - 1] == 9
+    assert out[0] == 0
+
+
+def test_rotate_columns_swaps_rows(ctx):
+    row = ctx.params.row_size
+    values = np.zeros(2 * row, dtype=np.int64)
+    values[0] = 3
+    values[row] = 8
+    ct = ctx.encrypt_vector(values)
+    out = ctx.decrypt_vector(ctx.rotate_columns(ct))
+    assert out[0] == 8
+    assert out[row] == 3
+
+
+def test_composed_rotations(ctx):
+    values = np.arange(1, 9)
+    ct = ctx.encrypt_vector(values)
+    out = ctx.rotate_rows(ctx.rotate_rows(ct, 2), 1)
+    assert np.array_equal(ctx.decrypt_vector(out)[:5], values[3:])
+
+
+def test_dot_product_end_to_end(ctx):
+    """The paper's running example (Figure 2): packed dot product."""
+    a = np.array([1, 2, 3, 4])
+    b = np.array([5, 6, 7, 8])
+    ca = ctx.encrypt_vector(a)
+    pb = ctx.encode(b)
+    prod = ctx.multiply_plain(ca, pb)
+    s1 = ctx.add(prod, ctx.rotate_rows(prod, 2))
+    s2 = ctx.add(s1, ctx.rotate_rows(s1, 1))
+    assert ctx.decrypt_vector(s2)[0] == int(a @ b)
+
+
+def test_mismatched_sizes_raise(ctx):
+    a = ctx.encrypt_vector([1])
+    b = ctx.multiply(a, a, relinearize=False)
+    with pytest.raises(HEError):
+        ctx.add(a, b)
+    with pytest.raises(HEError):
+        ctx.rotate_rows(b, 1)
+    with pytest.raises(HEError):
+        ctx.multiply(a, b)
+
+
+def test_noise_budget_exhaustion_detected():
+    # Repeated squaring on toy parameters must exhaust the budget and the
+    # decryptor must refuse rather than return garbage.
+    ctx = BFVContext(toy_params(), seed=7)
+    ct = ctx.encrypt_vector([1])
+    with pytest.raises(NoiseBudgetExhausted):
+        for _ in range(10):
+            ct = ctx.multiply(ct, ct)
+            ctx.decrypt(ct)
+
+
+def test_homomorphism_composition(ctx):
+    """(a+b)*c - d computed homomorphically matches plaintext."""
+    rng = np.random.default_rng(5)
+    a, b, c, d = (_vec(rng, lo=-8, hi=8) for _ in range(4))
+    ca, cb, cc, cd = (ctx.encrypt_vector(v) for v in (a, b, c, d))
+    result = ctx.sub(ctx.multiply(ctx.add(ca, cb), cc), cd)
+    assert np.array_equal(ctx.decrypt_vector(result)[:16], (a + b) * c - d)
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.lists(st.integers(-50, 50), min_size=4, max_size=4),
+       st.lists(st.integers(-50, 50), min_size=4, max_size=4))
+def test_add_homomorphism_property(a, b):
+    ctx = _PROPERTY_CTX
+    ca, cb = ctx.encrypt_vector(a), ctx.encrypt_vector(b)
+    out = ctx.decrypt_vector(ctx.add(ca, cb))[:4]
+    assert list(out) == [x + y for x, y in zip(a, b)]
+
+
+_PROPERTY_CTX = BFVContext(toy_params(), seed=99)

@@ -1,0 +1,120 @@
+"""Tests for the negacyclic NTT against naive reference convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.he.ntt import NTTContext, bit_reverse, naive_negacyclic_convolve
+from repro.he.primes import find_ntt_primes
+
+PRIME_64 = find_ntt_primes(1, 27, 128)[0]  # 1 mod 2*64
+
+
+def test_bit_reverse():
+    assert bit_reverse(0b001, 3) == 0b100
+    assert bit_reverse(0b110, 3) == 0b011
+    assert bit_reverse(5, 4) == 0b1010
+    for v in range(16):
+        assert bit_reverse(bit_reverse(v, 4), 4) == v
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 64])
+def test_forward_inverse_roundtrip(n):
+    prime = find_ntt_primes(1, 27, 2 * n)[0]
+    ntt = NTTContext(n, prime)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, prime, n)
+    assert np.array_equal(ntt.inverse(ntt.forward(a)), a % prime)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_convolution_matches_naive(n):
+    prime = find_ntt_primes(1, 27, 2 * n)[0]
+    ntt = NTTContext(n, prime)
+    rng = np.random.default_rng(1)
+    for _ in range(5):
+        a = rng.integers(0, prime, n)
+        b = rng.integers(0, prime, n)
+        expected = naive_negacyclic_convolve(a, b, prime)
+        assert np.array_equal(ntt.convolve(a, b), expected)
+
+
+def test_negacyclic_wraparound_sign():
+    # x^(n-1) * x = x^n = -1 in the negacyclic ring.
+    n = 8
+    prime = find_ntt_primes(1, 27, 2 * n)[0]
+    ntt = NTTContext(n, prime)
+    a = np.zeros(n, dtype=np.int64)
+    b = np.zeros(n, dtype=np.int64)
+    a[n - 1] = 1
+    b[1] = 1
+    out = ntt.convolve(a, b)
+    expected = np.zeros(n, dtype=np.int64)
+    expected[0] = prime - 1
+    assert np.array_equal(out, expected)
+
+
+def test_multiplication_by_one_is_identity():
+    ntt = NTTContext(64, PRIME_64)
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, PRIME_64, 64)
+    one = np.zeros(64, dtype=np.int64)
+    one[0] = 1
+    assert np.array_equal(ntt.convolve(a, one), a)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, PRIME_64 - 1), min_size=64, max_size=64),
+       st.lists(st.integers(0, PRIME_64 - 1), min_size=64, max_size=64))
+def test_convolution_commutes(a, b):
+    ntt = NTTContext(64, PRIME_64)
+    a = np.array(a, dtype=np.int64)
+    b = np.array(b, dtype=np.int64)
+    assert np.array_equal(ntt.convolve(a, b), ntt.convolve(b, a))
+
+
+def test_linearity_of_forward():
+    ntt = NTTContext(32, find_ntt_primes(1, 27, 64)[0])
+    rng = np.random.default_rng(3)
+    p = ntt.prime
+    a = rng.integers(0, p, 32)
+    b = rng.integers(0, p, 32)
+    lhs = ntt.forward((a + b) % p)
+    rhs = (ntt.forward(a) + ntt.forward(b)) % p
+    assert np.array_equal(lhs, rhs)
+
+
+def test_evaluation_exponents_are_all_odd_and_distinct():
+    n = 16
+    prime = find_ntt_primes(1, 27, 2 * n)[0]
+    ntt = NTTContext(n, prime)
+    exps = ntt.evaluation_exponents()
+    assert len(exps) == n
+    assert len(set(exps)) == n
+    assert all(e % 2 == 1 for e in exps)
+    assert sorted(exps) == list(range(1, 2 * n, 2))
+
+
+def test_evaluation_exponents_consistent_with_forward():
+    # forward(f)[j] must equal f(psi^{e_j}) for a random polynomial.
+    n = 16
+    prime = find_ntt_primes(1, 27, 2 * n)[0]
+    ntt = NTTContext(n, prime)
+    exps = ntt.evaluation_exponents()
+    rng = np.random.default_rng(4)
+    f = rng.integers(0, prime, n)
+    out = ntt.forward(f)
+    for j, e in enumerate(exps):
+        point = pow(ntt.psi, e, prime)
+        value = sum(int(f[i]) * pow(point, i, prime) for i in range(n)) % prime
+        assert value == int(out[j])
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        NTTContext(12, 97)  # not a power of two
+    with pytest.raises(ValueError):
+        NTTContext(8, 89)  # 89 != 1 mod 16
+    with pytest.raises(ValueError):
+        NTTContext(8, (1 << 33) + 17)  # too large even if 1 mod 16

@@ -1,0 +1,84 @@
+"""Tests for BFV parameter validation and presets."""
+
+import pytest
+
+from repro.he.errors import InvalidParameterError
+from repro.he.params import (
+    SECURITY_128_MAX_LOGQ,
+    BFVParams,
+    large_params,
+    params_for_depth,
+    small_params,
+    toy_params,
+)
+from repro.he.primes import find_ntt_primes
+
+
+def test_presets_construct():
+    for make in (toy_params, small_params, large_params):
+        params = make()
+        assert params.coeff_modulus > params.plain_modulus
+        assert params.slot_count == params.poly_degree
+        assert params.row_size == params.poly_degree // 2
+
+
+def test_secure_presets_respect_security_table():
+    for make in (small_params, large_params):
+        params = make()
+        assert not params.allow_insecure
+        assert params.logq <= SECURITY_128_MAX_LOGQ[params.poly_degree]
+
+
+def test_toy_preset_is_flagged_insecure():
+    assert toy_params().allow_insecure
+
+
+def test_rejects_insecure_without_opt_in():
+    primes = find_ntt_primes(4, 30, 2048)  # 120-bit q at N=1024
+    with pytest.raises(InvalidParameterError):
+        BFVParams(poly_degree=1024, plain_modulus=12289, coeff_primes=tuple(primes))
+
+
+def test_rejects_non_power_of_two_degree():
+    with pytest.raises(InvalidParameterError):
+        BFVParams(poly_degree=1000, plain_modulus=12289,
+                  coeff_primes=(12289 * 2 + 1,), allow_insecure=True)
+
+
+def test_rejects_composite_plain_modulus():
+    primes = find_ntt_primes(2, 30, 2048)
+    with pytest.raises(InvalidParameterError):
+        BFVParams(poly_degree=1024, plain_modulus=12290,
+                  coeff_primes=tuple(primes), allow_insecure=True)
+
+
+def test_rejects_plain_modulus_without_batching():
+    # 97 is prime but not 1 mod 2048, so batching is unavailable.
+    primes = find_ntt_primes(2, 30, 2048)
+    with pytest.raises(InvalidParameterError):
+        BFVParams(poly_degree=1024, plain_modulus=97,
+                  coeff_primes=tuple(primes), allow_insecure=True)
+
+
+def test_rejects_non_ntt_coeff_prime():
+    with pytest.raises(InvalidParameterError):
+        BFVParams(poly_degree=1024, plain_modulus=12289,
+                  coeff_primes=(101,), allow_insecure=True)
+
+
+def test_params_for_depth():
+    assert params_for_depth(0).poly_degree == 4096
+    assert params_for_depth(1).poly_degree == 4096
+    assert params_for_depth(2).poly_degree == 8192
+    assert params_for_depth(3).poly_degree == 8192
+    with pytest.raises(InvalidParameterError):
+        params_for_depth(9)
+
+
+def test_logq_matches_product():
+    params = small_params()
+    q = 1
+    for p in params.coeff_primes:
+        q *= p
+    assert params.coeff_modulus == q
+    assert params.logq == q.bit_length()

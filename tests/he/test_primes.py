@@ -1,0 +1,60 @@
+"""Tests for prime generation and primality testing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.he.primes import find_ntt_primes, is_prime, primitive_root_of_unity
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 65537, 786433, 12289, 2**31 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 15, 65536, 786432, 2**32 - 1, 561, 41041]
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_known_primes(p):
+    assert is_prime(p)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites(n):
+    assert not is_prime(n)
+
+
+def test_carmichael_numbers_rejected():
+    # Carmichael numbers fool Fermat tests; Miller-Rabin must reject them.
+    for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841):
+        assert not is_prime(n)
+
+
+@given(st.integers(min_value=2, max_value=10_000))
+def test_is_prime_matches_trial_division(n):
+    by_trial = n >= 2 and all(n % d for d in range(2, int(n**0.5) + 1))
+    assert is_prime(n) == by_trial
+
+
+@pytest.mark.parametrize("count,bits,two_n", [(3, 27, 8192), (8, 27, 16384), (2, 30, 2048)])
+def test_find_ntt_primes(count, bits, two_n):
+    primes = find_ntt_primes(count, bits, two_n)
+    assert len(primes) == count
+    assert len(set(primes)) == count
+    for p in primes:
+        assert is_prime(p)
+        assert p % two_n == 1
+        assert p.bit_length() == bits
+
+
+def test_find_ntt_primes_deterministic():
+    assert find_ntt_primes(4, 27, 8192) == find_ntt_primes(4, 27, 8192)
+
+
+def test_primitive_root_of_unity():
+    for order, modulus in [(2048, 12289), (16, 97), (8192, 65537)]:
+        root = primitive_root_of_unity(order, modulus)
+        assert pow(root, order, modulus) == 1
+        assert pow(root, order // 2, modulus) == modulus - 1
+
+
+def test_primitive_root_rejects_bad_order():
+    with pytest.raises(ValueError):
+        primitive_root_of_unity(64, 97)  # 64 does not divide 96

@@ -1,0 +1,73 @@
+"""Tests for RNS/CRT composition and decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.he.rns import RNSBasis, centered
+
+BASIS = RNSBasis([97, 113, 193])
+
+
+def test_modulus_is_product():
+    assert BASIS.modulus == 97 * 113 * 193
+
+
+def test_rejects_duplicate_primes():
+    with pytest.raises(ValueError):
+        RNSBasis([97, 97])
+
+
+def test_roundtrip_positive():
+    values = [0, 1, 12345, BASIS.modulus - 1]
+    residues = BASIS.decompose(values)
+    assert BASIS.compose(residues) == values
+
+
+def test_decompose_negative_values():
+    values = [-1, -12345]
+    residues = BASIS.decompose(values)
+    recomposed = BASIS.compose(residues)
+    assert recomposed == [v % BASIS.modulus for v in values]
+
+
+def test_compose_centered():
+    m = BASIS.modulus
+    values = [0, 1, m - 1, m // 2, m // 2 + 1]
+    residues = BASIS.decompose(values)
+    signed = BASIS.compose_centered(residues)
+    assert signed == [0, 1, -1, m // 2, m // 2 + 1 - m]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-(10**12), 10**12), min_size=1, max_size=16))
+def test_roundtrip_property(values):
+    residues = BASIS.decompose(values)
+    assert BASIS.compose(residues) == [v % BASIS.modulus for v in values]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(-(10**9), 10**9), st.integers(-(10**9), 10**9))
+def test_crt_ring_homomorphism(a, b):
+    m = BASIS.modulus
+    ra = BASIS.decompose([a])
+    rb = BASIS.decompose([b])
+    primes = np.array(BASIS.primes, dtype=np.int64)[:, None]
+    assert BASIS.compose((ra + rb) % primes) == [(a + b) % m]
+    assert BASIS.compose(ra * rb % primes) == [a * b % m]
+
+
+def test_centered():
+    assert centered(0, 10) == 0
+    assert centered(5, 10) == 5
+    assert centered(6, 10) == -4
+    assert centered(9, 10) == -1
+    assert centered(-1, 10) == -1
+
+
+@given(st.integers(-(10**6), 10**6), st.integers(min_value=2, max_value=10**6))
+def test_centered_is_congruent_and_small(value, modulus):
+    c = centered(value, modulus)
+    assert (c - value) % modulus == 0
+    assert -modulus // 2 <= c <= modulus // 2

@@ -1,0 +1,179 @@
+"""Tests for the program builder and the static validator."""
+
+import pytest
+
+from repro.quill.builder import ProgramBuilder
+from repro.quill.ir import CtInput, Instruction, Opcode, Program, PtConst, Wire
+from repro.quill.validate import QuillValidationError, validate_program
+
+
+# ---------------------------------------------------------------------------
+# Builder behaviour
+# ---------------------------------------------------------------------------
+
+def test_builder_shares_identical_rotations():
+    b = ProgramBuilder(vector_size=8)
+    x = b.ct_input("x")
+    r1 = b.rotate(x, 3)
+    r2 = b.rotate(x, 3)
+    assert r1 == r2
+    out = b.add(r1, r2)
+    program = b.build(out)
+    assert program.rotation_count() == 1
+
+
+def test_builder_rotate_zero_returns_operand():
+    b = ProgramBuilder(vector_size=8)
+    x = b.ct_input("x")
+    assert b.rotate(x, 0) == x
+
+
+def test_builder_distinct_rotations_not_shared():
+    b = ProgramBuilder(vector_size=8)
+    x = b.ct_input("x")
+    out = b.add(b.rotate(x, 1), b.rotate(x, -1))
+    assert b.build(out).rotation_count() == 2
+
+
+def test_builder_rejects_out_of_range_rotation():
+    b = ProgramBuilder(vector_size=4)
+    x = b.ct_input("x")
+    with pytest.raises(ValueError):
+        b.rotate(x, 4)
+    with pytest.raises(ValueError):
+        b.rotate(x, -4)
+
+
+def test_builder_infers_plain_opcodes():
+    b = ProgramBuilder(vector_size=4)
+    x = b.ct_input("x")
+    k = b.constant("k", 3)
+    w = b.pt_input("w")
+    program = b.build(b.add(b.mul(x, k), b.mul(x, w)))
+    opcodes = [i.opcode for i in program.instructions]
+    assert opcodes == [Opcode.MUL_CP, Opcode.MUL_CP, Opcode.ADD_CC]
+
+
+def test_builder_rejects_duplicate_names():
+    b = ProgramBuilder(vector_size=4)
+    b.ct_input("x")
+    with pytest.raises(ValueError):
+        b.ct_input("x")
+    b.pt_input("w")
+    with pytest.raises(ValueError):
+        b.pt_input("w")
+    b.constant("k", 1)
+    with pytest.raises(ValueError):
+        b.constant("k", 2)
+
+
+def test_builder_rejects_wrong_length_constant():
+    b = ProgramBuilder(vector_size=4)
+    with pytest.raises(ValueError):
+        b.constant("mask", [1, 0])
+
+
+# ---------------------------------------------------------------------------
+# Validator failure modes
+# ---------------------------------------------------------------------------
+
+def _valid_program():
+    x = CtInput("x")
+    return Program(
+        vector_size=4,
+        ct_inputs=["x"],
+        instructions=[Instruction(Opcode.ADD_CC, (x, x))],
+        output=Wire(0),
+    )
+
+
+def test_validator_accepts_valid_program():
+    validate_program(_valid_program())
+
+
+def test_validator_rejects_forward_wire_reference():
+    program = _valid_program()
+    program.instructions[0] = Instruction(
+        Opcode.ADD_CC, (CtInput("x"), Wire(0))
+    )
+    with pytest.raises(QuillValidationError):
+        validate_program(program)
+
+
+def test_validator_rejects_undeclared_input():
+    program = _valid_program()
+    program.instructions[0] = Instruction(
+        Opcode.ADD_CC, (CtInput("y"), CtInput("x"))
+    )
+    with pytest.raises(QuillValidationError):
+        validate_program(program)
+
+
+def test_validator_rejects_missing_output():
+    program = _valid_program()
+    program.output = None
+    with pytest.raises(QuillValidationError):
+        validate_program(program)
+
+
+def test_validator_rejects_plain_output():
+    program = _valid_program()
+    program.constants["k"] = 1
+    program.output = PtConst("k")
+    with pytest.raises(QuillValidationError):
+        validate_program(program)
+
+
+def test_validator_rejects_zero_rotation():
+    program = _valid_program()
+    program.instructions.append(
+        Instruction(Opcode.ROTATE, (CtInput("x"),), 0)
+    )
+    program.output = Wire(1)
+    with pytest.raises(QuillValidationError):
+        validate_program(program)
+
+
+def test_validator_rejects_out_of_range_rotation():
+    program = _valid_program()
+    program.instructions.append(
+        Instruction(Opcode.ROTATE, (CtInput("x"),), 4)
+    )
+    program.output = Wire(1)
+    with pytest.raises(QuillValidationError):
+        validate_program(program)
+
+
+def test_validator_rejects_ct_operand_in_plain_slot():
+    program = _valid_program()
+    program.instructions[0] = Instruction(
+        Opcode.MUL_CP, (CtInput("x"), CtInput("x"))
+    )
+    with pytest.raises(QuillValidationError):
+        validate_program(program)
+
+
+def test_validator_rejects_undeclared_constant():
+    program = _valid_program()
+    program.instructions[0] = Instruction(
+        Opcode.MUL_CP, (CtInput("x"), PtConst("nope"))
+    )
+    with pytest.raises(QuillValidationError):
+        validate_program(program)
+
+
+def test_validator_rejects_wire_style_input_name():
+    program = _valid_program()
+    program.ct_inputs = ["c1"]
+    program.instructions[0] = Instruction(
+        Opcode.ADD_CC, (CtInput("c1"), CtInput("c1"))
+    )
+    with pytest.raises(QuillValidationError):
+        validate_program(program)
+
+
+def test_validator_rejects_wrong_length_constant():
+    program = _valid_program()
+    program.constants["mask"] = (1, 0)
+    with pytest.raises(QuillValidationError):
+        validate_program(program)

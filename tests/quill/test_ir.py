@@ -1,0 +1,103 @@
+"""Tests for the Quill IR: opcodes, instructions, program metrics."""
+
+import pytest
+
+from repro.quill.ir import CtInput, Instruction, Opcode, Program, PtConst, Wire
+
+
+def test_opcode_properties():
+    assert Opcode.ROTATE.is_rotation
+    assert not Opcode.ADD_CC.is_rotation
+    assert Opcode.ADD_CC.is_arithmetic
+    assert not Opcode.ROTATE.is_arithmetic
+    assert Opcode.MUL_CP.has_plain_operand
+    assert not Opcode.MUL_CC.has_plain_operand
+    assert Opcode.MUL_CC.is_multiply and Opcode.MUL_CP.is_multiply
+    assert not Opcode.ADD_CC.is_multiply
+    assert Opcode.ADD_CC.is_commutative and Opcode.MUL_CC.is_commutative
+    assert not Opcode.SUB_CC.is_commutative
+
+
+def test_instruction_arity_enforced():
+    a = CtInput("a")
+    with pytest.raises(ValueError):
+        Instruction(Opcode.ADD_CC, (a,))
+    with pytest.raises(ValueError):
+        Instruction(Opcode.ROTATE, (a, a), amount=1)
+    with pytest.raises(ValueError):
+        Instruction(Opcode.ADD_CC, (a, a), amount=3)
+
+
+def _sample_program():
+    # c1 = rot img 1 ; c2 = add img c1 ; c3 = rot c2 5 ; c4 = add c2 c3
+    img = CtInput("img")
+    return Program(
+        vector_size=25,
+        ct_inputs=["img"],
+        instructions=[
+            Instruction(Opcode.ROTATE, (img,), 1),
+            Instruction(Opcode.ADD_CC, (img, Wire(0))),
+            Instruction(Opcode.ROTATE, (Wire(1),), 5),
+            Instruction(Opcode.ADD_CC, (Wire(1), Wire(2))),
+        ],
+        output=Wire(3),
+        name="box-blur-synth",
+    )
+
+
+def test_instruction_counts():
+    program = _sample_program()
+    assert program.instruction_count() == 4
+    assert program.rotation_count() == 2
+    assert program.arithmetic_count() == 2
+    assert program.multiply_cc_count() == 0
+
+
+def test_critical_depth_counts_every_instruction():
+    # rot -> add -> rot -> add is a 4-deep chain (Table 2's box blur = 4).
+    assert _sample_program().critical_depth() == 4
+
+
+def test_critical_depth_parallel_structure():
+    # Balanced tree: three rotations feeding adds has depth 3 (Table 2
+    # baseline box blur): rot ; rot ; rot ; add ; add ; add
+    img = CtInput("img")
+    program = Program(
+        vector_size=25,
+        ct_inputs=["img"],
+        instructions=[
+            Instruction(Opcode.ROTATE, (img,), 1),
+            Instruction(Opcode.ROTATE, (img,), 5),
+            Instruction(Opcode.ROTATE, (img,), 6),
+            Instruction(Opcode.ADD_CC, (img, Wire(0))),
+            Instruction(Opcode.ADD_CC, (Wire(1), Wire(2))),
+            Instruction(Opcode.ADD_CC, (Wire(3), Wire(4))),
+        ],
+        output=Wire(5),
+    )
+    assert program.instruction_count() == 6
+    assert program.critical_depth() == 3
+
+
+def test_wires_used():
+    program = _sample_program()
+    assert program.wires_used() == {0, 1, 2, 3}
+    # drop the output use of wire 3
+    program.output = Wire(1)
+    assert 3 not in program.wires_used()
+
+
+def test_constant_vector_broadcasts_scalars():
+    program = Program(
+        vector_size=4,
+        ct_inputs=["x"],
+        constants={"two": 2, "mask": (1, 0, 0, 0)},
+    )
+    assert program.constant_vector("two") == (2, 2, 2, 2)
+    assert program.constant_vector("mask") == (1, 0, 0, 0)
+
+
+def test_ref_str_forms():
+    assert str(CtInput("img")) == "img"
+    assert str(Wire(0)) == "c1"
+    assert str(PtConst("mask")) == "%mask"

@@ -1,0 +1,125 @@
+"""Tests asserting the paper's Table 1 noise semantics and the cost model."""
+
+import pytest
+
+from repro.quill.builder import ProgramBuilder
+from repro.quill.cost import program_cost
+from repro.quill.ir import Opcode
+from repro.quill.latency import LatencyModel, default_latency_model
+from repro.quill.noise import multiplicative_depth, wire_depths
+
+
+def _builder_with_inputs():
+    b = ProgramBuilder(vector_size=4)
+    x = b.ct_input("x")
+    y = b.ct_input("y")
+    p = b.pt_input("p")
+    return b, x, y, p
+
+
+# ---------------------------------------------------------------------------
+# Table 1: multiplicative-depth semantics of each instruction
+# ---------------------------------------------------------------------------
+
+def test_add_cc_takes_max_of_operand_noise():
+    b, x, y, p = _builder_with_inputs()
+    deep = b.mul(x, y)          # depth 1
+    out = b.add(deep, y)        # max(1, 0) = 1
+    assert multiplicative_depth(b.build(out)) == 1
+
+
+def test_sub_cc_takes_max_of_operand_noise():
+    b, x, y, p = _builder_with_inputs()
+    deep = b.mul(x, y)
+    out = b.sub(y, deep)
+    assert multiplicative_depth(b.build(out)) == 1
+
+
+def test_add_sub_plain_preserve_noise():
+    b, x, y, p = _builder_with_inputs()
+    deep = b.mul(x, y)
+    out = b.sub(b.add(deep, p), p)
+    assert multiplicative_depth(b.build(out)) == 1
+
+
+def test_mul_cc_adds_one_to_max():
+    b, x, y, p = _builder_with_inputs()
+    d1 = b.mul(x, y)            # 1
+    d2 = b.mul(d1, d1)          # 2
+    out = b.mul(d2, x)          # max(2, 0) + 1 = 3
+    assert multiplicative_depth(b.build(out)) == 3
+
+
+def test_mul_plain_adds_one():
+    b, x, y, p = _builder_with_inputs()
+    out = b.mul(b.mul(x, p), p)
+    assert multiplicative_depth(b.build(out)) == 2
+
+
+def test_rotate_preserves_noise():
+    b, x, y, p = _builder_with_inputs()
+    deep = b.mul(x, y)
+    out = b.add(b.rotate(deep, 1), deep)
+    assert multiplicative_depth(b.build(out)) == 1
+
+
+def test_fresh_ciphertext_has_zero_depth():
+    b, x, y, p = _builder_with_inputs()
+    out = b.add(x, b.rotate(y, 2))
+    assert multiplicative_depth(b.build(out)) == 0
+
+
+def test_wire_depths_trace():
+    b, x, y, p = _builder_with_inputs()
+    r = b.rotate(x, 1)      # wire 0, depth 0
+    m = b.mul(r, y)         # wire 1, depth 1
+    a = b.add(m, x)         # wire 2, depth 1
+    m2 = b.mul(a, m)        # wire 3, depth 2
+    program = b.build(m2)
+    assert wire_depths(program) == [0, 1, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Latency + cost
+# ---------------------------------------------------------------------------
+
+def test_default_latency_model_ordering():
+    model = default_latency_model()
+    t = model.table
+    assert t[Opcode.MUL_CC] > t[Opcode.ROTATE] > t[Opcode.MUL_CP]
+    assert t[Opcode.MUL_CP] > t[Opcode.ADD_CC]
+    assert t[Opcode.ADD_CC] == t[Opcode.SUB_CC]
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(KeyError):
+        default_latency_model("n65536")
+
+
+def test_program_latency_sums_instructions():
+    model = LatencyModel({op: 1.0 for op in Opcode}, "unit")
+    b, x, y, p = _builder_with_inputs()
+    out = b.add(b.rotate(x, 1), b.mul(y, p))
+    program = b.build(out)
+    assert model.program_latency(program) == 3.0
+
+
+def test_cost_is_latency_times_one_plus_depth():
+    model = LatencyModel({op: 10.0 for op in Opcode}, "unit")
+    b, x, y, p = _builder_with_inputs()
+    out = b.mul(b.mul(x, y), y)  # 2 instructions, depth 2
+    program = b.build(out)
+    assert program_cost(program, model) == 20.0 * (1 + 2)
+
+
+def test_depth_zero_cost_equals_latency():
+    model = LatencyModel({op: 7.0 for op in Opcode}, "unit")
+    b, x, y, p = _builder_with_inputs()
+    program = b.build(b.add(x, y))
+    assert program_cost(program, model) == 7.0
+
+
+def test_scaled_model():
+    model = default_latency_model().scaled(2.0)
+    base = default_latency_model()
+    assert model.table[Opcode.ADD_CC] == 2 * base.table[Opcode.ADD_CC]

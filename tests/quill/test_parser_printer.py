@@ -1,0 +1,99 @@
+"""Round-trip tests for the Quill text format."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.quill.builder import ProgramBuilder
+from repro.quill.parser import QuillParseError, parse_program
+from repro.quill.printer import format_listing, format_program
+
+from tests.strategies import quill_programs
+
+
+def _gx_like_program():
+    b = ProgramBuilder(vector_size=25, name="gx")
+    img = b.ct_input("img")
+    c2 = b.add(b.rotate(img, -5), img)
+    c4 = b.add(b.rotate(c2, 5), c2)
+    out = b.sub(b.rotate(c4, 1), b.rotate(c4, -1))
+    return b.build(out)
+
+
+def test_format_contains_header_and_instructions():
+    text = format_program(_gx_like_program())
+    assert text.splitlines()[0] == 'quill kernel "gx"'
+    assert "vec 25" in text
+    assert "ct img" in text
+    assert "c1 = rot img -5" in text
+    assert text.splitlines()[-1] == "out c7"
+
+
+def test_roundtrip_gx():
+    program = _gx_like_program()
+    assert parse_program(format_program(program)) == program
+
+
+def test_roundtrip_with_constants_and_pt_inputs():
+    b = ProgramBuilder(vector_size=4, name="mixed")
+    x = b.ct_input("x")
+    w = b.pt_input("w")
+    two = b.constant("two", 2)
+    mask = b.constant("mask", [1, 0, 0, 0])
+    out = b.mul(b.add(b.mul(x, w), b.mul(x, two)), mask)
+    program = b.build(out)
+    text = format_program(program)
+    assert "pt w" in text
+    assert "const two = 2" in text
+    assert "const mask = [1 0 0 0]" in text
+    assert parse_program(text) == program
+
+
+@settings(max_examples=60, deadline=None)
+@given(quill_programs())
+def test_roundtrip_property(program):
+    assert parse_program(format_program(program)) == program
+
+
+def test_format_listing_is_instructions_only():
+    listing = format_listing(_gx_like_program())
+    assert "quill" not in listing
+    assert listing.splitlines()[0].strip() == "c1 = rot img -5"
+
+
+def test_parse_rejects_missing_header():
+    with pytest.raises(QuillParseError):
+        parse_program("vec 4\nct x\nc1 = add-ct-ct x x\nout c1")
+
+
+def test_parse_rejects_bad_destination_order():
+    text = 'quill kernel "k"\nvec 4\nct x\nc2 = add-ct-ct x x\nout c2'
+    with pytest.raises(QuillParseError):
+        parse_program(text)
+
+
+def test_parse_rejects_missing_output():
+    text = 'quill kernel "k"\nvec 4\nct x\nc1 = add-ct-ct x x'
+    with pytest.raises(QuillParseError):
+        parse_program(text)
+
+
+def test_parse_rejects_unknown_opcode():
+    text = 'quill kernel "k"\nvec 4\nct x\nc1 = xor-ct-ct x x\nout c1'
+    with pytest.raises(QuillParseError):
+        parse_program(text)
+
+
+def test_parse_rejects_invalid_program_semantics():
+    # forward wire reference is caught by validation after parsing
+    text = 'quill kernel "k"\nvec 4\nct x\nc1 = add-ct-ct x c2\nc2 = add-ct-ct x x\nout c2'
+    with pytest.raises(QuillParseError):
+        parse_program(text)
+
+
+def test_parse_ignores_comments_and_blank_lines():
+    text = (
+        '# a comment\nquill kernel "k"\n\nvec 4\nct x\n'
+        "# body\nc1 = add-ct-ct x x\nout c1\n"
+    )
+    program = parse_program(text)
+    assert program.instruction_count() == 1

@@ -1,0 +1,93 @@
+"""Tests for noise-budget estimation: conservative and useful."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINE_BUILDERS, baseline_for
+from repro.he.params import large_params, small_params, toy_params
+from repro.quill.builder import ProgramBuilder
+from repro.runtime.estimator import (
+    estimate_noise_budget,
+    fits,
+    recommended_params,
+)
+from repro.runtime.executor import HEExecutor
+from repro.spec import get_spec
+
+
+def test_estimates_are_conservative_on_toy_params():
+    """Predicted budget never exceeds the measured budget."""
+    params = toy_params()
+    for name in ("dot_product", "box_blur", "hamming"):
+        spec = get_spec(name)
+        program = baseline_for(name)
+        executor = HEExecutor(spec, params=params, seed=31)
+        rng = np.random.default_rng(0)
+        logical = {
+            p.name: rng.integers(0, 5, p.shape) for p in spec.layout.inputs
+        }
+        report = executor.run(program, logical)
+        predicted = estimate_noise_budget(program, params)
+        assert predicted <= report.output_noise_budget, name
+
+
+@pytest.mark.slow
+def test_estimates_are_conservative_on_secure_params():
+    spec = get_spec("l2")
+    program = baseline_for("l2")
+    params = small_params()
+    executor = HEExecutor(spec, params=params, seed=32)
+    rng = np.random.default_rng(1)
+    logical = {"x": rng.integers(0, 20, 8), "y": rng.integers(0, 20, 8)}
+    report = executor.run(program, logical)
+    assert estimate_noise_budget(program, params) <= report.output_noise_budget
+
+
+def test_every_kernel_fits_its_assigned_preset():
+    """The presets chosen in repro.spec have headroom for every baseline."""
+    presets = {"n4096-depth1": small_params(), "n8192-depth3": large_params()}
+    for name, build in BASELINE_BUILDERS.items():
+        spec = get_spec(name)
+        assert fits(build(), presets[spec.params_name], margin_bits=3), name
+
+
+def test_recommended_params_scales_with_depth():
+    b = ProgramBuilder(vector_size=8)
+    x = b.ct_input("x")
+    shallow = b.build(b.add(x, b.rotate(x, 1)))
+    assert recommended_params(shallow).poly_degree == 4096
+
+    b2 = ProgramBuilder(vector_size=8)
+    y = b2.ct_input("x")
+    m1 = b2.mul(y, y)
+    m2 = b2.mul(m1, m1)
+    deep = b2.build(b2.mul(m2, m2))  # depth 3
+    assert recommended_params(deep).poly_degree == 8192
+
+
+def test_recommended_params_rejects_excessive_depth():
+    b = ProgramBuilder(vector_size=8)
+    x = b.ct_input("x")
+    v = x
+    for _ in range(8):  # depth 8 exceeds every preset
+        v = b.mul(v, v)
+    with pytest.raises(ValueError):
+        recommended_params(b.build(v))
+
+
+def test_rotations_cost_less_than_multiplications():
+    params = small_params()
+    b1 = ProgramBuilder(vector_size=8)
+    x = b1.ct_input("x")
+    rotated = b1.build(b1.add(x, b1.rotate(x, 1)))
+    b2 = ProgramBuilder(vector_size=8)
+    y = b2.ct_input("x")
+    multiplied = b2.build(b2.mul(y, y))
+    assert estimate_noise_budget(rotated, params) > estimate_noise_budget(
+        multiplied, params
+    )
+
+
+def test_toy_preset_rejects_deep_kernels():
+    assert not fits(baseline_for("harris"), toy_params())
+    assert fits(baseline_for("harris"), large_params())

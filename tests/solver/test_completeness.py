@@ -1,0 +1,118 @@
+"""Property test: the search engine is complete for its query.
+
+For random straight-line programs, treat the program itself as the
+specification and ask the engine to re-synthesize it from a sketch that
+admits it.  Because every pruning rule is sound, the engine must always
+find *some* equivalent program of at most the same size.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sketch import ComponentChoice, CtHole, CtRotHole, Sketch
+from repro.quill.interpreter import evaluate
+from repro.quill.ir import CtInput, Instruction, Opcode, Program, Wire
+from repro.quill.latency import default_latency_model
+from repro.solver.engine import SketchSearch, materialize_assignment
+from repro.spec.layout import vector_layout
+from repro.spec.reference import Spec
+
+MODEL = default_latency_model()
+N = 4  # data slots per input
+ROTS = (1, -1, 2)
+OPS = [Opcode.ADD_CC, Opcode.SUB_CC, Opcode.MUL_CC]
+
+
+@st.composite
+def secret_programs(draw):
+    """A random 1-3 instruction program over one input, rotations allowed."""
+    layout = vector_layout([("x", "ct", N)])
+    count = draw(st.integers(1, 3))
+    instructions = []
+    x = CtInput("x")
+    rotation_wires: set[int] = set()
+
+    def ct_refs(i, allow_rotations=True):
+        refs = [x] + [
+            Wire(j)
+            for j in range(i)
+            if allow_rotations or j not in rotation_wires
+        ]
+        return refs
+
+    for i in range(count):
+        # alternate arithmetic and (optionally) rotations; never rotate a
+        # rotation (local-rotate sketches exclude nested rotations, 4.4)
+        if draw(st.booleans()) and i < count - 1:
+            amount = draw(st.sampled_from(ROTS))
+            operand = draw(st.sampled_from(ct_refs(i, allow_rotations=False)))
+            instructions.append(Instruction(Opcode.ROTATE, (operand,), amount))
+            rotation_wires.add(i)
+        else:
+            opcode = draw(st.sampled_from(OPS))
+            a = draw(st.sampled_from(ct_refs(i)))
+            b = draw(st.sampled_from(ct_refs(i)))
+            instructions.append(Instruction(opcode, (a, b)))
+    program = Program(
+        vector_size=layout.vector_size,
+        ct_inputs=["x"],
+        instructions=instructions,
+        output=Wire(count - 1),
+        name="secret",
+    )
+    return layout, program
+
+
+@settings(max_examples=25, deadline=None)
+@given(secret_programs())
+def test_engine_resynthesizes_random_programs(layout_program):
+    layout, secret = layout_program
+
+    def reference(x):
+        # liftable both ways: integers run the concrete interpreter,
+        # Poly arrays run the symbolic evaluator
+        flat = np.asarray(x).reshape(-1)
+        if flat.dtype == object:
+            from repro.symbolic.polynomial import Poly
+            from repro.symbolic.symvec import evaluate_symbolic
+
+            vec = [Poly.zero()] * layout.vector_size
+            for i, slot in enumerate(layout.input("x").slots):
+                vec[slot] = flat[i]
+            out = evaluate_symbolic(secret, {"x": vec})
+        else:
+            out = evaluate(secret, {"x": layout.pack("x", x)})
+        return [out[s] for s in layout.output_slots]
+
+    spec = Spec(name="secret", layout=layout, reference=reference)
+    sketch = Sketch(
+        name="secret",
+        choices=tuple(
+            ComponentChoice(op, CtRotHole(), CtRotHole()) for op in OPS
+        ),
+        rotations=ROTS,
+    )
+    rng = np.random.default_rng(0)
+    examples = [spec.make_example(rng) for _ in range(3)]
+    arith = secret.arithmetic_count()
+    # the secret program has `arith` arithmetic components (rotations fold
+    # into local-rotate operands), so a search at that size must succeed
+    found = {}
+    for length in range(1, max(arith, 1) + 1):
+        search = SketchSearch(sketch, layout, examples, MODEL, length)
+
+        def on_candidate(assignment):
+            program = materialize_assignment(sketch, layout, assignment)
+            if spec.verify_program(program).equivalent:
+                found["program"] = program
+                return True, None
+            return False, None
+
+        search.run(on_candidate)
+        if "program" in found:
+            break
+    assert "program" in found, (
+        f"engine failed to recover a program equivalent to:\n{secret}"
+    )
+    assert found["program"].arithmetic_count() <= max(arith, 1)

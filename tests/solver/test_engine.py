@@ -1,0 +1,242 @@
+"""Tests for the sketch-completion search engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import ComponentChoice, CtHole, CtRotHole, Sketch
+from repro.core.sketches import default_sketch_for, explicit_rotation_variant
+from repro.quill.interpreter import evaluate
+from repro.quill.ir import Opcode, PtConst
+from repro.quill.latency import default_latency_model
+from repro.solver.engine import SketchSearch, materialize_assignment
+from repro.spec import dot_product_spec, get_spec
+from repro.spec.layout import vector_layout
+from repro.spec.reference import Spec
+
+MODEL = default_latency_model()
+
+
+def _tiny_spec(reference, inputs, **kwargs) -> Spec:
+    return Spec(
+        name="tiny",
+        layout=vector_layout(inputs, **kwargs),
+        reference=reference,
+    )
+
+
+def _run_all(spec, sketch, length, examples=None, seed=0):
+    """Collect every example-matching program of the given size."""
+    rng = np.random.default_rng(seed)
+    examples = examples or [spec.make_example(rng), spec.make_example(rng)]
+    search = SketchSearch(sketch, spec.layout, examples, MODEL, length)
+    programs = []
+
+    def on_candidate(assignment):
+        programs.append(
+            materialize_assignment(sketch, spec.layout, assignment)
+        )
+        return False, None
+
+    outcome = search.run(on_candidate)
+    return outcome, programs
+
+
+def test_finds_single_instruction_program():
+    spec = _tiny_spec(
+        lambda x, y: [a + b for a, b in zip(x, y)],
+        [("x", "ct", 4), ("y", "ct", 4)],
+        output_slots=[4, 5, 6, 7],
+        output_shape=(4,),
+    )
+    sketch = Sketch(
+        name="t",
+        choices=(ComponentChoice(Opcode.ADD_CC, CtHole(), CtHole()),),
+        rotations=(),
+    )
+    outcome, programs = _run_all(spec, sketch, 1)
+    assert outcome.status == "exhausted"
+    assert len(programs) == 1
+    assert spec.verify_program(programs[0]).equivalent
+
+
+def test_exhausted_when_no_solution_exists():
+    # x*y cannot be expressed with a single addition component
+    spec = _tiny_spec(
+        lambda x, y: [a * b for a, b in zip(x, y)],
+        [("x", "ct", 4), ("y", "ct", 4)],
+        output_slots=[4, 5, 6, 7],
+        output_shape=(4,),
+    )
+    sketch = Sketch(
+        name="t",
+        choices=(ComponentChoice(Opcode.ADD_CC, CtHole(), CtHole()),),
+        rotations=(),
+    )
+    outcome, programs = _run_all(spec, sketch, 1)
+    assert outcome.status == "exhausted"
+    assert programs == []
+
+
+def test_multiset_limits_respected():
+    # (x+x)+x needs two additions but the sketch allows only one
+    spec = _tiny_spec(
+        lambda x: [3 * a for a in x],
+        [("x", "ct", 2)],
+        output_slots=[2, 3],
+        output_shape=(2,),
+    )
+    sketch = Sketch(
+        name="t",
+        choices=(
+            ComponentChoice(Opcode.ADD_CC, CtHole(), CtHole(), max_uses=1),
+        ),
+        rotations=(),
+    )
+    outcome, programs = _run_all(spec, sketch, 2)
+    assert programs == []
+    sketch_two = Sketch(
+        name="t",
+        choices=(
+            ComponentChoice(Opcode.ADD_CC, CtHole(), CtHole(), max_uses=2),
+        ),
+        rotations=(),
+    )
+    outcome, programs = _run_all(spec, sketch_two, 2)
+    assert len(programs) >= 1
+    assert all(spec.verify_program(p).equivalent for p in programs)
+
+
+def test_rotation_holes_search_rotations():
+    # output slot i = x[i] + x[i+1]: needs a rotate-by-1 operand
+    spec = _tiny_spec(
+        lambda x: [x[0] + x[1]],
+        [("x", "ct", 2)],
+    )
+    sketch = Sketch(
+        name="t",
+        choices=(ComponentChoice(Opcode.ADD_CC, CtHole(), CtRotHole()),),
+        rotations=(1,),
+    )
+    outcome, programs = _run_all(spec, sketch, 1)
+    assert len(programs) == 1
+    assert programs[0].rotation_count() == 1
+    assert spec.verify_program(programs[0]).equivalent
+
+
+def test_every_candidate_matches_examples():
+    spec = dot_product_spec()
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(7)
+    examples = [spec.make_example(rng) for _ in range(2)]
+    search = SketchSearch(sketch, spec.layout, examples, MODEL, 4)
+    slots = list(spec.layout.output_slots)
+
+    def on_candidate(assignment):
+        program = materialize_assignment(sketch, spec.layout, assignment)
+        for example in examples:
+            out = evaluate(program, example.ct_env, example.pt_env)
+            assert np.array_equal(out[slots], example.goal)
+        return False, None
+
+    outcome = search.run(on_candidate)
+    assert outcome.status == "exhausted"
+    assert outcome.candidates > 0
+
+
+def test_cost_bound_prunes_expensive_programs():
+    spec = dot_product_spec()
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(7)
+    examples = [spec.make_example(rng) for _ in range(2)]
+    search = SketchSearch(sketch, spec.layout, examples, MODEL, 4)
+    outcome = search.run(lambda a: (False, None), cost_bound=1.0)
+    assert outcome.candidates == 0  # every program costs more than 1 us
+
+
+def test_timeout_reported():
+    spec = get_spec("gx")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(0)
+    examples = [spec.make_example(rng)]
+    search = SketchSearch(sketch, spec.layout, examples, MODEL, 3)
+    import time
+
+    outcome = search.run(
+        lambda a: (False, None), deadline=time.monotonic() + 0.05
+    )
+    assert outcome.status == "timeout"
+
+
+def test_stop_directive_halts_search():
+    spec = dot_product_spec()
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(7)
+    examples = [spec.make_example(rng) for _ in range(2)]
+    search = SketchSearch(sketch, spec.layout, examples, MODEL, 4)
+    seen = []
+
+    def stop_on_first(assignment):
+        seen.append(1)
+        return True, None
+
+    outcome = search.run(stop_on_first)
+    assert outcome.status == "stopped"
+    assert len(seen) == 1
+
+
+def test_explicit_style_finds_rotation_components():
+    spec = _tiny_spec(
+        lambda x: [x[0] + x[1]],
+        [("x", "ct", 2)],
+    )
+    local = Sketch(
+        name="t",
+        choices=(ComponentChoice(Opcode.ADD_CC, CtHole(), CtRotHole()),),
+        rotations=(1,),
+    )
+    explicit = explicit_rotation_variant(local)
+    assert explicit.style == "explicit"
+    outcome, programs = _run_all(spec, explicit, 2)
+    assert any(spec.verify_program(p).equivalent for p in programs)
+    assert all(p.rotation_count() >= 1 for p in programs)
+
+
+def test_materialize_shares_rotations():
+    spec = get_spec("box_blur")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(1)
+    examples = [spec.make_example(rng)]
+    search = SketchSearch(sketch, spec.layout, examples, MODEL, 2)
+    programs = []
+
+    def on_candidate(assignment):
+        programs.append(
+            materialize_assignment(sketch, spec.layout, assignment)
+        )
+        return False, None
+
+    search.run(on_candidate)
+    verified = [p for p in programs if spec.verify_program(p).equivalent]
+    assert verified
+    # minimal box blur: 2 adds + 2 shared rotations = 4 instructions
+    assert min(p.instruction_count() for p in verified) == 4
+
+
+def test_plaintext_constant_components():
+    spec = _tiny_spec(
+        lambda x: [2 * v for v in x],
+        [("x", "ct", 2)],
+        output_slots=[2, 3],
+        output_shape=(2,),
+    )
+    sketch = Sketch(
+        name="t",
+        choices=(
+            ComponentChoice(Opcode.MUL_CP, CtHole(), PtConst("two")),
+        ),
+        rotations=(),
+        constants={"two": 2},
+    )
+    outcome, programs = _run_all(spec, sketch, 1)
+    assert len(programs) == 1
+    assert programs[0].instructions[0].opcode is Opcode.MUL_CP

@@ -1,0 +1,75 @@
+"""Tests for the search value store and shift caching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.values import ValueStore, shift_matrix
+
+
+def _mat(*rows):
+    return np.array(rows, dtype=np.int64)
+
+
+def test_shift_matrix_left_right():
+    m = _mat([1, 2, 3, 4], [5, 6, 7, 8])
+    assert shift_matrix(m, 1).tolist() == [[2, 3, 4, 0], [6, 7, 8, 0]]
+    assert shift_matrix(m, -2).tolist() == [[0, 0, 1, 2], [0, 0, 5, 6]]
+    assert shift_matrix(m, 0).tolist() == m.tolist()
+    assert shift_matrix(m, 9).tolist() == [[0] * 4] * 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(-99, 99), min_size=6, max_size=6),
+    st.integers(-5, 5),
+)
+def test_shift_matrix_matches_interpreter_semantics(values, amount):
+    from repro.quill.interpreter import shift_vector
+
+    row = np.array(values, dtype=np.int64)
+    assert shift_matrix(row[None, :], amount)[0].tolist() == shift_vector(
+        row, amount
+    ).tolist()
+
+
+def test_store_dedup_and_pop():
+    store = ValueStore([_mat([1, 2]), _mat([3, 4])])
+    assert len(store) == 2
+    assert store.base_count == 2
+    assert store.try_push(_mat([4, 6]), depth=1)
+    assert not store.try_push(_mat([4, 6]), depth=0)  # duplicate
+    assert store.depths == [0, 0, 1]
+    store.pop()
+    assert len(store) == 2
+    assert store.try_push(_mat([4, 6]), depth=2)  # free again after pop
+
+
+def test_store_rejects_duplicate_inputs():
+    with pytest.raises(ValueError):
+        ValueStore([_mat([1, 2]), _mat([1, 2])])
+
+
+def test_store_cannot_pop_inputs():
+    store = ValueStore([_mat([1, 2])])
+    with pytest.raises(IndexError):
+        store.pop()
+
+
+def test_shifted_caching_returns_same_object():
+    store = ValueStore([_mat([1, 2, 3])])
+    first = store.shifted(0, 1)
+    second = store.shifted(0, 1)
+    assert first is second
+    assert first.tolist() == [[2, 3, 0]]
+    assert store.shifted(0, 0) is store.vectors[0]
+
+
+def test_shift_cache_cleared_on_pop():
+    store = ValueStore([_mat([1, 2, 3])])
+    store.try_push(_mat([9, 9, 9]), 0)
+    store.shifted(1, 1)
+    store.pop()
+    store.try_push(_mat([7, 7, 7]), 0)
+    assert store.shifted(1, 1).tolist() == [[7, 7, 0]]

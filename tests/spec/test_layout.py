@@ -1,0 +1,124 @@
+"""Tests for data layouts: packing, symbolic packing, output extraction."""
+
+import numpy as np
+import pytest
+
+from repro.spec.layout import Layout, PackedInput, image_layout, vector_layout
+from repro.symbolic.polynomial import Poly
+
+
+def test_vector_layout_basic():
+    layout = vector_layout([("x", "ct", 4), ("w", "pt", 4)])
+    assert layout.origin == 4
+    assert layout.vector_size == 12
+    assert layout.ct_names == ["x"]
+    assert layout.pt_names == ["w"]
+    assert layout.output_slots == (4,)
+
+
+def test_vector_layout_aligns_inputs_at_origin():
+    layout = vector_layout([("x", "ct", 4), ("b", "ct", 1)], margin=3)
+    assert layout.input("x").slots == (3, 4, 5, 6)
+    assert layout.input("b").slots == (3,)
+
+
+def test_pack_places_values_with_zero_margin():
+    layout = vector_layout([("x", "ct", 3)], margin=2)
+    vec = layout.pack("x", np.array([7, 8, 9]))
+    assert list(vec) == [0, 0, 7, 8, 9, 0, 0]
+
+
+def test_pack_rejects_wrong_shape():
+    layout = vector_layout([("x", "ct", 3)], margin=1)
+    with pytest.raises(ValueError):
+        layout.pack("x", np.array([1, 2]))
+
+
+def test_pack_unknown_name():
+    layout = vector_layout([("x", "ct", 3)], margin=1)
+    with pytest.raises(KeyError):
+        layout.pack("y", np.array([1, 2, 3]))
+
+
+def test_pack_symbolic():
+    layout = vector_layout([("x", "ct", 2)], margin=1)
+    vec = layout.pack_symbolic("x")
+    assert vec[0].is_zero()
+    assert vec[1] == Poly.var("x[0]")
+    assert vec[2] == Poly.var("x[1]")
+    assert vec[3].is_zero()
+
+
+def test_unpack_output():
+    layout = vector_layout(
+        [("x", "ct", 4)], margin=2, output_slots=[2, 3], output_shape=(2,)
+    )
+    model = np.arange(8)
+    assert list(layout.unpack_output(model)) == [2, 3]
+
+
+def test_image_layout_row_major_grid():
+    layout = image_layout(
+        height=2, width=2, grid_width=3, valid=[(0, 0)], margin=4
+    )
+    # slots: origin + r*3 + c
+    assert layout.input("img").slots == (4, 5, 7, 8)
+    assert layout.output_slots == (4,)
+    # span = (2-1)*3 + 2 = 5, vector = 4 + 5 + 4
+    assert layout.vector_size == 13
+
+
+def test_image_layout_packs_padding_columns_as_zero():
+    layout = image_layout(
+        height=2, width=2, grid_width=3, valid=[(0, 0)], margin=1
+    )
+    vec = layout.pack("img", np.array([[1, 2], [3, 4]]))
+    assert list(vec) == [0, 1, 2, 0, 3, 4, 0]
+
+
+def test_image_layout_requires_padding_column():
+    with pytest.raises(ValueError):
+        image_layout(height=2, width=3, grid_width=3, valid=[(0, 0)], margin=1)
+
+
+def test_image_layout_extra_inputs_share_slots():
+    layout = image_layout(
+        height=2, width=2, grid_width=3, valid=[(0, 0)], margin=1,
+        extra_inputs=[("w", "pt")],
+    )
+    assert layout.input("w").slots == layout.input("img").slots
+    assert layout.pt_names == ["w"]
+
+
+def test_layout_validation_rejects_bad_slots():
+    with pytest.raises(ValueError):
+        Layout(
+            vector_size=4,
+            origin=0,
+            inputs=(PackedInput("x", "ct", (2,), (3, 4)),),
+            output_slots=(0,),
+            output_shape=(1,),
+        )
+    with pytest.raises(ValueError):
+        Layout(
+            vector_size=4,
+            origin=0,
+            inputs=(PackedInput("x", "ct", (2,), (0, 1)),),
+            output_slots=(9,),
+            output_shape=(1,),
+        )
+    with pytest.raises(ValueError):
+        Layout(
+            vector_size=4,
+            origin=0,
+            inputs=(PackedInput("x", "ct", (3,), (0, 1)),),
+            output_slots=(0,),
+            output_shape=(1,),
+        )
+
+
+def test_max_displacement_budget():
+    layout = vector_layout([("x", "ct", 4)], margin=3)
+    left, right = layout.max_displacement_budget()
+    assert left == 3
+    assert right == 3

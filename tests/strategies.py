@@ -1,0 +1,106 @@
+"""Shared hypothesis strategies: random valid Quill programs and inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.quill.ir import (
+    CtInput,
+    Instruction,
+    Opcode,
+    Program,
+    PtConst,
+    PtInput,
+    Wire,
+)
+
+_ARITH_CC = [Opcode.ADD_CC, Opcode.SUB_CC, Opcode.MUL_CC]
+_ARITH_CP = [Opcode.ADD_CP, Opcode.SUB_CP, Opcode.MUL_CP]
+
+
+@st.composite
+def quill_programs(
+    draw,
+    max_instructions: int = 6,
+    vector_size: int = 8,
+    allow_plain: bool = True,
+):
+    """Generate a random, valid, straight-line Quill program."""
+    ct_count = draw(st.integers(1, 2))
+    ct_names = [f"x{i}" for i in range(ct_count)]
+    pt_names: list[str] = []
+    constants: dict[str, int | tuple[int, ...]] = {}
+    if allow_plain and draw(st.booleans()):
+        pt_names.append("p0")
+    if allow_plain and draw(st.booleans()):
+        scalar = draw(st.booleans())
+        if scalar:
+            constants["k0"] = draw(st.integers(-5, 5))
+        else:
+            constants["k0"] = tuple(
+                draw(
+                    st.lists(
+                        st.integers(-5, 5),
+                        min_size=vector_size,
+                        max_size=vector_size,
+                    )
+                )
+            )
+
+    program = Program(
+        vector_size=vector_size,
+        ct_inputs=ct_names,
+        pt_inputs=pt_names,
+        constants=constants,
+        name="random",
+    )
+
+    def ct_refs(index):
+        refs = [CtInput(n) for n in ct_names]
+        refs += [Wire(i) for i in range(index)]
+        return refs
+
+    def pt_refs():
+        refs = [PtInput(n) for n in pt_names]
+        refs += [PtConst(n) for n in constants]
+        return refs
+
+    count = draw(st.integers(1, max_instructions))
+    for index in range(count):
+        choices = list(_ARITH_CC) + [Opcode.ROTATE]
+        if pt_refs():
+            choices += _ARITH_CP
+        opcode = draw(st.sampled_from(choices))
+        if opcode is Opcode.ROTATE:
+            amount = draw(
+                st.integers(-(vector_size - 1), vector_size - 1).filter(bool)
+            )
+            operands = (draw(st.sampled_from(ct_refs(index))),)
+            program.instructions.append(Instruction(opcode, operands, amount))
+        elif opcode.has_plain_operand:
+            operands = (
+                draw(st.sampled_from(ct_refs(index))),
+                draw(st.sampled_from(pt_refs())),
+            )
+            program.instructions.append(Instruction(opcode, operands))
+        else:
+            operands = (
+                draw(st.sampled_from(ct_refs(index))),
+                draw(st.sampled_from(ct_refs(index))),
+            )
+            program.instructions.append(Instruction(opcode, operands))
+    program.output = Wire(count - 1)
+    return program
+
+
+def random_env(program: Program, rng: np.random.Generator, lo=-9, hi=10):
+    """Concrete inputs for every ciphertext and plaintext input."""
+    n = program.vector_size
+    ct_env = {
+        name: rng.integers(lo, hi, n) for name in program.ct_inputs
+    }
+    pt_env = {
+        name: rng.integers(lo, hi, n) for name in program.pt_inputs
+    }
+    return ct_env, pt_env

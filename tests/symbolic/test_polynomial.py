@@ -1,0 +1,157 @@
+"""Tests for exact multivariate polynomial arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic.polynomial import Poly, poly_vector
+
+
+X, Y, Z = Poly.var("x"), Poly.var("y"), Poly.var("z")
+
+
+def test_constants():
+    assert Poly.const(0).is_zero()
+    assert Poly.const(5).constant_value() == 5
+    assert Poly.zero() == 0
+    assert Poly.const(3) == 3
+
+
+def test_variable_construction():
+    assert X.variables() == {"x"}
+    assert X.degree() == 1
+    assert not X.is_constant()
+
+
+def test_addition_and_subtraction():
+    p = X + Y
+    assert p.evaluate({"x": 2, "y": 3}) == 5
+    assert (p - Y) == X
+    assert (X - X).is_zero()
+    assert (X + 0) == X
+
+
+def test_int_promotion_both_sides():
+    assert (1 + X) == (X + 1)
+    assert (2 * X) == (X * 2)
+    assert (1 - X) == -(X - 1)
+
+
+def test_multiplication():
+    p = (X + Y) * (X - Y)
+    assert p == X * X - Y * Y
+    assert p.degree() == 2
+    assert p.evaluate({"x": 5, "y": 3}) == 16
+
+
+def test_multiplication_cancels_terms():
+    p = (X + 1) * (X - 1) - X * X
+    assert p == Poly.const(-1)
+
+
+def test_power():
+    p = (X + 1) ** 3
+    assert p == X**3 + 3 * X * X + 3 * X + 1
+    assert (X**0) == 1
+    with pytest.raises(ValueError):
+        X ** (-1)
+
+
+def test_horner_factorization_identity():
+    """The algebraic identity Porcupine discovers for polynomial regression."""
+    a, b, x = Poly.var("a"), Poly.var("b"), Poly.var("x")
+    assert a * x * x + b * x == (a * x + b) * x
+
+
+def test_separable_filter_identity():
+    """Gx separability: [1,2,1]^T (x) [1,0,-1] applied as two 1D passes."""
+    px = poly_vector("p", 9)  # 3x3 patch, row-major
+
+    def patch(r, c):
+        return px[3 * r + c]
+
+    direct = Poly.zero()
+    weights = [(1, 0, 1), (0, 0, 2), (1, 0, -1), (2, 2, -2)]
+    direct = (
+        patch(0, 0) + 2 * patch(1, 0) + patch(2, 0)
+        - patch(0, 2) - 2 * patch(1, 2) - patch(2, 2)
+    )
+    smoothed = [
+        patch(0, c) + 2 * patch(1, c) + patch(2, c) for c in range(3)
+    ]
+    separable = smoothed[0] - smoothed[2]
+    assert direct == separable
+
+
+def test_evaluate_requires_all_variables():
+    with pytest.raises(KeyError):
+        (X + Y).evaluate({"x": 1})
+
+
+def test_substitute():
+    p = X * X + Y
+    assert p.substitute({"x": Poly.const(3)}) == 9 + Y
+    assert p.substitute({"y": X}) == X * X + X
+    assert p.substitute({}) == p
+
+
+def test_hash_consistency():
+    assert hash(X + Y) == hash(Y + X)
+    assert len({X + Y, Y + X, X * Y}) == 2
+
+
+def test_repr_is_readable():
+    assert repr(Poly.zero()) == "0"
+    assert "x" in repr(X + 1)
+
+
+def test_poly_vector():
+    vec = poly_vector("img", 3)
+    assert [str(sorted(p.variables())[0]) for p in vec] == [
+        "img[0]", "img[1]", "img[2]"
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Ring axioms (hypothesis)
+# ---------------------------------------------------------------------------
+
+def _small_polys():
+    consts = st.integers(-4, 4).map(Poly.const)
+    vars_ = st.sampled_from([X, Y, Z])
+    atoms = st.one_of(consts, vars_)
+
+    def extend(children):
+        pairs = st.tuples(children, children)
+        return st.one_of(
+            pairs.map(lambda ab: ab[0] + ab[1]),
+            pairs.map(lambda ab: ab[0] * ab[1]),
+            pairs.map(lambda ab: ab[0] - ab[1]),
+        )
+
+    return st.recursive(atoms, extend, max_leaves=6)
+
+
+POLYS = _small_polys()
+
+
+@settings(max_examples=80, deadline=None)
+@given(POLYS, POLYS, POLYS)
+def test_ring_axioms(a, b, c):
+    assert a + b == b + a
+    assert a * b == b * a
+    assert (a + b) + c == a + (b + c)
+    assert (a * b) * c == a * (b * c)
+    assert a * (b + c) == a * b + a * c
+    assert a + Poly.zero() == a
+    assert a * Poly.const(1) == a
+    assert a * Poly.zero() == Poly.zero()
+
+
+@settings(max_examples=60, deadline=None)
+@given(POLYS, POLYS, st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5))
+def test_evaluation_is_homomorphic(a, b, x, y, z):
+    env = {"x": x, "y": y, "z": z}
+    assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+    assert (a * b).evaluate(env) == a.evaluate(env) * b.evaluate(env)
+    assert (a - b).evaluate(env) == a.evaluate(env) - b.evaluate(env)

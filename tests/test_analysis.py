@@ -1,0 +1,66 @@
+"""Tests for the table/figure renderers."""
+
+import numpy as np
+
+from repro.analysis.figures import (
+    render_figure4,
+    render_program_comparison,
+    render_schedule_trace,
+)
+from repro.analysis.tables import render_table
+from repro.baselines import baseline_for, box_blur_baseline
+from repro.quill.interpreter import evaluate
+from repro.spec import get_spec
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ["kernel", "instr"], [["box_blur", 6], ["gx", 12]], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "kernel" in lines[1]
+    assert set(lines[2]) == {"-", " "}
+    assert lines[3].startswith("box_blur")
+
+
+def test_render_table_empty_rows():
+    text = render_table(["a", "b"], [])
+    assert "a" in text
+
+
+def test_render_figure4_bars():
+    text = render_figure4(
+        [("box_blur", 40.0, 39.1), ("l2", -0.5, -0.9), ("gx", 20.0, 26.6)]
+    )
+    lines = text.splitlines()
+    assert "Figure 4" in lines[0]
+    assert "+40.0%" in lines[1]
+    assert "(paper: +39.1%)" in lines[1]
+    # the largest bar belongs to the largest speedup
+    assert lines[1].count("#") > lines[3].count("#")
+    assert "-" in lines[2]  # negative speedup marked
+
+
+def test_render_figure4_empty():
+    assert "Figure 4" in render_figure4([])
+
+
+def test_render_program_comparison():
+    blur = box_blur_baseline()
+    text = render_program_comparison("Figure X", blur, blur)
+    assert text.count("6 instructions") == 2
+    assert "[synthesized]" in text and "[baseline]" in text
+
+
+def test_render_schedule_trace():
+    spec = get_spec("box_blur")
+    program = baseline_for("box_blur")
+    rng = np.random.default_rng(0)
+    logical = {"img": rng.integers(0, 9, (4, 4))}
+    ct_env, pt_env = spec.packed_env(logical)
+    wires = evaluate(program, ct_env, pt_env, all_wires=True)
+    slots = list(spec.layout.output_slots)[:2]
+    text = render_schedule_trace(program, wires, slots, ["o0", "o1"])
+    assert "c1" in text and "rot" in text
+    assert text.count("o0=") == program.instruction_count()

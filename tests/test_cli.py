@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("box_blur", "dot_product", "harris"):
+        assert name in out
+
+
+def test_baseline_command(capsys):
+    assert main(["baseline", "gx"]) == 0
+    captured = capsys.readouterr()
+    assert 'quill kernel "gx_baseline"' in captured.out
+    assert "12 instructions" in captured.err
+
+
+def test_baseline_unknown_kernel():
+    with pytest.raises(KeyError):
+        main(["baseline", "fft"])
+
+
+def test_compile_command(capsys):
+    assert main(["compile", "box_blur", "--opt-timeout", "5"]) == 0
+    captured = capsys.readouterr()
+    assert 'quill kernel "box_blur_synth"' in captured.out
+    assert "ev.rotate_rows" in captured.out
+    assert "synthesized 4 instructions" in captured.err
+
+
+def test_compile_to_file(tmp_path, capsys):
+    target = tmp_path / "blur.cpp"
+    assert main(
+        ["compile", "box_blur", "--opt-timeout", "5", "--seal", str(target)]
+    ) == 0
+    assert "seal/seal.h" in target.read_text()
+    assert "ev.rotate_rows" not in capsys.readouterr().out
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "--preset", "toy", "--repeats", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Opcode.MUL_CC" in out
+    assert "Opcode.ROTATE" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "hamming", "--opt-timeout", "2", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "matches reference: True" in out
+    assert "noise budget" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
