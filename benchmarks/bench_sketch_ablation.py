@@ -16,11 +16,14 @@ import pytest
 from conftest import write_report
 
 from repro.analysis.tables import render_table
-from repro.core.cegis import SynthesisConfig, SynthesisError, synthesize
+from repro.api import Porcupine
+from repro.core.cegis import SynthesisConfig, SynthesisError
 from repro.core.sketches import default_sketch_for, explicit_rotation_variant
 from repro.spec import get_spec
 
 GX_EXPLICIT_BUDGET = float(os.environ.get("REPRO_GX_EXPLICIT_BUDGET", "60"))
+
+SESSION = Porcupine()
 
 _results: dict[str, tuple[float, bool]] = {}
 
@@ -34,8 +37,10 @@ def _synthesize(name, sketch, max_components, timeout):
     )
     start = time.monotonic()
     try:
-        result = synthesize(spec, sketch, config)
-        assert spec.verify_program(result.program).equivalent
+        compiled = SESSION.compile(
+            name, sketch=sketch, config=config, use_cache=False
+        )
+        assert spec.verify_program(compiled.program).equivalent
         return time.monotonic() - start, True
     except SynthesisError:
         return time.monotonic() - start, False

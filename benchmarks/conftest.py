@@ -1,9 +1,12 @@
 """Shared benchmark fixtures: the synthesized-kernel suite with a disk cache.
 
 Synthesizing the full suite takes minutes (Roberts cross and L2 dominate,
-as in the paper's Table 3), so synthesized programs and their statistics
-are cached under ``benchmarks/.cache``.  Delete the directory or set
-``REPRO_BENCH_REFRESH=1`` to regenerate everything from scratch.
+as in the paper's Table 3), so compilation goes through one
+:class:`repro.api.Porcupine` session whose content-addressed compile
+cache persists under ``benchmarks/.cache``.  Delete the directory or set
+``REPRO_BENCH_REFRESH=1`` to regenerate everything from scratch; any
+config change (a different ``REPRO_OPT_TIMEOUT``, seed, or sketch)
+changes the cache keys and re-synthesizes automatically.
 
 Environment knobs:
 
@@ -15,7 +18,6 @@ Environment knobs:
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 from dataclasses import dataclass
@@ -25,20 +27,24 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from repro.baselines import baseline_for
-from repro.core.cegis import SynthesisConfig, synthesize
-from repro.core.compiler import config_for
-from repro.core.multistep import compose_harris, compose_sobel
-from repro.core.sketches import default_sketch_for
-from repro.quill.cost import program_cost
+from repro.api import CompiledKernel, Porcupine
 from repro.quill.ir import Program
-from repro.quill.latency import default_latency_model
-from repro.quill.parser import parse_program
-from repro.quill.printer import format_program
-from repro.spec import DIRECT_SPECS, get_spec
+from repro.spec import DIRECT_SPECS, MULTISTEP_SPECS
 
 CACHE_DIR = Path(__file__).parent / ".cache"
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def make_session() -> Porcupine:
+    """One benchmark-wide compiler session with the on-disk cache."""
+    optimize_timeout = float(os.environ.get("REPRO_OPT_TIMEOUT", "60"))
+    return Porcupine(
+        cache_dir=CACHE_DIR,
+        synthesis_defaults={"optimize_timeout": optimize_timeout},
+    )
+
+
+SESSION = make_session()
 
 
 @dataclass
@@ -51,45 +57,20 @@ class KernelEntry:
     stats: dict
 
 
-def _cache_path(name: str) -> Path:
-    return CACHE_DIR / f"{name}.json"
+def _stats_for(compiled: CompiledKernel) -> dict:
+    if compiled.synthesis is None:
+        from repro.quill.cost import program_cost
+        from repro.quill.latency import default_latency_model
 
-
-def _load_cached(name: str) -> KernelEntry | None:
-    if os.environ.get("REPRO_BENCH_REFRESH"):
-        return None
-    path = _cache_path(name)
-    if not path.exists():
-        return None
-    payload = json.loads(path.read_text())
-    return KernelEntry(
-        name=name,
-        program=parse_program(payload["program"]),
-        baseline=baseline_for(name),
-        stats=payload["stats"],
-    )
-
-
-def _store_cached(entry: KernelEntry) -> None:
-    CACHE_DIR.mkdir(exist_ok=True)
-    _cache_path(entry.name).write_text(
-        json.dumps(
-            {"program": format_program(entry.program), "stats": entry.stats},
-            indent=2,
-        )
-    )
-
-
-def synthesize_entry(name: str) -> KernelEntry:
-    """Synthesize one kernel (no cache) and package its statistics."""
-    spec = get_spec(name)
-    sketch = default_sketch_for(spec)
-    optimize_timeout = float(os.environ.get("REPRO_OPT_TIMEOUT", "60"))
-    config = config_for(spec, optimize_timeout=optimize_timeout)
-    result = synthesize(spec, sketch, config)
-    verified = spec.verify_program(result.program)
-    assert verified.equivalent, f"{name}: synthesized program failed verification"
-    stats = {
+        spec = SESSION.spec(compiled.name)
+        model = default_latency_model(spec.params_name)
+        return {
+            "components": compiled.program.arithmetic_count(),
+            "multi_step": True,
+            "final_cost": program_cost(compiled.program, model),
+        }
+    result = compiled.synthesis
+    return {
         "components": result.components,
         "examples": result.examples_used,
         "initial_time": result.initial_time,
@@ -99,52 +80,31 @@ def synthesize_entry(name: str) -> KernelEntry:
         "proof_complete": result.proof_complete,
         "nodes": result.nodes,
     }
+
+
+def _entry(name: str, compiled: CompiledKernel) -> KernelEntry:
     return KernelEntry(
         name=name,
-        program=result.program,
-        baseline=baseline_for(name),
-        stats=stats,
+        program=compiled.program,
+        baseline=SESSION.baseline(name),
+        stats=_stats_for(compiled),
     )
 
 
-def _multistep_entry(name: str, program: Program) -> KernelEntry:
-    spec = get_spec(name)
-    verified = spec.verify_program(program)
-    assert verified.equivalent, f"{name}: composed program failed verification"
-    model = default_latency_model(spec.params_name)
-    stats = {
-        "components": program.arithmetic_count(),
-        "multi_step": True,
-        "final_cost": program_cost(program, model),
-    }
-    return KernelEntry(
-        name=name, program=program, baseline=baseline_for(name), stats=stats
-    )
+def synthesize_entry(name: str) -> KernelEntry:
+    """Synthesize one kernel from scratch (no cache) with its statistics."""
+    return _entry(name, SESSION.compile(name, use_cache=False))
 
 
 @pytest.fixture(scope="session")
 def kernel_suite() -> dict[str, KernelEntry]:
     """All 11 kernels: 9 synthesized directly + Sobel/Harris multi-step."""
-    suite: dict[str, KernelEntry] = {}
-    for factory in DIRECT_SPECS:
-        name = factory().name
-        entry = _load_cached(name)
-        if entry is None:
-            entry = synthesize_entry(name)
-            _store_cached(entry)
-        suite[name] = entry
-    suite["sobel"] = _multistep_entry(
-        "sobel", compose_sobel(suite["gx"].program, suite["gy"].program)
-    )
-    suite["harris"] = _multistep_entry(
-        "harris",
-        compose_harris(
-            suite["gx"].program,
-            suite["gy"].program,
-            suite["box_blur"].program,
-        ),
-    )
-    return suite
+    refresh = bool(os.environ.get("REPRO_BENCH_REFRESH"))
+    names = [factory().name for factory in DIRECT_SPECS] + [
+        factory().name for factory in MULTISTEP_SPECS
+    ]
+    compiled = SESSION.compile_suite(names, force=refresh)
+    return {name: _entry(name, compiled[name]) for name in names}
 
 
 def write_report(filename: str, text: str) -> str:

@@ -2,8 +2,10 @@
 
 The workload from the paper's introduction: a client offloads image
 processing to a cloud that must never see the image.  This example
-synthesizes the stencil kernels (box blur, Gx, Gy), composes the larger
-pipelines with multi-step synthesis (paper section 6.3), and runs the
+compiles the stencil kernels (box blur, Gx, Gy) and the composed
+pipelines (Sobel, Harris) through one :class:`repro.api.Porcupine`
+session — the multi-step kernels are declarative composition graphs the
+registry resolves, compiling shared components once — and runs the
 Harris corner detector end to end under encryption.
 
 Run:  python examples/image_pipeline.py
@@ -11,48 +13,35 @@ Run:  python examples/image_pipeline.py
 
 import numpy as np
 
-from repro.core import compile_kernel, compose_harris, compose_sobel
-from repro.core.compiler import config_for
+from repro.api import Porcupine
 from repro.quill.noise import multiplicative_depth
 from repro.quill.printer import format_listing
-from repro.runtime import HEExecutor
-from repro.spec import get_spec
-
-
-def synthesize_stencils():
-    """Synthesize the three core kernels the pipelines are built from.
-
-    A short cost-minimization budget keeps the demo snappy; the initial
-    solutions for these kernels are already optimal (see Table 3).
-    """
-    kernels = {}
-    for name in ("box_blur", "gx", "gy"):
-        spec = get_spec(name)
-        result = compile_kernel(spec, config=config_for(spec, optimize_timeout=15.0))
-        program = result.program
-        kernels[name] = program
-        print(f"{name}: {program.instruction_count()} instructions "
-              f"({program.rotation_count()} rotations), synthesized in "
-              f"{result.synthesis.total_time:.1f}s")
-    return kernels
 
 
 def main() -> None:
+    # A short cost-minimization budget keeps the demo snappy; the initial
+    # solutions for these kernels are already optimal (see Table 3).
+    session = Porcupine(synthesis_defaults={"optimize_timeout": 15.0})
+
     print("=== step 1: synthesize the core stencil kernels ===")
-    kernels = synthesize_stencils()
+    stencils = session.compile_suite(["box_blur", "gx", "gy"])
+    for name, compiled in stencils.items():
+        program = compiled.program
+        print(f"{name}: {program.instruction_count()} instructions "
+              f"({program.rotation_count()} rotations), synthesized in "
+              f"{compiled.synthesis.total_time:.1f}s")
 
     print("\n=== step 2: multi-step composition ===")
-    sobel = compose_sobel(kernels["gx"], kernels["gy"])
-    harris = compose_harris(kernels["gx"], kernels["gy"], kernels["box_blur"])
-    for name, program in (("sobel", sobel), ("harris", harris)):
-        spec = get_spec(name)
-        verified = spec.verify_program(program)
+    # The components above are cache hits here; only composition runs.
+    pipelines = {name: session.compile(name) for name in ("sobel", "harris")}
+    for name, compiled in pipelines.items():
+        program = compiled.program
         print(f"{name}: {program.instruction_count()} instructions, "
               f"multiplicative depth {multiplicative_depth(program)}, "
-              f"verified={verified.equivalent}")
+              f"composed from {sorted(compiled.components)}")
 
     print("\nsynthesized Gx (the separable-filter discovery, Figure 6):")
-    print(format_listing(kernels["gx"]))
+    print(format_listing(stencils["gx"].program))
 
     print("\n=== step 3: Harris corners on an encrypted image ===")
     # A binary corner pattern: a bright square in the lower-right.
@@ -64,21 +53,20 @@ def main() -> None:
             [0, 0, 1, 1],
         ]
     )
-    spec = get_spec("harris")
-    executor = HEExecutor(spec, seed=1)
-    report = executor.run(harris, {"img": image})
+    harris = pipelines["harris"].program
+    report = session.run("harris", {"img": image}, backend="he", seed=1)
     print(f"image:\n{image}")
     print(f"decrypted response at the interior pixel: "
           f"{report.logical_output[0]}")
     print(f"plaintext reference:                      "
           f"{report.expected_output[0]}")
-    print(f"noise budget remaining: {report.output_noise_budget} bits "
+    print(f"noise budget remaining: {report.noise_budget} bits "
           f"(depth-{multiplicative_depth(harris)} circuit)")
     assert report.matches_reference
 
     # A flat image produces zero response — no corner.
     flat = np.ones((4, 4), dtype=np.int64)
-    flat_report = executor.run(harris, {"img": flat})
+    flat_report = session.run("harris", {"img": flat}, backend="he", seed=1)
     print(f"\nflat image response: {flat_report.logical_output[0]} "
           "(no corner, as expected)")
     assert flat_report.matches_reference

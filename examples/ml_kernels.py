@@ -4,36 +4,29 @@ The ML building blocks from the paper's evaluation: encrypted linear and
 polynomial model inference, plus the distance kernels behind k-NN.  Shows
 the algebraic optimization Porcupine finds for polynomial regression — the
 Horner factorization ``a*x^2 + b*x = (a*x + b)*x`` — and compares its cost
-against the hand-written baseline.
+against the hand-written baseline.  All compilation goes through one
+:class:`repro.api.Porcupine` session.
 
 Run:  python examples/ml_kernels.py
 """
 
 import numpy as np
 
-from repro.baselines import baseline_for
-from repro.core import compile_kernel
-from repro.core.compiler import config_for
+from repro.api import Porcupine
 from repro.quill.cost import program_cost
 from repro.quill.latency import default_latency_model
 from repro.quill.printer import format_listing
 from repro.runtime import HEExecutor
-from repro.spec import get_spec
 
-
-def _quick_compile(spec, **overrides):
-    """Compile with a short cost-minimization budget (demo-friendly)."""
-    return compile_kernel(
-        spec, config=config_for(spec, optimize_timeout=10.0, **overrides)
-    )
+# A short cost-minimization budget keeps the demo snappy.
+SESSION = Porcupine(synthesis_defaults={"optimize_timeout": 10.0})
 
 
 def show_polynomial_regression() -> None:
     print("=== polynomial regression: the Horner discovery ===")
-    spec = get_spec("polynomial_regression")
-    result = _quick_compile(spec)
-    program = result.program
-    baseline = baseline_for(spec.name)
+    spec = SESSION.spec("polynomial_regression")
+    program = SESSION.compile("polynomial_regression").program
+    baseline = SESSION.baseline("polynomial_regression")
     model = default_latency_model(spec.params_name)
     print("baseline (direct a*x^2 + b*x + c):")
     print(format_listing(baseline))
@@ -61,13 +54,12 @@ def show_polynomial_regression() -> None:
 
 def show_linear_regression() -> None:
     print("\n=== linear regression inference ===")
-    spec = get_spec("linear_regression")
-    result = _quick_compile(spec)
-    executor = HEExecutor(spec, seed=3)
     x = np.array([3, 7])
     w = np.array([10, 2])
     b = np.array([5])
-    report = executor.run(result.program, {"x": x, "w": w, "b": b})
+    report = SESSION.run(
+        "linear_regression", {"x": x, "w": w, "b": b}, backend="he", seed=3
+    )
     print(f"w.x + b = {w} . {x} + {b[0]} -> decrypted {report.logical_output[0]}")
     assert report.logical_output[0] == int(w @ x + b[0])
 
@@ -82,15 +74,16 @@ def show_distances() -> None:
             "x": rng.integers(0, 20, 8), "y": rng.integers(0, 20, 8)
         }),
     ):
-        spec = get_spec(name)
+        spec = SESSION.spec(name)
         # min_components hints the known kernel size so the demo skips the
         # minimality proofs for the smaller sizes (Table 3 measures them)
         hint = 6 if name == "l2" else 4
-        result = _quick_compile(spec, min_components=hint)
-        executor = HEExecutor(spec, seed=4)
+        config = SESSION.config_for(name, min_components=hint)
+        compiled = SESSION.compile(name, config=config)
         rng = np.random.default_rng(1)
         logical = make_inputs(rng)
-        report = executor.run(result.program, logical)
+        # same config -> same cache key: run() reuses the compile above
+        report = SESSION.run(name, logical, backend="he", seed=4, config=config)
         assert report.matches_reference
         origin = spec.layout.origin if name == "l2" else 0
         value = (
@@ -99,7 +92,7 @@ def show_distances() -> None:
             else report.logical_output[0]
         )
         print(f"{name}: x={logical['x']} y={logical['y']} -> distance {value} "
-              f"({result.program.instruction_count()} instructions)")
+              f"({compiled.program.instruction_count()} instructions)")
         if name == "l2":
             # the masked output leaks nothing but the distance itself
             others = np.delete(report.logical_output, origin)

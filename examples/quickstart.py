@@ -2,28 +2,28 @@
 
 A client wants a cloud server to compute the dot product of its *private*
 vector with the server's own data, without revealing the vector.  This
-script walks the full Porcupine pipeline:
+script walks the full Porcupine pipeline through the session API:
 
-1. write a plaintext specification (reference implementation + layout),
-2. synthesize a vectorized HE kernel with Porcupine,
+1. open a :class:`repro.api.Porcupine` session (kernel registry +
+   pass pipeline + compile cache + execution backends),
+2. synthesize a vectorized HE kernel with ``session.compile``,
 3. inspect the generated Quill and SEAL code,
-4. run the kernel under real BFV encryption and check the result.
+4. run the kernel under real BFV encryption with ``session.run``.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import compile_kernel
-from repro.runtime import HEExecutor
-from repro.spec import dot_product_spec
+from repro.api import Porcupine
 
 
 def main() -> None:
     # ------------------------------------------------------------------
-    # 1. The specification: what to compute, and how data is packed.
+    # 1. The session: one front door to the whole compiler.
     # ------------------------------------------------------------------
-    spec = dot_product_spec()
+    session = Porcupine()
+    spec = session.spec("dot_product")
     print(f"specification: {spec.description}")
     print(f"layout: {spec.layout.vector_size} model slots, "
           f"data at slot {spec.layout.origin}, "
@@ -31,38 +31,45 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # 2. Synthesis: Porcupine completes the sketch into a verified kernel.
+    #    (A second compile of the same kernel is a cache hit.)
     # ------------------------------------------------------------------
-    result = compile_kernel(spec)
-    program = result.program
-    stats = result.synthesis
+    compiled = session.compile("dot_product")
+    program = compiled.program
+    stats = compiled.synthesis
     print(f"synthesized {program.instruction_count()} instructions in "
           f"{stats.total_time:.2f}s "
           f"({stats.examples_used} example(s), "
-          f"{'optimality proven' if stats.proof_complete else 'timeout'})\n")
+          f"{'optimality proven' if stats.proof_complete else 'timeout'})")
+    per_pass = ", ".join(
+        f"{t.name} {t.seconds * 1000:.0f}ms" for t in compiled.pass_timings
+    )
+    print(f"pipeline: {per_pass}")
+    assert session.compile("dot_product").cache_hit
 
     # ------------------------------------------------------------------
     # 3. The artifacts: Quill assembly and SEAL C++.
     # ------------------------------------------------------------------
-    print("--- Quill kernel " + "-" * 43)
+    print("\n--- Quill kernel " + "-" * 43)
     print(program)
     print("\n--- generated SEAL C++ " + "-" * 37)
-    print(result.seal_code)
+    print(compiled.seal_code)
 
     # ------------------------------------------------------------------
     # 4. Execute under real BFV encryption (128-bit security).
     # ------------------------------------------------------------------
     client_vector = np.array([3, 1, 4, 1, 5, 9, 2, 6])
     server_vector = np.array([2, 7, 1, 8, 2, 8, 1, 8])
-    executor = HEExecutor(spec, seed=0)
-    report = executor.run(
-        program, {"x": client_vector, "w": server_vector}
+    report = session.run(
+        "dot_product",
+        {"x": client_vector, "w": server_vector},
+        backend="he",
     )
     print("\n--- encrypted execution " + "-" * 36)
     print(f"client vector (encrypted): {client_vector}")
     print(f"server vector (plaintext): {server_vector}")
     print(f"decrypted result:          {report.logical_output[0]}")
     print(f"expected (plaintext):      {client_vector @ server_vector}")
-    print(f"noise budget remaining:    {report.output_noise_budget} bits")
+    print(f"noise budget remaining:    {report.noise_budget} bits")
     print(f"wall time:                 {report.wall_time:.2f}s")
     assert report.matches_reference
 

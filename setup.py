@@ -1,5 +1,44 @@
-"""Legacy setup shim so `pip install -e .` works without the wheel package."""
+"""Packaging for the Porcupine reproduction.
 
-from setuptools import setup
+``pip install -e .`` puts :mod:`repro` on the path (no ``PYTHONPATH=src``
+needed) and installs the ``porcupine`` console script.
+"""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_ROOT = Path(__file__).parent
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"',
+    (_ROOT / "src" / "repro" / "__init__.py").read_text(),
+    re.MULTILINE,
+).group(1)
+_README = _ROOT / "README.md"
+
+setup(
+    name="porcupine-repro",
+    version=VERSION,
+    description=(
+        "Reproduction of Porcupine: a synthesizing compiler for "
+        "vectorized homomorphic encryption (PLDI 2021)"
+    ),
+    long_description=_README.read_text() if _README.exists() else "",
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={"test": ["pytest", "hypothesis"]},
+    entry_points={
+        "console_scripts": ["porcupine=repro.__main__:main"],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Security :: Cryptography",
+        "Topic :: Software Development :: Compilers",
+    ],
+)

@@ -1,73 +1,113 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``porcupine``).
 
 Commands:
 
 * ``list``                     — the kernel suite with descriptions
 * ``compile <kernel>``         — synthesize and print Quill + SEAL code
 * ``baseline <kernel>``        — print the hand-written baseline
-* ``run <kernel>``             — synthesize, then execute under encryption
+* ``run <kernel>``             — synthesize, then execute on a backend
 * ``profile``                  — measure per-instruction latencies
+
+``list``, ``compile``, and ``run`` accept ``--json`` for
+machine-readable output (instruction counts, depths, synthesis times,
+cache hit/miss).  All compilation goes through the
+:class:`repro.api.Porcupine` session; ``--cache-dir`` persists compiled
+kernels across invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 
-def _cmd_list(args) -> int:
-    from repro.baselines import BASELINE_BUILDERS
-    from repro.spec import ALL_SPECS
+def _session(args):
+    from repro.api import Porcupine
 
+    defaults = {}
+    if getattr(args, "opt_timeout", None) is not None:
+        defaults["optimize_timeout"] = args.opt_timeout
+    if getattr(args, "no_optimize", False):
+        defaults["optimize"] = False
+    return Porcupine(
+        cache_dir=getattr(args, "cache_dir", None),
+        seed=getattr(args, "seed", None),
+        synthesis_defaults=defaults,
+    )
+
+
+def _cmd_list(args) -> int:
+    session = _session(args)
+    if args.json:
+        payload = []
+        for definition in session.registry:
+            baseline = definition.baseline() if definition.baseline else None
+            payload.append(
+                {
+                    "kernel": definition.name,
+                    "multi_step": definition.is_composed,
+                    "baseline_instructions": (
+                        baseline.instruction_count() if baseline else None
+                    ),
+                    "description": definition.describe(),
+                }
+            )
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{'kernel':24s} {'baseline':>9s}  description")
-    for factory in ALL_SPECS:
-        spec = factory()
-        baseline = BASELINE_BUILDERS[spec.name]()
+    for definition in session.registry:
+        baseline = definition.baseline()
         print(
-            f"{spec.name:24s} {baseline.instruction_count():6d} in  "
-            f"{spec.description}"
+            f"{definition.name:24s} {baseline.instruction_count():6d} in  "
+            f"{definition.describe()}"
         )
     return 0
 
 
-def _compile(name: str, opt_timeout: float, optimize: bool):
-    from repro.core import compile_kernel
-    from repro.core.compiler import config_for
-    from repro.spec import get_spec
-
-    spec = get_spec(name)
-    config = config_for(spec, optimize_timeout=opt_timeout, optimize=optimize)
-    return spec, compile_kernel(spec, config=config)
-
-
 def _cmd_compile(args) -> int:
-    spec, result = _compile(args.kernel, args.opt_timeout, not args.no_optimize)
-    stats = result.synthesis
-    print(
-        f"# synthesized {result.program.instruction_count()} instructions "
-        f"in {stats.total_time:.2f}s (initial {stats.initial_time:.2f}s, "
-        f"{stats.examples_used} example(s), "
-        f"{'optimal' if stats.proof_complete else 'best-effort'})",
-        file=sys.stderr,
-    )
-    print(result.program)
+    session = _session(args)
+    result = session.compile(args.kernel)
+    if args.json:
+        payload = result.summary()
+        payload["quill"] = str(result.program)
+        print(json.dumps(payload, indent=2))
+    else:
+        stats = result.synthesis
+        if stats is not None:
+            print(
+                f"# synthesized {result.program.instruction_count()} instructions "
+                f"in {stats.total_time:.2f}s (initial {stats.initial_time:.2f}s, "
+                f"{stats.examples_used} example(s), "
+                f"{'optimal' if stats.proof_complete else 'best-effort'}"
+                f"{', cached' if result.cache_hit else ''})",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"# composed {result.program.instruction_count()} instructions "
+                f"from {', '.join(result.composed_from) or 'components'}"
+                f"{' (cached)' if result.cache_hit else ''}",
+                file=sys.stderr,
+            )
+        print(result.program)
     if args.seal:
         with open(args.seal, "w") as handle:
             handle.write(result.seal_code + "\n")
         print(f"# SEAL code written to {args.seal}", file=sys.stderr)
-    else:
+    elif not args.json:
         print()
         print(result.seal_code)
     return 0
 
 
 def _cmd_baseline(args) -> int:
-    from repro.baselines import baseline_for
     from repro.quill.noise import multiplicative_depth
 
-    program = baseline_for(args.kernel)
+    session = _session(args)
+    program = session.baseline(args.kernel)
     print(
         f"# {program.instruction_count()} instructions, depth "
         f"{program.critical_depth()}, multiplicative depth "
@@ -79,28 +119,49 @@ def _cmd_baseline(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.runtime import HEExecutor
-    from repro.runtime.estimator import estimate_noise_budget
-
-    spec, result = _compile(args.kernel, args.opt_timeout, not args.no_optimize)
-    executor = HEExecutor(spec, seed=args.seed)
+    session = _session(args)
+    spec = session.spec(args.kernel)
+    compiled = session.compile(args.kernel)
     rng = np.random.default_rng(args.seed)
     logical = {
         p.name: rng.integers(0, spec.backend_bound + 1, p.shape)
         for p in spec.layout.inputs
     }
-    predicted = estimate_noise_budget(result.program, executor.params)
-    report = executor.run(result.program, logical)
+    report = session.run(
+        args.kernel, logical, backend=args.backend, seed=args.seed
+    )
+    if args.json:
+        payload = compiled.summary()
+        payload["execution"] = {
+            "backend": report.backend,
+            "matches_reference": report.matches_reference,
+            "wall_time": report.wall_time,
+            "noise_budget": report.noise_budget,
+            "output": np.asarray(report.logical_output).ravel().tolist(),
+            "expected": np.asarray(report.expected_output).ravel().tolist(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if report.matches_reference else 1
     for name, value in logical.items():
         print(f"input {name} = {np.asarray(value).ravel().tolist()}")
-    print(f"output (decrypted) = {report.logical_output.ravel().tolist()}")
-    print(f"reference          = {report.expected_output.ravel().tolist()}")
+    print(f"output (decrypted) = {np.asarray(report.logical_output).ravel().tolist()}")
+    print(f"reference          = {np.asarray(report.expected_output).ravel().tolist()}")
     print(f"matches reference: {report.matches_reference}")
-    print(
-        f"noise budget: {report.output_noise_budget} bits measured, "
-        f">= {predicted:.0f} bits predicted"
-    )
-    print(f"evaluation time: {report.wall_time:.2f}s on {executor.params.name}")
+    if report.backend == "he":
+        from repro.runtime.estimator import estimate_noise_budget
+
+        executor = session.backend("he", seed=args.seed)._executor_for(spec)
+        predicted = estimate_noise_budget(compiled.program, executor.params)
+        print(
+            f"noise budget: {report.noise_budget} bits measured, "
+            f">= {predicted:.0f} bits predicted"
+        )
+        print(
+            f"evaluation time: {report.wall_time:.2f}s on "
+            f"{executor.params.name}"
+        )
+    else:
+        print(f"evaluation time: {report.wall_time:.4f}s on {report.backend}")
     return 0 if report.matches_reference else 1
 
 
@@ -121,16 +182,18 @@ def _cmd_profile(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro",
+        prog="porcupine",
         description="Porcupine reproduction: synthesizing HE kernels",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the kernel suite")
+    list_cmd = sub.add_parser("list", help="list the kernel suite")
+    list_cmd.add_argument("--json", action="store_true",
+                          help="machine-readable output")
 
     for verb, helptext in (
         ("compile", "synthesize a kernel and emit Quill + SEAL code"),
-        ("run", "synthesize a kernel and execute it under encryption"),
+        ("run", "synthesize a kernel and execute it on a backend"),
     ):
         cmd = sub.add_parser(verb, help=helptext)
         cmd.add_argument("kernel")
@@ -138,11 +201,19 @@ def main(argv: list[str] | None = None) -> int:
                          help="cost-minimization budget in seconds")
         cmd.add_argument("--no-optimize", action="store_true",
                          help="stop after the initial solution")
+        cmd.add_argument("--seed", type=int, default=0,
+                         help="synthesis/example seed (reproducible runs)")
+        cmd.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+        cmd.add_argument("--cache-dir", metavar="DIR",
+                         help="persist compiled kernels here across runs")
         if verb == "compile":
             cmd.add_argument("--seal", metavar="FILE",
                              help="write SEAL C++ here instead of stdout")
         else:
-            cmd.add_argument("--seed", type=int, default=0)
+            cmd.add_argument("--backend", choices=("he", "interpreter"),
+                             default="he",
+                             help="execution backend (default: he)")
 
     baseline = sub.add_parser("baseline", help="print a hand-written baseline")
     baseline.add_argument("kernel")

@@ -1,0 +1,147 @@
+"""Pluggable execution backends for compiled kernels.
+
+Two ship built-in, selected by name:
+
+* ``interpreter`` — Quill's behavioural model over plain numpy vectors
+  (:mod:`repro.quill.interpreter`): instant, noiseless, ideal for
+  functional checks and CI.
+* ``he`` — real BFV encryption through
+  :class:`repro.runtime.executor.HEExecutor`: the ground truth, with
+  noise budgets and wall-clock latency.
+
+Both accept *logical* inputs (one array per layout input), pack them
+according to the kernel's layout, execute, unpack the output, and compare
+against the plaintext reference — so backend parity is directly
+checkable.  Third-party backends register through
+:func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.quill.interpreter import evaluate
+from repro.quill.ir import Program
+from repro.spec.reference import Spec
+
+
+@dataclass
+class BackendResult:
+    """One execution: decrypted/evaluated output versus the reference."""
+
+    backend: str
+    kernel: str
+    logical_output: np.ndarray
+    expected_output: np.ndarray
+    matches_reference: bool
+    wall_time: float
+    noise_budget: int | None = None
+    details: dict = field(default_factory=dict)
+
+
+class ExecutionBackend(Protocol):
+    """What the session needs from an execution backend."""
+
+    name: str
+
+    def execute(
+        self, program: Program, spec: Spec, logical_env: dict[str, np.ndarray]
+    ) -> BackendResult:
+        ...  # pragma: no cover - protocol
+
+
+def _expected(spec: Spec, logical_env: dict[str, np.ndarray]) -> np.ndarray:
+    return np.array(
+        spec.reference_output(logical_env), dtype=np.int64
+    ).reshape(spec.layout.output_shape)
+
+
+class InterpreterBackend:
+    """Evaluate on plain integer vectors (no encryption, no noise)."""
+
+    name = "interpreter"
+
+    def execute(
+        self, program: Program, spec: Spec, logical_env: dict[str, np.ndarray]
+    ) -> BackendResult:
+        ct_env, pt_env = spec.packed_env(logical_env)
+        started = time.perf_counter()
+        model_output = evaluate(program, ct_env, pt_env)
+        wall = time.perf_counter() - started
+        logical_output = spec.layout.unpack_output(model_output)
+        expected = _expected(spec, logical_env)
+        return BackendResult(
+            backend=self.name,
+            kernel=program.name,
+            logical_output=logical_output,
+            expected_output=expected,
+            matches_reference=bool(np.array_equal(logical_output, expected)),
+            wall_time=wall,
+        )
+
+
+class HEBackend:
+    """Execute under real BFV encryption; executors are reused per spec."""
+
+    name = "he"
+
+    def __init__(self, seed: int | None = None):
+        self.seed = seed
+        self._executors: dict[str, object] = {}
+
+    def _executor_for(self, spec: Spec):
+        from repro.runtime.executor import HEExecutor
+
+        executor = self._executors.get(spec.name)
+        if executor is None:
+            executor = HEExecutor(spec, seed=self.seed)
+            self._executors[spec.name] = executor
+        return executor
+
+    def execute(
+        self, program: Program, spec: Spec, logical_env: dict[str, np.ndarray]
+    ) -> BackendResult:
+        executor = self._executor_for(spec)
+        report = executor.run(program, logical_env)
+        return BackendResult(
+            backend=self.name,
+            kernel=program.name,
+            logical_output=report.logical_output,
+            expected_output=report.expected_output,
+            matches_reference=report.matches_reference,
+            wall_time=report.wall_time,
+            noise_budget=report.output_noise_budget,
+            details={"instruction_seconds": report.instruction_seconds},
+        )
+
+
+_BACKEND_FACTORIES: dict[str, Callable[..., ExecutionBackend]] = {
+    "interpreter": InterpreterBackend,
+    "he": HEBackend,
+}
+
+
+def register_backend(
+    name: str, factory: Callable[..., ExecutionBackend]
+) -> None:
+    """Make ``name`` selectable in :meth:`Porcupine.run`."""
+    _BACKEND_FACTORIES[name] = factory
+
+
+def backend_names() -> list[str]:
+    return list(_BACKEND_FACTORIES)
+
+
+def get_backend(name: str, **kwargs) -> ExecutionBackend:
+    """Instantiate a backend by name."""
+    try:
+        factory = _BACKEND_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {', '.join(backend_names())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,185 @@
+"""The kernel registry: every kernel the session can compile, as data.
+
+A :class:`KernelDefinition` bundles what the frozen module-level tables
+(``ALL_SPECS``, ``KERNEL_SYNTH_SETTINGS``, ``BASELINE_BUILDERS``) and the
+hardcoded ``compose_*`` helpers used to hold: the spec factory, the sketch
+factory, per-kernel synthesis settings, the hand-written baseline, and —
+for multi-step kernels — the declarative composition graph.  Sessions get
+a fresh registry seeded with the paper's eleven kernels and can register
+new ones (or override built-ins) at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator
+
+from repro.baselines import BASELINE_BUILDERS
+from repro.core.multistep import HARRIS_GRAPH, SOBEL_GRAPH, CompositionGraph
+from repro.core.sketch import Sketch
+from repro.core.sketches import KERNEL_SYNTH_SETTINGS, default_sketch_for
+from repro.quill.ir import Program
+from repro.spec.kernels import ALL_SPECS
+from repro.spec.reference import Spec
+
+
+@dataclass(frozen=True)
+class KernelDefinition:
+    """Everything the compile pipeline needs to know about one kernel.
+
+    Attributes:
+        name: registry key (must match ``spec().name`` for clarity in
+            reports, but is authoritative for lookup).
+        spec: zero-argument factory producing the kernel specification.
+        sketch: factory producing the synthesis sketch from the spec;
+            ``None`` for composed kernels (they have no sketch of their
+            own — their components do).
+        synth_settings: per-kernel :class:`SynthesisConfig` overrides
+            (search depth, timeouts).
+        baseline: factory for the expert hand-written baseline program,
+            when one exists.
+        composition: declarative multi-step graph; when set, the kernel
+            is compiled by compiling each ``composition.kernels`` entry
+            and materializing the graph instead of running CEGIS.
+        description: one-line summary (defaults to the spec's).
+    """
+
+    name: str
+    spec: Callable[[], Spec]
+    sketch: Callable[[Spec], Sketch] | None = None
+    synth_settings: dict = field(default_factory=dict)
+    baseline: Callable[[], Program] | None = None
+    composition: CompositionGraph | None = None
+    description: str = ""
+
+    @property
+    def is_composed(self) -> bool:
+        return self.composition is not None
+
+    def describe(self) -> str:
+        return self.description or self.spec().description
+
+
+class KernelRegistry:
+    """Name -> :class:`KernelDefinition` mapping with override control."""
+
+    def __init__(self, definitions: Iterator[KernelDefinition] = ()):
+        self._definitions: dict[str, KernelDefinition] = {}
+        for definition in definitions:
+            self.register(definition)
+
+    @classmethod
+    def builtin(cls) -> "KernelRegistry":
+        """A fresh registry holding the paper's kernel suite."""
+        registry = cls()
+        graphs = {"sobel": SOBEL_GRAPH, "harris": HARRIS_GRAPH}
+        for factory in ALL_SPECS:
+            spec = factory()
+            composition = graphs.get(spec.name)
+            registry.register(
+                KernelDefinition(
+                    name=spec.name,
+                    spec=factory,
+                    sketch=None if composition else default_sketch_for,
+                    synth_settings=dict(
+                        KERNEL_SYNTH_SETTINGS.get(spec.name, {})
+                    ),
+                    baseline=BASELINE_BUILDERS.get(spec.name),
+                    composition=composition,
+                    description=spec.description,
+                )
+            )
+        return registry
+
+    # -- mutation ---------------------------------------------------------
+
+    def register(
+        self, definition: KernelDefinition, override: bool = False
+    ) -> KernelDefinition:
+        """Add a kernel; re-registering a name requires ``override=True``."""
+        if definition.name in self._definitions and not override:
+            raise ValueError(
+                f"kernel {definition.name!r} is already registered "
+                "(pass override=True to replace it)"
+            )
+        if definition.composition is None and definition.sketch is None:
+            raise ValueError(
+                f"kernel {definition.name!r} needs either a sketch "
+                "(direct synthesis) or a composition graph (multi-step)"
+            )
+        self._definitions[definition.name] = definition
+        return definition
+
+    def register_kernel(
+        self,
+        name: str,
+        spec: Callable[[], Spec] | Spec,
+        *,
+        sketch: Callable[[Spec], Sketch] | Sketch | None = None,
+        synth_settings: dict | None = None,
+        baseline: Callable[[], Program] | None = None,
+        composition: CompositionGraph | None = None,
+        description: str = "",
+        override: bool = False,
+    ) -> KernelDefinition:
+        """Convenience wrapper accepting plain values instead of factories."""
+        spec_factory = spec if callable(spec) else (lambda s=spec: s)
+        if sketch is None or callable(sketch):
+            sketch_factory = sketch
+        else:
+            sketch_factory = lambda _spec, s=sketch: s  # noqa: E731
+        return self.register(
+            KernelDefinition(
+                name=name,
+                spec=spec_factory,
+                sketch=sketch_factory,
+                synth_settings=dict(synth_settings or {}),
+                baseline=baseline,
+                composition=composition,
+                description=description,
+            ),
+            override=override,
+        )
+
+    def unregister(self, name: str) -> None:
+        del self._definitions[name]
+
+    def override(self, name: str, **changes) -> KernelDefinition:
+        """Replace fields of an existing definition (e.g. a new sketch)."""
+        return self.register(
+            replace(self.get(name), **changes), override=True
+        )
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, name: str) -> KernelDefinition:
+        try:
+            return self._definitions[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown kernel {name!r}; registered: {', '.join(self.names())}"
+            ) from None
+
+    def spec(self, name: str) -> Spec:
+        return self.get(name).spec()
+
+    def names(self) -> list[str]:
+        return list(self._definitions)
+
+    def direct_names(self) -> list[str]:
+        return [d.name for d in self if not d.is_composed]
+
+    def composed_names(self) -> list[str]:
+        return [d.name for d in self if d.is_composed]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._definitions
+
+    def __iter__(self) -> Iterator[KernelDefinition]:
+        return iter(self._definitions.values())
+
+    def __len__(self) -> int:
+        return len(self._definitions)
+
+    def __repr__(self) -> str:
+        return f"KernelRegistry({', '.join(self.names())})"

@@ -14,7 +14,18 @@ from repro.core.cegis import (
 )
 from repro.core.compiler import CompileResult, compile_kernel
 from repro.core.codegen import generate_seal_code
-from repro.core.multistep import compose_harris, compose_sobel, inline_program
+from repro.core.multistep import (
+    HARRIS_GRAPH,
+    SOBEL_GRAPH,
+    CompositionGraph,
+    ConstStep,
+    KernelStep,
+    OpStep,
+    compose,
+    compose_harris,
+    compose_sobel,
+    inline_program,
+)
 from repro.core.restrictions import (
     sliding_window_rotations,
     tree_reduction_rotations,
@@ -30,13 +41,20 @@ from repro.core.sketches import default_sketch_for, explicit_rotation_variant
 __all__ = [
     "ComponentChoice",
     "CompileResult",
+    "CompositionGraph",
+    "ConstStep",
     "CtHole",
     "CtRotHole",
+    "HARRIS_GRAPH",
+    "KernelStep",
+    "OpStep",
+    "SOBEL_GRAPH",
     "Sketch",
     "SynthesisConfig",
     "SynthesisError",
     "SynthesisResult",
     "compile_kernel",
+    "compose",
     "compose_harris",
     "compose_sobel",
     "default_sketch_for",

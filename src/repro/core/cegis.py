@@ -67,14 +67,34 @@ class SynthesisResult:
     examples: list[Example] = field(repr=False, default_factory=list)
 
 
-def synthesize(
+def seed_examples(
+    spec: Spec,
+    config: SynthesisConfig,
+    rng: np.random.Generator | None = None,
+) -> list[Example]:
+    """The initial example set, drawn deterministically from ``config.seed``.
+
+    Every random draw in a synthesis run — seed examples here and
+    counterexample fill-in values in :meth:`Spec.example_from_witness` —
+    flows from one generator seeded by ``config.seed``, so equal configs
+    reproduce equal runs and compile-cache keys stay stable.
+    """
+    rng = rng if rng is not None else np.random.default_rng(config.seed)
+    return [spec.make_example(rng) for _ in range(config.seed_examples)]
+
+
+def synthesize_initial(
     spec: Spec, sketch: Sketch, config: SynthesisConfig | None = None
 ) -> SynthesisResult:
-    """Compile a specification to a verified, optimized Quill kernel."""
+    """Phase 1 of Algorithm 1: the smallest verified completion of the sketch.
+
+    Returns a result whose final program *is* the initial program; run
+    :func:`minimize_cost` on it for the paper's phase-2 cost search.
+    """
     config = config or SynthesisConfig()
     model = config.latency_model or default_latency_model(spec.params_name)
     rng = np.random.default_rng(config.seed)
-    examples = [spec.make_example(rng) for _ in range(config.seed_examples)]
+    examples = seed_examples(spec, config, rng)
 
     start = time.monotonic()
     deadline = start + config.initial_timeout
@@ -129,48 +149,82 @@ def synthesize(
     initial_time = time.monotonic() - start
     initial_cost = program_cost(initial_program, model)
 
-    best_program = initial_program
-    best_cost = initial_cost
-    proof_complete = not config.optimize
-    if config.optimize:
-        optimize_deadline = time.monotonic() + config.optimize_timeout
-        search = SketchSearch(
-            sketch, spec.layout, examples, model, components_used
-        )
-        best_box = {"program": best_program, "cost": best_cost}
-
-        def on_better(assignment):
-            program = materialize_assignment(
-                sketch, spec.layout, assignment, name=f"{spec.name}_synth"
-            )
-            cost = program_cost(program, model)
-            if cost >= best_box["cost"]:
-                return False, None
-            if spec.verify_program(program).equivalent:
-                best_box["program"] = program
-                best_box["cost"] = cost
-                return False, cost
-            return False, None  # matches examples but not the spec
-
-        outcome = search.run(
-            on_better, cost_bound=best_cost, deadline=optimize_deadline
-        )
-        nodes += outcome.nodes
-        best_program = best_box["program"]
-        best_cost = best_box["cost"]
-        proof_complete = outcome.status == "exhausted"
-
     return SynthesisResult(
-        program=best_program,
+        program=initial_program,
         initial_program=initial_program,
         spec_name=spec.name,
         components=components_used,
         examples_used=len(examples),
         initial_time=initial_time,
-        total_time=time.monotonic() - start,
+        total_time=initial_time,
         initial_cost=initial_cost,
-        final_cost=best_cost,
-        proof_complete=proof_complete,
+        final_cost=initial_cost,
+        proof_complete=True,
         nodes=nodes,
         examples=examples,
     )
+
+
+def minimize_cost(
+    spec: Spec,
+    sketch: Sketch,
+    initial: SynthesisResult,
+    config: SynthesisConfig | None = None,
+) -> SynthesisResult:
+    """Phase 2 of Algorithm 1: branch-and-bound cost minimization.
+
+    Keeps searching ``initial``'s sketch size for verified programs with
+    strictly lower cost, reusing its example set, until the space is
+    exhausted (optimality proof) or ``config.optimize_timeout`` fires.
+    """
+    config = config or SynthesisConfig()
+    model = config.latency_model or default_latency_model(spec.params_name)
+    start = time.monotonic()
+    optimize_deadline = start + config.optimize_timeout
+    examples = list(initial.examples)
+    search = SketchSearch(
+        sketch, spec.layout, examples, model, initial.components
+    )
+    best_box = {"program": initial.program, "cost": initial.final_cost}
+
+    def on_better(assignment):
+        program = materialize_assignment(
+            sketch, spec.layout, assignment, name=f"{spec.name}_synth"
+        )
+        cost = program_cost(program, model)
+        if cost >= best_box["cost"]:
+            return False, None
+        if spec.verify_program(program).equivalent:
+            best_box["program"] = program
+            best_box["cost"] = cost
+            return False, cost
+        return False, None  # matches examples but not the spec
+
+    outcome = search.run(
+        on_better, cost_bound=best_box["cost"], deadline=optimize_deadline
+    )
+    return SynthesisResult(
+        program=best_box["program"],
+        initial_program=initial.initial_program,
+        spec_name=initial.spec_name,
+        components=initial.components,
+        examples_used=len(examples),
+        initial_time=initial.initial_time,
+        total_time=initial.total_time + (time.monotonic() - start),
+        initial_cost=initial.initial_cost,
+        final_cost=best_box["cost"],
+        proof_complete=outcome.status == "exhausted",
+        nodes=initial.nodes + outcome.nodes,
+        examples=examples,
+    )
+
+
+def synthesize(
+    spec: Spec, sketch: Sketch, config: SynthesisConfig | None = None
+) -> SynthesisResult:
+    """Compile a specification to a verified, optimized Quill kernel."""
+    config = config or SynthesisConfig()
+    result = synthesize_initial(spec, sketch, config)
+    if config.optimize:
+        result = minimize_cost(spec, sketch, result, config)
+    return result

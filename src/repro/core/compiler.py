@@ -1,19 +1,24 @@
-"""Top-level compiler API: specification in, verified SEAL kernel out.
+"""Legacy compiler entry point — superseded by :mod:`repro.api`.
 
-This is the user-facing entry point matching the paper's Figure 3
-pipeline: ``compile_kernel`` picks (or accepts) a sketch, runs the CEGIS
-synthesis engine, and emits SEAL C++ alongside the verified Quill program
-and synthesis statistics.
+``compile_kernel`` predates the :class:`~repro.api.Porcupine` session
+and is kept as a thin deprecated shim over it so old call sites keep
+working (same signature, same :class:`CompileResult`).  New code should
+use the session API, which adds the kernel registry, the hookable pass
+pipeline, the content-addressed compile cache, and backend selection::
+
+    from repro.api import Porcupine
+
+    compiled = Porcupine().compile("box_blur")
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from repro.core.cegis import SynthesisConfig, SynthesisResult, synthesize
-from repro.core.codegen import generate_seal_code
+from repro.core.cegis import SynthesisConfig, SynthesisResult
 from repro.core.sketch import Sketch
-from repro.core.sketches import KERNEL_SYNTH_SETTINGS, default_sketch_for
+from repro.core.sketches import KERNEL_SYNTH_SETTINGS
 from repro.quill.ir import Program
 from repro.spec.reference import Spec
 
@@ -48,13 +53,43 @@ def compile_kernel(
     sketch: Sketch | None = None,
     config: SynthesisConfig | None = None,
 ) -> CompileResult:
-    """Synthesize, verify, optimize, and code-generate one kernel."""
-    sketch = sketch or default_sketch_for(spec)
-    config = config or config_for(spec)
-    synthesis = synthesize(spec, sketch, config)
+    """Synthesize, verify, optimize, and code-generate one kernel.
+
+    .. deprecated::
+        Use ``repro.api.Porcupine().compile(...)`` instead; this shim
+        forwards there (without cache persistence) and will be removed.
+    """
+    warnings.warn(
+        "repro.core.compile_kernel is deprecated; use "
+        "repro.api.Porcupine().compile(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import Porcupine
+
+    session = Porcupine()
+    definition = session._resolve(spec)
+    if definition.is_composed:
+        if sketch is None:
+            raise KeyError(
+                f"no direct-synthesis sketch for {spec.name!r} "
+                "(multi-step kernels compile via repro.api.Porcupine)"
+            )
+        # A caller-supplied sketch forces direct synthesis, as before.
+        from repro.api import KernelDefinition
+
+        definition = KernelDefinition(
+            name=spec.name,
+            spec=lambda s=spec: s,
+            sketch=lambda _spec, s=sketch: s,
+        )
+    compiled = session.compile(
+        definition, sketch=sketch, config=config or config_for(spec)
+    )
+    assert compiled.synthesis is not None
     return CompileResult(
         spec_name=spec.name,
-        program=synthesis.program,
-        seal_code=generate_seal_code(synthesis.program),
-        synthesis=synthesis,
+        program=compiled.program,
+        seal_code=compiled.seal_code,
+        synthesis=compiled.synthesis,
     )

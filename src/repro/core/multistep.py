@@ -7,9 +7,21 @@ applications: the Sobel operator (``Gx^2 + Gy^2``) and the Harris corner
 response.  ``inline_program`` splices one Quill program into another
 builder with input remapping; identical rotations are shared across steps
 by the builder's CSE, exactly like the paper's code generator.
+
+Compositions are *declarative*: a :class:`CompositionGraph` names the
+ciphertext inputs, the synthesized kernels to splice in, and the glue
+arithmetic between them, and :func:`compose` materializes the graph into
+one Quill program.  The kernel registry (:mod:`repro.api.registry`)
+consumes these graphs to compile multi-step kernels, and new pipelines
+can be registered at runtime without touching this module.  The paper's
+two applications are the built-in graphs :data:`SOBEL_GRAPH` and
+:data:`HARRIS_GRAPH`; ``compose_sobel``/``compose_harris`` are thin
+wrappers kept for compatibility.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.quill.builder import ProgramBuilder
 from repro.quill.ir import (
@@ -58,19 +70,180 @@ def inline_program(
     return resolve(program.output)
 
 
+# ---------------------------------------------------------------------------
+# Declarative composition graphs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelStep:
+    """Splice a synthesized kernel in, feeding its ciphertext inputs.
+
+    ``args`` name earlier steps or graph inputs, matched positionally to
+    the kernel program's ciphertext inputs.
+    """
+
+    id: str
+    kernel: str
+    args: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class OpStep:
+    """Glue arithmetic between spliced kernels: add, sub, or mul."""
+
+    id: str
+    op: str  # "add" | "sub" | "mul"
+    a: str
+    b: str
+
+    def __post_init__(self):
+        if self.op not in ("add", "sub", "mul"):
+            raise ValueError(f"unknown composition op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class ConstStep:
+    """A named plaintext constant available to later ``OpStep``s."""
+
+    id: str
+    value: int | tuple[int, ...]
+
+
+CompositionStep = KernelStep | OpStep | ConstStep
+
+
+@dataclass(frozen=True)
+class CompositionGraph:
+    """A multi-step application as data: inputs, steps, and the output.
+
+    ``kernels`` lists the synthesized-kernel names the graph splices in
+    (the keys ``compose`` expects in its ``programs`` mapping), so a
+    registry can compile dependencies before materializing the graph.
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    steps: tuple[CompositionStep, ...]
+    output: str
+
+    @property
+    def kernels(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for step in self.steps:
+            if isinstance(step, KernelStep) and step.kernel not in seen:
+                seen.append(step.kernel)
+        return tuple(seen)
+
+    def validate(self) -> None:
+        """Check every step reference resolves and ids are unique."""
+        known = set(self.inputs)
+        for step in self.steps:
+            if step.id in known:
+                raise ValueError(f"{self.name}: duplicate step id {step.id!r}")
+            refs = ()
+            if isinstance(step, KernelStep):
+                refs = step.args
+            elif isinstance(step, OpStep):
+                refs = (step.a, step.b)
+            for ref in refs:
+                if ref not in known:
+                    raise ValueError(
+                        f"{self.name}: step {step.id!r} references "
+                        f"unknown value {ref!r}"
+                    )
+            known.add(step.id)
+        if self.output not in known:
+            raise ValueError(
+                f"{self.name}: output {self.output!r} is not produced "
+                "by any step"
+            )
+
+
+def compose(
+    graph: CompositionGraph,
+    programs: dict[str, Program],
+    name: str | None = None,
+) -> Program:
+    """Materialize a composition graph into a single Quill program."""
+    graph.validate()
+    missing = [k for k in graph.kernels if k not in programs]
+    if missing:
+        raise KeyError(
+            f"{graph.name}: no program supplied for kernel(s) {missing}"
+        )
+    used = [programs[k] for k in graph.kernels]
+    if len({p.vector_size for p in used}) > 1:
+        raise ValueError("component kernels use different vector sizes")
+    builder = ProgramBuilder(used[0].vector_size, name=name or graph.name)
+    env: dict[str, Ref] = {
+        input_name: builder.ct_input(input_name)
+        for input_name in graph.inputs
+    }
+    _declare_plains(builder, *used)
+    for step in graph.steps:
+        if isinstance(step, ConstStep):
+            env[step.id] = builder.constant(step.id, step.value)
+        elif isinstance(step, KernelStep):
+            program = programs[step.kernel]
+            if len(step.args) != len(program.ct_inputs):
+                raise ValueError(
+                    f"{graph.name}: step {step.id!r} feeds "
+                    f"{len(step.args)} input(s) but kernel "
+                    f"{step.kernel!r} takes {len(program.ct_inputs)}"
+                )
+            input_map = {
+                ct_name: env[arg]
+                for ct_name, arg in zip(program.ct_inputs, step.args)
+            }
+            env[step.id] = inline_program(builder, program, input_map)
+        else:
+            fn = {"add": builder.add, "sub": builder.sub, "mul": builder.mul}
+            env[step.id] = fn[step.op](env[step.a], env[step.b])
+    return builder.build(env[graph.output])
+
+
+SOBEL_GRAPH = CompositionGraph(
+    name="sobel_synth",
+    inputs=("img",),
+    steps=(
+        KernelStep("gx_out", "gx", ("img",)),
+        KernelStep("gy_out", "gy", ("img",)),
+        OpStep("gx2", "mul", "gx_out", "gx_out"),
+        OpStep("gy2", "mul", "gy_out", "gy_out"),
+        OpStep("magnitude", "add", "gx2", "gy2"),
+    ),
+    output="magnitude",
+)
+
+HARRIS_GRAPH = CompositionGraph(
+    name="harris_synth",
+    inputs=("img",),
+    steps=(
+        ConstStep("sixteen", 16),
+        KernelStep("gx_out", "gx", ("img",)),
+        KernelStep("gy_out", "gy", ("img",)),
+        OpStep("gxx", "mul", "gx_out", "gx_out"),
+        KernelStep("sxx", "box_blur", ("gxx",)),
+        OpStep("gyy", "mul", "gy_out", "gy_out"),
+        KernelStep("syy", "box_blur", ("gyy",)),
+        OpStep("gxy", "mul", "gx_out", "gy_out"),
+        KernelStep("sxy", "box_blur", ("gxy",)),
+        OpStep("sxx_syy", "mul", "sxx", "syy"),
+        OpStep("sxy2", "mul", "sxy", "sxy"),
+        OpStep("det", "sub", "sxx_syy", "sxy2"),
+        OpStep("trace", "add", "sxx", "syy"),
+        OpStep("det16", "mul", "det", "sixteen"),
+        OpStep("trace2", "mul", "trace", "trace"),
+        OpStep("response", "sub", "det16", "trace2"),
+    ),
+    output="response",
+)
+
+
 def compose_sobel(gx: Program, gy: Program, name: str = "sobel_synth") -> Program:
     """Sobel operator from gradient kernels: ``Gx^2 + Gy^2``."""
-    if gx.vector_size != gy.vector_size:
-        raise ValueError("gradient kernels use different vector sizes")
-    builder = ProgramBuilder(gx.vector_size, name=name)
-    img = builder.ct_input("img")
-    _declare_plains(builder, gx, gy)
-    gx_out = inline_program(builder, gx, {"img": img})
-    gy_out = inline_program(builder, gy, {"img": img})
-    magnitude = builder.add(
-        builder.mul(gx_out, gx_out), builder.mul(gy_out, gy_out)
-    )
-    return builder.build(magnitude)
+    return compose(SOBEL_GRAPH, {"gx": gx, "gy": gy}, name=name)
 
 
 def compose_harris(
@@ -84,23 +257,7 @@ def compose_harris(
     ``response = 16 * (Sxx*Syy - Sxy^2) - (Sxx + Syy)^2`` where each
     ``S``-term is the box blur of a gradient product.
     """
-    sizes = {gx.vector_size, gy.vector_size, blur.vector_size}
-    if len(sizes) != 1:
-        raise ValueError("component kernels use different vector sizes")
-    builder = ProgramBuilder(gx.vector_size, name=name)
-    img = builder.ct_input("img")
-    _declare_plains(builder, gx, gy, blur)
-    sixteen = builder.constant("sixteen", 16)
-    gx_out = inline_program(builder, gx, {"img": img})
-    gy_out = inline_program(builder, gy, {"img": img})
-    blur_input = blur.ct_inputs[0]
-    sxx = inline_program(builder, blur, {blur_input: builder.mul(gx_out, gx_out)})
-    syy = inline_program(builder, blur, {blur_input: builder.mul(gy_out, gy_out)})
-    sxy = inline_program(builder, blur, {blur_input: builder.mul(gx_out, gy_out)})
-    det = builder.sub(builder.mul(sxx, syy), builder.mul(sxy, sxy))
-    trace = builder.add(sxx, syy)
-    response = builder.sub(builder.mul(det, sixteen), builder.mul(trace, trace))
-    return builder.build(response)
+    return compose(HARRIS_GRAPH, {"gx": gx, "gy": gy, "box_blur": blur}, name=name)
 
 
 def _declare_plains(builder: ProgramBuilder, *programs: Program) -> None:

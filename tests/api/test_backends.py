@@ -1,0 +1,80 @@
+"""Execution backends: interpreter/HE parity and pluggability."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BackendResult,
+    Porcupine,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.api.backends import _BACKEND_FACTORIES
+
+FAST = {"optimize_timeout": 2.0}
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Porcupine(synthesis_defaults=FAST)
+
+
+def _inputs(spec, seed):
+    rng = np.random.default_rng(seed)
+    return {
+        p.name: rng.integers(0, spec.backend_bound + 1, p.shape, dtype=np.int64)
+        for p in spec.layout.inputs
+    }
+
+
+@pytest.mark.parametrize("kernel", ["dot_product", "box_blur"])
+def test_interpreter_and_he_agree(session, kernel):
+    spec = session.spec(kernel)
+    inputs = _inputs(spec, seed=11)
+    fast = session.run(kernel, inputs, backend="interpreter")
+    real = session.run(kernel, inputs, backend="he")
+    assert fast.matches_reference
+    assert real.matches_reference
+    assert np.array_equal(fast.logical_output, real.logical_output)
+    assert fast.noise_budget is None
+    assert real.noise_budget is not None and real.noise_budget > 0
+
+
+def test_backend_names_and_unknown():
+    assert {"interpreter", "he"} <= set(backend_names())
+    with pytest.raises(KeyError, match="unknown backend"):
+        get_backend("gpu")
+
+
+def test_he_backend_reuses_executors(session):
+    spec = session.spec("dot_product")
+    backend = session.backend("he")
+    first = backend._executor_for(spec)
+    assert backend._executor_for(spec) is first
+
+
+def test_custom_backend_registration(session):
+    class EchoBackend:
+        name = "echo"
+
+        def execute(self, program, spec, logical_env):
+            expected = np.array(
+                spec.reference_output(logical_env), dtype=np.int64
+            ).reshape(spec.layout.output_shape)
+            return BackendResult(
+                backend=self.name,
+                kernel=program.name,
+                logical_output=expected,
+                expected_output=expected,
+                matches_reference=True,
+                wall_time=0.0,
+            )
+
+    register_backend("echo", EchoBackend)
+    try:
+        report = session.run("dot_product", backend="echo")
+        assert report.backend == "echo"
+        assert report.matches_reference
+    finally:
+        _BACKEND_FACTORIES.pop("echo")

@@ -1,0 +1,104 @@
+"""Compile cache: key stability, invalidation, and disk persistence."""
+
+import json
+
+from repro.api import CacheEntry, CompileCache, Porcupine, compile_key
+from repro.core.cegis import SynthesisConfig
+from repro.core.sketches import default_sketch_for, explicit_rotation_variant
+from repro.spec import get_spec
+
+FAST = {"optimize_timeout": 2.0}
+
+
+def _key(config: SynthesisConfig) -> str:
+    spec = get_spec("box_blur")
+    return compile_key(spec, default_sketch_for(spec), config)
+
+
+def test_key_is_deterministic():
+    assert _key(SynthesisConfig(seed=7)) == _key(SynthesisConfig(seed=7))
+
+
+def test_key_changes_with_config():
+    base = _key(SynthesisConfig())
+    assert _key(SynthesisConfig(seed=1)) != base
+    assert _key(SynthesisConfig(max_components=7)) != base
+    assert _key(SynthesisConfig(optimize=False)) != base
+
+
+def test_key_changes_with_sketch():
+    spec = get_spec("box_blur")
+    sketch = default_sketch_for(spec)
+    config = SynthesisConfig()
+    assert compile_key(spec, sketch, config) != compile_key(
+        spec, explicit_rotation_variant(sketch), config
+    )
+
+
+def test_key_changes_with_spec():
+    config = SynthesisConfig()
+    gx = get_spec("gx")
+    gy = get_spec("gy")
+    sketch = default_sketch_for(gx)
+    assert compile_key(gx, sketch, config) != compile_key(gy, sketch, config)
+
+
+def test_cache_miss_then_hit_in_memory():
+    cache = CompileCache()
+    assert cache.get("k") is None
+    cache.put("k", CacheEntry(program_text="", seal_code=""))
+    assert cache.get("k") is not None
+    assert cache.misses == 1 and cache.hits == 1
+
+
+def test_disk_persistence_across_cache_objects(tmp_path):
+    session = Porcupine(cache_dir=tmp_path, synthesis_defaults=FAST)
+    first = session.compile("box_blur")
+    assert not first.cache_hit
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+    fresh = Porcupine(cache_dir=tmp_path, synthesis_defaults=FAST)
+    second = fresh.compile("box_blur")
+    assert second.cache_hit
+    assert str(second.program) == str(first.program)
+    assert second.seal_code == first.seal_code
+    stats = second.synthesis
+    assert stats is not None
+    assert stats.components == first.synthesis.components
+    assert stats.final_cost == first.synthesis.final_cost
+
+
+def test_config_change_invalidates_disk_entry(tmp_path):
+    session = Porcupine(cache_dir=tmp_path, synthesis_defaults=FAST)
+    session.compile("box_blur")
+    reseeded = session.compile("box_blur", seed=99)
+    assert not reseeded.cache_hit
+    assert len(list(tmp_path.glob("*.json"))) == 2
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    session = Porcupine(cache_dir=tmp_path, synthesis_defaults=FAST)
+    compiled = session.compile("box_blur")
+    path = tmp_path / f"{compiled.cache_key}.json"
+    path.write_text("{not json")
+    fresh = Porcupine(cache_dir=tmp_path, synthesis_defaults=FAST)
+    recompiled = fresh.compile("box_blur")
+    assert not recompiled.cache_hit
+    # the recompile repaired the entry on disk
+    assert json.loads(path.read_text())["program"]
+
+
+def test_clear_empties_memory_and_disk(tmp_path):
+    session = Porcupine(cache_dir=tmp_path, synthesis_defaults=FAST)
+    session.compile("box_blur")
+    session.cache.clear()
+    assert len(session.cache) == 0
+    assert list(tmp_path.glob("*.json")) == []
+    assert not session.compile("box_blur").cache_hit
+
+
+def test_same_seed_reproduces_identical_program(tmp_path):
+    a = Porcupine(synthesis_defaults=FAST).compile("box_blur", seed=5)
+    b = Porcupine(synthesis_defaults=FAST).compile("box_blur", seed=5)
+    assert a.cache_key == b.cache_key
+    assert str(a.program) == str(b.program)

@@ -1,0 +1,106 @@
+"""Kernel registry: builtin suite, runtime registration, overrides."""
+
+import pytest
+
+from repro.api import KernelDefinition, KernelRegistry, Porcupine
+from repro.core.multistep import SOBEL_GRAPH
+from repro.core.sketch import ComponentChoice, CtHole, Sketch
+from repro.quill.ir import Opcode
+from repro.spec import get_spec
+from repro.spec.layout import vector_layout
+from repro.spec.reference import Spec
+
+
+def make_double_spec(n: int = 4) -> Spec:
+    """Element-wise doubling: the smallest possible custom kernel."""
+    base = vector_layout([("x", "ct", n)])
+    layout = vector_layout(
+        [("x", "ct", n)],
+        output_slots=list(range(base.origin, base.origin + n)),
+        output_shape=(n,),
+    )
+    return Spec(
+        name="double",
+        layout=layout,
+        reference=lambda x: [2 * v for v in x],
+        description="element-wise doubling",
+    )
+
+
+DOUBLE_SKETCH = Sketch(
+    name="double",
+    choices=(ComponentChoice(Opcode.ADD_CC, CtHole(), CtHole()),),
+    rotations=(),
+)
+
+
+def test_builtin_registry_has_the_paper_suite():
+    registry = KernelRegistry.builtin()
+    assert len(registry) == 11
+    assert set(registry.composed_names()) == {"sobel", "harris"}
+    assert "box_blur" in registry
+    assert registry.get("sobel").composition is SOBEL_GRAPH
+    assert registry.get("gx").synth_settings == {"max_components": 4}
+    assert registry.get("gx").baseline is not None
+
+
+def test_builtin_registries_are_independent():
+    a = KernelRegistry.builtin()
+    b = KernelRegistry.builtin()
+    a.unregister("harris")
+    assert "harris" not in a
+    assert "harris" in b
+
+
+def test_register_and_compile_custom_kernel():
+    session = Porcupine()
+    session.register(
+        "double",
+        make_double_spec(),
+        sketch=DOUBLE_SKETCH,
+        synth_settings={"max_components": 2},
+    )
+    assert "double" in session.kernels()
+    compiled = session.compile("double")
+    assert compiled.program.instruction_count() == 1
+    report = session.run("double", backend="interpreter")
+    assert report.matches_reference
+
+
+def test_reregistering_requires_override():
+    registry = KernelRegistry.builtin()
+    definition = KernelDefinition(
+        name="box_blur",
+        spec=make_double_spec,
+        sketch=lambda spec: DOUBLE_SKETCH,
+    )
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register(definition)
+    registry.register(definition, override=True)
+    assert registry.get("box_blur").spec is make_double_spec
+
+
+def test_override_replaces_single_fields():
+    registry = KernelRegistry.builtin()
+    registry.override("box_blur", synth_settings={"max_components": 2})
+    assert registry.get("box_blur").synth_settings == {"max_components": 2}
+    # untouched fields survive
+    assert registry.get("box_blur").spec().name == "box_blur"
+
+
+def test_definition_needs_sketch_or_composition():
+    registry = KernelRegistry()
+    with pytest.raises(ValueError, match="sketch"):
+        registry.register(
+            KernelDefinition(name="broken", spec=make_double_spec)
+        )
+
+
+def test_unknown_kernel_lists_registered_names():
+    with pytest.raises(KeyError, match="box_blur"):
+        KernelRegistry.builtin().get("fft")
+
+
+def test_registry_spec_matches_get_spec():
+    registry = KernelRegistry.builtin()
+    assert registry.spec("hamming") is get_spec("hamming")

@@ -1,0 +1,32 @@
+"""The deprecated ``repro.core.compile_kernel`` shim still works."""
+
+import pytest
+
+from repro.core import CompileResult, compile_kernel
+from repro.core.cegis import SynthesisConfig
+from repro.core.compiler import config_for
+from repro.spec import get_spec
+
+FAST = SynthesisConfig(max_components=3, optimize_timeout=2.0)
+
+
+def test_shim_warns_and_returns_legacy_result():
+    with pytest.warns(DeprecationWarning, match="Porcupine"):
+        result = compile_kernel(get_spec("box_blur"), config=FAST)
+    assert isinstance(result, CompileResult)
+    assert result.spec_name == "box_blur"
+    assert result.program.instruction_count() == 4
+    assert "ev.rotate_rows" in result.seal_code
+    assert result.synthesis.components == 2
+
+
+def test_shim_rejects_multistep_kernels_like_before():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(KeyError, match="sketch"):
+            compile_kernel(get_spec("sobel"))
+
+
+def test_config_for_still_applies_kernel_settings():
+    config = config_for(get_spec("box_blur"), seed=5)
+    assert config.max_components == 3
+    assert config.seed == 5

@@ -58,3 +58,54 @@ def test_run_command(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_list_json(capsys):
+    import json
+
+    assert main(["list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    by_name = {entry["kernel"]: entry for entry in payload}
+    assert by_name["gx"]["baseline_instructions"] == 12
+    assert by_name["sobel"]["multi_step"] is True
+    assert by_name["box_blur"]["multi_step"] is False
+
+
+def test_compile_json_reports_cache_state(tmp_path, capsys):
+    import json
+
+    cache = str(tmp_path / "cache")
+    args = ["compile", "box_blur", "--opt-timeout", "2", "--json",
+            "--cache-dir", cache]
+    assert main(args) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["cache"]["hit"] is False
+    assert first["instructions"] == 4
+    assert first["synthesis"]["examples"] >= 1
+    assert "synthesize" in first["pass_seconds"]
+    assert 'quill kernel "box_blur_synth"' in first["quill"]
+
+    assert main(args) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["cache"]["hit"] is True
+    assert second["cache"]["key"] == first["cache"]["key"]
+
+
+def test_run_json_interpreter_backend(capsys):
+    import json
+
+    assert main(["run", "dot_product", "--opt-timeout", "2", "--json",
+                 "--backend", "interpreter"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["execution"]["matches_reference"] is True
+    assert payload["execution"]["backend"] == "interpreter"
+    assert payload["execution"]["noise_budget"] is None
+    assert payload["execution"]["output"] == payload["execution"]["expected"]
+
+
+def test_run_interpreter_plaintext_output(capsys):
+    assert main(["run", "hamming", "--opt-timeout", "2",
+                 "--backend", "interpreter"]) == 0
+    out = capsys.readouterr().out
+    assert "matches reference: True" in out
+    assert "interpreter" in out
