@@ -1,0 +1,259 @@
+"""Synthesis-engine throughput benchmark: the perf trajectory tracker.
+
+Measures the search engine's enumeration rate (nodes/sec) per kernel,
+batched vs the pre-batching scalar path (``SearchOptions(batched=False)``),
+plus end-to-end synthesis wall times, and records everything into
+``BENCH_synthesis.json`` at the repository root.  Run it after touching
+anything on the synthesis hot path::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py          # full
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick  # CI
+
+``--check-floor`` compares the batched nodes/sec against the checked-in
+baselines in ``benchmarks/throughput_floor.json`` and exits nonzero when
+any kernel regresses more than 5x below its floor — a loose tripwire
+that survives noisy CI machines but catches algorithmic regressions.
+Refresh the floor file with ``--update-floor`` after an intentional
+change on a quiet machine.
+
+The scalar ablation runs under a per-kernel time cap (nodes/sec is
+meaningful on a partial run; full-space equivalence is covered by
+``tests/solver/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FLOOR_FILE = Path(__file__).resolve().parent / "throughput_floor.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_synthesis.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.cegis import SynthesisConfig, synthesize  # noqa: E402
+from repro.core.sketches import default_sketch_for  # noqa: E402
+from repro.quill.latency import default_latency_model  # noqa: E402
+from repro.solver.engine import SearchOptions, SketchSearch  # noqa: E402
+from repro.spec import get_spec  # noqa: E402
+
+MODEL = default_latency_model()
+
+
+@dataclass(frozen=True)
+class EngineCase:
+    """One engine-exhaustion measurement: kernel x sketch size."""
+
+    kernel: str
+    length: int
+    examples: int = 2
+    seed: int = 3
+    quick: bool = False  # include in the CI smoke subset
+
+    @property
+    def key(self) -> str:
+        return f"{self.kernel}@L{self.length}"
+
+
+ENGINE_CASES = (
+    EngineCase("box_blur", 3, quick=True),
+    EngineCase("dot_product", 4, quick=True),
+    EngineCase("l2", 3, quick=True),
+    EngineCase("hamming", 4),
+    EngineCase("gx", 3),
+)
+
+# end-to-end synthesis (phase 1 + phase 2) wall-time tracking
+SYNTH_CASES = {
+    "quick": ("box_blur", "dot_product"),
+    "full": ("box_blur", "dot_product", "hamming", "linear_regression"),
+}
+
+SCALAR_CAP_SECONDS = 15.0
+
+
+def _outcome_payload(outcome, seconds: float) -> dict:
+    return {
+        "status": outcome.status,
+        "nodes": outcome.nodes,
+        "candidates": outcome.candidates,
+        "batches": outcome.batches,
+        "dedup_hits": outcome.dedup_hits,
+        "seconds": round(seconds, 4),
+        "nodes_per_sec": round(outcome.nodes / seconds, 1) if seconds else 0.0,
+    }
+
+
+def run_engine_case(case: EngineCase, scalar_cap: float) -> dict:
+    spec = get_spec(case.kernel)
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(case.seed)
+    example_set = [spec.make_example(rng) for _ in range(case.examples)]
+    payload: dict = {
+        "kernel": case.kernel,
+        "length": case.length,
+        "examples": case.examples,
+    }
+    for label, options, cap in (
+        ("batched", SearchOptions(), None),
+        ("scalar", SearchOptions(batched=False), scalar_cap),
+    ):
+        search = SketchSearch(
+            sketch, spec.layout, example_set, MODEL, case.length,
+            options=options,
+        )
+        deadline = time.monotonic() + cap if cap else None
+        started = time.perf_counter()
+        outcome = search.run(lambda a: (False, None), deadline=deadline)
+        payload[label] = _outcome_payload(
+            outcome, time.perf_counter() - started
+        )
+    batched_nps = payload["batched"]["nodes_per_sec"]
+    scalar_nps = payload["scalar"]["nodes_per_sec"]
+    payload["speedup"] = (
+        round(batched_nps / scalar_nps, 2) if scalar_nps else None
+    )
+    return payload
+
+
+def run_synth_case(kernel: str) -> dict:
+    spec = get_spec(kernel)
+    sketch = default_sketch_for(spec)
+    config = SynthesisConfig(optimize_timeout=30.0)
+    started = time.perf_counter()
+    result = synthesize(spec, sketch, config)
+    wall = time.perf_counter() - started
+    payload = {
+        "wall_seconds": round(wall, 4),
+        "initial_seconds": round(result.initial_time, 4),
+        "components": result.components,
+        "instructions": result.program.instruction_count(),
+        "examples": result.examples_used,
+        "final_cost": result.final_cost,
+        "proof_complete": result.proof_complete,
+        "nodes": result.nodes,
+    }
+    if result.search_stats is not None:
+        payload["engine"] = result.search_stats.summary()
+    return payload
+
+
+def check_floor(engine_results: dict) -> list[str]:
+    """Names of kernels more than 5x below their checked-in floor."""
+    if not FLOOR_FILE.exists():
+        print(f"floor file {FLOOR_FILE} missing; nothing to check")
+        return []
+    floors = json.loads(FLOOR_FILE.read_text())
+    failures = []
+    for key, floor in floors.items():
+        measured = engine_results.get(key, {}).get("batched", {}).get(
+            "nodes_per_sec"
+        )
+        if measured is None:
+            continue  # floor entry for a case this run did not measure
+        if measured < floor / 5.0:
+            failures.append(
+                f"{key}: {measured:,.0f} nodes/s is >5x below the "
+                f"checked-in floor of {floor:,.0f}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="engine throughput benchmark -> BENCH_synthesis.json"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI subset: fast kernels, short scalar cap")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="fail if nodes/sec regresses >5x below the "
+                             "checked-in floor")
+    parser.add_argument("--update-floor", action="store_true",
+                        help="rewrite benchmarks/throughput_floor.json from "
+                             "this run's measurements")
+    parser.add_argument("--no-synthesis", action="store_true",
+                        help="skip the end-to-end synthesis section")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"result file (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    scalar_cap = 5.0 if args.quick else SCALAR_CAP_SECONDS
+    cases = [c for c in ENGINE_CASES if c.quick] if args.quick else ENGINE_CASES
+
+    engine_results: dict[str, dict] = {}
+    for case in cases:
+        print(f"engine {case.key} ...", flush=True)
+        payload = run_engine_case(case, scalar_cap)
+        engine_results[case.key] = payload
+        print(
+            f"  batched {payload['batched']['nodes_per_sec']:>12,.0f} nodes/s"
+            f"  scalar {payload['scalar']['nodes_per_sec']:>12,.0f} nodes/s"
+            f"  speedup {payload['speedup']}x"
+        )
+
+    synthesis_results: dict[str, dict] = {}
+    if not args.no_synthesis:
+        for kernel in SYNTH_CASES[mode]:
+            print(f"synthesize {kernel} ...", flush=True)
+            synthesis_results[kernel] = run_synth_case(kernel)
+            print(
+                f"  {synthesis_results[kernel]['wall_seconds']}s, "
+                f"{synthesis_results[kernel]['nodes']} nodes"
+            )
+
+    report = {
+        "schema": 1,
+        "mode": mode,
+        "engine": engine_results,
+        "synthesis": synthesis_results,
+        "metrics": {
+            **{
+                f"{key}.nodes_per_sec": payload["batched"]["nodes_per_sec"]
+                for key, payload in engine_results.items()
+            },
+            **{
+                f"{key}.speedup": payload["speedup"]
+                for key, payload in engine_results.items()
+            },
+            **{
+                f"{kernel}.wall_seconds": payload["wall_seconds"]
+                for kernel, payload in synthesis_results.items()
+            },
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"written to {args.output}")
+
+    if args.update_floor:
+        # merge into the existing floors: a --quick refresh must not drop
+        # the full-run-only kernels from the tripwire
+        floors = (
+            json.loads(FLOOR_FILE.read_text()) if FLOOR_FILE.exists() else {}
+        )
+        floors.update(
+            (key, payload["batched"]["nodes_per_sec"])
+            for key, payload in engine_results.items()
+        )
+        FLOOR_FILE.write_text(json.dumps(floors, indent=2, sort_keys=True) + "\n")
+        print(f"floor refreshed: {FLOOR_FILE}")
+
+    if args.check_floor:
+        failures = check_floor(engine_results)
+        for failure in failures:
+            print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("floor check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,7 @@ CONFIGS = [
     ("no OE dedup", SearchOptions(dedup=False)),
     ("no symmetry breaking", SearchOptions(symmetry=False)),
     ("no dead-value bound", SearchOptions(dead_value=False)),
+    ("scalar evaluation", SearchOptions(batched=False)),
 ]
 
 

@@ -36,6 +36,7 @@ def _session(args):
         cache_dir=getattr(args, "cache_dir", None),
         seed=getattr(args, "seed", None),
         synthesis_defaults=defaults,
+        workers=getattr(args, "workers", None),
     )
 
 
@@ -70,6 +71,8 @@ def _cmd_list(args) -> int:
 def _cmd_compile(args) -> int:
     session = _session(args)
     result = session.compile(args.kernel)
+    if args.timings:
+        print(result.timing_report(), file=sys.stderr)
     if args.json:
         payload = result.summary()
         payload["quill"] = str(result.program)
@@ -203,6 +206,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="stop after the initial solution")
         cmd.add_argument("--seed", type=int, default=0,
                          help="synthesis/example seed (reproducible runs)")
+        cmd.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="parallel search processes (results are "
+                              "bit-identical to --workers 1)")
         cmd.add_argument("--json", action="store_true",
                          help="machine-readable output")
         cmd.add_argument("--cache-dir", metavar="DIR",
@@ -210,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
         if verb == "compile":
             cmd.add_argument("--seal", metavar="FILE",
                              help="write SEAL C++ here instead of stdout")
+            cmd.add_argument("--timings", action="store_true",
+                             help="print the per-pass timing report")
         else:
             cmd.add_argument("--backend", choices=("he", "interpreter"),
                              default="he",

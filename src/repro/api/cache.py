@@ -101,6 +101,13 @@ def config_fingerprint(config: SynthesisConfig) -> dict:
     """Canonical content summary of a synthesis configuration."""
     summary = {}
     for f in fields(config):
+        if f.name == "workers":
+            # parallel search is bit-identical to serial search whenever
+            # the search completes, so the worker count must not split
+            # the content-addressed cache.  (When optimize_timeout fires
+            # mid-search, the cached best-effort program already depends
+            # on machine speed — worker count is no different.)
+            continue
         value = getattr(config, f.name)
         if f.name == "latency_model":
             value = value.name if value is not None else None

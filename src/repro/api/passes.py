@@ -75,6 +75,7 @@ class PassContext:
     seal_code: str | None = None
     components: dict[str, Program] = field(default_factory=dict)
     timings: list[PassTiming] = field(default_factory=list)
+    metrics: dict[str, dict] = field(default_factory=dict)  # per-pass stats
 
     def require_program(self, pass_name: str) -> Program:
         if self.program is None:
@@ -114,16 +115,23 @@ def synthesize_pass(ctx: PassContext) -> None:
         ctx.sketch = ctx.definition.sketch(ctx.spec)
     ctx.synthesis = synthesize_initial(ctx.spec, ctx.sketch, ctx.config)
     ctx.program = ctx.synthesis.program
+    if ctx.synthesis.search_stats is not None:
+        ctx.metrics["synthesize"] = ctx.synthesis.search_stats.summary()
 
 
 def optimize_pass(ctx: PassContext) -> None:
     if ctx.definition.is_composed or not ctx.config.optimize:
         return
     assert ctx.synthesis is not None and ctx.sketch is not None
+    before = ctx.synthesis.search_stats
     ctx.synthesis = minimize_cost(
         ctx.spec, ctx.sketch, ctx.synthesis, ctx.config
     )
     ctx.program = ctx.synthesis.program
+    after = ctx.synthesis.search_stats
+    if after is not None:
+        # minimize_cost folds phase-1 stats in; report just this pass's share
+        ctx.metrics["optimize"] = after.minus(before).summary()
 
 
 def compose_pass(ctx: PassContext) -> None:

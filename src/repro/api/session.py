@@ -55,6 +55,7 @@ class CompiledKernel:
     cache_hit: bool
     cache_key: str
     pass_timings: list[PassTiming] = field(default_factory=list)
+    pass_metrics: dict[str, dict] = field(default_factory=dict)
     components: dict[str, Program] = field(default_factory=dict)
     composed_from: tuple[str, ...] = ()
 
@@ -86,9 +87,33 @@ class CompiledKernel:
                 "proof_complete": self.synthesis.proof_complete,
                 "nodes": self.synthesis.nodes,
             }
+            if self.synthesis.search_stats is not None:
+                payload["synthesis"]["profile"] = (
+                    self.synthesis.search_stats.summary()
+                )
+        if self.pass_metrics:
+            payload["pass_metrics"] = self.pass_metrics
         if self.composed_from:
             payload["composed_from"] = list(self.composed_from)
         return payload
+
+    def timing_report(self) -> str:
+        """Human-readable per-pass timing (and engine throughput) table."""
+        lines = [f"pass timings for {self.name}:"]
+        if not self.pass_timings:
+            lines.append("  (cache hit: no passes ran)")
+        for timing in self.pass_timings:
+            line = f"  {timing.name:12s} {timing.seconds * 1e3:10.2f} ms"
+            profile = self.pass_metrics.get(timing.name)
+            if profile:
+                line += (
+                    f"  [{profile['nodes']} nodes @ "
+                    f"{profile['nodes_per_sec']:,.0f} nodes/s, "
+                    f"{profile['runs']} run(s), "
+                    f"{profile['dedup_hits']} dedup hits]"
+                )
+            lines.append(line)
+        return "\n".join(lines)
 
     def __str__(self) -> str:
         origin = "cache" if self.cache_hit else "synthesis"
@@ -110,6 +135,7 @@ class Porcupine:
         pipeline: PassPipeline | None = None,
         seed: int | None = None,
         synthesis_defaults: dict | None = None,
+        workers: int | None = None,
         default_backend: str = "interpreter",
     ):
         if cache is not None and cache_dir is not None:
@@ -119,6 +145,8 @@ class Porcupine:
         self.pipeline = pipeline if pipeline is not None else PassPipeline.default()
         self.seed = seed
         self.synthesis_defaults = dict(synthesis_defaults or {})
+        if workers is not None:
+            self.synthesis_defaults["workers"] = workers
         self.default_backend = default_backend
         self._backends: dict[tuple, ExecutionBackend] = {}
         self._key_locks: dict[str, threading.Lock] = {}
@@ -299,6 +327,7 @@ class Porcupine:
                 cache_hit=False,
                 cache_key=key,
                 pass_timings=list(ctx.timings),
+                pass_metrics=dict(ctx.metrics),
                 components=dict(ctx.components),
                 composed_from=composed_from,
             )

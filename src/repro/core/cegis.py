@@ -14,6 +14,13 @@ with branch-and-bound pruning, until the space is exhausted (optimality
 proof, like the paper's re-issued synthesis queries with cost constraints)
 or a timeout fires (the paper times out after 20 minutes of no progress
 and returns the best solution found).
+
+Both phases run the search either in-process (``workers=1``) or through
+:class:`~repro.core.parallel.ParallelSynthesis` (``workers>1``), which
+partitions the root slot across a process pool.  Counterexamples and the
+best verified cost bound are re-shared with every worker between rounds,
+and the merged candidate stream is replayed in canonical enumeration
+order, so the synthesized program is bit-identical either way.
 """
 
 from __future__ import annotations
@@ -23,11 +30,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.parallel import ParallelSynthesis
 from repro.core.sketch import Sketch
 from repro.quill.cost import program_cost
 from repro.quill.ir import Program
 from repro.quill.latency import LatencyModel, default_latency_model
-from repro.solver.engine import SketchSearch, materialize_assignment
+from repro.quill.parser import parse_program
+from repro.solver.engine import (
+    SearchStats,
+    SketchSearch,
+    materialize_assignment,
+)
 from repro.spec.reference import Example, Spec
 
 
@@ -47,6 +60,7 @@ class SynthesisConfig:
     optimize_timeout: float = 120.0
     optimize: bool = True
     latency_model: LatencyModel | None = None
+    workers: int = 1  # search processes; results are identical for any value
 
 
 @dataclass
@@ -65,6 +79,7 @@ class SynthesisResult:
     proof_complete: bool
     nodes: int
     examples: list[Example] = field(repr=False, default_factory=list)
+    search_stats: SearchStats | None = field(repr=False, default=None)
 
 
 def seed_examples(
@@ -98,48 +113,91 @@ def synthesize_initial(
 
     start = time.monotonic()
     deadline = start + config.initial_timeout
-    nodes = 0
+    stats = SearchStats()
     initial_program: Program | None = None
     components_used = 0
+    driver = (
+        ParallelSynthesis(config.workers) if config.workers > 1 else None
+    )
 
-    for length in range(config.min_components, config.max_components + 1):
-        found_at_this_length = False
-        while True:  # counterexample loop at this sketch size
-            search = SketchSearch(sketch, spec.layout, examples, model, length)
-            state: dict = {}
+    def fail_timeout(length: int) -> SynthesisError:
+        return SynthesisError(
+            f"{spec.name}: initial synthesis timed out at "
+            f"{length} components after "
+            f"{time.monotonic() - start:.1f}s ({stats.nodes} nodes)"
+        )
 
-            def on_candidate(assignment):
-                program = materialize_assignment(
-                    sketch, spec.layout, assignment, name=f"{spec.name}_synth"
+    try:
+        for length in range(config.min_components, config.max_components + 1):
+            found_at_this_length = False
+            while True:  # counterexample loop at this sketch size
+                if driver is not None:
+                    outcome, text = driver.find_first(
+                        sketch,
+                        spec.layout,
+                        examples,
+                        model,
+                        length,
+                        deadline=deadline,
+                        name=f"{spec.name}_synth",
+                    )
+                    stats.record(outcome)
+                    if text is not None:
+                        program = parse_program(text)
+                        verdict = spec.verify_program(program)
+                        if verdict.equivalent:
+                            initial_program = program
+                            components_used = length
+                            found_at_this_length = True
+                            break
+                        examples.append(
+                            spec.example_from_witness(
+                                verdict.counterexample, rng
+                            )
+                        )
+                        continue
+                    if outcome.status == "timeout":
+                        raise fail_timeout(length)
+                    break  # exhausted: no program of this size exists
+                search = SketchSearch(
+                    sketch, spec.layout, examples, model, length
                 )
-                verdict = spec.verify_program(program)
-                if verdict.equivalent:
-                    state["program"] = program
-                else:
-                    state["witness"] = verdict.counterexample
-                return True, None  # stop either way: accept or add example
+                state: dict = {}
 
-            outcome = search.run(on_candidate, deadline=deadline)
-            nodes += outcome.nodes
-            if "program" in state:
-                initial_program = state["program"]
-                components_used = length
-                found_at_this_length = True
+                def on_candidate(assignment):
+                    program = materialize_assignment(
+                        sketch,
+                        spec.layout,
+                        assignment,
+                        name=f"{spec.name}_synth",
+                    )
+                    verdict = spec.verify_program(program)
+                    if verdict.equivalent:
+                        state["program"] = program
+                    else:
+                        state["witness"] = verdict.counterexample
+                    return True, None  # stop either way: accept or add example
+
+                outcome = search.run(on_candidate, deadline=deadline)
+                stats.record(outcome)
+                if "program" in state:
+                    initial_program = state["program"]
+                    components_used = length
+                    found_at_this_length = True
+                    break
+                if "witness" in state:
+                    examples.append(
+                        spec.example_from_witness(state["witness"], rng)
+                    )
+                    continue
+                if outcome.status == "timeout":
+                    raise fail_timeout(length)
+                break  # exhausted: no program of this size exists
+            if found_at_this_length:
                 break
-            if "witness" in state:
-                examples.append(
-                    spec.example_from_witness(state["witness"], rng)
-                )
-                continue
-            if outcome.status == "timeout":
-                raise SynthesisError(
-                    f"{spec.name}: initial synthesis timed out at "
-                    f"{length} components after "
-                    f"{time.monotonic() - start:.1f}s ({nodes} nodes)"
-                )
-            break  # exhausted: no program of this size exists
-        if found_at_this_length:
-            break
+    finally:
+        if driver is not None:
+            driver.close()
     if initial_program is None:
         raise SynthesisError(
             f"{spec.name}: sketch has no solution with up to "
@@ -160,8 +218,9 @@ def synthesize_initial(
         initial_cost=initial_cost,
         final_cost=initial_cost,
         proof_complete=True,
-        nodes=nodes,
+        nodes=stats.nodes,
         examples=examples,
+        search_stats=stats,
     )
 
 
@@ -182,27 +241,50 @@ def minimize_cost(
     start = time.monotonic()
     optimize_deadline = start + config.optimize_timeout
     examples = list(initial.examples)
-    search = SketchSearch(
-        sketch, spec.layout, examples, model, initial.components
-    )
     best_box = {"program": initial.program, "cost": initial.final_cost}
+    stats = SearchStats()
 
-    def on_better(assignment):
-        program = materialize_assignment(
-            sketch, spec.layout, assignment, name=f"{spec.name}_synth"
+    if config.workers > 1 and initial.components > 1:
+        with ParallelSynthesis(config.workers) as driver:
+            outcome, best_text, best_cost = driver.minimize(
+                sketch,
+                spec.layout,
+                examples,
+                model,
+                initial.components,
+                cost_bound=best_box["cost"],
+                verify=lambda text: spec.verify_program(
+                    parse_program(text)
+                ).equivalent,
+                deadline=optimize_deadline,
+                name=f"{spec.name}_synth",
+            )
+        stats.record(outcome)
+        if best_text is not None:
+            best_box["program"] = parse_program(best_text)
+            best_box["cost"] = best_cost
+    else:
+        search = SketchSearch(
+            sketch, spec.layout, examples, model, initial.components
         )
-        cost = program_cost(program, model)
-        if cost >= best_box["cost"]:
-            return False, None
-        if spec.verify_program(program).equivalent:
-            best_box["program"] = program
-            best_box["cost"] = cost
-            return False, cost
-        return False, None  # matches examples but not the spec
 
-    outcome = search.run(
-        on_better, cost_bound=best_box["cost"], deadline=optimize_deadline
-    )
+        def on_better(assignment):
+            program = materialize_assignment(
+                sketch, spec.layout, assignment, name=f"{spec.name}_synth"
+            )
+            cost = program_cost(program, model)
+            if cost >= best_box["cost"]:
+                return False, None
+            if spec.verify_program(program).equivalent:
+                best_box["program"] = program
+                best_box["cost"] = cost
+                return False, cost
+            return False, None  # matches examples but not the spec
+
+        outcome = search.run(
+            on_better, cost_bound=best_box["cost"], deadline=optimize_deadline
+        )
+        stats.record(outcome)
     return SynthesisResult(
         program=best_box["program"],
         initial_program=initial.initial_program,
@@ -216,6 +298,7 @@ def minimize_cost(
         proof_complete=outcome.status == "exhausted",
         nodes=initial.nodes + outcome.nodes,
         examples=examples,
+        search_stats=stats.merge(initial.search_stats),
     )
 
 

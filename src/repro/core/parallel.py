@@ -1,0 +1,421 @@
+"""Process-parallel sketch search: stream the root slot across workers.
+
+The engine's enumeration tree fans out at the root slot into independent
+``(component, operand1, rotation1)`` branches ("root ranks", numbered in
+canonical enumeration order by :class:`~repro.solver.engine.SketchSearch`).
+:class:`ParallelSynthesis` submits **one task per rank** to a
+``ProcessPoolExecutor``, keeps at most ``workers`` tasks in flight, and
+consumes results strictly in rank order.  That streaming shape is what
+makes the driver both fast and exact:
+
+* *Phase 1* (:meth:`find_first`) accepts a match the moment every lower
+  rank has completed without one — precisely the candidate a
+  single-process search reaches first — without waiting for higher
+  ranks to exhaust their (possibly enormous) subtrees.
+* *Phase 2* (:meth:`minimize`) re-reads the best *verified* cost bound
+  at every task submission, so a cheap program verified early prunes all
+  later ranks, like serial branch-and-bound.  In-flight tasks run under
+  a slightly stale (looser) bound, which only over-approximates the
+  candidate stream; the parent replays it in canonical order with serial
+  semantics, so the result is bit-identical to ``workers=1``.
+
+Workers never tighten bounds on unverified candidates — a cheap
+example-matching program can still fail verification, and pruning on its
+cost could hide the true optimum.  Verification stays in the parent: a
+:class:`~repro.spec.reference.Spec` holds an arbitrary Python reference
+implementation (often a lambda) and does not cross process boundaries,
+while sketches, layouts, examples, and latency tables are all plain
+picklable data; candidates come back as Quill program text.
+
+Under deadline pressure the driver reports a timeout whenever a rank
+times out before a lower-or-equal-rank match emerged (a serial search
+would still be inside that subtree at the deadline), so it never returns
+a *different* program than serial — at worst it times out where an
+unfinished serial run might have gotten lucky later.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.quill.cost import program_cost
+from repro.quill.latency import LatencyModel
+from repro.quill.printer import format_program
+from repro.solver.engine import (
+    SearchOptions,
+    SearchOutcome,
+    SketchSearch,
+    materialize_assignment,
+)
+from repro.spec.layout import Layout
+from repro.spec.reference import Example
+
+
+# Set once per worker process (pool initializer): a shared event the
+# parent raises to abandon in-flight tasks.  Future.cancel() cannot stop
+# a task that already started; without this, a straggler rank would keep
+# exhausting its subtree against a stale example set, clogging pool
+# slots for the next CEGIS round.
+_CANCEL_EVENT = None
+
+
+def _init_worker(cancel_event) -> None:
+    global _CANCEL_EVENT
+    _CANCEL_EVENT = cancel_event
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to search a slice of the root slot."""
+
+    sketch: object
+    layout: Layout
+    examples: tuple[Example, ...]
+    model: LatencyModel
+    length: int
+    options: SearchOptions
+    ranks: tuple[int, ...] | None  # None = the whole root slot
+    mode: str  # "first" | "collect"
+    cost_bound: float
+    deadline: float | None  # absolute time.monotonic() deadline
+    name: str
+
+
+def _run_shard(task: ShardTask) -> tuple[SearchOutcome, list[tuple]]:
+    """Worker entry point: search one rank slice, return candidates as text.
+
+    ``first`` mode stops at the slice's first example-matching candidate
+    and reports ``(root_rank, program_text)``.  ``collect`` mode
+    enumerates every candidate cheaper than ``cost_bound`` and reports
+    ``(root_rank, sequence, cost, program_text)``; the sequence number
+    preserves the within-branch enumeration order.
+    """
+    search = SketchSearch(
+        task.sketch,
+        task.layout,
+        list(task.examples),
+        task.model,
+        task.length,
+        options=task.options,
+    )
+    found: list[tuple] = []
+    if task.mode == "first":
+
+        def on_candidate(assignment):
+            program = materialize_assignment(
+                task.sketch, task.layout, assignment, name=task.name
+            )
+            found.append((search.current_root_rank, format_program(program)))
+            return True, None
+
+    else:
+        sequence = 0
+
+        def on_candidate(assignment):
+            nonlocal sequence
+            program = materialize_assignment(
+                task.sketch, task.layout, assignment, name=task.name
+            )
+            cost = program_cost(program, task.model)
+            if cost < task.cost_bound:
+                found.append(
+                    (
+                        search.current_root_rank,
+                        sequence,
+                        cost,
+                        format_program(program),
+                    )
+                )
+            sequence += 1
+            return False, None
+
+    outcome = search.run(
+        on_candidate,
+        cost_bound=task.cost_bound,
+        deadline=task.deadline,
+        root_ranks=frozenset(task.ranks) if task.ranks is not None else None,
+        should_stop=_CANCEL_EVENT.is_set if _CANCEL_EVENT is not None else None,
+    )
+    return outcome, found
+
+
+class ParallelSynthesis:
+    """A reusable pool of search workers with deterministic merging.
+
+    One driver serves every round of a CEGIS phase: the pool forks once
+    and each :meth:`find_first`/:meth:`minimize` call re-streams the
+    root ranks with the current examples and bound.  Use as a context
+    manager (or call :meth:`close`) to release the pool.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        options: SearchOptions | None = None,
+    ):
+        self.workers = max(1, workers or os.cpu_count() or 1)
+        self.options = options or SearchOptions()
+        self._pool: ProcessPoolExecutor | None = None
+        self._cancel = multiprocessing.Event()
+        self._rank_counts: dict[tuple[int, int], int] = {}
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self._cancel,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._cancel.set()  # reap in-flight stragglers cooperatively
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelSynthesis":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- rank streaming ---------------------------------------------------
+
+    def rank_count(
+        self,
+        sketch,
+        layout: Layout,
+        examples: list[Example],
+        model: LatencyModel,
+        length: int,
+    ) -> int:
+        """The root-rank universe size (cached: invariant across rounds)."""
+        key = (id(sketch), length)
+        total = self._rank_counts.get(key)
+        if total is None:
+            probe = SketchSearch(
+                sketch, layout, examples, model, length, options=self.options
+            )
+            total = self._rank_counts[key] = probe.root_choice_count()
+        return total
+
+    def _stream_ranks(
+        self,
+        total: int,
+        make_task: Callable[[int], ShardTask],
+    ) -> Iterator[tuple[int, SearchOutcome, list[tuple]]]:
+        """Yield per-rank results in rank order, at most ``workers`` in
+        flight, submitting lazily so ``make_task`` sees current state
+        (the tightened cost bound).  Closing the generator cancels every
+        queued task and signals in-flight ones to abandon their subtrees
+        (engines poll the shared event and bail with a discarded
+        "timeout"), so the pool is clean for the next round."""
+        pool = self._ensure_pool()
+        # stragglers poll every batch, so the set->clear window between
+        # rounds (parent-side verification) is ample for them to bail
+        self._cancel.clear()
+        pending: dict[int, Future] = {}
+        next_rank = 0
+        try:
+            for emit_rank in range(total):
+                while next_rank < total and (
+                    sum(1 for f in pending.values() if not f.done())
+                    < self.workers
+                ):
+                    pending[next_rank] = pool.submit(
+                        _run_shard, make_task(next_rank)
+                    )
+                    next_rank += 1
+                outcome, found = pending.pop(emit_rank).result()
+                yield emit_rank, outcome, found
+        finally:
+            if pending:
+                self._cancel.set()
+            for future in pending.values():
+                future.cancel()
+
+    @staticmethod
+    def _merge(
+        outcomes: list[SearchOutcome], status: str, wall_seconds: float
+    ) -> SearchOutcome:
+        return SearchOutcome(
+            status=status,
+            nodes=sum(o.nodes for o in outcomes),
+            candidates=sum(o.candidates for o in outcomes),
+            seconds=wall_seconds,
+            batches=sum(o.batches for o in outcomes),
+            dedup_hits=sum(o.dedup_hits for o in outcomes),
+        )
+
+    def _task(
+        self, sketch, layout, examples, model, length, rank, mode, bound,
+        deadline, name,
+    ) -> ShardTask:
+        return ShardTask(
+            sketch=sketch,
+            layout=layout,
+            examples=tuple(examples),
+            model=model,
+            length=length,
+            options=self.options,
+            ranks=None if rank is None else (rank,),
+            mode=mode,
+            cost_bound=bound,
+            deadline=deadline,
+            name=name,
+        )
+
+    # -- search rounds ----------------------------------------------------
+
+    def find_first(
+        self,
+        sketch,
+        layout: Layout,
+        examples: list[Example],
+        model: LatencyModel,
+        length: int,
+        *,
+        deadline: float | None = None,
+        name: str = "synthesized",
+    ) -> tuple[SearchOutcome, str | None]:
+        """One phase-1 round: the globally-first example-matching program.
+
+        Ranks are consumed in order, so the first rank that reports a
+        match — with every lower rank already exhausted and match-free —
+        is exactly the candidate a single-process search reaches first;
+        higher in-flight ranks are abandoned immediately.  Returns the
+        merged outcome and the winning program's text (``None`` when the
+        space is exhausted, or on timeout).
+        """
+        started = time.perf_counter()
+        total = self.rank_count(sketch, layout, examples, model, length)
+        # a length-1 search is pure goal-directed final-slot enumeration
+        # (no root ranks to split); tiny rank universes aren't worth forks
+        if length < 2 or total < 2 or self.workers < 2:
+            outcome, found = _run_shard(
+                self._task(
+                    sketch, layout, examples, model, length, None, "first",
+                    float("inf"), deadline, name,
+                )
+            )
+            text = found[0][1] if found else None
+            status = "stopped" if text is not None else outcome.status
+            return (
+                self._merge([outcome], status, time.perf_counter() - started),
+                text,
+            )
+
+        outcomes: list[SearchOutcome] = []
+        best_text: str | None = None
+        status = "exhausted"
+        stream = self._stream_ranks(
+            total,
+            lambda rank: self._task(
+                sketch, layout, examples, model, length, rank, "first",
+                float("inf"), deadline, name,
+            ),
+        )
+        try:
+            for _, outcome, found in stream:
+                outcomes.append(outcome)
+                if outcome.status == "timeout":
+                    # a serial search would still be inside this subtree
+                    # at the deadline; never report a later-rank match
+                    status = "timeout"
+                    break
+                if found:
+                    best_text = found[0][1]
+                    status = "stopped"
+                    break
+        finally:
+            stream.close()
+        return (
+            self._merge(outcomes, status, time.perf_counter() - started),
+            best_text,
+        )
+
+    def minimize(
+        self,
+        sketch,
+        layout: Layout,
+        examples: list[Example],
+        model: LatencyModel,
+        length: int,
+        *,
+        cost_bound: float,
+        verify: Callable[[str], bool],
+        deadline: float | None = None,
+        name: str = "synthesized",
+    ) -> tuple[SearchOutcome, str | None, float]:
+        """One phase-2 round: the cheapest verified program under the bound.
+
+        Streams rank tasks under the *current* verified bound (tightened
+        as soon as ``verify`` accepts a cheaper candidate, pruning every
+        later rank) and replays each rank's candidates in canonical
+        order with serial branch-and-bound semantics.  Returns the
+        merged outcome, the best program's text (``None`` when nothing
+        beat ``cost_bound``), and its cost.
+        """
+        started = time.perf_counter()
+        total = self.rank_count(sketch, layout, examples, model, length)
+        bound_box = {"bound": cost_bound}
+        best_text: str | None = None
+        status = "exhausted"
+
+        def replay(found: list[tuple]) -> None:
+            nonlocal best_text
+            for _, _, cost, text in found:
+                if cost >= bound_box["bound"]:
+                    continue
+                if verify(text):
+                    bound_box["bound"] = cost
+                    best_text = text
+
+        if length < 2 or total < 2 or self.workers < 2:
+            outcome, found = _run_shard(
+                self._task(
+                    sketch, layout, examples, model, length, None, "collect",
+                    cost_bound, deadline, name,
+                )
+            )
+            replay(found)
+            return (
+                self._merge(
+                    [outcome], outcome.status, time.perf_counter() - started
+                ),
+                best_text,
+                bound_box["bound"],
+            )
+
+        outcomes: list[SearchOutcome] = []
+        stream = self._stream_ranks(
+            total,
+            lambda rank: self._task(
+                sketch, layout, examples, model, length, rank, "collect",
+                bound_box["bound"], deadline, name,
+            ),
+        )
+        try:
+            for _, outcome, found in stream:
+                outcomes.append(outcome)
+                # candidates this rank emitted before any deadline are
+                # exactly the ones a serial search would have reached
+                replay(found)
+                if outcome.status == "timeout":
+                    status = "timeout"
+                    break
+        finally:
+            stream.close()
+        return (
+            self._merge(outcomes, status, time.perf_counter() - started),
+            best_text,
+            bound_box["bound"],
+        )

@@ -1,20 +1,33 @@
-"""Instruction latency profiling against the BFV backend.
+"""Instruction latency and synthesis-throughput profiling.
 
 The paper derives Quill's per-instruction latencies by profiling SEAL
 (section 4.2); this module does the same against :mod:`repro.he`.  The
 resulting table can be checked into :mod:`repro.quill.latency` so that
 synthesis stays deterministic across machines — only relative magnitudes
 matter to the cost model.
+
+:class:`SearchStats` is the synthesis-side profile: it aggregates the
+per-run statistics of every engine :class:`~repro.solver.engine.SearchOutcome`
+a CEGIS run issued (counterexample rounds, length increments, parallel
+shards) into the nodes/sec numbers reported by ``BENCH_synthesis.json``,
+the session's per-pass timing report, and the CLI's ``--timings`` flag.
+It lives beside :class:`~repro.solver.engine.SearchOutcome` (so the
+synthesis path never imports the HE substrate) and is re-exported here
+as part of the profiling surface.
 """
 
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.he import BFVContext
-from repro.he.params import BFVParams
+from repro.solver.engine import SearchStats  # noqa: F401  (profiling surface)
+
+if TYPE_CHECKING:  # pragma: no cover - synthesis-only imports stay light
+    from repro.he.params import BFVParams
+
 from repro.quill.ir import Opcode
 from repro.quill.latency import LatencyModel
 
@@ -23,6 +36,10 @@ def profile_instructions(
     params: BFVParams, repeats: int = 5, seed: int = 0
 ) -> LatencyModel:
     """Measure the median latency of every Quill opcode in microseconds."""
+    # imported here so synthesis-only users of this module (SearchStats
+    # flows into every CEGIS run) never pay for the BFV substrate
+    from repro.he import BFVContext
+
     ctx = BFVContext(params, seed=seed)
     rng = np.random.default_rng(seed)
     n = min(64, params.row_size)

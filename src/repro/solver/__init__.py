@@ -19,11 +19,18 @@ backtracking search over the sketch's holes with aggressive pruning:
 
 The engine is exact for the queries it answers: "exhausted" means no
 completion of the sketch at that size matches the examples.
+
+Evaluation is batched (stacked numpy over all operand fills of a prefix,
+vectorized hash dedup, single-comparison goal checks); the scalar path
+survives behind ``SearchOptions(batched=False)`` for ablations, and
+root-slot partitioning (``run(root_ranks=...)``) supports the
+process-parallel driver in :mod:`repro.core.parallel`.
 """
 
 from repro.solver.engine import (
     SearchOptions,
     SearchOutcome,
+    SearchStats,
     SketchSearch,
     materialize_assignment,
 )
@@ -32,6 +39,7 @@ from repro.solver.values import ValueStore, shift_matrix
 __all__ = [
     "SearchOptions",
     "SearchOutcome",
+    "SearchStats",
     "SketchSearch",
     "ValueStore",
     "materialize_assignment",

@@ -8,10 +8,27 @@ documented in the package docstring; all of them are *sound*: an exhausted
 search proves no L-component completion of the sketch matches the
 examples.
 
+The hot loop is *batched*: for a fixed ``(component, operand1, rotation1)``
+prefix, every ``(operand2, rotation2)`` fill is evaluated in one stacked
+numpy operation, deduplicated through one vectorized 64-bit hash pass
+(:meth:`ValueStore.hash_block`), and — on the final slot — goal-checked
+with a single ``(K, E, |out_slots|)`` comparison.  The pre-batching
+scalar path is kept behind ``SearchOptions(batched=False)`` for the
+optimization-ablation benchmark; both paths enumerate candidates in the
+same canonical order and visit the same node count (timeout cutoffs,
+which interrupt a batch mid-flight, aside).
+
 The caller (the CEGIS loop in :mod:`repro.core.cegis`) owns verification,
 counterexamples, and cost accounting; the engine calls back on every
 goal-matching assignment and honours the returned directive (stop, or
 continue with a tightened cost bound).
+
+For parallel search, the root slot's ``(component, operand1, rotation1)``
+branches are numbered in enumeration order ("root ranks");
+``run(root_ranks=...)`` restricts one engine to a subset of branches so a
+driver (:mod:`repro.core.parallel`) can partition the space across
+processes while preserving the global candidate order via
+``current_root_rank``.
 """
 
 from __future__ import annotations
@@ -41,24 +58,110 @@ class _Timeout(Exception):
 
 @dataclass
 class SearchOutcome:
-    """Result of one engine run."""
+    """Result of one engine run, with throughput statistics."""
 
     status: str  # "stopped" | "exhausted" | "timeout"
     nodes: int
     candidates: int  # assignments that matched the examples
+    seconds: float = 0.0  # wall time inside run()
+    batches: int = 0  # stacked evaluations (batched mode only)
+    dedup_hits: int = 0  # values rejected as observationally equivalent
+
+    @property
+    def nodes_per_sec(self) -> float:
+        return self.nodes / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class SearchStats:
+    """Aggregate engine throughput over one synthesis phase (or run).
+
+    Folds the per-run statistics of every :class:`SearchOutcome` a CEGIS
+    run issued — counterexample rounds, length increments, parallel
+    shards — into one profile (nodes/sec in ``BENCH_synthesis.json``,
+    the session's per-pass timing report, the CLI's ``--timings``).
+    """
+
+    runs: int = 0  # engine invocations (rounds x shards)
+    nodes: int = 0
+    candidates: int = 0
+    seconds: float = 0.0  # engine wall time (summed across shards)
+    batches: int = 0  # stacked evaluations (batched engine only)
+    dedup_hits: int = 0  # values rejected as observationally equivalent
+
+    @property
+    def nodes_per_sec(self) -> float:
+        return self.nodes / self.seconds if self.seconds > 0 else 0.0
+
+    def record(self, outcome: "SearchOutcome") -> None:
+        """Fold in one :class:`SearchOutcome`."""
+        self.runs += 1
+        self.nodes += outcome.nodes
+        self.candidates += outcome.candidates
+        self.seconds += outcome.seconds
+        self.batches += outcome.batches
+        self.dedup_hits += outcome.dedup_hits
+
+    def merge(self, other: "SearchStats | None") -> "SearchStats":
+        """A new stats object combining self with ``other`` (if any)."""
+        merged = SearchStats(
+            runs=self.runs,
+            nodes=self.nodes,
+            candidates=self.candidates,
+            seconds=self.seconds,
+            batches=self.batches,
+            dedup_hits=self.dedup_hits,
+        )
+        if other is not None:
+            merged.runs += other.runs
+            merged.nodes += other.nodes
+            merged.candidates += other.candidates
+            merged.seconds += other.seconds
+            merged.batches += other.batches
+            merged.dedup_hits += other.dedup_hits
+        return merged
+
+    def minus(self, other: "SearchStats | None") -> "SearchStats":
+        """The stats accrued after ``other`` was captured (per-phase share)."""
+        if other is None:
+            return self.merge(None)
+        return SearchStats(
+            runs=self.runs - other.runs,
+            nodes=self.nodes - other.nodes,
+            candidates=self.candidates - other.candidates,
+            seconds=max(0.0, self.seconds - other.seconds),
+            batches=self.batches - other.batches,
+            dedup_hits=self.dedup_hits - other.dedup_hits,
+        )
+
+    def summary(self) -> dict:
+        """Machine-readable profile (JSON payloads, timing reports)."""
+        return {
+            "runs": self.runs,
+            "nodes": self.nodes,
+            "candidates": self.candidates,
+            "seconds": round(self.seconds, 6),
+            "nodes_per_sec": round(self.nodes_per_sec, 1),
+            "batches": self.batches,
+            "dedup_hits": self.dedup_hits,
+        }
 
 
 @dataclass(frozen=True)
 class SearchOptions:
-    """Pruning toggles, used by the optimization-ablation benchmark.
+    """Pruning and evaluation toggles, used by the ablation benchmarks.
 
-    All rules are sound, so disabling them only slows the search down;
-    the defaults match the paper's section 6.2 configuration.
+    All pruning rules are sound, so disabling them only slows the search
+    down; the defaults match the paper's section 6.2 configuration.
+    ``batched`` switches between the stacked-numpy evaluation of the
+    inner enumeration and the historical scalar path — both produce the
+    same candidates in the same order.
     """
 
     dedup: bool = True  # observational-equivalence deduplication
     symmetry: bool = True  # commutative/adjacent-order symmetry breaking
     dead_value: bool = True  # every component must feed the output
+    batched: bool = True  # stacked evaluation of (op2, r2) fills
 
 
 @dataclass
@@ -118,11 +221,21 @@ class SketchSearch:
             np.stack([ex.ct_env[name] for ex in examples])
             for name in layout.ct_names
         ]
-        self.store = ValueStore(base)
         self.goal = np.stack([ex.goal for ex in examples])
         self.out_slots = list(layout.output_slots)
 
         rots_with_identity = (0,) + tuple(sketch.rotations)
+        if self.options.batched:
+            self.store = ValueStore(
+                base,
+                amounts=rots_with_identity,
+                out_slots=self.out_slots,
+                capacity=len(base) + length,
+            )
+        else:
+            self.store = ValueStore(base)
+        self._pair_cache: dict[tuple, tuple] = {}
+        self._final_cache: dict[tuple, tuple] = {}
         self.components: list[_Comp] = []
         for index, choice in enumerate(sketch.choices):
             self.components.append(
@@ -130,6 +243,8 @@ class SketchSearch:
             )
         self.rot_latency = latency_model.table[Opcode.ROTATE]
         self.min_latency = min(c.latency for c in self.components)
+        #: Root branch the engine is currently exploring (see run()).
+        self.current_root_rank = -1
 
     def _compile_choice(self, index, choice, rots_with_identity) -> _Comp:
         model = self.latency_model
@@ -196,22 +311,55 @@ class SketchSearch:
     # Search
     # ------------------------------------------------------------------
 
+    def root_choice_count(self) -> int:
+        """Number of root-slot branches (rank universe for partitioning).
+
+        Only meaningful for ``length > 1``: a length-1 search goes
+        straight to goal-directed final-slot enumeration, which is not
+        rank-partitioned.
+        """
+        base = self.store.base_count
+        total = 0
+        for comp in self.components:
+            if comp.is_rotation:
+                total += base * len(comp.rot_amounts)
+            else:
+                total += base * len(comp.rots1)
+        return total
+
     def run(
         self,
         on_candidate,
         cost_bound: float = float("inf"),
         deadline: float | None = None,
+        root_ranks: frozenset[int] | set[int] | None = None,
+        should_stop=None,
     ) -> SearchOutcome:
         """Enumerate matching assignments, calling back on each.
 
         ``on_candidate(assignment)`` must return ``(stop, new_bound)``:
         stop aborts the search (initial-solution mode); a non-None bound
         tightens branch-and-bound pruning (optimization mode).
+
+        ``root_ranks`` restricts the search to the given root-slot
+        branches (see :meth:`root_choice_count`); ``None`` searches all
+        of them.  During enumeration ``self.current_root_rank`` names the
+        branch the current candidate descends from, letting a parallel
+        driver reconstruct the global canonical candidate order.
+
+        ``should_stop`` is polled alongside the deadline (every 4096
+        nodes / every batch); returning True aborts with a "timeout"
+        status — the parallel driver's cooperative cancellation.
         """
         self._on_candidate = on_candidate
         self._bound = cost_bound
         self._deadline = deadline
+        self._should_stop = should_stop
+        self._root_ranks = frozenset(root_ranks) if root_ranks is not None else None
+        self._root_rank = -1
+        self.current_root_rank = -1
         self._nodes = 0
+        self._batches = 0
         self._candidates = 0
         self._stopped = False
         self._assignment: list[tuple] = []
@@ -221,6 +369,8 @@ class SketchSearch:
         self._latency_sum = 0.0
         self._rotset: set[tuple[int, int]] = set()
         self._max_depth = 0
+        dedup_before = self.store.dedup_hits
+        started = time.perf_counter()
         status = "exhausted"
         try:
             self._slot(0)
@@ -229,16 +379,42 @@ class SketchSearch:
         if self._stopped:
             status = "stopped"
         return SearchOutcome(
-            status=status, nodes=self._nodes, candidates=self._candidates
+            status=status,
+            nodes=self._nodes,
+            candidates=self._candidates,
+            seconds=time.perf_counter() - started,
+            batches=self._batches,
+            dedup_hits=self.store.dedup_hits - dedup_before,
         )
 
     # -- bookkeeping helpers -----------------------------------------------
 
     def _tick(self) -> None:
         self._nodes += 1
-        if self._deadline is not None and self._nodes % 4096 == 0:
-            if time.monotonic() > self._deadline:
+        if self._nodes % 4096 == 0:
+            if self._deadline is not None and time.monotonic() > self._deadline:
                 raise _Timeout()
+            if self._should_stop is not None and self._should_stop():
+                raise _Timeout()
+
+    def _advance(self, count: int) -> None:
+        """Account for one stacked evaluation of ``count`` candidates."""
+        self._nodes += count
+        self._batches += 1
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise _Timeout()
+        if self._should_stop is not None and self._should_stop():
+            raise _Timeout()
+
+    def _enter_root(self, slot: int) -> bool:
+        """Number root branches; True when this branch should be searched."""
+        if slot != 0:
+            return True
+        self._root_rank += 1
+        self.current_root_rank = self._root_rank
+        if self._root_ranks is None:
+            return True
+        return self._root_rank in self._root_ranks
 
     def _mark_used(self, *ops: int) -> list[int]:
         base = self.store.base_count
@@ -294,12 +470,17 @@ class SketchSearch:
                 continue
             if comp.is_rotation:
                 self._try_rotation_comp(slot, comp, prev, prev_wire)
+                if self._stopped:
+                    return
                 continue
             avail = len(store)
             for op1 in range(avail - 1, -1, -1):
                 for r1 in comp.rots1:
-                    v1 = store.shifted(op1, r1)
+                    if not self._enter_root(slot):
+                        continue
+                    v1 = store.rotated(op1, r1)
                     if comp.pt_matrix is not None:
+                        self._tick()
                         value = _apply(comp.opcode, v1, comp.pt_matrix)
                         self._try_push(
                             slot, comp, op1, r1, None, 0, value, prev, prev_wire
@@ -307,31 +488,82 @@ class SketchSearch:
                         if self._stopped:
                             return
                         continue
-                    for op2 in range(avail - 1, -1, -1):
-                        for r2 in comp.rots2:
-                            if (
-                                self.options.symmetry
-                                and comp.commutative
-                                and (op2, r2) < (op1, r1)
-                            ):
-                                continue
-                            self._tick()
-                            value = _apply(
-                                comp.opcode, v1, store.shifted(op2, r2)
-                            )
-                            self._try_push(
-                                slot, comp, op1, r1, op2, r2, value,
-                                prev, prev_wire,
-                            )
-                            if self._stopped:
-                                return
+                    if self.options.batched:
+                        self._fill_ct_batched(
+                            slot, comp, op1, r1, v1, avail, prev, prev_wire
+                        )
+                    else:
+                        self._fill_ct_scalar(
+                            slot, comp, op1, r1, v1, avail, prev, prev_wire
+                        )
+                    if self._stopped:
+                        return
+
+    def _ct_pairs(self, comp, op1, r1, avail) -> list[tuple[int, int]]:
+        """The (op2, r2) fills for a fixed prefix, in canonical order."""
+        symmetry = self.options.symmetry and comp.commutative
+        pairs = []
+        for op2 in range(avail - 1, -1, -1):
+            for r2 in comp.rots2:
+                if symmetry and (op2, r2) < (op1, r1):
+                    continue
+                pairs.append((op2, r2))
+        return pairs
+
+    def _fill_ct_scalar(
+        self, slot, comp, op1, r1, v1, avail, prev, prev_wire
+    ) -> None:
+        store = self.store
+        for op2, r2 in self._ct_pairs(comp, op1, r1, avail):
+            self._tick()
+            value = _apply(comp.opcode, v1, store.shifted(op2, r2))
+            self._try_push(
+                slot, comp, op1, r1, op2, r2, value, prev, prev_wire
+            )
+            if self._stopped:
+                return
+
+    def _fill_ct_batched(
+        self, slot, comp, op1, r1, v1, avail, prev, prev_wire
+    ) -> None:
+        store = self.store
+        key = (comp.choice_index, avail, op1, r1)
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            pairs = self._ct_pairs(comp, op1, r1, avail)
+            ops = np.array([p[0] for p in pairs], dtype=np.intp)
+            rot_positions = np.array(
+                [store.rot_pos[p[1]] for p in pairs], dtype=np.intp
+            )
+            cached = (pairs, ops, rot_positions)
+            self._pair_cache[key] = cached
+        pairs, ops, rot_positions = cached
+        if not pairs:
+            return
+        self._advance(len(pairs))
+        values = _apply(
+            comp.opcode, v1[None, :, :], store.gather(ops, rot_positions)
+        )
+        hashes = store.hash_block(values).tolist()
+        for k, (op2, r2) in enumerate(pairs):
+            self._try_push(
+                slot, comp, op1, r1, op2, r2, values[k], prev, prev_wire,
+                key_hash=hashes[k],
+            )
+            if self._stopped:
+                # keep node accounting identical to the scalar path on
+                # early stops: uncharge the candidates never reached
+                self._nodes -= len(pairs) - 1 - k
+                return
 
     def _try_rotation_comp(self, slot, comp, prev, prev_wire) -> None:
         store = self.store
         for op1 in range(len(store) - 1, -1, -1):
             for amount in comp.rot_amounts:
+                if not self._enter_root(slot):
+                    continue
                 self._tick()
-                value = store.shifted(op1, amount).copy()
+                value = store.rotated(op1, amount).copy()
                 self._try_push(
                     slot, comp, op1, amount, None, 0, value, prev, prev_wire
                 )
@@ -339,7 +571,8 @@ class SketchSearch:
                     return
 
     def _try_push(
-        self, slot, comp, op1, r1, op2, r2, value, prev, prev_wire
+        self, slot, comp, op1, r1, op2, r2, value, prev, prev_wire,
+        key_hash=None,
     ) -> None:
         # canonical order for adjacent independent components (symmetry
         # breaking, paper 6.2): if this slot does not consume the previous
@@ -356,7 +589,9 @@ class SketchSearch:
         depth = self.store.depths[op1] + comp.depth_inc
         if op2 is not None:
             depth = max(depth, self.store.depths[op2] + comp.depth_inc)
-        if not self.store.try_push(value, depth, force=not self.options.dedup):
+        if not self.store.try_push(
+            value, depth, force=not self.options.dedup, key_hash=key_hash
+        ):
             return  # observational-equivalence dedup
         self._used_flags.append(False)
         self._unused += 1
@@ -436,24 +671,80 @@ class SketchSearch:
                         if self._stopped:
                             return
                 continue
-            for op1, op2, sym in self._final_pairs(unused, len(store), comp):
-                for r1 in comp.rots1:
-                    v1 = store.shifted(op1, r1)
-                    for r2 in comp.rots2:
-                        # the symmetry skip is only sound when the mirrored
-                        # operand order is also enumerated (or op1 == op2,
-                        # where swapping rotations mirrors the pair)
-                        if (
-                            comp.commutative
-                            and (sym or op1 == op2)
-                            and (op2, r2) < (op1, r1)
-                        ):
-                            continue
-                        self._tick()
-                        value = _apply(comp.opcode, v1, store.shifted(op2, r2))
-                        self._check_goal(comp, op1, r1, op2, r2, value)
-                        if self._stopped:
-                            return
+            if self.options.batched:
+                self._final_ct_batched(unused, comp)
+            else:
+                self._final_ct_scalar(unused, comp)
+            if self._stopped:
+                return
+
+    def _final_ct_cands(self, unused, comp) -> list[tuple[int, int, int, int]]:
+        """Final-slot ct-ct fills in canonical order.
+
+        The symmetry skip is only sound when the mirrored operand order
+        is also enumerated (or op1 == op2, where swapping rotations
+        mirrors the pair) — see :meth:`_final_pairs`.
+        """
+        cands = []
+        for op1, op2, sym in self._final_pairs(unused, len(self.store), comp):
+            for r1 in comp.rots1:
+                for r2 in comp.rots2:
+                    if (
+                        comp.commutative
+                        and (sym or op1 == op2)
+                        and (op2, r2) < (op1, r1)
+                    ):
+                        continue
+                    cands.append((op1, r1, op2, r2))
+        return cands
+
+    def _final_ct_scalar(self, unused, comp) -> None:
+        store = self.store
+        for op1, r1, op2, r2 in self._final_ct_cands(unused, comp):
+            self._tick()
+            value = _apply(
+                comp.opcode, store.shifted(op1, r1), store.shifted(op2, r2)
+            )
+            self._check_goal(comp, op1, r1, op2, r2, value)
+            if self._stopped:
+                return
+
+    def _final_ct_batched(self, unused, comp) -> None:
+        store = self.store
+        key = (comp.choice_index, len(store), tuple(unused))
+        cached = self._final_cache.get(key)
+        if cached is None:
+            cands = self._final_ct_cands(unused, comp)
+            ops1 = np.array([c[0] for c in cands], dtype=np.intp)
+            pos1 = np.array(
+                [store.rot_pos[c[1]] for c in cands], dtype=np.intp
+            )
+            ops2 = np.array([c[2] for c in cands], dtype=np.intp)
+            pos2 = np.array(
+                [store.rot_pos[c[3]] for c in cands], dtype=np.intp
+            )
+            cached = (cands, ops1, pos1, ops2, pos2)
+            self._final_cache[key] = cached
+        cands, ops1, pos1, ops2, pos2 = cached
+        if not cands:
+            return
+        self._advance(len(cands))
+        # evaluate only the output-slot columns: the goal check never
+        # needs the full vectors, and the final slot pushes nothing
+        values = _apply(
+            comp.opcode,
+            store.gather_out(ops1, pos1),
+            store.gather_out(ops2, pos2),
+        )
+        # one (K, E, |out_slots|) comparison against the goal
+        hits = (values == self.goal[None, :, :]).all(axis=(1, 2))
+        for k in np.flatnonzero(hits):
+            op1, r1, op2, r2 = cands[int(k)]
+            self._record_candidate(comp, op1, r1, op2, r2)
+            if self._stopped:
+                # scalar would have ticked only up to this candidate
+                self._nodes -= len(cands) - 1 - int(k)
+                return
 
     def _final_pairs(self, unused, avail, comp):
         """Operand pairs for the final slot, covering all unused wires.
@@ -480,6 +771,9 @@ class SketchSearch:
     def _check_goal(self, comp, op1, r1, op2, r2, value) -> None:
         if not np.array_equal(value[:, self.out_slots], self.goal):
             return
+        self._record_candidate(comp, op1, r1, op2, r2)
+
+    def _record_candidate(self, comp, op1, r1, op2, r2) -> None:
         self._candidates += 1
         encode = (comp.choice_index, op1, r1, -1 if op2 is None else op2, r2)
         self._assignment.append((comp, op1, r1, op2, r2, encode))

@@ -3,15 +3,27 @@
 Every available ciphertext (packed inputs, then one per chosen component)
 is an ``(E, n)`` int64 matrix: one row per CEGIS example.  The store keeps
 
-* a byte-level index for observational-equivalence deduplication,
+* a hash index for observational-equivalence deduplication — a cheap
+  64-bit multiplicative hash over the int64 view, with an exact
+  element-wise comparison only on hash collision (full ``tobytes()``
+  keys, hashed by the dict on every probe, dominated the old profile),
 * a per-value cache of rotated (shifted) variants, since the same operand
-  rotation is probed many times across the search tree,
+  rotation is probed many times across the search tree; cached rotations
+  are handed out as read-only views and the cache is cleared wholesale
+  when backtracking pressure grows it past ``shift_cache_limit`` entries,
 * the multiplicative depth of each value for cost lower bounds.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+#: Seed for the hash weight vector.  Fixed so hashes are reproducible
+#: across runs and across the processes of a parallel search.
+_HASH_SEED = 0x9E3779B97F4A7C15
+
+#: Default cap on live shift-cache entries before a wholesale clear.
+DEFAULT_SHIFT_CACHE_LIMIT = 4096
 
 
 def shift_matrix(matrix: np.ndarray, amount: int) -> np.ndarray:
@@ -27,18 +39,65 @@ def shift_matrix(matrix: np.ndarray, amount: int) -> np.ndarray:
     return out
 
 
-class ValueStore:
-    """Stack of available ciphertext values with dedup and shift caching."""
+def _hash_weights(count: int) -> np.ndarray:
+    """Odd uint64 multipliers, deterministic in the element count."""
+    rng = np.random.default_rng(_HASH_SEED + count)
+    weights = rng.integers(0, 2**64, size=count, dtype=np.uint64)
+    return weights | np.uint64(1)
 
-    def __init__(self, base_vectors: list[np.ndarray]):
+
+class ValueStore:
+    """Stack of available ciphertext values with dedup and shift caching.
+
+    With ``amounts`` given, the store additionally keeps a *rotation
+    block*: a ``(capacity, len(amounts), E, n)`` tensor holding every
+    legal rotation of every live value, filled once per push.  Batched
+    enumeration then materializes a whole candidate operand stack with a
+    single fancy-index :meth:`gather` instead of one ``np.stack`` over K
+    cached views; ``out_slots`` adds a companion block restricted to the
+    output columns for the final slot's vectorized goal check.
+    """
+
+    def __init__(
+        self,
+        base_vectors: list[np.ndarray],
+        shift_cache_limit: int = DEFAULT_SHIFT_CACHE_LIMIT,
+        amounts: tuple[int, ...] | None = None,
+        out_slots: list[int] | tuple[int, ...] | None = None,
+        capacity: int | None = None,
+    ):
         self.vectors: list[np.ndarray] = []
         self.depths: list[int] = []
-        self._index: dict[bytes, int] = {}
+        # hash key (or serial key under force) -> ascending store indices
+        self._buckets: dict[object, list[int]] = {}
+        self._keys: list[object] = []  # per value, its bucket key
         self._shift_cache: list[dict[int, np.ndarray]] = []
-        self._keys: list[bytes] = []
+        self._shift_entries = 0
+        self.shift_cache_limit = shift_cache_limit
         self._serial = 0
+        self._weights: np.ndarray | None = None
+        self.dedup_hits = 0
+        self._amounts = tuple(amounts) if amounts is not None else None
+        self.rot_pos = (
+            {amount: j for j, amount in enumerate(self._amounts)}
+            if self._amounts is not None
+            else {}
+        )
+        self._out_idx = (
+            np.asarray(out_slots, dtype=np.intp)
+            if out_slots is not None
+            else None
+        )
+        self._capacity = capacity or max(len(base_vectors) * 2, 8)
+        self._block: np.ndarray | None = None
+        self._block_out: np.ndarray | None = None
         for vec in base_vectors:
-            added = self.try_push(np.ascontiguousarray(vec, dtype=np.int64), 0)
+            contiguous = np.ascontiguousarray(vec, dtype=np.int64)
+            if contiguous is vec:
+                # don't freeze the caller's own array (try_push marks
+                # stored values read-only)
+                contiguous = contiguous.copy()
+            added = self.try_push(contiguous, 0)
             if not added:
                 raise ValueError(
                     "duplicate input values; inputs must be distinguishable "
@@ -49,27 +108,140 @@ class ValueStore:
     def __len__(self) -> int:
         return len(self.vectors)
 
-    def try_push(self, vec: np.ndarray, depth: int, force: bool = False) -> bool:
+    # -- hashing -----------------------------------------------------------
+
+    def _weights_for(self, count: int) -> np.ndarray:
+        if self._weights is None or self._weights.size != count:
+            self._weights = _hash_weights(count)
+        return self._weights
+
+    def value_hash(self, vec: np.ndarray) -> int:
+        """The 64-bit content hash of one ``(E, n)`` value."""
+        flat = np.ascontiguousarray(vec).view(np.uint64).ravel()
+        weights = self._weights_for(flat.size)
+        return int((flat * weights).sum(dtype=np.uint64))
+
+    def hash_block(self, values: np.ndarray) -> np.ndarray:
+        """Content hashes for a ``(K, E, n)`` stack of candidate values.
+
+        One vectorized pass replaces K separate ``tobytes()`` walks; the
+        result feeds :meth:`try_push` via ``key_hash`` so dedup never
+        rehashes a batched candidate.
+        """
+        k = values.shape[0]
+        flat = np.ascontiguousarray(values).view(np.uint64).reshape(k, -1)
+        weights = self._weights_for(flat.shape[1])
+        return (flat * weights).sum(axis=1, dtype=np.uint64)
+
+    # -- stack operations --------------------------------------------------
+
+    def try_push(
+        self,
+        vec: np.ndarray,
+        depth: int,
+        force: bool = False,
+        key_hash: int | None = None,
+    ) -> bool:
         """Add a value unless it duplicates an existing one.
 
         Returns False (and adds nothing) on duplicates: any minimal program
         computing the same value twice could drop the second computation,
         so such candidates cannot be part of a minimum-size solution.
-        ``force`` admits duplicates under a unique key (used only by the
-        deduplication-ablation benchmark).
+        ``force`` admits duplicates under a unique serial key (used only by
+        the deduplication-ablation benchmark).  ``key_hash`` supplies a
+        precomputed :meth:`value_hash`/:meth:`hash_block` result.
         """
-        key: bytes = vec.tobytes()
-        if key in self._index:
-            if not force:
-                return False
-            self._serial += 1
-            key = key + self._serial.to_bytes(8, "little")
-        self._index[key] = len(self.vectors)
+        key: object = (
+            key_hash if key_hash is not None else self.value_hash(vec)
+        )
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            raw = vec.tobytes()
+            for index in bucket:
+                # exact check: only reached on a hash hit, so the byte
+                # comparison runs on true duplicates and rare collisions
+                if raw == self.vectors[index].tobytes():
+                    if not force:
+                        self.dedup_hits += 1
+                        return False
+                    self._serial += 1
+                    key = ("serial", self._serial)
+                    bucket = None
+                    break
+        if bucket is None:
+            bucket = self._buckets.setdefault(key, [])
+        if vec.base is not None:
+            # batched candidates arrive as views into a whole (K, E, n)
+            # evaluation stack; storing the view would pin that stack in
+            # memory for the lifetime of the branch — keep only our rows
+            vec = vec.copy()
+        # stored values are frozen: shifted(index, 0) hands them out, and
+        # an in-place mutation would silently diverge from the hash index
+        # and the rotation block filled below
+        vec.flags.writeable = False
+        index = len(self.vectors)
+        bucket.append(index)
+        self._keys.append(key)
         self.vectors.append(vec)
         self.depths.append(depth)
         self._shift_cache.append({})
-        self._keys.append(key)
+        if self._amounts is not None:
+            self._fill_block(index, vec)
         return True
+
+    def _fill_block(self, index: int, vec: np.ndarray) -> None:
+        if self._block is None:
+            rows, n = vec.shape
+            shape = (self._capacity, len(self._amounts), rows, n)
+            self._block = np.empty(shape, dtype=np.int64)
+            if self._out_idx is not None:
+                self._block_out = np.empty(
+                    shape[:3] + (self._out_idx.size,), dtype=np.int64
+                )
+        elif index >= self._block.shape[0]:
+            grow = (self._block.shape[0],) + self._block.shape[1:]
+            self._block = np.concatenate(
+                [self._block, np.empty(grow, dtype=np.int64)]
+            )
+            if self._block_out is not None:
+                grow_out = (self._block_out.shape[0],) + self._block_out.shape[1:]
+                self._block_out = np.concatenate(
+                    [self._block_out, np.empty(grow_out, dtype=np.int64)]
+                )
+        row = self._block[index]
+        for j, amount in enumerate(self._amounts):
+            if amount == 0:
+                row[j] = vec
+            else:
+                row[j] = shift_matrix(vec, amount)
+        if self._block_out is not None:
+            self._block_out[index] = row[:, :, self._out_idx]
+
+    def gather(self, indices: np.ndarray, rot_positions: np.ndarray) -> np.ndarray:
+        """Stack ``rotated(indices[k], amounts[rot_positions[k]])`` as (K, E, n)."""
+        return self._block[indices, rot_positions]
+
+    def gather_out(
+        self, indices: np.ndarray, rot_positions: np.ndarray
+    ) -> np.ndarray:
+        """Like :meth:`gather`, restricted to the output-slot columns."""
+        return self._block_out[indices, rot_positions]
+
+    def rotated(self, index: int, amount: int) -> np.ndarray:
+        """The value at ``index`` rotated by ``amount`` (read-only).
+
+        Served from the rotation block when one is maintained (no cache
+        churn), else from the per-value shift cache.  Like
+        :meth:`shifted`, the view is read-only: writing through it would
+        corrupt the block entry for every later :meth:`gather`.
+        (:meth:`gather`/:meth:`gather_out` return fancy-indexed copies,
+        so those are safe to hand out writable.)
+        """
+        if self._block is not None and amount in self.rot_pos:
+            view = self._block[index, self.rot_pos[amount]]
+            view.flags.writeable = False
+            return view
+        return self.shifted(index, amount)
 
     def pop(self) -> None:
         """Remove the most recent value (backtracking)."""
@@ -77,16 +249,34 @@ class ValueStore:
             raise IndexError("cannot pop base input values")
         self.vectors.pop()
         self.depths.pop()
-        self._shift_cache.pop()
-        del self._index[self._keys.pop()]
+        self._shift_entries -= len(self._shift_cache.pop())
+        key = self._keys.pop()
+        bucket = self._buckets[key]
+        bucket.pop()  # indices are ascending, so ours is last
+        if not bucket:
+            del self._buckets[key]
+        if self._shift_entries > self.shift_cache_limit:
+            self.clear_shift_cache()
+
+    def clear_shift_cache(self) -> None:
+        """Drop every cached rotation (they are rebuilt on demand)."""
+        for cache in self._shift_cache:
+            cache.clear()
+        self._shift_entries = 0
+
+    @property
+    def shift_cache_size(self) -> int:
+        return self._shift_entries
 
     def shifted(self, index: int, amount: int) -> np.ndarray:
-        """The value at ``index`` rotated by ``amount`` (cached)."""
+        """The value at ``index`` rotated by ``amount`` (cached, read-only)."""
         if amount == 0:
             return self.vectors[index]
         cache = self._shift_cache[index]
         hit = cache.get(amount)
         if hit is None:
             hit = shift_matrix(self.vectors[index], amount)
+            hit.flags.writeable = False
             cache[amount] = hit
+            self._shift_entries += 1
         return hit

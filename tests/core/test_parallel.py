@@ -1,0 +1,213 @@
+"""Tests for the process-parallel synthesis driver.
+
+The contract under test: ``workers=N`` synthesis is *bit-identical* to
+``workers=1`` for the same seed — same program, same cost, same proof
+status — because the driver partitions the root slot deterministically
+and replays the merged candidate stream in canonical enumeration order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Porcupine
+from repro.core.cegis import SynthesisConfig, synthesize
+from repro.core.parallel import ParallelSynthesis, ShardTask, _run_shard
+from repro.core.sketches import default_sketch_for
+from repro.quill.latency import default_latency_model
+from repro.quill.printer import format_program
+from repro.solver.engine import (
+    SearchOptions,
+    SketchSearch,
+    materialize_assignment,
+)
+from repro.spec import box_blur_spec, dot_product_spec, get_spec
+
+MODEL = default_latency_model()
+
+
+def test_rank_count_cached_across_rounds():
+    spec = get_spec("box_blur")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(0)
+    examples = [spec.make_example(rng)]
+    driver = ParallelSynthesis(workers=2)
+    total = driver.rank_count(sketch, spec.layout, examples, MODEL, 2)
+    reference = SketchSearch(
+        sketch, spec.layout, examples, MODEL, 2
+    ).root_choice_count()
+    assert total == reference > 0
+    # second round with a grown example set reuses the cached universe
+    examples.append(spec.make_example(rng))
+    assert driver.rank_count(sketch, spec.layout, examples, MODEL, 2) == total
+
+
+def test_parallel_minimize_matches_serial_best():
+    spec = get_spec("dot_product")
+    sketch = default_sketch_for(spec)
+    config = dict(max_components=5, optimize=False)
+    initial = synthesize(spec, sketch, SynthesisConfig(**config, workers=1))
+    from repro.core.cegis import minimize_cost
+
+    serial = minimize_cost(
+        spec, sketch, initial,
+        SynthesisConfig(**config, optimize_timeout=20.0, workers=1),
+    )
+    parallel = minimize_cost(
+        spec, sketch, initial,
+        SynthesisConfig(**config, optimize_timeout=20.0, workers=3),
+    )
+    assert format_program(serial.program) == format_program(parallel.program)
+    assert serial.final_cost == parallel.final_cost
+    assert serial.proof_complete == parallel.proof_complete
+
+
+def test_root_choice_count_matches_enumeration():
+    spec = get_spec("box_blur")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(0)
+    examples = [spec.make_example(rng)]
+    search = SketchSearch(sketch, spec.layout, examples, MODEL, 2)
+    total = search.root_choice_count()
+    assert total > 0
+    seen = []
+
+    def on_candidate(assignment):
+        seen.append(search.current_root_rank)
+        return False, None
+
+    search.run(on_candidate)
+    assert search._root_rank == total - 1  # every branch was numbered
+    assert all(0 <= rank < total for rank in seen)
+
+
+def test_root_ranks_restrict_and_cover():
+    """Sharded searches together find exactly the unrestricted candidates."""
+    spec = get_spec("box_blur")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(1)
+    examples = [spec.make_example(rng) for _ in range(2)]
+
+    def run(ranks):
+        search = SketchSearch(sketch, spec.layout, examples, MODEL, 3)
+        found = []
+
+        def on_candidate(assignment):
+            found.append(
+                (
+                    search.current_root_rank,
+                    format_program(
+                        materialize_assignment(sketch, spec.layout, assignment)
+                    ),
+                )
+            )
+            return False, None
+
+        search.run(on_candidate, root_ranks=ranks)
+        return search.root_choice_count(), found
+
+    total, all_found = run(None)
+    shards = [frozenset(range(k, total, 3)) for k in range(3)]
+    sharded = []
+    for ranks in shards:
+        _, found = run(ranks)
+        for rank, _ in found:
+            assert rank in ranks
+        sharded.extend(found)
+    assert sorted(sharded) == sorted(all_found)
+    assert len(all_found) > 0
+
+
+def test_run_shard_first_mode_reports_lowest_rank_match():
+    spec = get_spec("box_blur")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(1)
+    examples = tuple(spec.make_example(rng) for _ in range(2))
+    task = ShardTask(
+        sketch=sketch,
+        layout=spec.layout,
+        examples=examples,
+        model=MODEL,
+        length=2,
+        options=SearchOptions(),
+        ranks=None,
+        mode="first",
+        cost_bound=float("inf"),
+        deadline=None,
+        name="t",
+    )
+    outcome, found = _run_shard(task)
+    assert outcome.status == "stopped"
+    assert len(found) == 1
+    rank, text = found[0]
+    assert rank >= 0 and "add" in text
+
+
+@pytest.mark.parametrize("spec_factory", [box_blur_spec, dot_product_spec])
+def test_parallel_synthesis_bit_identical(spec_factory):
+    spec = spec_factory()
+    sketch = default_sketch_for(spec)
+    config = dict(max_components=5, optimize_timeout=20.0)
+    serial = synthesize(spec, sketch, SynthesisConfig(**config, workers=1))
+    parallel = synthesize(spec, sketch, SynthesisConfig(**config, workers=4))
+    assert format_program(serial.program) == format_program(parallel.program)
+    assert serial.components == parallel.components
+    assert serial.final_cost == parallel.final_cost
+    assert serial.initial_cost == parallel.initial_cost
+    assert serial.proof_complete == parallel.proof_complete
+    assert serial.examples_used == parallel.examples_used
+
+
+def test_parallel_find_first_matches_serial_first_candidate():
+    spec = get_spec("dot_product")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(7)
+    examples = [spec.make_example(rng) for _ in range(2)]
+
+    search = SketchSearch(sketch, spec.layout, examples, MODEL, 4)
+    first_serial = {}
+
+    def stop_on_first(assignment):
+        first_serial["text"] = format_program(
+            materialize_assignment(
+                sketch, spec.layout, assignment, name="synthesized"
+            )
+        )
+        return True, None
+
+    search.run(stop_on_first)
+
+    with ParallelSynthesis(workers=3) as driver:
+        outcome, text = driver.find_first(
+            sketch, spec.layout, examples, MODEL, 4
+        )
+    assert outcome.status == "stopped"
+    assert text == first_serial["text"]
+
+
+def test_session_workers_shares_cache_key():
+    """workers must not split the compile cache: identical results."""
+    serial = Porcupine(seed=0)
+    parallel = Porcupine(seed=0, workers=2)
+    a = serial.compile("box_blur")
+    b = parallel.compile("box_blur")
+    assert a.cache_key == b.cache_key
+    assert format_program(a.program) == format_program(b.program)
+    assert parallel.config_for("box_blur").workers == 2
+
+
+def test_synthesis_result_carries_search_stats():
+    spec = box_blur_spec()
+    result = synthesize(
+        spec,
+        default_sketch_for(spec),
+        SynthesisConfig(max_components=3, optimize_timeout=10.0),
+    )
+    stats = result.search_stats
+    assert stats is not None
+    assert stats.nodes == result.nodes
+    assert stats.runs >= 2  # at least one run per phase
+    assert stats.seconds > 0
+    assert stats.nodes_per_sec > 0
+    summary = stats.summary()
+    assert summary["nodes"] == result.nodes
+    assert "nodes_per_sec" in summary

@@ -1,0 +1,121 @@
+"""Batched vs scalar engine equivalence (the ablation safety net).
+
+``SearchOptions(batched=False)`` keeps the pre-batching scalar path alive
+for the throughput benchmark; these tests pin both paths to the same
+canonical enumeration: identical node counts, identical candidate
+sequences, and the same minimal verified program on registry kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sketches import default_sketch_for
+from repro.quill.latency import default_latency_model
+from repro.quill.parser import parse_program
+from repro.quill.printer import format_program
+from repro.solver.engine import (
+    SearchOptions,
+    SketchSearch,
+    materialize_assignment,
+)
+from repro.spec import get_spec
+
+MODEL = default_latency_model()
+
+CASES = [
+    ("box_blur", 3),
+    ("dot_product", 4),
+    ("hamming", 4),
+    ("l2", 3),
+    ("linear_regression", 3),
+]
+
+
+def _exhaust(name, length, options, examples=2, seed=3):
+    spec = get_spec(name)
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(seed)
+    example_set = [spec.make_example(rng) for _ in range(examples)]
+    search = SketchSearch(
+        sketch, spec.layout, example_set, MODEL, length, options=options
+    )
+    programs = []
+
+    def on_candidate(assignment):
+        programs.append(
+            format_program(
+                materialize_assignment(sketch, spec.layout, assignment)
+            )
+        )
+        return False, None
+
+    outcome = search.run(on_candidate)
+    assert outcome.status == "exhausted"
+    return outcome, programs
+
+
+@pytest.mark.parametrize("name,length", CASES, ids=[c[0] for c in CASES])
+def test_batched_matches_scalar_path(name, length):
+    batched_outcome, batched_programs = _exhaust(
+        name, length, SearchOptions()
+    )
+    scalar_outcome, scalar_programs = _exhaust(
+        name, length, SearchOptions(batched=False)
+    )
+    # same canonical enumeration: node-for-node, candidate-for-candidate
+    assert batched_outcome.nodes == scalar_outcome.nodes
+    assert batched_outcome.candidates == scalar_outcome.candidates
+    assert batched_programs == scalar_programs
+
+
+@pytest.mark.parametrize(
+    "name,length", [("box_blur", 3), ("dot_product", 4), ("hamming", 4)]
+)
+def test_minimal_verified_program_identical(name, length):
+    """The first verified candidate — the minimal program phase 1 accepts —
+    is the same program under both evaluation paths."""
+    spec = get_spec(name)
+    firsts = {}
+    for label, options in (
+        ("batched", SearchOptions()),
+        ("scalar", SearchOptions(batched=False)),
+    ):
+        _, programs = _exhaust(name, length, options)
+        firsts[label] = next(
+            (
+                text
+                for text in programs
+                if spec.verify_program(parse_program(text)).equivalent
+            ),
+            None,
+        )
+    assert firsts["batched"] is not None
+    assert firsts["batched"] == firsts["scalar"]
+
+
+def test_stopped_run_node_counts_match():
+    """Early stop (phase-1 style) keeps node accounting path-identical."""
+    spec = get_spec("dot_product")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(3)
+    example_set = [spec.make_example(rng) for _ in range(2)]
+    nodes = {}
+    for label, options in (
+        ("batched", SearchOptions()),
+        ("scalar", SearchOptions(batched=False)),
+    ):
+        search = SketchSearch(
+            sketch, spec.layout, example_set, MODEL, 4, options=options
+        )
+        outcome = search.run(lambda a: (True, None))  # stop at first match
+        assert outcome.status == "stopped"
+        nodes[label] = outcome.nodes
+    assert nodes["batched"] == nodes["scalar"]
+
+
+def test_batched_dedup_hits_reported():
+    outcome, _ = _exhaust("dot_product", 4, SearchOptions())
+    assert outcome.dedup_hits > 0
+    assert outcome.batches > 0
+    assert outcome.seconds > 0
+    assert outcome.nodes_per_sec > 0

@@ -73,3 +73,122 @@ def test_shift_cache_cleared_on_pop():
     store.pop()
     store.try_push(_mat([7, 7, 7]), 0)
     assert store.shifted(1, 1).tolist() == [[7, 7, 0]]
+
+
+# -- shift_matrix edge cases ------------------------------------------------
+
+
+def test_shift_matrix_amount_at_least_width():
+    m = _mat([1, 2, 3], [4, 5, 6])
+    assert shift_matrix(m, 3).tolist() == [[0] * 3] * 2
+    assert shift_matrix(m, 100).tolist() == [[0] * 3] * 2
+    assert shift_matrix(m, -3).tolist() == [[0] * 3] * 2
+    assert shift_matrix(m, -100).tolist() == [[0] * 3] * 2
+
+
+def test_shift_matrix_negative_amounts():
+    m = _mat([1, 2, 3, 4])
+    assert shift_matrix(m, -1).tolist() == [[0, 1, 2, 3]]
+    assert shift_matrix(m, -3).tolist() == [[0, 0, 0, 1]]
+
+
+def test_shift_matrix_zero_width():
+    m = np.zeros((2, 0), dtype=np.int64)
+    assert shift_matrix(m, 0).shape == (2, 0)
+    assert shift_matrix(m, 1).shape == (2, 0)
+    assert shift_matrix(m, -1).shape == (2, 0)
+
+
+# -- hash-based dedup -------------------------------------------------------
+
+
+def test_value_hash_matches_hash_block():
+    store = ValueStore([_mat([1, 2, 3])])
+    stack = np.stack([_mat([4, 5, 6]), _mat([-7, 8, 9]), _mat([1, 2, 3])])
+    block = store.hash_block(stack)
+    assert block.dtype == np.uint64
+    assert [int(h) for h in block] == [
+        store.value_hash(stack[k]) for k in range(3)
+    ]
+
+
+def test_try_push_precomputed_hash_dedups():
+    store = ValueStore([_mat([1, 2])])
+    vec = _mat([5, 6])
+    assert store.try_push(vec, 0, key_hash=store.value_hash(vec))
+    assert not store.try_push(vec.copy(), 0, key_hash=store.value_hash(vec))
+    assert store.dedup_hits == 1
+
+
+def test_hash_collision_falls_back_to_exact_bytes():
+    # simulate a 64-bit collision: two distinct values, same key hash
+    store = ValueStore([_mat([1, 2])])
+    assert store.try_push(_mat([3, 4]), 0, key_hash=42)
+    assert store.try_push(_mat([5, 6]), 0, key_hash=42)  # collision: kept
+    assert len(store) == 3
+    # a true duplicate under the colliding hash is still rejected
+    assert not store.try_push(_mat([3, 4]), 0, key_hash=42)
+    store.pop()  # collision entry unwinds cleanly
+    store.pop()
+    assert store.try_push(_mat([3, 4]), 0, key_hash=42)
+
+
+def test_try_push_force_serial_key_dedup_path():
+    store = ValueStore([_mat([1, 2])])
+    vec = _mat([9, 9])
+    assert store.try_push(vec, 0)
+    # force admits observational duplicates under unique serial keys
+    assert store.try_push(vec.copy(), 1, force=True)
+    assert store.try_push(vec.copy(), 2, force=True)
+    assert len(store) == 4
+    assert store.dedup_hits == 0
+    # each forced entry unwinds independently
+    store.pop()
+    store.pop()
+    assert len(store) == 2
+    assert not store.try_push(vec.copy(), 0)  # original copy still indexed
+    store.pop()
+    assert store.try_push(vec.copy(), 0)  # free again after the last pop
+
+
+# -- read-only views and cache bounding ------------------------------------
+
+
+def test_shifted_views_are_read_only():
+    store = ValueStore([_mat([1, 2, 3])])
+    view = store.shifted(0, 1)
+    with pytest.raises(ValueError):
+        view[0, 0] = 99
+    assert store.shifted(0, 1).tolist() == [[2, 3, 0]]
+
+
+def test_shift_cache_bounded_on_pop_pressure():
+    store = ValueStore([_mat([1, 2, 3])], shift_cache_limit=2)
+    store.try_push(_mat([4, 5, 6]), 0)
+    store.shifted(0, 1)
+    store.shifted(0, 2)
+    store.shifted(0, -1)
+    assert store.shift_cache_size == 3
+    store.pop()  # over the limit: the whole cache is dropped
+    assert store.shift_cache_size == 0
+    # entries are rebuilt on demand with the same contents
+    assert store.shifted(0, 1).tolist() == [[2, 3, 0]]
+    assert store.shift_cache_size == 1
+
+
+def test_rotation_block_matches_shift_cache():
+    store = ValueStore(
+        [_mat([1, 2, 3, 4])], amounts=(0, 1, -2), out_slots=[0, 2], capacity=4
+    )
+    store.try_push(_mat([5, 6, 7, 8]), 0)
+    for index in range(2):
+        for amount in (0, 1, -2):
+            expected = shift_matrix(store.vectors[index], amount)
+            assert store.rotated(index, amount).tolist() == expected.tolist()
+    ops = np.array([1, 0, 1], dtype=np.intp)
+    rots = np.array([store.rot_pos[a] for a in (1, -2, 0)], dtype=np.intp)
+    gathered = store.gather(ops, rots)
+    assert gathered.shape == (3, 1, 4)
+    assert gathered[0].tolist() == shift_matrix(store.vectors[1], 1).tolist()
+    out = store.gather_out(ops, rots)
+    assert out.tolist() == gathered[:, :, [0, 2]].tolist()

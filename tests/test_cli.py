@@ -41,6 +41,25 @@ def test_compile_to_file(tmp_path, capsys):
     assert "ev.rotate_rows" not in capsys.readouterr().out
 
 
+def test_compile_workers_flag(capsys):
+    assert main(
+        ["compile", "box_blur", "--opt-timeout", "5", "--workers", "2"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert 'quill kernel "box_blur_synth"' in captured.out
+    assert "synthesized 4 instructions" in captured.err
+
+
+def test_compile_timings_flag(capsys):
+    assert main(
+        ["compile", "box_blur", "--opt-timeout", "5", "--timings"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "pass timings for box_blur" in captured.err
+    assert "synthesize" in captured.err
+    assert "nodes/s" in captured.err
+
+
 def test_profile_command(capsys):
     assert main(["profile", "--preset", "toy", "--repeats", "1"]) == 0
     out = capsys.readouterr().out
