@@ -1,0 +1,304 @@
+"""HE-runtime benchmark: the execution-side perf trajectory tracker.
+
+Measures, against the retained big-integer reference path
+(``slow_reference=True``, the seed implementation):
+
+* per-opcode microbenchmark latencies (µs) of the RNS-native BFV runtime,
+  single-ciphertext and batched (amortized per ciphertext),
+* end-to-end ``HEExecutor.run`` wall times on the seed kernels' baseline
+  programs, and
+* ``run_many`` batch throughput versus sequential single runs.
+
+Everything is recorded into ``BENCH_runtime.json`` at the repository
+root.  Run it after touching anything in ``repro.he`` or the executor::
+
+    PYTHONPATH=src python benchmarks/bench_he_runtime.py          # full
+    PYTHONPATH=src python benchmarks/bench_he_runtime.py --quick  # CI
+
+``--check-floor`` compares measured per-opcode latencies against the
+checked-in ceilings in ``benchmarks/runtime_floor.json`` and exits
+nonzero when any opcode runs more than 5x *slower* than its floor entry —
+a loose tripwire that survives noisy CI machines but catches algorithmic
+regressions (mirroring the synthesis throughput floor).  Refresh with
+``--update-floor`` after an intentional change on a quiet machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FLOOR_FILE = Path(__file__).resolve().parent / "runtime_floor.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_runtime.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.baselines import baseline_for  # noqa: E402
+from repro.he import BFVContext  # noqa: E402
+from repro.he.params import small_params, toy_params  # noqa: E402
+from repro.runtime.executor import HEExecutor  # noqa: E402
+from repro.spec import get_spec  # noqa: E402
+
+E2E_KERNELS = ("box_blur", "gx")
+BATCH_SIZE = 4
+
+
+def _best(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def bench_opcodes(params, repeats: int, batch: int) -> dict:
+    """Per-opcode µs: reference vs RNS (single and batched-amortized).
+
+    The reference path runs on its own ``slow_reference`` context with
+    freshly encrypted operands, so no fast-path NTT caches leak into the
+    baseline measurement.
+    """
+    ctx = BFVContext(params, seed=1)
+    ref_ctx = BFVContext(params, seed=1, slow_reference=True)
+    rng = np.random.default_rng(1)
+    n = min(40, params.row_size)
+    va = rng.integers(-20, 21, n)
+    vb = rng.integers(-20, 21, n)
+    a1, b1 = ctx.encrypt_vector(va), ctx.encrypt_vector(vb)
+    ra, rb = ref_ctx.encrypt_vector(va), ref_ctx.encrypt_vector(vb)
+    ab = ctx.encrypt_vector(rng.integers(-20, 21, (batch, n)))
+    bb = ctx.encrypt_vector(rng.integers(-20, 21, (batch, n)))
+    pt = ctx.encode(va)
+    ref_pt = ref_ctx.encode(va)
+    for c in (ctx, ref_ctx):
+        c.generate_galois_key(c.encoder.galois_element_for_rotation(1))
+    ctx.multiply_plain(a1, pt)  # warm the plaintext lift caches
+    ref_ctx.multiply_plain(ra, ref_pt)
+
+    cases = {
+        "mul_ct_ct": (
+            lambda c, x, y: c.multiply(x, y),
+            (a1, b1),
+            (ab, bb),
+            (ra, rb),
+        ),
+        "rotate": (
+            lambda c, x, _: c.rotate_rows(x, 1),
+            (a1, None),
+            (ab, None),
+            (ra, None),
+        ),
+        "add_ct_ct": (
+            lambda c, x, y: c.add(x, y),
+            (a1, b1),
+            (ab, bb),
+            (ra, rb),
+        ),
+        "mul_ct_pt": (
+            lambda c, x, _: c.multiply_plain(x, pt if c is ctx else ref_pt),
+            (a1, None),
+            (ab, None),
+            (ra, None),
+        ),
+    }
+    out: dict[str, dict] = {}
+    for name, (op, single, batched, reference) in cases.items():
+        rns_single = _best(lambda: op(ctx, *single), repeats) * 1e6
+        rns_batched = _best(lambda: op(ctx, *batched), repeats) * 1e6 / batch
+        ref = _best(lambda: op(ref_ctx, *reference), repeats) * 1e6
+        out[name] = {
+            "reference_us": round(ref, 1),
+            "rns_us": round(rns_single, 1),
+            "rns_batched_us_per_ct": round(rns_batched, 1),
+            "speedup": round(ref / rns_single, 2) if rns_single else None,
+            "speedup_batched": (
+                round(ref / rns_batched, 2) if rns_batched else None
+            ),
+        }
+    return out
+
+
+def bench_end_to_end(kernel: str, params, repeats: int, batch: int) -> dict:
+    """End-to-end executor runs: reference vs RNS vs batched run_many."""
+    spec = get_spec(kernel)
+    program = baseline_for(kernel)
+    rng = np.random.default_rng(2)
+    envs = [
+        {
+            p.name: rng.integers(0, 5, p.shape)
+            for p in spec.layout.inputs
+        }
+        for _ in range(batch)
+    ]
+
+    fast = HEExecutor(spec, params=params, seed=7)
+    slow = HEExecutor(spec, params=params, seed=7, slow_reference=True)
+    # compile outside timing on both sides (keys/tape are one-time setup)
+    fast.compile(program)
+    slow.compile(program)
+
+    def run_fast():
+        report = fast.run(program, envs[0])
+        assert report.matches_reference
+        return report
+
+    def run_slow():
+        report = slow.run(program, envs[0])
+        assert report.matches_reference
+        return report
+
+    rns_s = _best(run_fast, repeats)
+    ref_s = _best(run_slow, repeats)
+    batch_report = fast.run_many(program, envs)
+    assert batch_report.all_match
+    sequential = rns_s * batch
+    return {
+        "params": fast.params.name,
+        "instructions": program.instruction_count(),
+        "reference_seconds": round(ref_s, 4),
+        "rns_seconds": round(rns_s, 4),
+        "speedup": round(ref_s / rns_s, 2) if rns_s else None,
+        "batch_size": batch,
+        "batch_total_seconds": round(batch_report.total_seconds, 4),
+        "batch_seconds_per_run": round(batch_report.seconds_per_run, 4),
+        "batch_vs_single_speedup": (
+            round(sequential / batch_report.total_seconds, 2)
+            if batch_report.total_seconds
+            else None
+        ),
+        "batch_vs_reference_speedup": (
+            round(ref_s / batch_report.seconds_per_run, 2)
+            if batch_report.seconds_per_run
+            else None
+        ),
+    }
+
+
+def check_floor(params_name: str, opcode_results: dict) -> list[str]:
+    """Opcodes now more than 5x slower than their checked-in latency.
+
+    Floor entries are keyed ``<params>.<opcode>`` so quick (toy) and full
+    (secure preset) runs track separate baselines.
+    """
+    if not FLOOR_FILE.exists():
+        print(f"floor file {FLOOR_FILE} missing; nothing to check")
+        return []
+    floors = json.loads(FLOOR_FILE.read_text())
+    failures = []
+    for name, row in opcode_results.items():
+        floor_us = floors.get(f"{params_name}.{name}")
+        if floor_us is None:
+            continue
+        if row["rns_us"] > floor_us * 5.0:
+            failures.append(
+                f"{params_name}.{name}: {row['rns_us']:,.0f}us is >5x above "
+                f"the checked-in floor of {floor_us:,.0f}us"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="HE runtime benchmark -> BENCH_runtime.json"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI subset: toy parameters, fewer repeats")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="fail if any opcode runs >5x slower than the "
+                             "checked-in floor")
+    parser.add_argument("--update-floor", action="store_true",
+                        help="rewrite benchmarks/runtime_floor.json from "
+                             "this run's measurements")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"result file (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    params = toy_params() if args.quick else small_params()
+    repeats = 3 if args.quick else 7
+    e2e_params = toy_params() if args.quick else None
+
+    print(f"opcode microbenchmarks on {params.name} ...", flush=True)
+    opcodes = bench_opcodes(params, repeats, BATCH_SIZE)
+    for name, row in opcodes.items():
+        print(
+            f"  {name:10s} ref {row['reference_us']:>10,.0f}us"
+            f"  rns {row['rns_us']:>9,.0f}us ({row['speedup']}x)"
+            f"  batched {row['rns_batched_us_per_ct']:>9,.0f}us/ct"
+            f" ({row['speedup_batched']}x)"
+        )
+
+    end_to_end: dict[str, dict] = {}
+    for kernel in E2E_KERNELS:
+        print(f"end-to-end {kernel} ...", flush=True)
+        end_to_end[kernel] = bench_end_to_end(
+            kernel, e2e_params, repeats, BATCH_SIZE
+        )
+        row = end_to_end[kernel]
+        print(
+            f"  ref {row['reference_seconds']}s -> rns {row['rns_seconds']}s "
+            f"({row['speedup']}x); batch[{row['batch_size']}] "
+            f"{row['batch_seconds_per_run']}s/run "
+            f"({row['batch_vs_reference_speedup']}x vs ref)"
+        )
+
+    report = {
+        "schema": 1,
+        "mode": mode,
+        "params": params.name,
+        "opcodes": opcodes,
+        "end_to_end": end_to_end,
+        "metrics": {
+            **{
+                f"{name}.speedup": row["speedup"]
+                for name, row in opcodes.items()
+            },
+            **{
+                f"{name}.speedup_batched": row["speedup_batched"]
+                for name, row in opcodes.items()
+            },
+            **{
+                f"{kernel}.e2e_speedup": row["speedup"]
+                for kernel, row in end_to_end.items()
+            },
+            **{
+                f"{kernel}.batch_vs_single": row["batch_vs_single_speedup"]
+                for kernel, row in end_to_end.items()
+            },
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"written to {args.output}")
+
+    if args.update_floor:
+        floors = (
+            json.loads(FLOOR_FILE.read_text()) if FLOOR_FILE.exists() else {}
+        )
+        floors.update(
+            (f"{params.name}.{name}", row["rns_us"])
+            for name, row in opcodes.items()
+        )
+        FLOOR_FILE.write_text(
+            json.dumps(floors, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"floor refreshed: {FLOOR_FILE}")
+
+    if args.check_floor:
+        failures = check_floor(params.name, opcodes)
+        for failure in failures:
+            print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("floor check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

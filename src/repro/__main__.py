@@ -6,6 +6,7 @@ Commands:
 * ``compile <kernel>``         — synthesize and print Quill + SEAL code
 * ``baseline <kernel>``        — print the hand-written baseline
 * ``run <kernel>``             — synthesize, then execute on a backend
+  (``--batch N`` executes N inputs in one lockstep encrypted batch)
 * ``profile``                  — measure per-instruction latencies
 
 ``list``, ``compile``, and ``run`` accept ``--json`` for
@@ -125,6 +126,8 @@ def _cmd_run(args) -> int:
     session = _session(args)
     spec = session.spec(args.kernel)
     compiled = session.compile(args.kernel)
+    if args.batch > 1:
+        return _run_batch(args, session, compiled)
     rng = np.random.default_rng(args.seed)
     logical = {
         p.name: rng.integers(0, spec.backend_bound + 1, p.shape)
@@ -166,6 +169,39 @@ def _cmd_run(args) -> int:
     else:
         print(f"evaluation time: {report.wall_time:.4f}s on {report.backend}")
     return 0 if report.matches_reference else 1
+
+
+def _run_batch(args, session, compiled) -> int:
+    """``run --batch N``: one lockstep batched execution of N inputs."""
+    batch = session.run_many(
+        args.kernel, args.batch, backend=args.backend, seed=args.seed
+    )
+    if args.json:
+        payload = compiled.summary()
+        payload["batch"] = {
+            "backend": batch.backend,
+            "size": batch.batch_size,
+            "all_match": batch.all_match,
+            "total_seconds": batch.total_seconds,
+            "seconds_per_run": batch.seconds_per_run,
+            "runs_per_second": batch.runs_per_second,
+            "noise_budgets": [r.noise_budget for r in batch.results],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if batch.all_match else 1
+    print(
+        f"batch of {batch.batch_size} on {batch.backend}: "
+        f"{'all match' if batch.all_match else 'MISMATCH'}"
+    )
+    print(
+        f"total {batch.total_seconds:.3f}s "
+        f"({batch.seconds_per_run * 1e3:.1f} ms/run, "
+        f"{batch.runs_per_second:.2f} runs/s)"
+    )
+    budgets = [r.noise_budget for r in batch.results if r.noise_budget is not None]
+    if budgets:
+        print(f"noise budgets: min {min(budgets)} / max {max(budgets)} bits")
+    return 0 if batch.all_match else 1
 
 
 def _cmd_profile(args) -> int:
@@ -222,6 +258,10 @@ def main(argv: list[str] | None = None) -> int:
             cmd.add_argument("--backend", choices=("he", "interpreter"),
                              default="he",
                              help="execution backend (default: he)")
+            cmd.add_argument("--batch", type=int, default=1, metavar="N",
+                             help="execute N random inputs as one lockstep "
+                                  "encrypted batch (amortizes keys, "
+                                  "encoding, and program setup)")
 
     baseline = sub.add_parser("baseline", help="print a hand-written baseline")
     baseline.add_argument("kernel")

@@ -8,6 +8,7 @@ examples, and user code — goes through the :class:`Porcupine` session::
     session = Porcupine()
     compiled = session.compile("box_blur")       # synthesize + cache
     session.run("box_blur", backend="he")        # execute encrypted
+    session.run_many("box_blur", 8, backend="he")  # batched serving path
     session.compile_suite(["gx", "gy", "sobel"]) # concurrent batch
 
 Building blocks, all replaceable per session:
@@ -25,6 +26,7 @@ Building blocks, all replaceable per session:
 
 from repro.api.backends import (
     BackendResult,
+    BatchResult,
     ExecutionBackend,
     HEBackend,
     InterpreterBackend,
@@ -45,6 +47,7 @@ from repro.api.session import CompiledKernel, Porcupine
 
 __all__ = [
     "BackendResult",
+    "BatchResult",
     "CacheEntry",
     "CompiledKernel",
     "CompileCache",

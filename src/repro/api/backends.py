@@ -43,6 +43,32 @@ class BackendResult:
     details: dict = field(default_factory=dict)
 
 
+@dataclass
+class BatchResult:
+    """One batched execution: per-run results plus amortized timings."""
+
+    backend: str
+    kernel: str
+    results: list[BackendResult]
+    batch_size: int
+    total_seconds: float
+    setup_seconds: float = 0.0
+
+    @property
+    def all_match(self) -> bool:
+        return all(r.matches_reference for r in self.results)
+
+    @property
+    def seconds_per_run(self) -> float:
+        return self.total_seconds / max(1, self.batch_size)
+
+    @property
+    def runs_per_second(self) -> float:
+        return (
+            self.batch_size / self.total_seconds if self.total_seconds else 0.0
+        )
+
+
 class ExecutionBackend(Protocol):
     """What the session needs from an execution backend."""
 
@@ -83,14 +109,35 @@ class InterpreterBackend:
             wall_time=wall,
         )
 
+    def execute_many(
+        self,
+        program: Program,
+        spec: Spec,
+        logical_envs: list[dict[str, np.ndarray]],
+    ) -> BatchResult:
+        started = time.perf_counter()
+        results = [self.execute(program, spec, env) for env in logical_envs]
+        return BatchResult(
+            backend=self.name,
+            kernel=program.name,
+            results=results,
+            batch_size=len(results),
+            total_seconds=time.perf_counter() - started,
+        )
+
 
 class HEBackend:
-    """Execute under real BFV encryption; executors are reused per spec."""
+    """Execute under real BFV encryption; executors are reused per spec.
+
+    ``slow_reference=True`` runs on the retained big-integer BFV paths
+    (the oracle/baseline implementation).
+    """
 
     name = "he"
 
-    def __init__(self, seed: int | None = None):
+    def __init__(self, seed: int | None = None, slow_reference: bool = False):
         self.seed = seed
+        self.slow_reference = slow_reference
         self._executors: dict[str, object] = {}
 
     def _executor_for(self, spec: Spec):
@@ -98,15 +145,13 @@ class HEBackend:
 
         executor = self._executors.get(spec.name)
         if executor is None:
-            executor = HEExecutor(spec, seed=self.seed)
+            executor = HEExecutor(
+                spec, seed=self.seed, slow_reference=self.slow_reference
+            )
             self._executors[spec.name] = executor
         return executor
 
-    def execute(
-        self, program: Program, spec: Spec, logical_env: dict[str, np.ndarray]
-    ) -> BackendResult:
-        executor = self._executor_for(spec)
-        report = executor.run(program, logical_env)
+    def _to_result(self, program: Program, report) -> BackendResult:
         return BackendResult(
             backend=self.name,
             kernel=program.name,
@@ -116,6 +161,32 @@ class HEBackend:
             wall_time=report.wall_time,
             noise_budget=report.output_noise_budget,
             details={"instruction_seconds": report.instruction_seconds},
+        )
+
+    def execute(
+        self, program: Program, spec: Spec, logical_env: dict[str, np.ndarray]
+    ) -> BackendResult:
+        executor = self._executor_for(spec)
+        return self._to_result(program, executor.run(program, logical_env))
+
+    def execute_many(
+        self,
+        program: Program,
+        spec: Spec,
+        logical_envs: list[dict[str, np.ndarray]],
+    ) -> BatchResult:
+        """One lockstep encrypted execution over the whole batch."""
+        executor = self._executor_for(spec)
+        batch = executor.run_many(program, logical_envs)
+        return BatchResult(
+            backend=self.name,
+            kernel=program.name,
+            results=[
+                self._to_result(program, report) for report in batch.reports
+            ],
+            batch_size=batch.batch_size,
+            total_seconds=batch.total_seconds,
+            setup_seconds=batch.setup_seconds,
         )
 
 

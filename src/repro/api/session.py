@@ -28,7 +28,12 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.api.backends import BackendResult, ExecutionBackend, get_backend
+from repro.api.backends import (
+    BackendResult,
+    BatchResult,
+    ExecutionBackend,
+    get_backend,
+)
 from repro.api.cache import (
     CacheEntry,
     CompileCache,
@@ -403,19 +408,86 @@ class Porcupine:
         definition = self._resolve(kernel)
         spec = definition.spec()
         if inputs is None:
-            rng = np.random.default_rng(seed)
-            inputs = {
-                p.name: rng.integers(
-                    0, spec.backend_bound + 1, p.shape, dtype=np.int64
-                )
-                for p in spec.layout.inputs
-            }
+            inputs = self._random_inputs(spec, seed)
+        engine = self._resolve_backend(backend, seed)
+        return engine.execute(compiled.program, spec, inputs)
+
+    def _resolve_backend(
+        self, backend: str | ExecutionBackend | None, seed: int
+    ) -> ExecutionBackend:
+        """Name-or-instance backend dispatch shared by run/run_many."""
         if isinstance(backend, str) or backend is None:
             name = backend or self.default_backend
-            engine = self.backend(name, **({"seed": seed} if name == "he" else {}))
-        else:
-            engine = backend
-        return engine.execute(compiled.program, spec, inputs)
+            return self.backend(
+                name, **({"seed": seed} if name == "he" else {})
+            )
+        return backend
+
+    def _random_inputs(self, spec: Spec, seed: int) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {
+            p.name: rng.integers(
+                0, spec.backend_bound + 1, p.shape, dtype=np.int64
+            )
+            for p in spec.layout.inputs
+        }
+
+    def run_many(
+        self,
+        kernel: str | Spec | KernelDefinition,
+        inputs: Sequence[dict[str, np.ndarray]] | int,
+        *,
+        backend: str | ExecutionBackend | None = None,
+        seed: int = 0,
+        **compile_kwargs,
+    ) -> BatchResult:
+        """Compile once and execute a batch of inputs in lockstep.
+
+        ``inputs`` is either a list of logical environments or an integer
+        batch size (random in-range environments drawn from ``seed``).
+        On the HE backend the whole batch is encrypted into stacked
+        ciphertexts and evaluated by one pass over the compiled tape —
+        key generation, plaintext encoding, and program setup are paid
+        once (the serving path; also exposed as ``--batch`` on the CLI).
+        Backends without a native ``execute_many`` fall back to a loop.
+        """
+        compiled = self.compile(kernel, **compile_kwargs)
+        definition = self._resolve(kernel)
+        spec = definition.spec()
+        if isinstance(inputs, int):
+            if inputs < 1:
+                raise ValueError("batch size must be >= 1")
+            # vary the user-side (ciphertext) inputs per run; server-side
+            # plaintext operands are shared across the batch, as in serving
+            batch = inputs
+            shared = self._random_inputs(spec, seed)
+            pt_names = set(spec.layout.pt_names)
+            inputs = [shared]
+            for i in range(1, batch):
+                drawn = self._random_inputs(spec, seed + i)
+                inputs.append(
+                    {
+                        name: shared[name] if name in pt_names else drawn[name]
+                        for name in shared
+                    }
+                )
+        engine = self._resolve_backend(backend, seed)
+        execute_many = getattr(engine, "execute_many", None)
+        if execute_many is not None:
+            return execute_many(compiled.program, spec, inputs)
+        import time as _time
+
+        started = _time.perf_counter()
+        results = [
+            engine.execute(compiled.program, spec, env) for env in inputs
+        ]
+        return BatchResult(
+            backend=getattr(engine, "name", "custom"),
+            kernel=compiled.program.name,
+            results=results,
+            batch_size=len(results),
+            total_seconds=_time.perf_counter() - started,
+        )
 
     def run_all(
         self,

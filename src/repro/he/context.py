@@ -11,9 +11,15 @@ Vercauteren 2012, the paper's reference [16]) with:
 * SIMD slot rotation via Galois automorphisms plus key switching,
 * invariant-noise-budget measurement mirroring SEAL's diagnostics.
 
-All ring arithmetic is RNS/NTT-based (:mod:`repro.he.poly`); exact integer
-arithmetic appears only where BFV requires it (the tensor-and-rescale step
-of multiplication, decryption rounding, digit decomposition).
+The hot path is RNS-native: ciphertext multiplication lifts the operands
+into an extended RNS basis with an exact vectorized base conversion,
+tensors them with batched NTTs, and performs the ``round(t/q * .)``
+rescale entirely on int64 residue matrices; key switching decomposes
+digits vectorized and runs one batched NTT over the whole
+``(digits, k, N)`` stack.  Both are bit-for-bit identical to the textbook
+big-integer formulation, which is retained behind
+``BFVContext(..., slow_reference=True)`` as the equivalence oracle (and as
+the baseline the runtime benchmarks measure speedups against).
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from repro.he.keys import GaloisKeys, KSwitchKey, PublicKey, SecretKey
 from repro.he.params import BFVParams
 from repro.he.poly import RingContext, RingElement, exact_negacyclic_product
 from repro.he.primes import find_ntt_primes
-from repro.he.rns import centered
+from repro.he.rns import DigitDecomposer, centered
 
 
 class Plaintext:
@@ -40,17 +46,27 @@ class Plaintext:
         self.coeffs = np.asarray(coeffs, dtype=np.int64)
         self._lift: RingElement | None = None
 
+    def freeze(self) -> "Plaintext":
+        """Make the coefficient vector read-only (for shared caches)."""
+        self.coeffs.flags.writeable = False
+        return self
+
     def lift(self, ring: RingContext, t: int) -> RingElement:
         """Centered lift of the plaintext into R_q (noise-minimal)."""
         if self._lift is None:
             half = t // 2
             signed = np.where(self.coeffs > half, self.coeffs - t, self.coeffs)
-            self._lift = ring.from_int_coeffs([int(c) for c in signed])
+            self._lift = ring.from_int_coeffs(signed)
         return self._lift
 
 
 class Ciphertext:
-    """A BFV ciphertext: 2 (or transiently 3) ring elements."""
+    """A BFV ciphertext: 2 (or transiently 3) ring elements.
+
+    Parts may carry leading batch axes (``(batch, k, N)`` residue stacks):
+    every homomorphic operation broadcasts over them, so a whole batch of
+    user ciphertexts moves through each instruction in one numpy pass.
+    """
 
     __slots__ = ("parts",)
 
@@ -63,15 +79,32 @@ class Ciphertext:
     def size(self) -> int:
         return len(self.parts)
 
+    @property
+    def batch_shape(self) -> tuple:
+        """Leading batch axes of the residue stacks (empty for a single)."""
+        return self.parts[0].shape[:-2]
+
     def copy(self) -> "Ciphertext":
         return Ciphertext([p.copy() for p in self.parts])
 
 
 class BFVContext:
-    """One key pair plus every homomorphic operation over it."""
+    """One key pair plus every homomorphic operation over it.
 
-    def __init__(self, params: BFVParams, seed: int | None = None):
+    ``slow_reference=True`` routes ciphertext multiplication and key
+    switching through the retained big-integer textbook path; the default
+    RNS-native path produces bit-identical ciphertexts (the equivalence
+    tests pin this on every seed kernel).
+    """
+
+    def __init__(
+        self,
+        params: BFVParams,
+        seed: int | None = None,
+        slow_reference: bool = False,
+    ):
         self.params = params
+        self.slow_reference = slow_reference
         self.ring = RingContext(params.poly_degree, list(params.coeff_primes))
         self.encoder = BatchEncoder(params)
         self._rng = np.random.default_rng(seed)
@@ -79,7 +112,18 @@ class BFVContext:
         self.t = params.plain_modulus
         self.delta = self.q // self.t
         self._digit_count = math.ceil(self.q.bit_length() / params.decomp_bits)
+        self._digit_decomposer = DigitDecomposer(
+            self.ring.basis, params.decomp_bits, self._digit_count
+        )
+        # key-switch MAC overflow budgets for int64 accumulation:
+        # fully-lazy NTT outputs are < 2^31 + 2*pmax, reduced ones < p.
+        pmax = max(params.coeff_primes)
+        self._mac_needs_reduce = self._digit_count * pmax**2 >= 1 << 63
+        self._mac_lazy_ok = (
+            self._digit_count * ((1 << 31) + 2 * pmax) * pmax < 1 << 63
+        )
         self._ext_ring = self._build_extension_ring()
+        self._init_rescale_tables()
         self._keygen()
         self.galois_keys = GaloisKeys()
 
@@ -92,34 +136,102 @@ class BFVContext:
 
         BFV multiplication forms integer products of centered ciphertext
         polynomials; coefficients are bounded by ``N * q^2`` (Karatsuba
-        operand sums reach ``q``), so the extension modulus must exceed
-        ``4 * N * q^2`` to allow a centered reconstruction with margin.
+        operand sums reach ``q``), and the RNS rescale additionally needs
+        headroom for ``t * tensor + q/2``, so the extension modulus exceeds
+        ``t * N * q^2`` with margin.
         """
         n = self.params.poly_degree
-        needed_bits = 2 * self.q.bit_length() + n.bit_length() + 3
-        count = needed_bits // 25 + 1
+        # |tensor| <= 1.5*N*q^2 (Karatsuba cross term), the rescale handles
+        # A = t*T + q/2; two extra bits of margin on top of 2*|A|.
+        needed = 12 * self.t * n * self.q * self.q
+        count = needed.bit_length() // 25 + 1
         primes = find_ntt_primes(count, 26, 2 * n)
+        while count > 1:
+            product = 1
+            for p in primes[: count - 1]:
+                product *= p
+            if product <= needed:
+                break
+            count -= 1
+        primes = primes[:count]
         overlap = set(primes) & set(self.params.coeff_primes)
         if overlap:
             raise HEError(f"extension primes collide with coeff primes: {overlap}")
         return RingContext(n, primes)
 
-    def _sample_ternary(self) -> RingElement:
-        coeffs = self._rng.integers(-1, 2, self.params.poly_degree)
-        return self.ring.from_int_coeffs([int(c) for c in coeffs])
+    def _init_rescale_tables(self) -> None:
+        """Residue tables for the RNS ``round(t/q * .)`` rescale."""
+        ext = self._ext_ring
+        q, t = self.q, self.t
+        self._conv_q_to_ext = self.ring.basis.conversion_to(ext.basis)
+        self._conv_ext_to_q = ext.basis.conversion_to(self.ring.basis)
+        self._t_mod_ext = np.array(
+            [t % p for p in ext.basis.primes], dtype=np.int64
+        )[:, None]
+        self._half_q_mod_ext = np.array(
+            [(q // 2) % p for p in ext.basis.primes], dtype=np.int64
+        )[:, None]
+        self._q_inv_ext = np.array(
+            [pow(q % p, -1, p) for p in ext.basis.primes], dtype=np.int64
+        )[:, None]
+        # HPS scale-and-round tables: t*(E/P_i)/q = omega_i + theta_i with
+        # omega_i integer (kept mod each q-prime, 16-bit hi/lo split for
+        # exact float64 BLAS dots) and theta_i in [0, 1) as float64.
+        e_mod = ext.basis.modulus
+        omegas = []
+        thetas = []
+        for w in ext.basis._m_over_p:  # E / P_i
+            num = t * w
+            omegas.append(num // q)
+            thetas.append((num % q) / q)
+        omega_mod = np.array(
+            [[om % pj for om in omegas] for pj in self.params.coeff_primes],
+            dtype=np.int64,
+        )  # (k_q, k_ext)
+        self._sr_w_hi_f = (omega_mod >> 16).astype(np.float64)
+        self._sr_w_lo_f = (omega_mod & 0xFFFF).astype(np.float64)
+        self._sr_theta = np.array(thetas, dtype=np.float64)
+        big = t * e_mod
+        self._sr_cap_omega_mod = np.array(
+            [(big // q) % pj for pj in self.params.coeff_primes],
+            dtype=np.int64,
+        )[:, None]
+        self._sr_cap_theta = float((big % q) / q)
+        # decryption scale-and-round tables: t*(q/p_i)/q = omega + theta
+        # with the integer parts kept mod t (t < 2^30, v < 2^31: products
+        # stay float64-exact).  The alpha term t*q/q = t vanishes mod t.
+        dec_omega = []
+        dec_theta = []
+        for w in self.ring.basis._m_over_p:  # q / p_i
+            num = t * w
+            dec_omega.append((num // q) % t)
+            dec_theta.append((num % q) / q)
+        omega_arr = np.array(dec_omega, dtype=np.int64)
+        self._dec_omega_hi_f = (omega_arr >> 16).astype(np.float64)
+        self._dec_omega_lo_f = (omega_arr & 0xFFFF).astype(np.float64)
+        self._dec_theta = np.array(dec_theta, dtype=np.float64)
+        self._t_mod_q = np.array(
+            [t % p for p in self.params.coeff_primes], dtype=np.int64
+        )[:, None]
 
-    def _sample_error(self) -> RingElement:
+    def _sample_ternary(self, lead: tuple = ()) -> RingElement:
+        coeffs = self._rng.integers(-1, 2, lead + (self.params.poly_degree,))
+        return self.ring.from_int_coeffs(coeffs)
+
+    def _sample_error(self, lead: tuple = ()) -> RingElement:
         std = self.params.error_std
-        raw = self._rng.normal(0.0, std, self.params.poly_degree)
+        raw = self._rng.normal(0.0, std, lead + (self.params.poly_degree,))
         clipped = np.clip(np.rint(raw), -6 * std, 6 * std).astype(np.int64)
-        return self.ring.from_int_coeffs([int(c) for c in clipped])
+        return self.ring.from_int_coeffs(clipped)
 
-    def _sample_uniform(self) -> RingElement:
+    def _sample_uniform(self, lead: tuple = ()) -> RingElement:
         rows = [
-            self._rng.integers(0, p, self.params.poly_degree, dtype=np.int64)
+            self._rng.integers(
+                0, p, lead + (self.params.poly_degree,), dtype=np.int64
+            )
             for p in self.params.coeff_primes
         ]
-        return RingElement(self.ring, np.stack(rows, axis=0))
+        return RingElement(self.ring, np.stack(rows, axis=-2))
 
     def _keygen(self) -> None:
         s = self._sample_ternary()
@@ -157,10 +269,17 @@ class BFVContext:
         return self.encoder.decode(plaintext.coeffs, signed=signed)
 
     def encrypt(self, plaintext: Plaintext) -> Ciphertext:
-        u = self._sample_ternary()
-        e1 = self._sample_error()
-        e2 = self._sample_error()
+        """Encrypt one plaintext — or a whole ``(batch, n)`` stack at once."""
+        lead = plaintext.coeffs.shape[:-1]
+        u = self._sample_ternary(lead)
+        e1 = self._sample_error(lead)
+        e2 = self._sample_error(lead)
         m_scaled = plaintext.lift(self.ring, self.t).scalar_mul(self.delta)
+        if not self.slow_reference:
+            # one batched transform primes every NTT cache the masking
+            # sums need (the public-key products pull the adds into the
+            # evaluation domain)
+            self.ring.prime_evals([u, e1, e2, m_scaled])
         c0 = self.public_key.p0 * u + e1 + m_scaled
         c1 = self.public_key.p1 * u + e2
         return Ciphertext([c0, c1])
@@ -168,41 +287,192 @@ class BFVContext:
     def encrypt_vector(self, values) -> Ciphertext:
         return self.encrypt(self.encode(values))
 
-    def _noise_poly(self, ct: Ciphertext) -> list[int]:
-        """Coefficients of ``c0 + c1*s (+ c2*s^2)`` in ``[0, q)``."""
+    @staticmethod
+    def _cols(residues: np.ndarray) -> np.ndarray:
+        """``(..., k, n) -> (k, cols)`` view/copy for the RNS primitives."""
+        if residues.ndim == 2:
+            return residues
+        return np.moveaxis(residues, -2, 0).reshape(residues.shape[-2], -1)
+
+    def _compose(self, residues: np.ndarray) -> list[int]:
+        """Exact coefficient reconstruction, seed path under the oracle."""
+        cols = self._cols(residues)
+        if self.slow_reference:
+            return self.ring.basis.compose_schoolbook(cols)
+        return self.ring.basis.compose(cols)
+
+    def _noise_element(self, ct: Ciphertext) -> RingElement:
+        """``c0 + c1*s (+ c2*s^2)`` as a ring element."""
         s = self.secret_key.s
         acc = ct.parts[0] + ct.parts[1] * s
         if ct.size == 3:
             acc = acc + ct.parts[2] * (s * s)
-        return acc.to_int_coeffs()
+        return acc
+
+    def _noise_poly(self, ct: Ciphertext) -> list[int]:
+        """Coefficients of ``c0 + c1*s (+ c2*s^2)`` in ``[0, q)``.
+
+        For batched ciphertexts the list is the concatenation of every
+        batch element's coefficients, in batch order.
+        """
+        return self._compose(self._noise_element(ct).residues)
 
     def decrypt(self, ct: Ciphertext, check_budget: bool = True) -> Plaintext:
-        if check_budget and self.noise_budget(ct) <= 0:
-            raise NoiseBudgetExhausted(
-                "ciphertext noise budget exhausted; decryption would corrupt"
-            )
-        q, t = self.q, self.t
-        w = self._noise_poly(ct)
-        coeffs = np.array(
-            [(t * c + q // 2) // q % t for c in w], dtype=np.int64
+        plaintext, _ = self.decrypt_with_budgets(
+            ct, check_budget=check_budget, want_budgets=check_budget
         )
-        return Plaintext(coeffs)
+        return plaintext
+
+    def decrypt_with_budgets(
+        self,
+        ct: Ciphertext,
+        check_budget: bool = True,
+        want_budgets: bool = True,
+    ) -> tuple[Plaintext, list[int] | None]:
+        """Decrypt and measure noise budgets in one pass.
+
+        Shares the ``c0 + c1*s`` evaluation between the budget check and
+        the rounding step (the executor's epilogue needs both, and
+        recomputing the noise element doubles the decryption cost).
+        """
+        q, t = self.q, self.t
+        lead = ct.batch_shape + (self.params.poly_degree,)
+        acc = self._noise_element(ct)
+        budgets = None
+        if want_budgets or check_budget:
+            budgets = [
+                self._budget_bits(q, u) for u in self._noise_magnitudes(ct, acc)
+            ]
+            if check_budget and min(budgets) <= 0:
+                raise NoiseBudgetExhausted(
+                    "ciphertext noise budget exhausted; decryption would corrupt"
+                )
+            if not want_budgets:
+                budgets = None
+        if self.slow_reference:
+            w = self.ring.basis.compose_schoolbook(self._cols(acc.residues))
+            coeffs = np.array(
+                [(t * c + q // 2) // q % t for c in w], dtype=np.int64
+            )
+        else:
+            coeffs = self._decrypt_round(self._cols(acc.residues))
+        return Plaintext(coeffs.reshape(lead)), budgets
+
+    def _decrypt_round(self, residues: np.ndarray) -> np.ndarray:
+        """``round(t * c / q) mod t`` straight from q-basis residues.
+
+        HPS scale-and-round with target modulus ``t``: the overflow term
+        ``alpha * (t*q)/q = alpha * t`` vanishes mod ``t``, so only the
+        per-prime integer parts (exact float64 dots mod ``t``) and a small
+        float fractional sum remain; guard-band columns fall back to the
+        big-int formula.  Bit-identical to ``(t*c + q//2) // q % t``.
+        """
+        q, t = self.q, self.t
+        basis = self.ring.basis
+        v = basis._garner_lift(residues)
+        vf = v.astype(np.float64)
+        s_hi = (self._dec_omega_hi_f @ vf).astype(np.int64)
+        s_lo = (self._dec_omega_lo_f @ vf).astype(np.int64)
+        integer = ((s_hi % t) << 16) + s_lo
+        frac = self._dec_theta @ vf
+        frac_floor = np.floor(frac)
+        d = frac - frac_floor
+        rounded = (frac_floor + (d > 0.5)).astype(np.int64)
+        out = (integer + rounded) % t
+        risky = np.abs(d - 0.5) < 1e-5
+        if risky.any():
+            cols = np.nonzero(risky)[0]
+            exact = basis.compose(residues[:, cols])
+            out[cols] = [(t * c + q // 2) // q % t for c in exact]
+        return out
 
     def decrypt_vector(self, ct: Ciphertext, signed: bool = True) -> np.ndarray:
         return self.decode(self.decrypt(ct), signed=signed)
 
-    def noise_budget(self, ct: Ciphertext) -> int:
-        """Bits of invariant-noise headroom (0 means decryption may fail)."""
+    def _noise_magnitudes(
+        self, ct: Ciphertext, acc: RingElement | None = None
+    ) -> list[int]:
+        """Per-batch-element max invariant-noise magnitude.
+
+        The magnitude is ``max |centered(t*c mod q, q)|`` over the
+        element's coefficients; the RNS path finds the maximum through
+        exact 16-bit limb reconstruction and a vectorized lexicographic
+        scan, with no per-coefficient Python arithmetic.
+        """
         q, t = self.q, self.t
-        max_u = 0
-        for c in self._noise_poly(ct):
-            u = abs(centered(t * c % q, q))
-            if u > max_u:
-                max_u = u
+        n = self.params.poly_degree
+        if acc is None:
+            acc = self._noise_element(ct)
+        if self.slow_reference:
+            w = self.ring.basis.compose_schoolbook(self._cols(acc.residues))
+            out = []
+            for start in range(0, len(w), n):
+                max_u = 0
+                for c in w[start : start + n]:
+                    u = abs(centered(t * c % q, q))
+                    if u > max_u:
+                        max_u = u
+                out.append(max_u)
+            return out
+        from repro.he.rns import _LIMB_BITS, _LIMB_MASK
+
+        basis = self.ring.basis
+        # x = t*c mod q, via residues (p_i | q keeps this exact)
+        scaled = acc.residues * self._t_mod_q % self.ring._primes_col
+        cols = self._cols(scaled)
+        v = basis._garner_lift(cols)
+        vf = v.astype(np.float64)
+        plain = basis.overflow_counts(v, vf=vf)
+        flip = (
+            basis.overflow_counts(v, centered=True, vf=vf) != plain
+        )  # x > q/2
+        limbs, _ = basis._limbs(cols, vf=vf, alpha=plain)
+        # q - x in limb space (borrow-propagated subtraction)
+        diff = basis._modulus_limbs[:, None] - limbs
+        comp = np.empty_like(diff)
+        borrow = np.zeros(diff.shape[1], dtype=np.int64)
+        for level in range(diff.shape[0]):
+            cur = diff[level] + borrow
+            comp[level] = cur & _LIMB_MASK
+            borrow = cur >> _LIMB_BITS
+        mags = np.where(flip[None, :], comp, limbs)
+        out = []
+        for start in range(0, mags.shape[1], n):
+            chunk = mags[:, start : start + n]
+            live = np.arange(chunk.shape[1])
+            for level in range(chunk.shape[0] - 1, -1, -1):
+                row = chunk[level, live]
+                live = live[row == row.max()]
+                if len(live) == 1:
+                    break
+            best = chunk[:, live[0]]
+            max_u = 0
+            for level in range(chunk.shape[0] - 1, -1, -1):
+                max_u = (max_u << _LIMB_BITS) | int(best[level])
+            out.append(max_u)
+        return out
+
+    @staticmethod
+    def _budget_bits(q: int, max_u: int) -> int:
         if max_u == 0:
             return q.bit_length() - 1
-        budget = (q // (2 * max_u)).bit_length() - 1
-        return max(0, budget)
+        return max(0, (q // (2 * max_u)).bit_length() - 1)
+
+    def noise_budget(self, ct: Ciphertext) -> int:
+        """Bits of invariant-noise headroom (0 means decryption may fail).
+
+        For batched ciphertexts this is the worst element's budget; use
+        :meth:`noise_budgets` for the per-element view.
+        """
+        return min(
+            self._budget_bits(self.q, u) for u in self._noise_magnitudes(ct)
+        )
+
+    def noise_budgets(self, ct: Ciphertext) -> list[int]:
+        """Per-batch-element noise budgets (singletons give one entry)."""
+        return [
+            self._budget_bits(self.q, u) for u in self._noise_magnitudes(ct)
+        ]
 
     # ------------------------------------------------------------------
     # Homomorphic operations
@@ -239,29 +509,139 @@ class BFVContext:
         """BFV multiply: exact integer tensor, rescale by t/q, relinearize."""
         if ct1.size != 2 or ct2.size != 2:
             raise HEError("multiply expects relinearized (2-part) operands")
-        a0 = ct1.parts[0].to_centered_coeffs()
-        a1 = ct1.parts[1].to_centered_coeffs()
-        b0 = ct2.parts[0].to_centered_coeffs()
-        b1 = ct2.parts[1].to_centered_coeffs()
-        # Karatsuba: three exact products instead of four.
-        p00 = exact_negacyclic_product(a0, b0, self._ext_ring)
-        p11 = exact_negacyclic_product(a1, b1, self._ext_ring)
-        asum = [x + y for x, y in zip(a0, a1)]
-        bsum = [x + y for x, y in zip(b0, b1)]
-        pss = exact_negacyclic_product(asum, bsum, self._ext_ring)
-        p01 = [s - x - y for s, x, y in zip(pss, p00, p11)]
-        parts = [
-            self._rescale_to_ring(p00),
-            self._rescale_to_ring(p01),
-            self._rescale_to_ring(p11),
-        ]
+        if self.slow_reference:
+            parts = self._tensor_reference(ct1, ct2)
+        else:
+            parts = self._tensor_rns(ct1, ct2)
         product = Ciphertext(parts)
         if relinearize:
             product = self.relinearize(product)
         return product
 
+    def _tensor_rns(self, ct1: Ciphertext, ct2: Ciphertext) -> list[RingElement]:
+        """Vectorized tensor-and-rescale in the extended RNS basis.
+
+        The four operand parts are base-converted (exactly, centered) into
+        the extension basis, tensored with one batched forward NTT and
+        Karatsuba's three pointwise products, and rescaled without ever
+        leaving int64 residue land.
+        """
+        ext = self._ext_ring
+        n = self.params.poly_degree
+        # one conversion call over all four parts (and any batch axes)
+        stack = np.stack(
+            [part.residues for ct in (ct1, ct2) for part in ct.parts]
+        )  # (4, ..., k, n)
+        lead = stack.shape[:-2]
+        converted = self._conv_q_to_ext(self._cols(stack), centered=True)
+        k_ext = len(ext.basis)
+        operands = np.moveaxis(
+            converted.reshape((k_ext,) + lead + (n,)), 0, -2
+        )
+        fa0, fa1, fb0, fb1 = ext.batch_ntt.forward(operands)
+        p_col = ext._primes_col
+        fsa = (fa0 + fa1) % p_col
+        fsb = (fb0 + fb1) % p_col
+        products = np.stack(
+            [fa0 * fb0 % p_col, fa1 * fb1 % p_col, fsa * fsb % p_col]
+        )
+        t00, t11, tss = ext.batch_ntt.inverse(products)
+        t01 = (tss - t00 - t11) % p_col
+        # rescale all three tensor parts in one vectorized sweep
+        tensors = np.stack([t00, t01, t11])  # (3, ..., k_ext, n)
+        rescaled = self._rns_rescale(self._cols(tensors))
+        k = len(self.ring.basis)
+        parts = np.moveaxis(
+            rescaled.reshape((k,) + tensors.shape[:-2] + (n,)), 0, -2
+        )
+        return [
+            RingElement(self.ring, np.ascontiguousarray(parts[i]))
+            for i in range(3)
+        ]
+
+    def _rns_rescale(self, tensor_res: np.ndarray) -> np.ndarray:
+        """``round(t * T / q) mod q`` on extension-basis residues, exactly.
+
+        HPS-style scale-and-round: with ``T = sum_i v_i*(E/P_i) - alpha*E``
+        (``alpha`` exact, ``T`` centered), ``t*T/q`` splits into an integer
+        part — accumulated mod each q-prime through exact float64 BLAS dot
+        products against ``omega_i = floor(t*(E/P_i)/q)`` — plus a small
+        real ``sum_i v_i*theta_i - alpha*Theta`` whose rounding is decided
+        in float64.  ``q`` is odd so exact .5 ties are impossible; columns
+        within the float guard band of a boundary are recomputed through
+        the exact floor-division path.  Bit-identical to the big-integer
+        ``(t*v + q//2) // q`` of the reference path, vectorized over
+        however many columns the caller concatenates.
+        """
+        basis = self._ext_ring.basis
+        v = basis._garner_lift(tensor_res)
+        vf = v.astype(np.float64)
+        alpha = basis.overflow_counts(v, centered=True, vf=vf)
+        p_col = self.ring._primes_col
+        s_hi = (self._sr_w_hi_f @ vf).astype(np.int64)
+        s_lo = (self._sr_w_lo_f @ vf).astype(np.int64)
+        integer = ((s_hi % p_col) << 16) + s_lo
+        integer -= alpha[None, :] * self._sr_cap_omega_mod
+        frac = self._sr_theta @ vf - alpha * self._sr_cap_theta
+        frac_floor = np.floor(frac)
+        d = frac - frac_floor
+        rounded = (frac_floor + (d > 0.5)).astype(np.int64)
+        out = (integer + rounded[None, :]) % p_col
+        risky = np.abs(d - 0.5) < 1e-5
+        if risky.any():
+            cols = np.nonzero(risky)[0]
+            out[:, cols] = self._rns_rescale_exact(tensor_res[:, cols])
+        return out
+
+    def _rns_rescale_exact(self, tensor_res: np.ndarray) -> np.ndarray:
+        """Exact RNS floor-division rescale (guard-band fallback path).
+
+        Writes the rounding as ``floor((t*T + q/2) / q)``: the remainder
+        ``r = A mod q`` is recovered through an exact ext->q conversion
+        (its q-basis residues *are* ``A mod p_i``), lifted back, and
+        ``(A - r) * q^{-1}`` evaluated in the extension basis where ``q``
+        is invertible.
+        """
+        ext = self._ext_ring
+        p_col = ext._primes_col
+        a = (tensor_res * self._t_mod_ext + self._half_q_mod_ext) % p_col
+        r_q = self._conv_ext_to_q(a, centered=True)
+        r_ext = self._conv_q_to_ext(r_q)
+        quot = (a - r_ext) % p_col * self._q_inv_ext % p_col
+        return self._conv_ext_to_q(quot, centered=True)
+
+    def _tensor_reference(
+        self, ct1: Ciphertext, ct2: Ciphertext
+    ) -> list[RingElement]:
+        """Textbook big-integer tensor-and-rescale (the equivalence oracle).
+
+        This is the seed implementation kept byte-for-byte in behavior —
+        per-coefficient Garner composition, Python-int Karatsuba sums, and
+        big-int rescale — so the equivalence tests pin the RNS path to it
+        and the runtime benchmarks measure speedups against it honestly.
+        """
+        basis = self.ring.basis
+        a0 = basis.compose_centered_schoolbook(ct1.parts[0].residues)
+        a1 = basis.compose_centered_schoolbook(ct1.parts[1].residues)
+        b0 = basis.compose_centered_schoolbook(ct2.parts[0].residues)
+        b1 = basis.compose_centered_schoolbook(ct2.parts[1].residues)
+        # Karatsuba: three exact products instead of four.
+        p00 = exact_negacyclic_product(a0, b0, self._ext_ring, schoolbook=True)
+        p11 = exact_negacyclic_product(a1, b1, self._ext_ring, schoolbook=True)
+        asum = [x + y for x, y in zip(a0, a1)]
+        bsum = [x + y for x, y in zip(b0, b1)]
+        pss = exact_negacyclic_product(
+            asum, bsum, self._ext_ring, schoolbook=True
+        )
+        p01 = [s - x - y for s, x, y in zip(pss, p00, p11)]
+        return [
+            self._rescale_to_ring(p00),
+            self._rescale_to_ring(p01),
+            self._rescale_to_ring(p11),
+        ]
+
     def _rescale_to_ring(self, coeffs: list[int]) -> RingElement:
-        """``round(t * v / q) mod q`` applied coefficient-wise."""
+        """``round(t * v / q) mod q`` applied coefficient-wise (big-int)."""
         q, t = self.q, self.t
         scaled = [(t * v + q // 2) // q for v in coeffs]
         return self.ring.from_int_coeffs(scaled)
@@ -271,6 +651,10 @@ class BFVContext:
         if ct.size == 2:
             return ct.copy()
         d0, d1 = self._key_switch(ct.parts[2], self.relin_key)
+        if not self.slow_reference:
+            # d0/d1 arrive in NTT form; prime both target parts' caches in
+            # one batched transform so the adds stay in the NTT domain.
+            self.ring.prime_evals([ct.parts[0], ct.parts[1]])
         return Ciphertext([ct.parts[0] + d0, ct.parts[1] + d1])
 
     def rotate_rows(self, ct: Ciphertext, steps: int) -> Ciphertext:
@@ -292,6 +676,12 @@ class BFVContext:
     def _apply_galois(self, ct: Ciphertext, galois_elt: int) -> Ciphertext:
         self.generate_galois_key(galois_elt)
         key = self.galois_keys.get(galois_elt)
+        if not self.slow_reference:
+            # Hoist: materialise c0's NTT form on the *input* ciphertext so
+            # repeated rotations of the same ciphertext permute the cached
+            # evaluation rows instead of re-transforming (c0g + d0 happens
+            # in the evaluation domain either way).
+            ct.parts[0].eval_rows()
         c0g = ct.parts[0].automorphism(galois_elt)
         c1g = ct.parts[1].automorphism(galois_elt)
         d0, d1 = self._key_switch(c1g, key)
@@ -300,11 +690,60 @@ class BFVContext:
     def _key_switch(
         self, poly: RingElement, key: KSwitchKey
     ) -> tuple[RingElement, RingElement]:
-        """Inner product of base-T digits with an NTT-domain switch key."""
+        if self.slow_reference:
+            return self._key_switch_reference(poly, key)
+        return self._key_switch_rns(poly, key)
+
+    def _key_switch_rns(
+        self, poly: RingElement, key: KSwitchKey
+    ) -> tuple[RingElement, RingElement]:
+        """Inner product of base-T digits with an NTT-domain switch key.
+
+        Digit decomposition is vectorized (no big-int compose), the whole
+        ``(digits, k, N)`` stack goes through one batched forward NTT, and
+        the accumulators stay in the evaluation domain — the returned
+        elements inverse-transform only if a consumer needs coefficients.
+        """
+        ring = self.ring
+        res = poly.residues
+        lead = res.shape[:-2]
+        n = self.params.poly_degree
+        digits = self._digit_decomposer.digits(self._cols(res))
+        depth = digits.shape[0]
+        stack = (
+            digits.reshape((depth,) + lead + (1, n))
+            % ring._primes_col
+        )  # (digits, ..., k, n)
+        evals = ring.batch_ntt.forward(
+            stack, reduce_output=not self._mac_lazy_ok
+        )
+        p_col = ring._primes_col
+        key0 = key._stack_0.reshape(
+            (depth,) + (1,) * len(lead) + key._stack_0.shape[1:]
+        )
+        key1 = key._stack_1.reshape(
+            (depth,) + (1,) * len(lead) + key._stack_1.shape[1:]
+        )
+        if self._mac_needs_reduce:
+            acc0 = np.sum(evals * key0 % p_col, axis=0) % p_col
+            acc1 = np.sum(evals * key1 % p_col, axis=0) % p_col
+        else:
+            # digit_count * p^2 < 2^63: accumulate unreduced, reduce once
+            acc0 = (evals * key0).sum(axis=0) % p_col
+            acc1 = (evals * key1).sum(axis=0) % p_col
+        return (
+            RingElement(ring, eval_rows=acc0),
+            RingElement(ring, eval_rows=acc1),
+        )
+
+    def _key_switch_reference(
+        self, poly: RingElement, key: KSwitchKey
+    ) -> tuple[RingElement, RingElement]:
+        """Big-int digit decomposition with per-digit transforms (oracle)."""
         ring = self.ring
         bits = self.params.decomp_bits
         mask = (1 << bits) - 1
-        coeffs = poly.to_int_coeffs()
+        coeffs = ring.basis.compose_schoolbook(poly.residues)
         primes_col = ring._primes_col
         acc0 = np.zeros_like(poly.residues)
         acc1 = np.zeros_like(poly.residues)

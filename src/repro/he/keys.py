@@ -4,6 +4,9 @@ Key-switching keys (relinearization and Galois) are stored with their
 polynomials pre-transformed into the per-prime NTT evaluation domain, as
 SEAL does, so the hot key-switch inner product needs only forward
 transforms of the digit polynomials plus pointwise multiply-accumulate.
+The evaluation rows are kept both as one stacked ``(digits, k, N)`` array
+(consumed whole by the vectorized RNS key switch) and as per-digit views
+(consumed by the retained big-int reference path).
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.he.poly import RingContext, RingElement
+from repro.he.poly import RingElement
 
 
 @dataclass
@@ -36,16 +39,12 @@ class KSwitchKey:
 
     def __init__(self, pairs: list[tuple[RingElement, RingElement]]):
         self.pairs = pairs
-        ctx = pairs[0][0].ctx
-        self._ntt_cache_0 = [self._to_eval(ctx, k0) for k0, _ in pairs]
-        self._ntt_cache_1 = [self._to_eval(ctx, k1) for _, k1 in pairs]
-
-    @staticmethod
-    def _to_eval(ctx: RingContext, elt: RingElement) -> np.ndarray:
-        rows = [
-            ntt.forward(elt.residues[i]) for i, ntt in enumerate(ctx.ntts)
-        ]
-        return np.stack(rows, axis=0)
+        # (digits, k, N) evaluation stacks; eval_rows() reuses any NTT form
+        # the keygen products already carry, so nothing transforms twice.
+        self._stack_0 = np.stack([k0.eval_rows() for k0, _ in pairs])
+        self._stack_1 = np.stack([k1.eval_rows() for _, k1 in pairs])
+        self._ntt_cache_0 = list(self._stack_0)
+        self._ntt_cache_1 = list(self._stack_1)
 
     def __len__(self) -> int:
         return len(self.pairs)

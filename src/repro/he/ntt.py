@@ -11,10 +11,16 @@ Pointwise products in the bit-reversed domain realise negacyclic
 convolution, i.e. multiplication in ``Z_p[x]/(x^N + 1)``.
 
 Every butterfly operates on int64 numpy arrays; with primes below 2^31 the
-intermediate products stay below 2^62 and never overflow.
+intermediate products stay below 2^62 and never overflow.  Both
+:class:`NTTContext` and the multi-prime :class:`BatchNTT` transform any
+``(..., n)`` / ``(..., k, n)`` stack in one pass of the butterfly loop, so
+stacked workloads (all RNS primes of a ring, all digits of a key switch)
+cost one Python-level loop of ``log2 n`` vectorized stages total.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -27,6 +33,37 @@ def bit_reverse(value: int, bits: int) -> int:
     for _ in range(bits):
         result = (result << 1) | (value & 1)
         value >>= 1
+    return result
+
+
+@lru_cache(maxsize=None)
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Bit-reversal permutation of ``range(n)`` (``n`` a power of two).
+
+    Computed vectorized (``log2 n`` shift/or passes over the whole index
+    vector) and cached per size, so every per-prime NTT context of a ring
+    — and every ring of the same degree — shares one read-only table.
+    """
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    rev.flags.writeable = False
+    return rev
+
+
+def _power_table(base: int, exponents: np.ndarray, prime: int) -> np.ndarray:
+    """``base ** exponents mod prime`` via a vectorized square-and-multiply."""
+    result = np.ones(len(exponents), dtype=np.int64)
+    acc = base % prime
+    e = exponents.copy()
+    while e.any():
+        odd = (e & 1).astype(bool)
+        result[odd] = result[odd] * acc % prime
+        acc = acc * acc % prime
+        e >>= 1
     return result
 
 
@@ -45,48 +82,49 @@ class NTTContext:
         self.psi = primitive_root_of_unity(2 * n, prime)
         self.psi_inv = pow(self.psi, -1, prime)
         self.n_inv = pow(n, -1, prime)
-        bits = n.bit_length() - 1
-        rev = [bit_reverse(i, bits) for i in range(n)]
-        self.psi_rev = np.array(
-            [pow(self.psi, r, prime) for r in rev], dtype=np.int64
-        )
-        self.psi_inv_rev = np.array(
-            [pow(self.psi_inv, r, prime) for r in rev], dtype=np.int64
-        )
+        rev = bit_reverse_indices(n)
+        self.psi_rev = _power_table(self.psi, rev, prime)
+        self.psi_inv_rev = _power_table(self.psi_inv, rev, prime)
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
-        """Natural-order coefficients -> bit-reversed negacyclic evaluations."""
-        a = np.array(coeffs, dtype=np.int64) % self.prime
+        """Natural-order coefficients -> bit-reversed negacyclic evaluations.
+
+        Transforms the last axis; any leading axes ride along vectorized.
+        """
+        a = np.asarray(coeffs, dtype=np.int64) % self.prime
         p = self.prime
         n = self.n
         t = n
         m = 1
         while m < n:
             t //= 2
-            block = a.reshape(m, 2 * t)
+            block = a.reshape(a.shape[:-1] + (m, 2 * t))
             twiddle = self.psi_rev[m : 2 * m, None]
-            upper = block[:, :t].copy()
-            lower = block[:, t:] * twiddle % p
-            block[:, :t] = (upper + lower) % p
-            block[:, t:] = (upper - lower) % p
+            upper = block[..., :t].copy()
+            lower = block[..., t:] * twiddle % p
+            block[..., :t] = (upper + lower) % p
+            block[..., t:] = (upper - lower) % p
             m *= 2
         return a
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
-        """Bit-reversed negacyclic evaluations -> natural-order coefficients."""
-        a = np.array(values, dtype=np.int64) % self.prime
+        """Bit-reversed negacyclic evaluations -> natural-order coefficients.
+
+        Transforms the last axis; any leading axes ride along vectorized.
+        """
+        a = np.asarray(values, dtype=np.int64) % self.prime
         p = self.prime
         n = self.n
         t = 1
         m = n
         while m > 1:
             h = m // 2
-            block = a.reshape(h, 2 * t)
+            block = a.reshape(a.shape[:-1] + (h, 2 * t))
             twiddle = self.psi_inv_rev[h : 2 * h, None]
-            upper = block[:, :t].copy()
-            lower = block[:, t:].copy()
-            block[:, :t] = (upper + lower) % p
-            block[:, t:] = (upper - lower) % p * twiddle % p
+            upper = block[..., :t].copy()
+            lower = block[..., t:].copy()
+            block[..., :t] = (upper + lower) % p
+            block[..., t:] = (upper - lower) % p * twiddle % p
             t *= 2
             m = h
         return a * self.n_inv % p
@@ -114,6 +152,235 @@ class NTTContext:
             dlog[acc] = e
             acc = acc * self.psi % self.prime
         return [dlog[int(v)] for v in outputs]
+
+
+class BatchNTT:
+    """All per-prime transforms of one ring, fused into single numpy passes.
+
+    Operates on stacked residue arrays of shape ``(..., k, n)`` — one row
+    per RNS prime, any number of leading batch axes (ciphertext parts,
+    key-switch digits).  Twiddle tables are stacked ``(k, n)`` views of the
+    per-prime :class:`NTTContext` tables, so a whole ring (or a whole
+    ``(digits, k, n)`` digit stack) is transformed by one ``log2 n``-stage
+    butterfly loop instead of ``k`` (or ``digits * k``) separate ones.
+
+    The butterflies are lazy in the Harvey style: twiddle products use
+    Shoup's precomputed-quotient trick (``w_shoup = floor(w * 2^31 / p)``,
+    one multiply-shift-multiply-subtract instead of an integer division)
+    and sums are left unreduced while the running magnitude bound stays
+    below ``2^31``; a full reduction is interleaved only when the bound
+    would overflow and once at the end.  ``np.mod`` — by far the most
+    expensive vectorized pass — all but disappears from the hot loop.
+    Stages are processed two at a time (fused radix-4 passes) on a
+    transposed ``(n, batch, k)`` layout, so every numpy operation streams
+    contiguous ``batch * k`` runs even in the smallest sub-blocks.
+    Results are bit-identical to the eager per-prime transforms.
+    """
+
+    _LIMIT = 1 << 31  # Shoup operands must stay below 2^31
+
+    def __init__(self, ntts: list[NTTContext]):
+        if not ntts:
+            raise ValueError("BatchNTT needs at least one NTT context")
+        self.n = ntts[0].n
+        if any(c.n != self.n for c in ntts):
+            raise ValueError("all NTT contexts must share one size")
+        self.primes = np.array([c.prime for c in ntts], dtype=np.int64)
+        self._p_col = self.primes[:, None]  # (k, 1) for (..., k, n)
+        self._pmax = int(self.primes.max())
+        self._pmin = int(self.primes.min())
+        psi_rev = np.stack([c.psi_rev for c in ntts])
+        psi_inv_rev = np.stack([c.psi_inv_rev for c in ntts])
+        self._n_inv = np.array([c.n_inv for c in ntts], dtype=np.int64)
+        # transposed twiddle tables (n, k) plus their Shoup companions
+        # floor(w << 31 / p); w < 2^31 keeps w << 31 < 2^62 in int64
+        self._w_fwd = np.ascontiguousarray(psi_rev.T)
+        self._ws_fwd = np.ascontiguousarray(((psi_rev << 31) // self._p_col).T)
+        self._w_inv = np.ascontiguousarray(psi_inv_rev.T)
+        self._ws_inv = np.ascontiguousarray(
+            ((psi_inv_rev << 31) // self._p_col).T
+        )
+        # per batch-width expansions of the tables (twiddles/moduli tiled
+        # across the collapsed batch*k trailing axis, so every numpy inner
+        # loop runs the full width instead of k elements)
+        self._expanded: dict[int, tuple] = {}
+        # Fused radix-4 stages push Shoup operands up to 4p; primes above
+        # 2^29 must take the radix-2 path so operands stay below 2^31.
+        self._radix4 = 4 * self._pmax < self._LIMIT
+
+    # -- layout helpers -------------------------------------------------
+
+    def _tables_for(self, batch: int) -> tuple:
+        cached = self._expanded.get(batch)
+        if cached is None:
+            cached = (
+                np.tile(self._w_fwd, (1, batch)),
+                np.tile(self._ws_fwd, (1, batch)),
+                np.tile(self._w_inv, (1, batch)),
+                np.tile(self._ws_inv, (1, batch)),
+                np.tile(self.primes, batch),
+                np.tile(self._n_inv, batch),
+            )
+            if len(self._expanded) < 8:  # bound the per-shape cache
+                self._expanded[batch] = cached
+        return cached
+
+    def _to_cols(self, residues: np.ndarray) -> tuple[np.ndarray, tuple]:
+        """``(..., k, n) -> (n, batch*k)`` contiguous working copy."""
+        a = np.asarray(residues, dtype=np.int64)
+        shape = a.shape
+        return np.ascontiguousarray(a.reshape(-1, self.n).T), shape
+
+    def _from_cols(self, x: np.ndarray, shape: tuple) -> np.ndarray:
+        return np.ascontiguousarray(x.T).reshape(shape)
+
+    @staticmethod
+    def _shoup(y, w, ws, p):
+        """``y * w mod p`` up to one extra ``p``: result in ``[0, 2p)``.
+
+        Requires ``y < 2^31``; callers track magnitude bounds to
+        guarantee it.  No integer division anywhere.
+        """
+        return y * w - ((y * ws) >> 31) * p
+
+    @staticmethod
+    def _twiddle(table, lo, hi, step=1):
+        """Slice rows ``[lo:hi:step]`` shaped for ``(m, t, batch*k)``."""
+        return table[lo:hi:step][:, None, :]
+
+    # -- transforms -----------------------------------------------------
+
+    def forward(
+        self, residues: np.ndarray, reduce_output: bool = True
+    ) -> np.ndarray:
+        """Coefficient stack ``(..., k, n)`` -> evaluation stack.
+
+        ``reduce_output=False`` skips the final canonical reduction; the
+        result is congruent mod each prime but only bounded by ``2^31``
+        (for consumers that fold the reduction into their own accumulate).
+        """
+        x, shape = self._to_cols(residues)
+        n = self.n
+        w_fwd, ws_fwd, _, _, p, _ = self._tables_for(x.shape[1] // len(self.primes))
+        two_p = 2 * p
+        pmax = self._pmax
+        np.mod(x, p, out=x)
+        bound = pmax
+        m, t = 1, n
+        while m < n:
+            # every Shoup operand this stage stays below bound + 2*pmax
+            if bound + 2 * pmax >= self._LIMIT:
+                np.mod(x, p, out=x)
+                bound = pmax
+            if t >= 4 and self._radix4:
+                t4 = t // 4
+                v = x.reshape(m, 4, t4, -1)
+                # stage-A twiddle w[m+i] is shared by both pairs of the
+                # group, so one Shoup call covers the contiguous (x2, x3)
+                # half; stage-B twiddles w[2m+2i], w[2m+2i+1] interleave
+                # naturally into a (m, 2) pair via reshape.
+                w_a = w_fwd[m : 2 * m][:, None, None, :]
+                ws_a = ws_fwd[m : 2 * m][:, None, None, :]
+                w_b = w_fwd[2 * m : 4 * m].reshape(m, 2, 1, -1)
+                ws_b = ws_fwd[2 * m : 4 * m].reshape(m, 2, 1, -1)
+                ta = self._shoup(v[:, 2:4], w_a, ws_a, p)  # (m, 2, t4, W)
+                upper = v[:, 0:2] + ta
+                lower = v[:, 0:2] - ta + two_p
+                pair = np.stack([upper[:, 1], lower[:, 1]], axis=1)
+                tb = self._shoup(pair, w_b, ws_b, p)
+                v[:, 0] = upper[:, 0] + tb[:, 0]
+                v[:, 1] = upper[:, 0] - tb[:, 0] + two_p
+                v[:, 2] = lower[:, 0] + tb[:, 1]
+                v[:, 3] = lower[:, 0] - tb[:, 1] + two_p
+                bound += 4 * pmax
+                m *= 4
+                t = t4
+            else:
+                t2 = t // 2
+                v = x.reshape(m, 2, t2, -1)
+                w = self._twiddle(w_fwd, m, 2 * m)
+                ws = self._twiddle(ws_fwd, m, 2 * m)
+                x0 = v[:, 0]
+                tv = self._shoup(v[:, 1], w, ws, p)
+                diff = x0 - tv + two_p
+                np.add(x0, tv, out=v[:, 0])
+                v[:, 1] = diff
+                bound += 2 * pmax
+                m *= 2
+                t = t2
+        if reduce_output:
+            np.mod(x, p, out=x)
+        return self._from_cols(x, shape)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Evaluation stack ``(..., k, n)`` -> coefficient stack."""
+        x, shape = self._to_cols(values)
+        n = self.n
+        _, _, w_inv, ws_inv, p, n_inv = self._tables_for(
+            x.shape[1] // len(self.primes)
+        )
+        pmax = self._pmax
+        pmin = self._pmin
+        np.mod(x, p, out=x)
+        bound = pmax
+        m, t = n, 1
+        while m > 1:
+            if m >= 4 and self._radix4:
+                lift1 = -(-bound // pmin)  # ceil: offset keeping diffs >= 0
+                lift2 = -(-2 * bound // pmin)
+                if (
+                    bound + lift1 * pmax >= self._LIMIT
+                    or 2 * bound + lift2 * pmax >= self._LIMIT
+                ):
+                    np.mod(x, p, out=x)
+                    bound = pmax
+                    lift1, lift2 = 1, 2
+                h = m // 4
+                # pairs-of-pairs view: vv[:, j, 0/1] are the two halves of
+                # stage-1 block 2i+j; the interleaved twiddles
+                # w[m/2+2i], w[m/2+2i+1] pair up via reshape.
+                vv = x.reshape(h, 2, 2, t, -1)
+                w1 = w_inv[m // 2 : m].reshape(h, 2, 1, -1)
+                ws1 = ws_inv[m // 2 : m].reshape(h, 2, 1, -1)
+                w2 = w_inv[h : m // 2][:, None, None, :]
+                ws2 = ws_inv[h : m // 2][:, None, None, :]
+                sums = vv[:, :, 0] + vv[:, :, 1]  # (h, 2, t, W)
+                diffs = self._shoup(
+                    vv[:, :, 0] - vv[:, :, 1] + lift1 * p, w1, ws1, p
+                )
+                pair = np.stack(
+                    [
+                        sums[:, 0] - sums[:, 1] + lift2 * p,
+                        diffs[:, 0] - diffs[:, 1] + 2 * p,
+                    ],
+                    axis=1,
+                )
+                low = self._shoup(pair, w2, ws2, p)
+                vv[:, 0, 0] = sums[:, 0] + sums[:, 1]
+                vv[:, 1, 0] = low[:, 0]
+                vv[:, 0, 1] = diffs[:, 0] + diffs[:, 1]
+                vv[:, 1, 1] = low[:, 1]
+                bound = max(4 * bound, 4 * pmax)
+                m //= 4
+                t *= 4
+            else:
+                lift = -(-bound // pmin)
+                if 2 * bound >= self._LIMIT or bound + lift * pmax >= self._LIMIT:
+                    np.mod(x, p, out=x)
+                    bound = pmax
+                    lift = 1
+                v = x.reshape(m // 2, 2, t, -1)
+                w = self._twiddle(w_inv, m // 2, m)
+                ws = self._twiddle(ws_inv, m // 2, m)
+                q0, q1 = v[:, 0], v[:, 1]
+                total = q0 + q1
+                v[:, 1] = self._shoup(q0 - q1 + lift * p, w, ws, p)
+                v[:, 0] = total
+                bound = max(2 * bound, 2 * pmax)
+                m //= 2
+                t *= 2
+        x = x * n_inv % p
+        return self._from_cols(x, shape)
 
 
 def naive_negacyclic_convolve(a, b, prime: int) -> np.ndarray:

@@ -1,16 +1,27 @@
 """Ring elements of ``R_q = Z_q[x]/(x^N + 1)`` in RNS representation.
 
 A :class:`RingElement` stores one residue row per RNS prime (shape
-``(k, N)`` int64), so additions, negacyclic multiplications (via NTT), and
-Galois automorphisms are all vectorized numpy operations.  Big-integer
-coefficient views are materialised only at scheme boundaries.
+``(k, N)`` int64) and keeps both representations of that matrix lazily:
+
+* the **coefficient** domain (natural order), needed for automorphisms on
+  coefficients, digit decomposition, and scheme boundaries, and
+* the **evaluation** (NTT) domain, where ring multiplication is a
+  pointwise product.
+
+Whichever domain an element was produced in is kept; the other is
+materialised on demand through the ring's batched NTT and then cached, so
+chains of add / rotate / multiply never forward- or inverse-transform the
+same polynomial twice.  Galois automorphisms act in *either* domain: as the
+classic signed coefficient permutation, or as an unsigned permutation of
+evaluation points (``f(psi^e) -> f(psi^{e*g})``).  Big-integer coefficient
+views are materialised only at scheme boundaries.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.he.ntt import NTTContext
+from repro.he.ntt import BatchNTT, NTTContext
 from repro.he.rns import RNSBasis
 
 
@@ -21,8 +32,11 @@ class RingContext:
         self.n = n
         self.basis = RNSBasis(primes)
         self.ntts = [NTTContext(n, p) for p in primes]
+        self.batch_ntt = BatchNTT(self.ntts)
         self._primes_col = np.array(primes, dtype=np.int64)[:, None]
         self._automorphism_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._eval_perm_cache: dict[int, np.ndarray] = {}
+        self._eval_exponents: list[int] | None = None
 
     @property
     def modulus(self) -> int:
@@ -33,13 +47,21 @@ class RingContext:
         return RingElement(self, np.zeros(shape, dtype=np.int64))
 
     def from_int_coeffs(self, coeffs) -> "RingElement":
-        """Build an element from integer coefficients (any magnitude/sign)."""
-        if len(coeffs) != self.n:
+        """Build an element from integer coefficients (any magnitude/sign).
+
+        Accepts a single length-``n`` vector or a ``(..., n)`` stack (the
+        batched execution path encrypts whole input batches at once).
+        """
+        if np.shape(coeffs)[-1] != self.n:
             raise ValueError(f"expected {self.n} coefficients")
         return RingElement(self, self.basis.decompose(coeffs))
 
     def from_residues(self, residues: np.ndarray) -> "RingElement":
         return RingElement(self, residues % self._primes_col)
+
+    def from_eval(self, eval_rows: np.ndarray) -> "RingElement":
+        """Build an element already in the NTT (evaluation) domain."""
+        return RingElement(self, eval_rows=eval_rows % self._primes_col)
 
     def constant(self, value: int) -> "RingElement":
         coeffs = [value] + [0] * (self.n - 1)
@@ -58,66 +80,185 @@ class RingContext:
         if cached is not None:
             return cached
         n = self.n
-        dest = np.empty(n, dtype=np.int64)
-        sign = np.empty(n, dtype=np.int64)
-        for i in range(n):
-            d = i * galois_elt % (2 * n)
-            if d < n:
-                dest[i] = d
-                sign[i] = 1
-            else:
-                dest[i] = d - n
-                sign[i] = -1
+        pos = np.arange(n, dtype=np.int64) * galois_elt % (2 * n)
+        dest = np.where(pos < n, pos, pos - n)
+        sign = np.where(pos < n, 1, -1).astype(np.int64)
         self._automorphism_cache[galois_elt] = (dest, sign)
         return dest, sign
 
+    def evaluation_exponents(self) -> list[int]:
+        """Exponent ``e_j`` of the evaluation point at output position ``j``.
+
+        The butterfly network's output ordering is a pure index pattern, so
+        the exponent list is identical for every prime of the basis (the
+        equivalence tests assert this); it is derived once from the first
+        NTT context and shared.
+        """
+        if self._eval_exponents is None:
+            self._eval_exponents = self.ntts[0].evaluation_exponents()
+        return self._eval_exponents
+
+    def prime_evals(self, elements: list["RingElement"]) -> None:
+        """Fill the NTT caches of several same-shape elements in one pass."""
+        pending = [e for e in elements if e._eval is None]
+        if not pending:
+            return
+        evals = self.batch_ntt.forward(
+            np.stack([e._coeff for e in pending])
+        )
+        for element, rows in zip(pending, evals):
+            element._eval = rows
+
+    def eval_automorphism_table(self, galois_elt: int) -> np.ndarray:
+        """Permutation realising ``x -> x^g`` directly on evaluation rows.
+
+        The automorphism maps ``f`` to ``f(x^g)``, whose value at the point
+        ``psi^e`` is ``f(psi^{e*g mod 2N})`` — a sign-free permutation of
+        evaluation positions (``g`` odd keeps the odd-exponent point set
+        closed).  Rotating a ciphertext that is already in NTT form
+        therefore needs no transform at all.
+        """
+        if galois_elt % 2 == 0:
+            raise ValueError("Galois elements must be odd")
+        cached = self._eval_perm_cache.get(galois_elt)
+        if cached is not None:
+            return cached
+        exps = self.evaluation_exponents()
+        position_of = {e: j for j, e in enumerate(exps)}
+        two_n = 2 * self.n
+        perm = np.array(
+            [position_of[e * galois_elt % two_n] for e in exps],
+            dtype=np.int64,
+        )
+        perm.flags.writeable = False
+        self._eval_perm_cache[galois_elt] = perm
+        return perm
+
 
 class RingElement:
-    """One polynomial of ``R_q``, stored as an RNS residue matrix."""
+    """One polynomial of ``R_q``, stored as an RNS residue matrix.
 
-    __slots__ = ("ctx", "residues")
+    Carries the coefficient-domain matrix, the evaluation-domain matrix, or
+    both; missing forms are materialised lazily and cached.  Elements are
+    value-immutable: every operation returns a new element, and the cached
+    forms of an operand are never written to.
+    """
 
-    def __init__(self, ctx: RingContext, residues: np.ndarray):
+    __slots__ = ("ctx", "_coeff", "_eval")
+
+    def __init__(
+        self,
+        ctx: RingContext,
+        residues: np.ndarray | None = None,
+        *,
+        eval_rows: np.ndarray | None = None,
+    ):
+        if residues is None and eval_rows is None:
+            raise ValueError("RingElement needs residues or eval_rows")
         self.ctx = ctx
-        self.residues = residues
+        self._coeff = residues
+        self._eval = eval_rows
+
+    @property
+    def residues(self) -> np.ndarray:
+        """Coefficient-domain residue matrix (materialised on demand)."""
+        if self._coeff is None:
+            self._coeff = self.ctx.batch_ntt.inverse(self._eval)
+        return self._coeff
+
+    def eval_rows(self) -> np.ndarray:
+        """Evaluation-domain residue matrix (materialised on demand)."""
+        if self._eval is None:
+            self._eval = self.ctx.batch_ntt.forward(self._coeff)
+        return self._eval
+
+    @property
+    def shape(self) -> tuple:
+        """Residue-stack shape, read from whichever form is present
+        (never forces a transform)."""
+        form = self._coeff if self._coeff is not None else self._eval
+        return form.shape
+
+    @property
+    def has_eval(self) -> bool:
+        return self._eval is not None
+
+    @property
+    def has_coeff(self) -> bool:
+        return self._coeff is not None
 
     def copy(self) -> "RingElement":
-        return RingElement(self.ctx, self.residues.copy())
+        return RingElement(
+            self.ctx,
+            None if self._coeff is None else self._coeff.copy(),
+            eval_rows=None if self._eval is None else self._eval.copy(),
+        )
+
+    def _binary(self, other: "RingElement", op) -> "RingElement":
+        """Apply a linear op in whichever domain avoids a transform.
+
+        Both forms present on both operands -> compute both (cheap numpy
+        adds) so downstream consumers of either domain stay transform-free.
+        """
+        p = self.ctx._primes_col
+        coeff = None
+        eval_rows = None
+        if self._coeff is not None and other._coeff is not None:
+            coeff = op(self._coeff, other._coeff) % p
+        if self._eval is not None and other._eval is not None:
+            eval_rows = op(self._eval, other._eval) % p
+        if coeff is None and eval_rows is None:
+            # mixed domains: prefer evaluation (keeps hot chains in NTT form)
+            eval_rows = op(self.eval_rows(), other.eval_rows()) % p
+        return RingElement(self.ctx, coeff, eval_rows=eval_rows)
 
     def __add__(self, other: "RingElement") -> "RingElement":
-        res = (self.residues + other.residues) % self.ctx._primes_col
-        return RingElement(self.ctx, res)
+        return self._binary(other, np.add)
 
     def __sub__(self, other: "RingElement") -> "RingElement":
-        res = (self.residues - other.residues) % self.ctx._primes_col
-        return RingElement(self.ctx, res)
+        return self._binary(other, np.subtract)
 
     def __neg__(self) -> "RingElement":
-        return RingElement(self.ctx, (-self.residues) % self.ctx._primes_col)
+        p = self.ctx._primes_col
+        return RingElement(
+            self.ctx,
+            None if self._coeff is None else (-self._coeff) % p,
+            eval_rows=None if self._eval is None else (-self._eval) % p,
+        )
 
     def __mul__(self, other: "RingElement") -> "RingElement":
-        """Negacyclic product via per-prime NTT convolution."""
-        out = np.empty_like(self.residues)
-        for i, ntt in enumerate(self.ctx.ntts):
-            fa = ntt.forward(self.residues[i])
-            fb = ntt.forward(other.residues[i])
-            out[i] = ntt.inverse(fa * fb % ntt.prime)
-        return RingElement(self.ctx, out)
+        """Negacyclic product: pointwise in the (cached) NTT domain."""
+        p = self.ctx._primes_col
+        product = self.eval_rows() * other.eval_rows() % p
+        return RingElement(self.ctx, eval_rows=product)
 
     def scalar_mul(self, scalar: int) -> "RingElement":
+        p = self.ctx._primes_col
         scalars = np.array(
-            [scalar % p for p in self.ctx.basis.primes], dtype=np.int64
+            [scalar % pi for pi in self.ctx.basis.primes], dtype=np.int64
         )[:, None]
         return RingElement(
-            self.ctx, self.residues * scalars % self.ctx._primes_col
+            self.ctx,
+            None if self._coeff is None else self._coeff * scalars % p,
+            eval_rows=(
+                None if self._eval is None else self._eval * scalars % p
+            ),
         )
 
     def automorphism(self, galois_elt: int) -> "RingElement":
-        dest, sign = self.ctx.automorphism_tables(galois_elt)
-        out = np.empty_like(self.residues)
-        signed = self.residues * sign[None, :] % self.ctx._primes_col
-        out[:, dest] = signed
-        return RingElement(self.ctx, out)
+        """``x -> x^g``, applied in every domain the element already has."""
+        coeff = None
+        eval_rows = None
+        if self._coeff is not None:
+            dest, sign = self.ctx.automorphism_tables(galois_elt)
+            out = np.empty_like(self._coeff)
+            signed = self._coeff * sign % self.ctx._primes_col
+            out[..., dest] = signed
+            coeff = out
+        if self._eval is not None:
+            perm = self.ctx.eval_automorphism_table(galois_elt)
+            eval_rows = self._eval[..., perm]
+        return RingElement(self.ctx, coeff, eval_rows=eval_rows)
 
     def to_int_coeffs(self) -> list[int]:
         """Coefficients in ``[0, q)``."""
@@ -137,18 +278,31 @@ class RingElement:
 
 
 def exact_negacyclic_product(
-    a_coeffs: list[int], b_coeffs: list[int], ext_ring: RingContext
+    a_coeffs: list[int],
+    b_coeffs: list[int],
+    ext_ring: RingContext,
+    schoolbook: bool = False,
 ) -> list[int]:
     """Exact integer negacyclic product of two coefficient vectors.
 
-    Used by BFV multiplication, whose tensor step must be computed over the
-    integers (not mod q) before rescaling by ``t/q``.  The product is taken
-    in an extended RNS basis large enough to hold every coefficient of the
-    result, then reconstructed with centered CRT.
+    Used by the *reference* BFV multiplication path, whose tensor step must
+    be computed over the integers (not mod q) before rescaling by ``t/q``.
+    The product is taken in an extended RNS basis large enough to hold
+    every coefficient of the result, then reconstructed with centered CRT
+    (``schoolbook=True`` keeps the reconstruction on the seed's
+    per-coefficient Garner loop, for the ``slow_reference`` oracle).
 
     The caller is responsible for passing centered inputs and an extension
     ring whose modulus exceeds ``2 * N * max|a| * max|b|``.
     """
     a = ext_ring.from_int_coeffs(a_coeffs)
     b = ext_ring.from_int_coeffs(b_coeffs)
+    if schoolbook:
+        # the seed's eager per-prime convolution loop, kept verbatim
+        out = np.empty_like(a.residues)
+        for i, ntt in enumerate(ext_ring.ntts):
+            fa = ntt.forward(a.residues[i])
+            fb = ntt.forward(b.residues[i])
+            out[i] = ntt.inverse(fa * fb % ntt.prime)
+        return ext_ring.basis.compose_centered_schoolbook(out)
     return (a * b).to_centered_coeffs()

@@ -7,6 +7,18 @@ true cyclic row rotation *provided data never crosses the model window's
 edges*; ``check_displacement`` verifies that statically from the layout's
 margins before execution, so a passing run is genuine evidence of
 equivalence, not luck.
+
+Programs are compiled once into a flat instruction tape
+(:class:`CompiledProgram`): the displacement check runs at compile time,
+the Galois keys a program needs are generated up front, program constants
+are encoded and frozen, and wires are assigned to a minimal set of slots
+by liveness analysis, so dead intermediates are released as soon as their
+last consumer has run.  :meth:`HEExecutor.run_many` executes one tape over
+a whole batch of user inputs at once — the inputs are encrypted as
+``(batch, k, N)`` residue stacks and every homomorphic instruction
+broadcasts over the batch axis, which is the serving story: key
+generation, constant encoding, tape setup, *and* numpy dispatch overhead
+are all amortized across the batch.
 """
 
 from __future__ import annotations
@@ -96,6 +108,45 @@ def check_displacement(program: Program, spec: Spec) -> None:
         )
 
 
+# one tape entry: (opcode, fetch a, fetch b | None, rotation amount,
+# destination slot, slots freed after this step).  Fetch descriptors are
+# ("slot", i) | ("ct", name) | ("pt", name).
+TapeStep = tuple[Opcode, tuple, tuple | None, int, int, tuple[int, ...]]
+
+
+@dataclass
+class CompiledProgram:
+    """A Quill program lowered onto one executor: checked, keyed, encoded.
+
+    Produced once per program by :meth:`HEExecutor.compile`; every
+    :meth:`HEExecutor.run` / :meth:`HEExecutor.run_many` replays the tape.
+
+    Attributes:
+        program: the source program.
+        steps: the flat instruction tape with liveness-resolved slots.
+        slot_count: size of the wire buffer pool (<= instruction count;
+            liveness analysis reuses slots whose wire died).
+        output: fetch descriptor for the program result.
+        galois_elements: every Galois key the tape's rotations need
+            (generated at compile time, so runs never pay key generation).
+        constants: program constants, encoded and frozen.
+    """
+
+    program: Program
+    steps: list[TapeStep]
+    slot_count: int
+    output: tuple
+    galois_elements: tuple[int, ...]
+    constants: dict[str, object]
+
+    def describe(self) -> str:
+        return (
+            f"CompiledProgram({self.program.name}: {len(self.steps)} steps, "
+            f"{self.slot_count} slots, "
+            f"{len(self.galois_elements)} galois keys)"
+        )
+
+
 @dataclass
 class ExecutionReport:
     """Everything one homomorphic run produced."""
@@ -109,14 +160,46 @@ class ExecutionReport:
     instruction_seconds: dict[str, float] = field(default_factory=dict)
 
 
+@dataclass
+class BatchExecutionReport:
+    """One :meth:`HEExecutor.run_many` call over a batch of inputs."""
+
+    reports: list[ExecutionReport]
+    batch_size: int
+    setup_seconds: float  # compile + encrypt + encode (amortized)
+    evaluate_seconds: float  # homomorphic tape execution
+    decrypt_seconds: float
+    total_seconds: float
+
+    @property
+    def all_match(self) -> bool:
+        return all(r.matches_reference for r in self.reports)
+
+    @property
+    def seconds_per_run(self) -> float:
+        return self.total_seconds / max(1, self.batch_size)
+
+    @property
+    def runs_per_second(self) -> float:
+        return self.batch_size / self.total_seconds if self.total_seconds else 0.0
+
+
 class HEExecutor:
-    """Runs Quill programs under real BFV encryption."""
+    """Runs Quill programs under real BFV encryption.
+
+    ``slow_reference=True`` builds the executor on the retained big-int
+    BFV paths (the seed implementation) — the baseline the runtime
+    benchmarks and equivalence tests compare against.
+    """
+
+    PLAINTEXT_CACHE_LIMIT = 256
 
     def __init__(
         self,
         spec: Spec,
         params: BFVParams | None = None,
         seed: int | None = None,
+        slow_reference: bool = False,
     ):
         self.spec = spec
         if params is None:
@@ -132,27 +215,110 @@ class HEExecutor:
                 "choose a larger polynomial degree"
             )
         self.params = params
-        self.ctx = BFVContext(params, seed=seed)
+        self.ctx = BFVContext(params, seed=seed, slow_reference=slow_reference)
         self._plaintext_cache: dict[bytes, object] = {}
+        self._compiled: dict[int, CompiledProgram] = {}
+
+    # ------------------------------------------------------------------
+    # Compilation: program -> tape
+    # ------------------------------------------------------------------
+
+    def compile(self, program: Program) -> CompiledProgram:
+        """Lower a program onto this executor (cached per program object).
+
+        One-time work hoisted out of every run: the displacement check,
+        Galois key generation, constant encoding, and liveness-based wire
+        slot assignment.
+        """
+        cached = self._compiled.get(id(program))
+        if cached is not None and cached.program is program:
+            return cached
+        check_displacement(program, self.spec)
+
+        # last use of each wire (the output counts as a final use)
+        last_use: dict[int, int] = {}
+        for i, instr in enumerate(program.instructions):
+            for ref in instr.operands:
+                if isinstance(ref, Wire):
+                    last_use[ref.index] = i
+        if isinstance(program.output, Wire):
+            last_use[program.output.index] = len(program.instructions)
+
+        slot_of: dict[int, int] = {}
+        free: list[int] = []
+        slot_count = 0
+        steps: list[TapeStep] = []
+        galois: list[int] = []
+
+        def fetch(ref: Ref) -> tuple:
+            if isinstance(ref, Wire):
+                return ("slot", slot_of[ref.index])
+            if isinstance(ref, CtInput):
+                return ("ct", ref.name)
+            assert isinstance(ref, (PtInput, PtConst))
+            return ("pt", ref.name)
+
+        for i, instr in enumerate(program.instructions):
+            a = fetch(instr.operands[0])
+            b = fetch(instr.operands[1]) if len(instr.operands) > 1 else None
+            amount = 0
+            if instr.opcode is Opcode.ROTATE:
+                amount = instr.amount
+                g = self.ctx.encoder.galois_element_for_rotation(amount)
+                if g not in galois:
+                    galois.append(g)
+            # release slots of wires whose last consumer is this step;
+            # the freed slot may immediately host this step's result
+            dying = [
+                slot_of.pop(ref.index)
+                for ref in instr.operands
+                if isinstance(ref, Wire) and last_use.get(ref.index) == i
+                and ref.index in slot_of
+            ]
+            free.extend(dying)
+            if last_use.get(i, -1) >= i:  # result is consumed somewhere
+                if free:
+                    out_slot = free.pop()
+                else:
+                    out_slot = slot_count
+                    slot_count += 1
+                slot_of[i] = out_slot
+            else:  # dead instruction: still executed, result dropped
+                out_slot = -1
+            steps.append((instr.opcode, a, b, amount, out_slot, tuple(dying)))
+
+        for g in galois:
+            self.ctx.generate_galois_key(g)
+
+        constants = {
+            name: self._encode_cached(
+                np.array(program.constant_vector(name), dtype=np.int64)
+            )
+            for name in program.constants
+        }
+        compiled = CompiledProgram(
+            program=program,
+            steps=steps,
+            slot_count=slot_count,
+            output=fetch(program.output),
+            galois_elements=tuple(galois),
+            constants=constants,
+        )
+        if len(self._compiled) >= 32:  # bound the per-program tape cache
+            self._compiled.clear()
+        self._compiled[id(program)] = compiled
+        return compiled
 
     def prepare(self, program: Program) -> None:
         """Generate the Galois keys the program needs (outside timing)."""
-        check_displacement(program, self.spec)
-        for instr in program.instructions:
-            if instr.opcode is Opcode.ROTATE:
-                g = self.ctx.encoder.galois_element_for_rotation(instr.amount)
-                self.ctx.generate_galois_key(g)
+        self.compile(program)
 
-    def run(
-        self,
-        program: Program,
-        logical_env: dict[str, np.ndarray],
-        check: bool = True,
-    ) -> ExecutionReport:
-        """Encrypt, evaluate homomorphically, decrypt, and compare."""
-        if check:
-            check_displacement(program, self.spec)
-        layout = self.spec.layout
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _encrypt_env(self, logical_env: dict[str, np.ndarray]):
+        """Pack and encrypt one logical environment."""
         ct_env, pt_env = self.spec.packed_env(logical_env)
         encrypted = {
             name: self.ctx.encrypt_vector(vec) for name, vec in ct_env.items()
@@ -160,55 +326,73 @@ class HEExecutor:
         plain = {
             name: self._encode_cached(vec) for name, vec in pt_env.items()
         }
-        for name in program.constants:
-            plain[name] = self._encode_cached(
-                np.array(program.constant_vector(name), dtype=np.int64)
-            )
-        self.prepare(program)
+        return encrypted, plain
 
+    def _execute_tape(
+        self, compiled: CompiledProgram, encrypted: dict, plain: dict
+    ):
+        """Replay the instruction tape; returns (output ct, per-op seconds)."""
         ctx = self.ctx
-        wires = []
+        slots: list = [None] * compiled.slot_count
         per_opcode: dict[str, float] = {}
-        start = time.perf_counter()
+        dispatch = {
+            Opcode.ADD_CC: ctx.add,
+            Opcode.SUB_CC: ctx.sub,
+            Opcode.MUL_CC: ctx.multiply,
+            Opcode.ADD_CP: ctx.add_plain,
+            Opcode.SUB_CP: ctx.sub_plain,
+            Opcode.MUL_CP: ctx.multiply_plain,
+        }
 
-        def fetch_ct(ref: Ref):
-            if isinstance(ref, Wire):
-                return wires[ref.index]
-            assert isinstance(ref, CtInput)
-            return encrypted[ref.name]
+        def resolve(desc):
+            kind, key = desc
+            if kind == "slot":
+                return slots[key]
+            if kind == "ct":
+                return encrypted[key]
+            return plain[key]
 
-        for instr in program.instructions:
+        for opcode, a, b, amount, out_slot, frees in compiled.steps:
             t0 = time.perf_counter()
-            if instr.opcode is Opcode.ROTATE:
-                value = ctx.rotate_rows(fetch_ct(instr.operands[0]), instr.amount)
+            if opcode is Opcode.ROTATE:
+                value = ctx.rotate_rows(resolve(a), amount)
             else:
-                a = fetch_ct(instr.operands[0])
-                second = instr.operands[1]
-                if isinstance(second, (PtInput, PtConst)):
-                    pt = plain[second.name]
-                    op = {
-                        Opcode.ADD_CP: ctx.add_plain,
-                        Opcode.SUB_CP: ctx.sub_plain,
-                        Opcode.MUL_CP: ctx.multiply_plain,
-                    }[instr.opcode]
-                    value = op(a, pt)
-                else:
-                    b = fetch_ct(second)
-                    op = {
-                        Opcode.ADD_CC: ctx.add,
-                        Opcode.SUB_CC: ctx.sub,
-                        Opcode.MUL_CC: ctx.multiply,
-                    }[instr.opcode]
-                    value = op(a, b)
+                value = dispatch[opcode](resolve(a), resolve(b))
             elapsed = time.perf_counter() - t0
-            key = instr.opcode.value
+            key = opcode.value
             per_opcode[key] = per_opcode.get(key, 0.0) + elapsed
-            wires.append(value)
+            for slot in frees:
+                if slot != out_slot:
+                    slots[slot] = None  # release dead intermediates
+            if out_slot >= 0:
+                slots[out_slot] = value
+        return resolve(compiled.output), per_opcode
+
+    def run(
+        self,
+        program: Program,
+        logical_env: dict[str, np.ndarray],
+        check: bool = True,
+    ) -> ExecutionReport:
+        """Encrypt, evaluate homomorphically, decrypt, and compare.
+
+        ``check`` is kept for backwards compatibility; the displacement
+        check always runs, but only once per program at compile time.
+        """
+        compiled = self.compile(program)
+        layout = self.spec.layout
+        encrypted, plain = self._encrypt_env(logical_env)
+        plain.update(compiled.constants)
+
+        start = time.perf_counter()
+        output_ct, per_opcode = self._execute_tape(compiled, encrypted, plain)
         wall = time.perf_counter() - start
 
-        output_ct = fetch_ct(program.output)
-        budget = ctx.noise_budget(output_ct)
-        decrypted = ctx.decrypt_vector(output_ct)
+        plaintext, budgets = self.ctx.decrypt_with_budgets(
+            output_ct, check_budget=False
+        )
+        budget = min(budgets)
+        decrypted = self.ctx.decode(plaintext)
         model_output = decrypted[: layout.vector_size]
         logical_output = layout.unpack_output(model_output)
         expected = np.array(
@@ -224,11 +408,113 @@ class HEExecutor:
             instruction_seconds=per_opcode,
         )
 
+    def run_many(
+        self,
+        program: Program,
+        logical_envs: list[dict[str, np.ndarray]],
+        check: bool = True,
+    ) -> BatchExecutionReport:
+        """Execute one program over a batch of inputs in lockstep.
+
+        The batch is encrypted into ``(batch, k, N)`` residue stacks and
+        the tape runs *once*: every homomorphic instruction broadcasts
+        over the batch axis.  Key generation, constant encoding, tape
+        setup, and numpy dispatch overhead are all paid once for the
+        whole batch.
+        """
+        if not logical_envs:
+            raise ValueError("run_many needs at least one environment")
+        t_start = time.perf_counter()
+        compiled = self.compile(program)
+        layout = self.spec.layout
+        batch = len(logical_envs)
+
+        # pack every environment, stack per input name, encrypt batched
+        ct_rows: dict[str, list[np.ndarray]] = {}
+        pt_envs: list[dict[str, np.ndarray]] = []
+        for env in logical_envs:
+            ct_env, pt_env = self.spec.packed_env(env)
+            for name, vec in ct_env.items():
+                ct_rows.setdefault(name, []).append(vec)
+            pt_envs.append(pt_env)
+        encrypted = {
+            name: self.ctx.encrypt_vector(np.stack(rows))
+            for name, rows in ct_rows.items()
+        }
+        # symbolic plaintext inputs must agree across the batch (they are
+        # server-side operands); per-env values would need per-env tapes
+        plain: dict[str, object] = {}
+        for name in pt_envs[0]:
+            first = pt_envs[0][name]
+            for other in pt_envs[1:]:
+                if not np.array_equal(other[name], first):
+                    raise ValueError(
+                        f"plaintext input {name!r} differs across the batch; "
+                        "run_many shares server-side plaintexts"
+                    )
+            plain[name] = self._encode_cached(first)
+        plain.update(compiled.constants)
+        t_setup = time.perf_counter()
+
+        output_ct, per_opcode = self._execute_tape(compiled, encrypted, plain)
+        t_eval = time.perf_counter()
+
+        plaintext, budgets = self.ctx.decrypt_with_budgets(
+            output_ct, check_budget=False
+        )
+        decrypted = self.ctx.decode(plaintext)
+        t_done = time.perf_counter()
+
+        share = (t_eval - t_setup) / batch
+        reports = []
+        for i, env in enumerate(logical_envs):
+            model_output = decrypted[i][: layout.vector_size]
+            logical_output = layout.unpack_output(model_output)
+            expected = np.array(
+                self.spec.reference_output(env), dtype=np.int64
+            ).reshape(layout.output_shape)
+            reports.append(
+                ExecutionReport(
+                    model_output=model_output,
+                    logical_output=logical_output,
+                    expected_output=expected,
+                    matches_reference=bool(
+                        np.array_equal(logical_output, expected)
+                    ),
+                    output_noise_budget=budgets[i],
+                    wall_time=share,
+                    instruction_seconds={
+                        k: v / batch for k, v in per_opcode.items()
+                    },
+                )
+            )
+        return BatchExecutionReport(
+            reports=reports,
+            batch_size=batch,
+            setup_seconds=t_setup - t_start,
+            evaluate_seconds=t_eval - t_setup,
+            decrypt_seconds=t_done - t_eval,
+            total_seconds=t_done - t_start,
+        )
+
+    # ------------------------------------------------------------------
+    # Plaintext cache
+    # ------------------------------------------------------------------
+
     def _encode_cached(self, vec: np.ndarray):
+        """Encode a vector, caching by content.
+
+        The cache is bounded (cleared wholesale past
+        ``PLAINTEXT_CACHE_LIMIT`` entries, mirroring the solver's shift
+        cache policy) and cached plaintexts are frozen so no caller can
+        mutate a shared entry.
+        """
         key = vec.tobytes()
         cached = self._plaintext_cache.get(key)
         if cached is None:
-            cached = self.ctx.encode(vec)
+            if len(self._plaintext_cache) >= self.PLAINTEXT_CACHE_LIMIT:
+                self._plaintext_cache.clear()
+            cached = self.ctx.encode(vec).freeze()
             self._plaintext_cache[key] = cached
         return cached
 
