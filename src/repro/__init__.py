@@ -37,4 +37,4 @@ Typical entry points::
 ``repro.api``.)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -13,7 +13,9 @@ Commands:
 machine-readable output (instruction counts, depths, synthesis times,
 cache hit/miss).  All compilation goes through the
 :class:`repro.api.Porcupine` session; ``--cache-dir`` persists compiled
-kernels across invocations.
+kernels across invocations; ``--dump-ir`` prints the Quill IR after
+each program-changing optimizer pass and ``--timings`` includes the optimizer's
+op-count deltas and the displacement check.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ def _session(args):
         seed=getattr(args, "seed", None),
         synthesis_defaults=defaults,
         workers=getattr(args, "workers", None),
+        dump_ir=getattr(args, "dump_ir", False),
     )
 
 
@@ -249,11 +252,16 @@ def main(argv: list[str] | None = None) -> int:
                          help="machine-readable output")
         cmd.add_argument("--cache-dir", metavar="DIR",
                          help="persist compiled kernels here across runs")
+        cmd.add_argument("--dump-ir", action="store_true",
+                         help="print the Quill IR after each optimizer "
+                              "pass that changes the program (stderr)")
         if verb == "compile":
             cmd.add_argument("--seal", metavar="FILE",
                              help="write SEAL C++ here instead of stdout")
             cmd.add_argument("--timings", action="store_true",
-                             help="print the per-pass timing report")
+                             help="print the per-pass timing report "
+                                  "(includes the optimizer's op-count "
+                                  "deltas and displacement check)")
         else:
             cmd.add_argument("--backend", choices=("he", "interpreter"),
                              default="he",

@@ -30,7 +30,7 @@ from repro.quill.parser import parse_program
 from repro.quill.printer import format_program
 from repro.spec.reference import Spec
 
-_FORMAT = 1  # bump to invalidate every existing cache entry
+_FORMAT = 2  # bump to invalidate every existing cache entry
 
 
 # ---------------------------------------------------------------------------
@@ -157,11 +157,19 @@ def compile_key(
     )
 
 
-def composed_key(spec: Spec, graph, component_keys: dict[str, str]) -> str:
+def composed_key(
+    spec: Spec,
+    graph,
+    component_keys: dict[str, str],
+    config: SynthesisConfig | None = None,
+) -> str:
     """Content hash addressing one multi-step composition.
 
     Includes each component's own compile key, so a change anywhere in a
-    component's spec, sketch, or config invalidates the composition too.
+    component's spec, sketch, or config invalidates the composition too
+    — plus the composed kernel's *own* configuration, which gates the
+    post-composition rewrite passes (``optimize``) even though it drives
+    no synthesis of its own.
     """
     return _digest(
         {
@@ -170,6 +178,9 @@ def composed_key(spec: Spec, graph, component_keys: dict[str, str]) -> str:
             "spec": spec_fingerprint(spec),
             "graph": graph_fingerprint(graph),
             "components": dict(sorted(component_keys.items())),
+            "config": (
+                config_fingerprint(config) if config is not None else None
+            ),
         }
     )
 
@@ -201,16 +212,32 @@ class CacheEntry:
     stats: dict | None = None
     initial_program_text: str | None = None
     composed_from: list[str] | None = None
+    synthesis_program_text: str | None = None
 
     @classmethod
     def from_synthesis(
-        cls, result: SynthesisResult, seal_code: str
+        cls,
+        result: SynthesisResult,
+        seal_code: str,
+        final_program=None,
     ) -> "CacheEntry":
+        """Entry for a synthesized kernel.
+
+        ``final_program`` is the program after post-synthesis rewrite
+        passes; it is what a cache hit must return.  The raw synthesis
+        output is preserved separately so a reconstructed
+        :class:`SynthesisResult` describes the same program on a hit as
+        on a miss (its stats — costs, node counts — are about that
+        program, not the rewritten one).
+        """
         return cls(
-            program_text=format_program(result.program),
+            program_text=format_program(
+                result.program if final_program is None else final_program
+            ),
             seal_code=seal_code,
             stats={name: getattr(result, name) for name in _STAT_FIELDS},
             initial_program_text=format_program(result.initial_program),
+            synthesis_program_text=format_program(result.program),
         )
 
     @cached_property
@@ -225,12 +252,19 @@ class CacheEntry:
             return self.program
         return parse_program(self.initial_program_text)
 
+    @cached_property
+    def synthesis_program(self):
+        """The raw (pre-rewrite) synthesis output, as synthesized."""
+        if not self.synthesis_program_text:
+            return self.program
+        return parse_program(self.synthesis_program_text)
+
     def to_synthesis(self) -> SynthesisResult | None:
         """Rebuild the statistics object (examples are not persisted)."""
         if self.stats is None:
             return None
         return SynthesisResult(
-            program=self.program,
+            program=self.synthesis_program,
             initial_program=self.initial_program,
             **self.stats,
         )
@@ -242,6 +276,7 @@ class CacheEntry:
             "stats": self.stats,
             "initial_program": self.initial_program_text,
             "composed_from": self.composed_from,
+            "synthesis_program": self.synthesis_program_text,
         }
 
     @classmethod
@@ -252,6 +287,7 @@ class CacheEntry:
             stats=payload.get("stats"),
             initial_program_text=payload.get("initial_program"),
             composed_from=payload.get("composed_from"),
+            synthesis_program_text=payload.get("synthesis_program"),
         )
 
 

@@ -13,10 +13,18 @@ kernel out — runs here as five explicit passes:
     (hitting its compile cache), materialize the declarative
     :class:`~repro.core.multistep.CompositionGraph`, and verify the
     stitched program against the composed specification.
+``rewrite``
+    The middle-end optimizer: every compiled program — synthesized or
+    composed — runs the :mod:`repro.quill.rewrite` pass suite (CSE,
+    rotation composition/hoisting, dead-code elimination, lazy
+    relinearization, Galois-key analysis), with each pass re-verified
+    against the kernel specification.  Disabled by
+    ``SynthesisConfig(optimize=False)``.
 ``lower``
     Legality checks before code generation: the layout's margins must
     absorb the program's worst-case slot displacement, so Quill's
     shift-with-zero-fill semantics coincide with BFV's cyclic rotation.
+    The measured displacement lands in ``ctx.metrics["lower"]``.
 ``codegen``
     Emit SEAL C++.
 
@@ -43,6 +51,8 @@ from repro.core.codegen import generate_seal_code
 from repro.core.multistep import compose
 from repro.core.sketch import Sketch
 from repro.quill.ir import Program
+from repro.quill.rewrite import default_pass_manager
+from repro.runtime.executor import check_displacement
 from repro.spec.reference import Spec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -153,10 +163,30 @@ def compose_pass(ctx: PassContext) -> None:
     ctx.program = program
 
 
-def lower_pass(ctx: PassContext) -> None:
-    from repro.runtime.executor import check_displacement
+def rewrite_pass(ctx: PassContext) -> None:
+    """Run the verified middle-end pass suite on every compiled program."""
+    if not ctx.config.optimize:
+        return
+    program = ctx.require_program("rewrite")
+    dump = None
+    if getattr(ctx.session, "dump_ir", False):
+        import sys
 
-    check_displacement(ctx.require_program("lower"), ctx.spec)
+        def dump(pass_name: str, dumped: Program) -> None:
+            print(
+                f"# --- after {pass_name} ---\n{dumped}\n",
+                file=sys.stderr,
+            )
+
+    manager = default_pass_manager(dump=dump)
+    result = manager.run(program, spec=ctx.spec)
+    ctx.program = result.program
+    ctx.metrics["rewrite"] = result.summary()
+
+
+def lower_pass(ctx: PassContext) -> None:
+    report = check_displacement(ctx.require_program("lower"), ctx.spec)
+    ctx.metrics["lower"] = report.summary()
 
 
 def codegen_pass(ctx: PassContext) -> None:
@@ -167,6 +197,7 @@ DEFAULT_PASSES = (
     Pass("synthesize", synthesize_pass),
     Pass("optimize", optimize_pass),
     Pass("compose", compose_pass),
+    Pass("rewrite", rewrite_pass),
     Pass("lower", lower_pass),
     Pass("codegen", codegen_pass),
 )

@@ -160,6 +160,27 @@ class KernelRegistry:
                 f"unknown kernel {name!r}; registered: {', '.join(self.names())}"
             ) from None
 
+    def baseline_program(self, name: str) -> Program:
+        """The hand-written (unoptimized, eager) program for a kernel.
+
+        Direct kernels return their expert baseline; composed kernels
+        are stitched from their components' baselines.  This is the
+        deterministic no-synthesis reference the optimizer benchmark and
+        equivalence tests compare against.
+        """
+        definition = self.get(name)
+        if definition.composition is None:
+            if definition.baseline is None:
+                raise KeyError(f"kernel {name!r} has no hand-written baseline")
+            return definition.baseline()
+        from repro.core.multistep import compose
+
+        components = {
+            kernel: self.baseline_program(kernel)
+            for kernel in definition.composition.kernels
+        }
+        return compose(definition.composition, components)
+
     def spec(self, name: str) -> Spec:
         return self.get(name).spec()
 

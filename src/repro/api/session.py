@@ -74,6 +74,9 @@ class CompiledKernel:
             "kernel": self.name,
             "instructions": self.program.instruction_count(),
             "rotations": self.program.rotation_count(),
+            "relins": self.program.relin_count(),
+            "galois_keys": self.program.galois_key_count(),
+            "relin_mode": self.program.relin_mode,
             "depth": self.program.critical_depth(),
             "multiplicative_depth": multiplicative_depth(self.program),
             "cache": {"hit": self.cache_hit, "key": self.cache_key},
@@ -110,7 +113,7 @@ class CompiledKernel:
         for timing in self.pass_timings:
             line = f"  {timing.name:12s} {timing.seconds * 1e3:10.2f} ms"
             profile = self.pass_metrics.get(timing.name)
-            if profile:
+            if profile and "nodes" in profile:
                 line += (
                     f"  [{profile['nodes']} nodes @ "
                     f"{profile['nodes_per_sec']:,.0f} nodes/s, "
@@ -118,6 +121,40 @@ class CompiledKernel:
                     f"{profile['dedup_hits']} dedup hits]"
                 )
             lines.append(line)
+        rewrite = self.pass_metrics.get("rewrite")
+        if rewrite:
+            before, after = rewrite.get("before", {}), rewrite.get("after", {})
+            lines.append(
+                "  optimizer: "
+                f"{before.get('executable_ops', '?')} -> "
+                f"{after.get('executable_ops', '?')} ops "
+                f"({before.get('rotations', '?')} -> "
+                f"{after.get('rotations', '?')} rot, "
+                f"{before.get('relins', '?')} -> "
+                f"{after.get('relins', '?')} relin), "
+                f"verified={rewrite.get('verified')}"
+            )
+            for entry in rewrite.get("passes", []):
+                if not entry.get("changed"):
+                    continue
+                delta = entry.get("delta", {})
+                delta_text = (
+                    ", ".join(
+                        f"{key} {value:+d}" for key, value in delta.items()
+                    )
+                    or "mode change"
+                )
+                lines.append(
+                    f"    {entry['name']:14s} {entry['seconds'] * 1e3:8.2f} ms"
+                    f"  {delta_text}"
+                )
+        lower = self.pass_metrics.get("lower")
+        if lower:
+            lines.append(
+                f"  displacement: {lower['max_left']} left / "
+                f"{lower['max_right']} right "
+                f"(budget {lower['budget_left']} / {lower['budget_right']})"
+            )
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -142,6 +179,7 @@ class Porcupine:
         synthesis_defaults: dict | None = None,
         workers: int | None = None,
         default_backend: str = "interpreter",
+        dump_ir: bool = False,
     ):
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
@@ -153,6 +191,7 @@ class Porcupine:
         if workers is not None:
             self.synthesis_defaults["workers"] = workers
         self.default_backend = default_backend
+        self.dump_ir = dump_ir  # print IR after each rewrite pass (stderr)
         self._backends: dict[tuple, ExecutionBackend] = {}
         self._key_locks: dict[str, threading.Lock] = {}
         self._key_locks_guard = threading.Lock()
@@ -247,7 +286,9 @@ class Porcupine:
             component_keys[name] = self._cache_key(
                 sub, sub_spec, None, self.config_for(sub)
             )
-        return composed_key(spec, definition.composition, component_keys)
+        return composed_key(
+            spec, definition.composition, component_keys, config
+        )
 
     def _lock_for(self, key: str) -> threading.Lock:
         with self._key_locks_guard:
@@ -338,7 +379,9 @@ class Porcupine:
             )
             if use_cache:
                 if ctx.synthesis is not None:
-                    entry = CacheEntry.from_synthesis(ctx.synthesis, seal_code)
+                    entry = CacheEntry.from_synthesis(
+                        ctx.synthesis, seal_code, final_program=program
+                    )
                 else:
                     from repro.quill.printer import format_program
 

@@ -11,12 +11,17 @@ by the builder's CSE, exactly like the paper's code generator.
 Compositions are *declarative*: a :class:`CompositionGraph` names the
 ciphertext inputs, the synthesized kernels to splice in, and the glue
 arithmetic between them, and :func:`compose` materializes the graph into
-one Quill program.  The kernel registry (:mod:`repro.api.registry`)
-consumes these graphs to compile multi-step kernels, and new pipelines
-can be registered at runtime without touching this module.  The paper's
-two applications are the built-in graphs :data:`SOBEL_GRAPH` and
-:data:`HARRIS_GRAPH`; ``compose_sobel``/``compose_harris`` are thin
-wrappers kept for compatibility.
+one Quill program.  Materialization is graph stitching: every component
+is spliced into one :class:`~repro.quill.graph.GraphProgram` through a
+shared hash-consing table, so structurally identical work — rotations
+*and* arithmetic — is emitted once across component boundaries (the
+builder's old cache shared rotations only, and only syntactically).  The
+kernel registry (:mod:`repro.api.registry`) consumes these graphs to
+compile multi-step kernels, and new pipelines can be registered at
+runtime without touching this module.  The paper's two applications are
+the built-in graphs :data:`SOBEL_GRAPH` and :data:`HARRIS_GRAPH`;
+``compose_sobel``/``compose_harris`` are thin wrappers kept for
+compatibility.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.quill.builder import ProgramBuilder
+from repro.quill.graph import GraphProgram, GraphRef, NodeRef
 from repro.quill.ir import (
     CtInput,
     Opcode,
@@ -41,8 +47,10 @@ def inline_program(
     """Splice ``program`` into ``builder``, remapping its ciphertext inputs.
 
     Plaintext inputs and constants must already be declared on the target
-    builder under the same names.  Returns the reference holding the
-    spliced program's output.
+    builder under the same names.  Explicit-relin programs splice with
+    their ``RELIN`` instructions dropped (relin placement is re-decided
+    on the composed whole, see :class:`_Stitcher`).  Returns the
+    reference holding the spliced program's output.
     """
     wire_map: dict[int, Ref] = {}
 
@@ -58,6 +66,9 @@ def inline_program(
             wire_map[index] = builder.rotate(
                 resolve(instr.operands[0]), instr.amount
             )
+            continue
+        if instr.opcode is Opcode.RELIN:
+            wire_map[index] = resolve(instr.operands[0])
             continue
         a = resolve(instr.operands[0])
         b = resolve(instr.operands[1])
@@ -160,6 +171,64 @@ class CompositionGraph:
             )
 
 
+class _Stitcher:
+    """Hash-consing emitter over one target :class:`GraphProgram`.
+
+    Every instruction — spliced from a component or glue arithmetic —
+    goes through :meth:`emit` (the graph's ``find_or_add``), which
+    reuses an existing node whenever a structurally identical one was
+    already created.  That makes CSE a property of composition itself:
+    identical rotations and identical arithmetic are shared across all
+    spliced components.
+    """
+
+    def __init__(self, target: GraphProgram):
+        self.target = target
+
+    def emit(
+        self, opcode: Opcode, operands: tuple[GraphRef, ...], amount: int = 0
+    ) -> NodeRef:
+        return self.target.find_or_add(opcode, operands, amount)
+
+    def splice(
+        self, program: Program, input_map: dict[str, GraphRef]
+    ) -> GraphRef:
+        """Inline one component, remapping its ciphertext inputs.
+
+        Component ``RELIN`` instructions are dropped (the value is its
+        operand): relinearization placement is a whole-program decision,
+        recomputed by the optimizer's lazy-relin pass after composition,
+        so per-component placements would only pin stale choices.
+        """
+        node_map: dict[int, GraphRef] = {}
+
+        def resolve(ref: Ref) -> GraphRef:
+            if isinstance(ref, Wire):
+                return node_map[ref.index]
+            if isinstance(ref, CtInput):
+                return input_map[ref.name]
+            return ref  # plaintext refs resolve by name on the target
+
+        for index, instr in enumerate(program.instructions):
+            if instr.opcode is Opcode.RELIN:
+                node_map[index] = resolve(instr.operands[0])
+                continue
+            node_map[index] = self.emit(
+                instr.opcode,
+                tuple(resolve(r) for r in instr.operands),
+                instr.amount,
+            )
+        return resolve(program.output)
+
+
+_GLUE_OPS = {"add": Opcode.ADD_CC, "sub": Opcode.SUB_CC, "mul": Opcode.MUL_CC}
+_CC_TO_CP = {
+    Opcode.ADD_CC: Opcode.ADD_CP,
+    Opcode.SUB_CC: Opcode.SUB_CP,
+    Opcode.MUL_CC: Opcode.MUL_CP,
+}
+
+
 def compose(
     graph: CompositionGraph,
     programs: dict[str, Program],
@@ -175,15 +244,16 @@ def compose(
     used = [programs[k] for k in graph.kernels]
     if len({p.vector_size for p in used}) > 1:
         raise ValueError("component kernels use different vector sizes")
-    builder = ProgramBuilder(used[0].vector_size, name=name or graph.name)
-    env: dict[str, Ref] = {
-        input_name: builder.ct_input(input_name)
+    target = GraphProgram(used[0].vector_size, name=name or graph.name)
+    stitcher = _Stitcher(target)
+    env: dict[str, GraphRef] = {
+        input_name: target.ct_input(input_name)
         for input_name in graph.inputs
     }
-    _declare_plains(builder, *used)
+    _declare_plains(target, *used)
     for step in graph.steps:
         if isinstance(step, ConstStep):
-            env[step.id] = builder.constant(step.id, step.value)
+            env[step.id] = target.constant(step.id, step.value)
         elif isinstance(step, KernelStep):
             program = programs[step.kernel]
             if len(step.args) != len(program.ct_inputs):
@@ -196,11 +266,16 @@ def compose(
                 ct_name: env[arg]
                 for ct_name, arg in zip(program.ct_inputs, step.args)
             }
-            env[step.id] = inline_program(builder, program, input_map)
+            env[step.id] = stitcher.splice(program, input_map)
         else:
-            fn = {"add": builder.add, "sub": builder.sub, "mul": builder.mul}
-            env[step.id] = fn[step.op](env[step.a], env[step.b])
-    return builder.build(env[graph.output])
+            a, b = env[step.a], env[step.b]
+            cc = _GLUE_OPS[step.op]
+            opcode = (
+                _CC_TO_CP[cc] if isinstance(b, (PtInput, PtConst)) else cc
+            )
+            env[step.id] = stitcher.emit(opcode, (a, b))
+    target.outputs = [env[graph.output]]
+    return target.to_program()
 
 
 SOBEL_GRAPH = CompositionGraph(
@@ -260,7 +335,9 @@ def compose_harris(
     return compose(HARRIS_GRAPH, {"gx": gx, "gy": gy, "box_blur": blur}, name=name)
 
 
-def _declare_plains(builder: ProgramBuilder, *programs: Program) -> None:
+def _declare_plains(
+    builder: ProgramBuilder | GraphProgram, *programs: Program
+) -> None:
     """Declare the union of plaintext inputs/constants on the target."""
     declared_pt: set[str] = set()
     declared_const: set[str] = set()

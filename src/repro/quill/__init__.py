@@ -17,6 +17,7 @@ makes this exactly equal to true cyclic rotation of the backing ciphertext.
 
 from repro.quill.builder import ProgramBuilder
 from repro.quill.cost import program_cost
+from repro.quill.graph import GraphNode, GraphProgram, NodeRef
 from repro.quill.interpreter import evaluate
 from repro.quill.ir import (
     CtInput,
@@ -27,31 +28,50 @@ from repro.quill.ir import (
     PtInput,
     Ref,
     Wire,
+    wire_part_counts,
 )
 from repro.quill.latency import LatencyModel, default_latency_model
 from repro.quill.noise import multiplicative_depth, wire_depths
 from repro.quill.parser import parse_program
 from repro.quill.printer import format_program
+from repro.quill.rewrite import (
+    OptimizationResult,
+    PassManager,
+    RewriteVerificationError,
+    default_pass_manager,
+    default_passes,
+    optimize_program,
+)
 from repro.quill.validate import QuillValidationError, validate_program
 
 __all__ = [
     "CtInput",
+    "GraphNode",
+    "GraphProgram",
     "Instruction",
     "LatencyModel",
+    "NodeRef",
     "Opcode",
+    "OptimizationResult",
+    "PassManager",
     "Program",
     "ProgramBuilder",
     "PtConst",
     "PtInput",
     "QuillValidationError",
     "Ref",
+    "RewriteVerificationError",
     "Wire",
     "default_latency_model",
+    "default_pass_manager",
+    "default_passes",
     "evaluate",
     "format_program",
     "multiplicative_depth",
+    "optimize_program",
     "parse_program",
     "program_cost",
     "validate_program",
     "wire_depths",
+    "wire_part_counts",
 ]

@@ -30,9 +30,17 @@ from repro.quill.ir import (
 class ProgramBuilder:
     """Incrementally builds a validated straight-line Quill program."""
 
-    def __init__(self, vector_size: int, name: str = "kernel"):
+    def __init__(
+        self,
+        vector_size: int,
+        name: str = "kernel",
+        relin_mode: str = "eager",
+    ):
         self._program = Program(
-            vector_size=vector_size, ct_inputs=[], name=name
+            vector_size=vector_size,
+            ct_inputs=[],
+            name=name,
+            relin_mode=relin_mode,
         )
         self._rotation_cache: dict[tuple[Ref, int], Wire] = {}
 
@@ -93,6 +101,10 @@ class ProgramBuilder:
     def mul(self, a: Ref, b: Ref) -> Wire:
         return self._emit(self._cc_or_cp(Opcode.MUL_CC, Opcode.MUL_CP, b), (a, b))
 
+    def relin(self, ct: Ref) -> Wire:
+        """Fold a three-part product back to two parts (explicit mode)."""
+        return self._emit(Opcode.RELIN, (ct,))
+
     @staticmethod
     def _cc_or_cp(cc: Opcode, cp: Opcode, second_operand: Ref) -> Opcode:
         if isinstance(second_operand, (PtInput, PtConst)):
@@ -101,9 +113,12 @@ class ProgramBuilder:
 
     # -- finalization ------------------------------------------------------
 
-    def build(self, output: Ref) -> Program:
+    def build(
+        self, output: Ref, extra_outputs: tuple[Ref, ...] = ()
+    ) -> Program:
         from repro.quill.validate import validate_program
 
         self._program.output = output
+        self._program.extra_outputs = list(extra_outputs)
         validate_program(self._program)
         return self._program

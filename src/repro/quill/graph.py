@@ -1,0 +1,469 @@
+"""Dataflow-graph form of Quill programs: explicit wires and use-def chains.
+
+The straight-line :class:`~repro.quill.ir.Program` is the right shape for
+synthesis and execution, but a terrible one for rewriting: replacing an
+instruction renumbers every later wire.  :class:`GraphProgram` is the
+middle-end form — each instruction becomes a :class:`GraphNode` with a
+stable identity, operands reference nodes (not positions), every node
+knows its users, and programs may expose several outputs.  Rewrite
+passes (:mod:`repro.quill.rewrite`) mutate the graph through a small set
+of invariant-preserving primitives and :meth:`GraphProgram.to_program`
+re-linearizes deterministically.
+
+Invariants maintained by the mutators:
+
+* operands always reference declared inputs/constants or existing nodes;
+* ``_uses`` is the exact inverse of the operand relation;
+* nodes are only removed once nothing (node or output) references them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.quill.ir import (
+    CtInput,
+    Instruction,
+    Opcode,
+    Program,
+    PtConst,
+    PtInput,
+    Ref,
+    Wire,
+)
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """Reference to the value produced by graph node ``id``."""
+
+    id: int
+
+    def __str__(self) -> str:
+        return f"n{self.id}"
+
+
+# Anything a graph-node operand may reference.
+GraphRef = CtInput | PtInput | PtConst | NodeRef
+
+
+@dataclass
+class GraphNode:
+    """One operation in the dataflow graph (destination = the node)."""
+
+    id: int
+    opcode: Opcode
+    operands: tuple[GraphRef, ...]
+    amount: int = 0
+
+    def __str__(self) -> str:
+        if self.opcode is Opcode.ROTATE:
+            return f"n{self.id} = rot {self.operands[0]} {self.amount}"
+        if self.opcode is Opcode.RELIN:
+            return f"n{self.id} = relin {self.operands[0]}"
+        a, b = self.operands
+        return f"n{self.id} = {self.opcode.value} {a} {b}"
+
+
+class GraphError(Exception):
+    """Raised when a graph mutation would break an invariant."""
+
+
+class GraphProgram:
+    """A Quill kernel as a mutable dataflow graph."""
+
+    def __init__(
+        self,
+        vector_size: int,
+        name: str = "kernel",
+        relin_mode: str = "eager",
+    ):
+        self.vector_size = vector_size
+        self.name = name
+        self.relin_mode = relin_mode
+        self.ct_inputs: list[str] = []
+        self.pt_inputs: list[str] = []
+        self.constants: dict[str, tuple[int, ...] | int] = {}
+        self.outputs: list[GraphRef] = []
+        self._nodes: dict[int, GraphNode] = {}
+        self._uses: dict[int, set[int]] = {}  # producer id -> consumer ids
+        self._index: dict[tuple, set[int]] = {}  # structural key -> ids
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def ct_input(self, name: str) -> CtInput:
+        if name not in self.ct_inputs:
+            self.ct_inputs.append(name)
+        return CtInput(name)
+
+    def pt_input(self, name: str) -> PtInput:
+        if name not in self.pt_inputs:
+            self.pt_inputs.append(name)
+        return PtInput(name)
+
+    def constant(self, name: str, value: int | tuple[int, ...]) -> PtConst:
+        if not isinstance(value, int):
+            value = tuple(int(v) for v in value)
+        existing = self.constants.get(name)
+        if existing is not None and existing != value:
+            raise GraphError(
+                f"constant {name!r} redeclared with a different value"
+            )
+        self.constants[name] = value
+        return PtConst(name)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: int) -> GraphNode:
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[GraphNode]:
+        """Live nodes in creation order (a valid topological order only
+        until a rewrite inserts late nodes; use :meth:`topo_order` when
+        order matters)."""
+        return iter(self._nodes.values())
+
+    def users(self, node_id: int) -> frozenset[int]:
+        """Ids of nodes consuming ``node_id`` (outputs tracked separately)."""
+        return frozenset(self._uses.get(node_id, ()))
+
+    def use_count(self, node_id: int) -> int:
+        """Consumer count, counting output positions as uses."""
+        output_uses = sum(
+            1
+            for ref in self.outputs
+            if isinstance(ref, NodeRef) and ref.id == node_id
+        )
+        return len(self._uses.get(node_id, ())) + output_uses
+
+    def is_output(self, node_id: int) -> bool:
+        return any(
+            isinstance(ref, NodeRef) and ref.id == node_id
+            for ref in self.outputs
+        )
+
+    def resolve(self, ref: GraphRef) -> GraphNode | None:
+        """The defining node of ``ref``, or ``None`` for program inputs."""
+        if isinstance(ref, NodeRef):
+            return self._nodes[ref.id]
+        return None
+
+    def structural_key(
+        self, opcode: Opcode, operands: tuple[GraphRef, ...], amount: int = 0
+    ) -> tuple:
+        """Hash-cons key: identical keys compute identical values.
+
+        Commutative opcodes canonicalize their operand order so
+        ``add(a, b)`` and ``add(b, a)`` unify.
+        """
+        keys = tuple(
+            ("n", ref.id) if isinstance(ref, NodeRef) else (type(ref).__name__, ref.name)
+            for ref in operands
+        )
+        if opcode.is_commutative:
+            keys = tuple(sorted(keys))
+        return (opcode, keys, amount)
+
+    def find(
+        self, opcode: Opcode, operands: tuple[GraphRef, ...], amount: int = 0
+    ) -> NodeRef | None:
+        """A live node computing exactly this value, if one is indexed.
+
+        The structural index tracks *every* structural twin through
+        every mutation (``add_node``/``update_node``/
+        ``replace_all_uses``/``remove_node``), so a hit is always a
+        live, current node — never one whose fields were later
+        rewritten in place, and never ``None`` while a twin survives.
+        """
+        ids = self._index.get(self.structural_key(opcode, operands, amount))
+        if not ids:
+            return None
+        return NodeRef(min(ids))  # deterministic pick among twins
+
+    def find_or_add(
+        self, opcode: Opcode, operands: tuple[GraphRef, ...], amount: int = 0
+    ) -> NodeRef:
+        """Hash-consing emit: reuse a structurally identical live node."""
+        found = self.find(opcode, operands, amount)
+        if found is not None:
+            return found
+        return self.add_node(opcode, operands, amount)
+
+    # ------------------------------------------------------------------
+    # Mutation primitives
+    # ------------------------------------------------------------------
+
+    def _check_operand(self, ref: GraphRef) -> None:
+        if isinstance(ref, NodeRef):
+            if ref.id not in self._nodes:
+                raise GraphError(f"operand references unknown node {ref.id}")
+        elif isinstance(ref, CtInput):
+            if ref.name not in self.ct_inputs:
+                raise GraphError(f"undeclared ciphertext input {ref.name!r}")
+        elif isinstance(ref, PtInput):
+            if ref.name not in self.pt_inputs:
+                raise GraphError(f"undeclared plaintext input {ref.name!r}")
+        elif isinstance(ref, PtConst):
+            if ref.name not in self.constants:
+                raise GraphError(f"undeclared constant {ref.name!r}")
+        else:
+            raise GraphError(f"bad operand {ref!r}")
+
+    def _reindex(self, node_id: int, old_key: tuple) -> None:
+        """Move a mutated node from its old structural key to its new one."""
+        ids = self._index.get(old_key)
+        if ids is not None:
+            ids.discard(node_id)
+            if not ids:
+                del self._index[old_key]
+        node = self._nodes[node_id]
+        self._index.setdefault(
+            self.structural_key(node.opcode, node.operands, node.amount),
+            set(),
+        ).add(node_id)
+
+    def add_node(
+        self,
+        opcode: Opcode,
+        operands: tuple[GraphRef, ...],
+        amount: int = 0,
+    ) -> NodeRef:
+        for ref in operands:
+            self._check_operand(ref)
+        node = GraphNode(self._next_id, opcode, tuple(operands), amount)
+        self._next_id += 1
+        self._nodes[node.id] = node
+        self._uses[node.id] = set()
+        for ref in operands:
+            if isinstance(ref, NodeRef):
+                self._uses[ref.id].add(node.id)
+        self._index.setdefault(
+            self.structural_key(opcode, node.operands, amount), set()
+        ).add(node.id)
+        return NodeRef(node.id)
+
+    def update_node(
+        self,
+        node_id: int,
+        *,
+        opcode: Opcode | None = None,
+        operands: tuple[GraphRef, ...] | None = None,
+        amount: int | None = None,
+    ) -> None:
+        """Rewrite a node in place, keeping use-def chains consistent."""
+        node = self._nodes[node_id]
+        old_key = self.structural_key(node.opcode, node.operands, node.amount)
+        if operands is not None:
+            for ref in operands:
+                self._check_operand(ref)
+                if isinstance(ref, NodeRef) and ref.id == node_id:
+                    raise GraphError("node cannot consume itself")
+            old_operands = node.operands
+            node.operands = tuple(operands)
+            for ref in old_operands:
+                if isinstance(ref, NodeRef):
+                    self._drop_use(ref.id, node_id)
+            for ref in node.operands:
+                if isinstance(ref, NodeRef):
+                    self._uses[ref.id].add(node_id)
+        if opcode is not None:
+            node.opcode = opcode
+        if amount is not None:
+            node.amount = amount
+        self._reindex(node_id, old_key)
+
+    def _drop_use(self, producer: int, consumer: int) -> None:
+        # only drop when no remaining operand of `consumer` uses `producer`
+        remaining = any(
+            isinstance(ref, NodeRef) and ref.id == producer
+            for ref in self._nodes[consumer].operands
+        )
+        if not remaining:
+            self._uses[producer].discard(consumer)
+
+    def replace_all_uses(self, node_id: int, new_ref: GraphRef) -> None:
+        """Point every consumer (and output) of ``node_id`` at ``new_ref``."""
+        self._check_operand(new_ref)
+        if isinstance(new_ref, NodeRef) and new_ref.id == node_id:
+            return
+        for consumer_id in list(self._uses.get(node_id, ())):
+            consumer = self._nodes[consumer_id]
+            old_key = self.structural_key(
+                consumer.opcode, consumer.operands, consumer.amount
+            )
+            consumer.operands = tuple(
+                new_ref
+                if isinstance(ref, NodeRef) and ref.id == node_id
+                else ref
+                for ref in consumer.operands
+            )
+            self._reindex(consumer_id, old_key)
+            self._uses[node_id].discard(consumer_id)
+            if isinstance(new_ref, NodeRef):
+                self._uses[new_ref.id].add(consumer_id)
+        self.outputs = [
+            new_ref
+            if isinstance(ref, NodeRef) and ref.id == node_id
+            else ref
+            for ref in self.outputs
+        ]
+
+    def remove_node(self, node_id: int) -> None:
+        if self._uses.get(node_id):
+            raise GraphError(
+                f"node {node_id} still has users {sorted(self._uses[node_id])}"
+            )
+        if self.is_output(node_id):
+            raise GraphError(f"node {node_id} is a program output")
+        node = self._nodes.pop(node_id)
+        del self._uses[node_id]
+        key = self.structural_key(node.opcode, node.operands, node.amount)
+        ids = self._index.get(key)
+        if ids is not None:
+            ids.discard(node_id)
+            if not ids:
+                del self._index[key]
+        for ref in node.operands:
+            if isinstance(ref, NodeRef):
+                self._uses[ref.id].discard(node_id)
+
+    # ------------------------------------------------------------------
+    # Ordering and conversion
+    # ------------------------------------------------------------------
+
+    def topo_order(self) -> list[GraphNode]:
+        """Deterministic topological order (lowest ready id first).
+
+        Reproduces creation order for graphs that were built front to
+        back, and gives a stable schedule after rewrites append nodes
+        whose consumers predate them.
+        """
+        # count *distinct* producers, matching how completion decrements
+        pending: dict[int, int] = {
+            node.id: len(
+                {r.id for r in node.operands if isinstance(r, NodeRef)}
+            )
+            for node in self._nodes.values()
+        }
+        ready = [nid for nid, count in pending.items() if count == 0]
+        heapq.heapify(ready)
+        order: list[GraphNode] = []
+        while ready:
+            nid = heapq.heappop(ready)
+            order.append(self._nodes[nid])
+            for consumer in self._uses.get(nid, ()):
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    heapq.heappush(ready, consumer)
+        if len(order) != len(self._nodes):
+            raise GraphError("cycle detected in dataflow graph")
+        return order
+
+    @classmethod
+    def from_program(cls, program: Program) -> "GraphProgram":
+        graph = cls(
+            program.vector_size,
+            name=program.name,
+            relin_mode=program.relin_mode,
+        )
+        graph.ct_inputs = list(program.ct_inputs)
+        graph.pt_inputs = list(program.pt_inputs)
+        graph.constants = dict(program.constants)
+        wire_refs: list[NodeRef] = []
+
+        def convert(ref: Ref) -> GraphRef:
+            if isinstance(ref, Wire):
+                return wire_refs[ref.index]
+            return ref
+
+        for instr in program.instructions:
+            wire_refs.append(
+                graph.add_node(
+                    instr.opcode,
+                    tuple(convert(r) for r in instr.operands),
+                    instr.amount,
+                )
+            )
+        graph.outputs = [convert(out) for out in program.outputs]
+        return graph
+
+    def to_program(self, validate: bool = True) -> Program:
+        """Linearize back into a straight-line SSA program."""
+        if not self.outputs:
+            raise GraphError("graph has no outputs")
+        order = self.topo_order()
+        position = {node.id: i for i, node in enumerate(order)}
+
+        def convert(ref: GraphRef) -> Ref:
+            if isinstance(ref, NodeRef):
+                return Wire(position[ref.id])
+            return ref
+
+        program = Program(
+            vector_size=self.vector_size,
+            ct_inputs=list(self.ct_inputs),
+            pt_inputs=list(self.pt_inputs),
+            constants=dict(self.constants),
+            instructions=[
+                Instruction(
+                    node.opcode,
+                    tuple(convert(r) for r in node.operands),
+                    node.amount,
+                )
+                for node in order
+            ],
+            output=convert(self.outputs[0]),
+            extra_outputs=[convert(ref) for ref in self.outputs[1:]],
+            name=self.name,
+            relin_mode=self.relin_mode,
+        )
+        if validate:
+            from repro.quill.validate import validate_program
+
+            validate_program(program)
+        return program
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def op_counts(self) -> dict[str, int]:
+        """The optimizer's scoreboard for one graph state."""
+        rotations = relins = mul_cc = 0
+        amounts: set[int] = set()
+        for node in self._nodes.values():
+            if node.opcode is Opcode.ROTATE:
+                rotations += 1
+                amounts.add(node.amount)
+            elif node.opcode is Opcode.RELIN:
+                relins += 1
+            elif node.opcode is Opcode.MUL_CC:
+                mul_cc += 1
+        implicit = mul_cc if self.relin_mode == "eager" else 0
+        return {
+            "instructions": len(self._nodes),
+            "rotations": rotations,
+            "relins": relins + implicit,
+            "mul_cc": mul_cc,
+            "galois_keys": len(amounts),
+            "executable_ops": len(self._nodes) + implicit,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphProgram({self.name!r}, nodes={len(self._nodes)}, "
+            f"outputs={len(self.outputs)}, relin={self.relin_mode})"
+        )

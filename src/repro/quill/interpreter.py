@@ -70,6 +70,10 @@ def evaluate(
     for instr in program.instructions:
         if instr.opcode is Opcode.ROTATE:
             value = shift_vector(fetch(instr.operands[0]), instr.amount)
+        elif instr.opcode is Opcode.RELIN:
+            # relinearization changes the ciphertext representation, not
+            # the plaintext it encrypts
+            value = fetch(instr.operands[0])
         else:
             a = fetch(instr.operands[0])
             b = fetch(instr.operands[1])

@@ -20,6 +20,10 @@ from dataclasses import dataclass, field
 from repro.quill.ir import Instruction, Opcode, Program
 
 # Microseconds per instruction, profiled on the n4096-depth1 preset.
+# MUL_CC is profiled *with* its eager relinearization (how the paper and
+# the seed executor ran multiplies); RELIN is the key-switch share of
+# that, so explicit-relin programs charge MUL_CC - RELIN per raw multiply
+# plus RELIN per relin instruction.
 _N4096_TABLE = {
     Opcode.ADD_CC: 310.0,
     Opcode.SUB_CC: 310.0,
@@ -28,6 +32,7 @@ _N4096_TABLE = {
     Opcode.SUB_CP: 2_600.0,
     Opcode.MUL_CP: 21_000.0,
     Opcode.ROTATE: 65_000.0,
+    Opcode.RELIN: 55_000.0,
 }
 
 # Microseconds per instruction, profiled on the n8192-depth3 preset.
@@ -39,22 +44,43 @@ _N8192_TABLE = {
     Opcode.SUB_CP: 8_000.0,
     Opcode.MUL_CP: 81_000.0,
     Opcode.ROTATE: 260_000.0,
+    Opcode.RELIN: 225_000.0,
 }
 
 
 @dataclass(frozen=True)
 class LatencyModel:
-    """Maps opcodes to microsecond latencies; programs sum sequentially."""
+    """Maps opcodes to microsecond latencies; programs sum sequentially.
+
+    ``table[MUL_CC]`` is the eager multiply (tensor + relinearization);
+    instruction latencies are therefore relin-mode-aware: in an
+    explicit-relin program a ct-ct multiply costs only its tensor share
+    (``MUL_CC - RELIN``) and relinearizations are charged where the
+    ``RELIN`` instructions actually are.  Eager programs cost exactly
+    what they did before relinearization became explicit.
+    """
 
     table: dict[Opcode, float]
     name: str = "custom"
 
-    def instruction_latency(self, instr: Instruction) -> float:
+    def instruction_latency(
+        self, instr: Instruction, relin_mode: str = "eager"
+    ) -> float:
+        # tables without a RELIN entry (older profiles) degrade to eager
+        # accounting: relins are free and multiplies keep their full cost
+        relin = self.table.get(Opcode.RELIN, 0.0)
+        if instr.opcode is Opcode.RELIN:
+            return relin
+        if relin_mode == "explicit" and instr.opcode is Opcode.MUL_CC:
+            return self.table[Opcode.MUL_CC] - relin
         return self.table[instr.opcode]
 
     def program_latency(self, program: Program) -> float:
         """Estimated microseconds for one sequential execution."""
-        return sum(self.table[i.opcode] for i in program.instructions)
+        return sum(
+            self.instruction_latency(i, program.relin_mode)
+            for i in program.instructions
+        )
 
     def scaled(self, factor: float, name: str | None = None) -> "LatencyModel":
         scaled_table = {op: lat * factor for op, lat in self.table.items()}

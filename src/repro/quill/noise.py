@@ -32,7 +32,12 @@ def wire_depths(program: Program) -> list[int]:
 
 
 def multiplicative_depth(program: Program) -> int:
-    """Depth of the program output — the noise level Porcupine minimizes."""
-    if not isinstance(program.output, Wire):
+    """Depth of the program output — the noise level Porcupine minimizes.
+
+    Multi-output programs report the worst (deepest) output.
+    """
+    wire_outputs = [o for o in program.outputs if isinstance(o, Wire)]
+    if not wire_outputs:
         return 0
-    return wire_depths(program)[program.output.index]
+    depths = wire_depths(program)
+    return max(depths[o.index] for o in wire_outputs)

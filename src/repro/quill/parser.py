@@ -51,6 +51,11 @@ def parse_program(text: str) -> Program:
         elif line.startswith("const "):
             name, value = _parse_const(line)
             program.constants[name] = value
+        elif line.startswith("relin "):
+            mode = line[6:].strip()
+            if mode not in ("eager", "explicit"):
+                raise QuillParseError(f"unknown relin mode: {mode!r}")
+            program.relin_mode = mode
         else:
             break
         body_start += 1
@@ -58,8 +63,16 @@ def parse_program(text: str) -> Program:
     expected_dest = 1
     for line in lines[body_start:]:
         if line.startswith("out "):
-            program.output = _parse_ref(line[4:].strip(), program)
-            break
+            ref = _parse_ref(line[4:].strip(), program)
+            if program.output is None:
+                program.output = ref
+            else:
+                program.extra_outputs.append(ref)
+            continue
+        if program.output is not None:
+            raise QuillParseError(
+                f"instruction after output line: {line!r}"
+            )
         match = _ASSIGN.match(line)
         if not match:
             raise QuillParseError(f"cannot parse instruction: {line!r}")
@@ -69,7 +82,7 @@ def parse_program(text: str) -> Program:
             )
         program.instructions.append(_parse_rhs(match.group("rhs"), program))
         expected_dest += 1
-    else:
+    if program.output is None:
         raise QuillParseError("missing output line: out <ref>")
 
     try:
@@ -88,6 +101,12 @@ def _parse_rhs(rhs: str, program: Program) -> Instruction:
             Opcode.ROTATE,
             (_parse_ref(tokens[1], program),),
             _parse_int(tokens[2], "rotation amount"),
+        )
+    if tokens[0] == "relin":
+        if len(tokens) != 2:
+            raise QuillParseError(f"relin takes one argument: {rhs!r}")
+        return Instruction(
+            Opcode.RELIN, (_parse_ref(tokens[1], program),)
         )
     opcode = _OPCODES.get(tokens[0])
     if opcode is None or len(tokens) != 3:

@@ -2,12 +2,30 @@
 
 from __future__ import annotations
 
-from repro.quill.ir import Program
+from repro.quill.ir import Instruction, Opcode, Program
+
+
+def render_instruction(index: int, instr: Instruction) -> str:
+    """One instruction as canonical Quill text (``c<index+1> = ...``).
+
+    The single rendering used by :func:`format_program` and
+    :func:`format_listing`, and the inverse of the parser's
+    instruction grammar.
+    """
+    dest = f"c{index + 1}"
+    if instr.opcode is Opcode.ROTATE:
+        return f"{dest} = rot {instr.operands[0]} {instr.amount}"
+    if instr.opcode is Opcode.RELIN:
+        return f"{dest} = relin {instr.operands[0]}"
+    a, b = instr.operands
+    return f"{dest} = {instr.opcode.value} {a} {b}"
 
 
 def format_program(program: Program) -> str:
     """Render a program in the round-trippable Quill text format."""
     lines = [f'quill kernel "{program.name}"', f"vec {program.vector_size}"]
+    if program.is_explicit_relin:
+        lines.append("relin explicit")
     for name in program.ct_inputs:
         lines.append(f"ct {name}")
     for name in program.pt_inputs:
@@ -19,26 +37,15 @@ def format_program(program: Program) -> str:
             body = " ".join(str(v) for v in value)
             lines.append(f"const {name} = [{body}]")
     for index, instr in enumerate(program.instructions):
-        dest = f"c{index + 1}"
-        if instr.opcode.is_rotation:
-            lines.append(
-                f"{dest} = rot {instr.operands[0]} {instr.amount}"
-            )
-        else:
-            a, b = instr.operands
-            lines.append(f"{dest} = {instr.opcode.value} {a} {b}")
-    lines.append(f"out {program.output}")
+        lines.append(render_instruction(index, instr))
+    for out in program.outputs:
+        lines.append(f"out {out}")
     return "\n".join(lines)
 
 
 def format_listing(program: Program, indent: str = "  ") -> str:
     """Instructions only, for figures and side-by-side comparisons."""
-    body = []
-    for index, instr in enumerate(program.instructions):
-        dest = f"c{index + 1}"
-        if instr.opcode.is_rotation:
-            body.append(f"{indent}{dest} = rot {instr.operands[0]} {instr.amount}")
-        else:
-            a, b = instr.operands
-            body.append(f"{indent}{dest} = {instr.opcode.value} {a} {b}")
-    return "\n".join(body)
+    return "\n".join(
+        indent + render_instruction(index, instr)
+        for index, instr in enumerate(program.instructions)
+    )

@@ -12,6 +12,7 @@ from repro.quill.ir import (
     PtInput,
     Ref,
     Wire,
+    wire_part_counts,
 )
 
 _WIRE_NAME = re.compile(r"^c\d+$")
@@ -25,6 +26,10 @@ def validate_program(program: Program) -> None:
     """Raise :class:`QuillValidationError` on any malformed construct."""
     if program.vector_size < 1:
         raise QuillValidationError("vector_size must be positive")
+    if program.relin_mode not in ("eager", "explicit"):
+        raise QuillValidationError(
+            f"unknown relin mode {program.relin_mode!r}"
+        )
 
     _check_names(program)
     for index, instr in enumerate(program.instructions):
@@ -32,7 +37,10 @@ def validate_program(program: Program) -> None:
 
     if program.output is None:
         raise QuillValidationError("program has no output")
-    _check_ct_ref(program, len(program.instructions), program.output, "output")
+    for out in program.outputs:
+        _check_ct_ref(program, len(program.instructions), out, "output")
+
+    _check_relin_discipline(program)
 
 
 def _check_names(program: Program) -> None:
@@ -72,6 +80,19 @@ def _check_instruction(program: Program, index: int, instr) -> None:
             raise QuillValidationError(f"{where}: rotation by zero is not canonical")
         _check_ct_ref(program, index, instr.operands[0], where)
         return
+    if instr.opcode is Opcode.RELIN:
+        if not program.is_explicit_relin:
+            raise QuillValidationError(
+                f"{where}: relin instructions require relin_mode='explicit' "
+                "(eager programs relinearize implicitly)"
+            )
+        ref = instr.operands[0]
+        if not isinstance(ref, Wire):
+            raise QuillValidationError(
+                f"{where}: relin applies to a computed wire, got {ref!r}"
+            )
+        _check_ct_ref(program, index, ref, where)
+        return
     _check_ct_ref(program, index, instr.operands[0], where)
     if instr.opcode.has_plain_operand:
         second = instr.operands[1]
@@ -91,6 +112,56 @@ def _check_instruction(program: Program, index: int, instr) -> None:
             )
     else:
         _check_ct_ref(program, index, instr.operands[1], where)
+
+
+def _check_relin_discipline(program: Program) -> None:
+    """Explicit-mode part-count invariants.
+
+    Every backend operation has a legality constraint on ciphertext
+    width: rotations and ct-ct multiplies need two-part operands,
+    additions need matching widths, ``RELIN`` folds exactly a three-part
+    value, and program outputs must be two parts.  Eager programs
+    trivially satisfy all of these.
+    """
+    if not program.is_explicit_relin:
+        # _check_instruction already rejected any RELIN in eager mode
+        return
+    parts = wire_part_counts(program)
+
+    def of(ref: Ref) -> int:
+        return parts[ref.index] if isinstance(ref, Wire) else 2
+
+    for index, instr in enumerate(program.instructions):
+        where = f"instruction {index} ({instr.opcode.value})"
+        if instr.opcode is Opcode.ROTATE and of(instr.operands[0]) != 2:
+            raise QuillValidationError(
+                f"{where}: rotation of an unrelinearized (3-part) ciphertext"
+            )
+        if instr.opcode is Opcode.MUL_CC and any(
+            of(ref) != 2 for ref in instr.operands
+        ):
+            raise QuillValidationError(
+                f"{where}: ct-ct multiply needs relinearized (2-part) operands"
+            )
+        if instr.opcode in (Opcode.ADD_CC, Opcode.SUB_CC) and (
+            of(instr.operands[0]) != of(instr.operands[1])
+        ):
+            raise QuillValidationError(
+                f"{where}: mixed-width operands "
+                f"({of(instr.operands[0])} vs {of(instr.operands[1])} parts); "
+                "relinearize one side first"
+            )
+        if instr.opcode is Opcode.RELIN and of(instr.operands[0]) != 3:
+            raise QuillValidationError(
+                f"{where}: relin of an already two-part ciphertext "
+                "is not canonical"
+            )
+    for out in program.outputs:
+        if isinstance(out, Wire) and parts[out.index] != 2:
+            raise QuillValidationError(
+                f"output {out}: three-part result must be relinearized "
+                "before leaving the program"
+            )
 
 
 def _check_ct_ref(program: Program, index: int, ref: Ref, where: str) -> None:

@@ -41,11 +41,19 @@ def _key_switch_bits(params: BFVParams) -> float:
 
 
 def estimate_output_noise_bits(program: Program, params: BFVParams) -> float:
-    """Worst-case log2 scaled-noise of the program's output ciphertext."""
+    """Worst-case log2 scaled-noise of the program's output ciphertext.
+
+    Relin-placement-aware: in an explicit-relin program a ct-ct multiply
+    contributes only its multiplicative growth, and the key-switching
+    noise lands where the ``RELIN`` instructions actually are.  Eager
+    programs fold both into every multiply, exactly as the seed executor
+    ran them.  Multi-output programs report the noisiest output.
+    """
     fresh = _fresh_noise_bits(params)
     ks = _key_switch_bits(params)
     lt = math.log2(params.plain_modulus)
     ln = math.log2(params.poly_degree)
+    explicit = program.is_explicit_relin
     bits: list[float] = []
 
     def of(ref: Ref) -> float:
@@ -56,19 +64,24 @@ def estimate_output_noise_bits(program: Program, params: BFVParams) -> float:
     for instr in program.instructions:
         if instr.opcode is Opcode.ROTATE:
             value = _log2_sum(of(instr.operands[0]), ks)
+        elif instr.opcode is Opcode.RELIN:
+            value = _log2_sum(of(instr.operands[0]), ks)
         elif instr.opcode in (Opcode.ADD_CC, Opcode.SUB_CC):
             value = max(of(instr.operands[0]), of(instr.operands[1])) + 1
         elif instr.opcode in (Opcode.ADD_CP, Opcode.SUB_CP):
             value = of(instr.operands[0]) + 0.5
         elif instr.opcode is Opcode.MUL_CP:
             value = of(instr.operands[0]) + lt + ln / 2 + 1
-        else:  # MUL_CC: multiplicative growth plus relinearization
+        else:  # MUL_CC: multiplicative growth (+ relin noise when eager)
             grown = max(of(instr.operands[0]), of(instr.operands[1]))
-            value = _log2_sum(grown + lt + ln + 3, ks)
+            value = grown + lt + ln + 3
+            if not explicit:
+                value = _log2_sum(value, ks)
         bits.append(value)
-    if not isinstance(program.output, Wire):
+    wire_outputs = [o for o in program.outputs if isinstance(o, Wire)]
+    if not wire_outputs:
         return fresh
-    return bits[program.output.index]
+    return max(bits[o.index] for o in wire_outputs)
 
 
 def estimate_noise_budget(program: Program, params: BFVParams) -> float:

@@ -47,8 +47,8 @@ class DisplacementError(Exception):
     """Raised when a program could push packed data beyond its margins."""
 
 
-def displacement_bounds(program: Program) -> tuple[int, int]:
-    """Worst-case (left, right) slot displacement of any data element."""
+def _wire_displacements(program: Program) -> list[tuple[int, int]]:
+    """Per-wire worst-case (left, right) slot displacement."""
     bounds: list[tuple[int, int]] = []
 
     def of(ref: Ref) -> tuple[int, int]:
@@ -67,45 +67,66 @@ def displacement_bounds(program: Program) -> tuple[int, int]:
         else:
             lefts, rights = zip(*(of(r) for r in instr.operands))
             bounds.append((max(lefts), max(rights)))
+    return bounds
+
+
+def displacement_bounds(program: Program) -> tuple[int, int]:
+    """Worst-case (left, right) slot displacement of the output."""
     if not isinstance(program.output, Wire):
         return (0, 0)
-    return bounds[program.output.index]
+    return _wire_displacements(program)[program.output.index]
 
 
-def check_displacement(program: Program, spec: Spec) -> None:
-    """Assert the layout margins absorb the program's data movement.
+@dataclass(frozen=True)
+class DisplacementReport:
+    """How far a program moves packed data versus the layout's margins.
 
-    Conservative: takes the worst bound over every wire, not just the
-    output, since every intermediate must stay inside the model window.
+    Conservative: the maxima range over every wire, not just the output,
+    since every intermediate must stay inside the model window.
     """
-    max_left = max_right = 0
-    bounds: list[tuple[int, int]] = []
 
-    def of(ref: Ref) -> tuple[int, int]:
-        if isinstance(ref, Wire):
-            return bounds[ref.index]
-        return (0, 0)
+    max_left: int
+    max_right: int
+    budget_left: int
+    budget_right: int
 
-    for instr in program.instructions:
-        if instr.opcode is Opcode.ROTATE:
-            left, right = of(instr.operands[0])
-            if instr.amount > 0:
-                left += instr.amount
-            else:
-                right -= instr.amount
-            bounds.append((left, right))
-        else:
-            lefts, rights = zip(*(of(r) for r in instr.operands))
-            bounds.append((max(lefts), max(rights)))
-        max_left = max(max_left, bounds[-1][0])
-        max_right = max(max_right, bounds[-1][1])
+    @property
+    def ok(self) -> bool:
+        return (
+            self.max_left <= self.budget_left
+            and self.max_right <= self.budget_right
+        )
+
+    def summary(self) -> dict:
+        return {
+            "max_left": self.max_left,
+            "max_right": self.max_right,
+            "budget_left": self.budget_left,
+            "budget_right": self.budget_right,
+            "ok": self.ok,
+        }
+
+
+def displacement_report(program: Program, spec: Spec) -> DisplacementReport:
+    """Measure worst-case data movement against the layout's margins."""
+    bounds = _wire_displacements(program)
+    max_left = max((b[0] for b in bounds), default=0)
+    max_right = max((b[1] for b in bounds), default=0)
     budget_left, budget_right = spec.layout.max_displacement_budget()
-    if max_left > budget_left or max_right > budget_right:
+    return DisplacementReport(max_left, max_right, budget_left, budget_right)
+
+
+def check_displacement(program: Program, spec: Spec) -> DisplacementReport:
+    """Assert the layout margins absorb the program's data movement."""
+    report = displacement_report(program, spec)
+    if not report.ok:
         raise DisplacementError(
-            f"program moves data {max_left} left / {max_right} right but the "
-            f"layout margins allow only {budget_left} / {budget_right}; "
+            f"program moves data {report.max_left} left / "
+            f"{report.max_right} right but the layout margins allow only "
+            f"{report.budget_left} / {report.budget_right}; "
             "shift semantics would diverge from cyclic rotation"
         )
+    return report
 
 
 # one tape entry: (opcode, fetch a, fetch b | None, rotation amount,
@@ -138,6 +159,7 @@ class CompiledProgram:
     output: tuple
     galois_elements: tuple[int, ...]
     constants: dict[str, object]
+    extra_outputs: tuple[tuple, ...] = ()  # fetch descriptors, extras only
 
     def describe(self) -> str:
         return (
@@ -158,6 +180,8 @@ class ExecutionReport:
     output_noise_budget: int
     wall_time: float
     instruction_seconds: dict[str, float] = field(default_factory=dict)
+    # decrypted model vectors of the program's extra outputs, in order
+    extra_model_outputs: list[np.ndarray] = field(default_factory=list)
 
 
 @dataclass
@@ -235,14 +259,15 @@ class HEExecutor:
             return cached
         check_displacement(program, self.spec)
 
-        # last use of each wire (the output counts as a final use)
+        # last use of each wire (every program output counts as a final use)
         last_use: dict[int, int] = {}
         for i, instr in enumerate(program.instructions):
             for ref in instr.operands:
                 if isinstance(ref, Wire):
                     last_use[ref.index] = i
-        if isinstance(program.output, Wire):
-            last_use[program.output.index] = len(program.instructions)
+        for out in program.outputs:
+            if isinstance(out, Wire):
+                last_use[out.index] = len(program.instructions)
 
         slot_of: dict[int, int] = {}
         free: list[int] = []
@@ -303,6 +328,9 @@ class HEExecutor:
             output=fetch(program.output),
             galois_elements=tuple(galois),
             constants=constants,
+            extra_outputs=tuple(
+                fetch(ref) for ref in program.extra_outputs
+            ),
         )
         if len(self._compiled) >= 32:  # bound the per-program tape cache
             self._compiled.clear()
@@ -335,10 +363,13 @@ class HEExecutor:
         ctx = self.ctx
         slots: list = [None] * compiled.slot_count
         per_opcode: dict[str, float] = {}
+        # explicit-relin programs defer the fold to their RELIN steps;
+        # eager programs keep the historical relinearize-every-multiply
+        eager = not compiled.program.is_explicit_relin
         dispatch = {
             Opcode.ADD_CC: ctx.add,
             Opcode.SUB_CC: ctx.sub,
-            Opcode.MUL_CC: ctx.multiply,
+            Opcode.MUL_CC: lambda x, y: ctx.multiply(x, y, relinearize=eager),
             Opcode.ADD_CP: ctx.add_plain,
             Opcode.SUB_CP: ctx.sub_plain,
             Opcode.MUL_CP: ctx.multiply_plain,
@@ -356,6 +387,8 @@ class HEExecutor:
             t0 = time.perf_counter()
             if opcode is Opcode.ROTATE:
                 value = ctx.rotate_rows(resolve(a), amount)
+            elif opcode is Opcode.RELIN:
+                value = ctx.relinearize(resolve(a))
             else:
                 value = dispatch[opcode](resolve(a), resolve(b))
             elapsed = time.perf_counter() - t0
@@ -366,7 +399,8 @@ class HEExecutor:
                     slots[slot] = None  # release dead intermediates
             if out_slot >= 0:
                 slots[out_slot] = value
-        return resolve(compiled.output), per_opcode
+        extras = [resolve(desc) for desc in compiled.extra_outputs]
+        return resolve(compiled.output), extras, per_opcode
 
     def run(
         self,
@@ -385,7 +419,9 @@ class HEExecutor:
         plain.update(compiled.constants)
 
         start = time.perf_counter()
-        output_ct, per_opcode = self._execute_tape(compiled, encrypted, plain)
+        output_ct, extra_cts, per_opcode = self._execute_tape(
+            compiled, encrypted, plain
+        )
         wall = time.perf_counter() - start
 
         plaintext, budgets = self.ctx.decrypt_with_budgets(
@@ -398,6 +434,14 @@ class HEExecutor:
         expected = np.array(
             self.spec.reference_output(logical_env), dtype=np.int64
         ).reshape(layout.output_shape)
+        # extras mirror the primary's epilogue: no budget gate (the
+        # report carries the primary's budget) and no budget scan
+        extra_model_outputs = [
+            self.ctx.decode(self.ctx.decrypt(ct, check_budget=False))[
+                : layout.vector_size
+            ]
+            for ct in extra_cts
+        ]
         return ExecutionReport(
             model_output=model_output,
             logical_output=logical_output,
@@ -406,6 +450,7 @@ class HEExecutor:
             output_noise_budget=budget,
             wall_time=wall,
             instruction_seconds=per_opcode,
+            extra_model_outputs=extra_model_outputs,
         )
 
     def run_many(
@@ -456,13 +501,19 @@ class HEExecutor:
         plain.update(compiled.constants)
         t_setup = time.perf_counter()
 
-        output_ct, per_opcode = self._execute_tape(compiled, encrypted, plain)
+        output_ct, extra_cts, per_opcode = self._execute_tape(
+            compiled, encrypted, plain
+        )
         t_eval = time.perf_counter()
 
         plaintext, budgets = self.ctx.decrypt_with_budgets(
             output_ct, check_budget=False
         )
         decrypted = self.ctx.decode(plaintext)
+        extra_decrypted = [
+            self.ctx.decode(self.ctx.decrypt(ct, check_budget=False))
+            for ct in extra_cts
+        ]
         t_done = time.perf_counter()
 
         share = (t_eval - t_setup) / batch
@@ -486,6 +537,10 @@ class HEExecutor:
                     instruction_seconds={
                         k: v / batch for k, v in per_opcode.items()
                     },
+                    extra_model_outputs=[
+                        vecs[i][: layout.vector_size]
+                        for vecs in extra_decrypted
+                    ],
                 )
             )
         return BatchExecutionReport(

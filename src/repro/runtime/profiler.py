@@ -51,6 +51,7 @@ def profile_instructions(
     # warm the plaintext lift cache the same way repeated execution would
     ctx.multiply_plain(a, pt)
 
+    product = ctx.multiply(a, b, relinearize=False)  # 3-part relin operand
     operations = {
         Opcode.ADD_CC: lambda: ctx.add(a, b),
         Opcode.SUB_CC: lambda: ctx.sub(a, b),
@@ -59,6 +60,7 @@ def profile_instructions(
         Opcode.SUB_CP: lambda: ctx.sub_plain(a, pt),
         Opcode.MUL_CP: lambda: ctx.multiply_plain(a, pt),
         Opcode.ROTATE: lambda: ctx.rotate_rows(a, 1),
+        Opcode.RELIN: lambda: ctx.relinearize(product),
     }
     table: dict[Opcode, float] = {}
     for opcode, operation in operations.items():

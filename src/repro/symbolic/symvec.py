@@ -59,6 +59,9 @@ def evaluate_symbolic(
     for instr in program.instructions:
         if instr.opcode is Opcode.ROTATE:
             value = shift_symbolic(fetch(instr.operands[0]), instr.amount)
+        elif instr.opcode is Opcode.RELIN:
+            # identity on the encrypted value (representation change only)
+            value = fetch(instr.operands[0])
         else:
             a = fetch(instr.operands[0])
             b = fetch(instr.operands[1])

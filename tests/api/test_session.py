@@ -15,12 +15,13 @@ def session():
     return Porcupine(synthesis_defaults=FAST)
 
 
-def test_compile_runs_the_five_default_passes(session):
+def test_compile_runs_the_six_default_passes(session):
     compiled = session.compile("box_blur")
     assert [t.name for t in compiled.pass_timings] == [
         "synthesize",
         "optimize",
         "compose",
+        "rewrite",
         "lower",
         "codegen",
     ]
@@ -112,7 +113,14 @@ def test_pass_end_hook_sees_timings(session):
     )
     session.compile("hamming")
     names = [name for name, _ in observed]
-    assert names == ["synthesize", "optimize", "compose", "lower", "codegen"]
+    assert names == [
+        "synthesize",
+        "optimize",
+        "compose",
+        "rewrite",
+        "lower",
+        "codegen",
+    ]
     assert all(seconds >= 0 for _, seconds in observed)
 
 

@@ -64,6 +64,23 @@ def test_inline_program_remaps_inputs():
     assert np.array_equal(result, expected)
 
 
+def test_inline_program_splices_explicit_relin_programs():
+    """RELIN instructions drop at splice (regression: IndexError)."""
+    inner_builder = ProgramBuilder(8, name="inner", relin_mode="explicit")
+    x = inner_builder.ct_input("x")
+    inner = inner_builder.build(
+        inner_builder.relin(inner_builder.mul(x, x))
+    )
+
+    outer_builder = ProgramBuilder(8, name="outer")
+    img = outer_builder.ct_input("img")
+    out = inline_program(outer_builder, inner, {"x": img})
+    program = outer_builder.build(out)
+    assert program.relin_count() == program.multiply_cc_count() == 1
+    v = np.arange(8)
+    assert np.array_equal(evaluate(program, {"img": v}), v * v)
+
+
 def test_compose_rejects_mismatched_sizes():
     small = ProgramBuilder(vector_size=4)
     x = small.ct_input("img")

@@ -1,0 +1,151 @@
+"""The dataflow-graph form: conversion, use-def chains, mutation."""
+
+import pytest
+
+from repro.quill.builder import ProgramBuilder
+from repro.quill.graph import GraphError, GraphProgram, NodeRef
+from repro.quill.ir import CtInput, Opcode, Wire
+from repro.quill.printer import format_program
+
+
+def small_program():
+    b = ProgramBuilder(8, name="g")
+    x = b.ct_input("x")
+    r = b.rotate(x, 1)
+    s = b.add(x, r)
+    t = b.mul(s, s)
+    return b.build(t)
+
+
+def test_round_trip_preserves_program_text():
+    program = small_program()
+    graph = GraphProgram.from_program(program)
+    assert format_program(graph.to_program()) == format_program(program)
+
+
+def test_use_def_chains():
+    graph = GraphProgram.from_program(small_program())
+    nodes = list(graph.nodes())
+    rot, add, mul = nodes
+    assert graph.users(rot.id) == {add.id}
+    assert graph.users(add.id) == {mul.id}
+    assert graph.users(mul.id) == frozenset()
+    assert graph.use_count(mul.id) == 1  # the program output counts
+    assert graph.is_output(mul.id)
+
+
+def test_replace_all_uses_rewrites_operands_and_outputs():
+    graph = GraphProgram.from_program(small_program())
+    rot, add, mul = list(graph.nodes())
+    graph.replace_all_uses(add.id, CtInput("x"))
+    assert all(
+        not (isinstance(ref, NodeRef) and ref.id == add.id)
+        for ref in mul.operands
+    )
+    graph.replace_all_uses(mul.id, NodeRef(rot.id))
+    assert graph.outputs == [NodeRef(rot.id)]
+    assert graph.use_count(mul.id) == 0
+
+
+def test_remove_node_refuses_live_nodes():
+    graph = GraphProgram.from_program(small_program())
+    rot, add, mul = list(graph.nodes())
+    with pytest.raises(GraphError):
+        graph.remove_node(rot.id)  # still used by the add
+    with pytest.raises(GraphError):
+        graph.remove_node(mul.id)  # program output
+    graph.replace_all_uses(mul.id, NodeRef(add.id))
+    graph.remove_node(mul.id)
+    assert mul.id not in graph
+
+
+def test_topo_order_handles_late_inserted_producers():
+    graph = GraphProgram.from_program(small_program())
+    rot, add, mul = list(graph.nodes())
+    # rewrite the mul to consume a node created after it
+    late = graph.add_node(Opcode.ADD_CC, (NodeRef(add.id), NodeRef(add.id)))
+    graph.update_node(mul.id, operands=(late, late))
+    order = [n.id for n in graph.topo_order()]
+    assert order.index(late.id) < order.index(mul.id)
+    program = graph.to_program()  # validates wire ordering
+    assert program.instruction_count() == 4
+
+
+def test_structural_key_canonicalizes_commutative_operands():
+    graph = GraphProgram(8)
+    x = graph.ct_input("x")
+    y = graph.ct_input("y")
+    add_xy = graph.structural_key(Opcode.ADD_CC, (x, y))
+    add_yx = graph.structural_key(Opcode.ADD_CC, (y, x))
+    sub_xy = graph.structural_key(Opcode.SUB_CC, (x, y))
+    sub_yx = graph.structural_key(Opcode.SUB_CC, (y, x))
+    assert add_xy == add_yx
+    assert sub_xy != sub_yx
+
+
+def test_multi_output_round_trip():
+    b = ProgramBuilder(8, name="two-outs")
+    x = b.ct_input("x")
+    r = b.rotate(x, 2)
+    s = b.add(x, r)
+    program = b.build(s, extra_outputs=(r,))
+    graph = GraphProgram.from_program(program)
+    assert len(graph.outputs) == 2
+    back = graph.to_program()
+    assert back.outputs == (Wire(1), Wire(0))
+    assert "out c2\nout c1" in format_program(back)
+
+
+def test_cycle_detection():
+    graph = GraphProgram.from_program(small_program())
+    rot, add, mul = list(graph.nodes())
+    graph.update_node(rot.id, operands=(NodeRef(mul.id),))
+    with pytest.raises(GraphError):
+        graph.topo_order()
+
+
+def test_find_reflects_in_place_rewrites():
+    """The structural index never returns a node whose fields changed."""
+    graph = GraphProgram.from_program(small_program())
+    rot, add, mul = list(graph.nodes())
+    x = CtInput("x")
+    assert graph.find(Opcode.ROTATE, (x,), 1) == NodeRef(rot.id)
+    graph.update_node(rot.id, amount=3)
+    assert graph.find(Opcode.ROTATE, (x,), 1) is None
+    assert graph.find(Opcode.ROTATE, (x,), 3) == NodeRef(rot.id)
+    # find_or_add reuses the rewritten node, not a stale key
+    assert graph.find_or_add(Opcode.ROTATE, (x,), 3) == NodeRef(rot.id)
+    assert len(graph) == 3
+
+
+def test_find_survives_removal_of_a_structural_twin():
+    graph = GraphProgram(8)
+    x = graph.ct_input("x")
+    first = graph.add_node(Opcode.ROTATE, (x,), 1)
+    second = graph.add_node(Opcode.ROTATE, (x,), 1)  # structural twin
+    graph.outputs = [second]
+    graph.remove_node(first.id)
+    assert graph.find(Opcode.ROTATE, (x,), 1) == second
+    assert graph.find_or_add(Opcode.ROTATE, (x,), 1) == second
+    assert len(graph) == 1
+
+
+def test_find_or_add_ignores_removed_nodes():
+    graph = GraphProgram.from_program(small_program())
+    rot, add, mul = list(graph.nodes())
+    graph.replace_all_uses(add.id, CtInput("x"))
+    graph.replace_all_uses(rot.id, CtInput("x"))
+    graph.remove_node(add.id)
+    graph.remove_node(rot.id)
+    x = CtInput("x")
+    assert graph.find(Opcode.ROTATE, (x,), 1) is None
+    fresh = graph.find_or_add(Opcode.ROTATE, (x,), 1)
+    assert fresh.id not in (rot.id, add.id)
+
+
+def test_constant_conflict_rejected():
+    graph = GraphProgram(4)
+    graph.constant("k", 3)
+    graph.constant("k", 3)  # same value is fine
+    with pytest.raises(GraphError):
+        graph.constant("k", 4)

@@ -7,7 +7,7 @@ from repro.quill.builder import ProgramBuilder
 from repro.quill.parser import QuillParseError, parse_program
 from repro.quill.printer import format_listing, format_program
 
-from tests.strategies import quill_programs
+from tests.strategies import explicit_relin_programs, quill_programs
 
 
 def _gx_like_program():
@@ -52,6 +52,34 @@ def test_roundtrip_with_constants_and_pt_inputs():
 @given(quill_programs())
 def test_roundtrip_property(program):
     assert parse_program(format_program(program)) == program
+
+
+@settings(max_examples=60, deadline=None)
+@given(quill_programs(multi_output=True))
+def test_roundtrip_property_multi_output(program):
+    parsed = parse_program(format_program(program))
+    assert parsed == program
+    assert parsed.outputs == program.outputs
+
+
+@settings(max_examples=60, deadline=None)
+@given(explicit_relin_programs())
+def test_roundtrip_property_explicit_relin(program):
+    text = format_program(program)
+    if program.multiply_cc_count():
+        assert "relin explicit" in text
+    parsed = parse_program(text)
+    assert parsed == program
+    assert parsed.relin_mode == "explicit"
+
+
+def test_roundtrip_relin_instruction():
+    b = ProgramBuilder(vector_size=4, name="fold", relin_mode="explicit")
+    x = b.ct_input("x")
+    program = b.build(b.relin(b.mul(x, x)))
+    text = format_program(program)
+    assert "c2 = relin c1" in text
+    assert parse_program(text) == program
 
 
 def test_format_listing_is_instructions_only():

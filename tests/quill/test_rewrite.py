@@ -1,0 +1,418 @@
+"""The verified rewrite-pass suite: each pass, the manager, the safety net."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import baseline_for
+from repro.quill.builder import ProgramBuilder
+from repro.quill.graph import GraphProgram
+from repro.quill.interpreter import evaluate
+from repro.quill.ir import Opcode, wire_part_counts
+from repro.quill.rewrite import (
+    CommonSubexpressionElimination,
+    DeadCodeElimination,
+    GaloisKeyMinimization,
+    LazyRelinearization,
+    PassManager,
+    RewriteContext,
+    RewriteVerificationError,
+    RotationComposition,
+    RotationHoisting,
+    default_pass_manager,
+    optimize_program,
+)
+from repro.spec import get_spec
+
+
+def run_pass(rewrite, program):
+    graph = GraphProgram.from_program(program)
+    ctx = RewriteContext()
+    changed = rewrite.run(graph, ctx)
+    return graph.to_program(), changed, ctx
+
+
+def interpret(program, seed=0):
+    rng = np.random.default_rng(seed)
+    n = program.vector_size
+    ct = {name: rng.integers(-9, 10, n) for name in program.ct_inputs}
+    pt = {name: rng.integers(-9, 10, n) for name in program.pt_inputs}
+    return evaluate(program, ct, pt)
+
+
+# ---------------------------------------------------------------------------
+# CSE
+# ---------------------------------------------------------------------------
+
+
+def test_cse_unifies_duplicate_rotations_and_arithmetic():
+    b = ProgramBuilder(8, name="dup")
+    x = b.ct_input("x")
+    # defeat the builder's rotation cache by emitting by hand
+    r1 = b._emit(Opcode.ROTATE, (x,), 2)
+    r2 = b._emit(Opcode.ROTATE, (x,), 2)
+    s1 = b.add(x, r1)
+    s2 = b.add(x, r2)  # identical once r2 unifies with r1
+    program = b.build(b.mul(s1, s2))
+    optimized, changed, _ = run_pass(
+        CommonSubexpressionElimination(), program
+    )
+    assert changed
+    assert optimized.rotation_count() == 1
+    assert optimized.instruction_count() == 3  # rot, add, mul
+    assert np.array_equal(interpret(program), interpret(optimized))
+
+
+def test_cse_respects_commutativity():
+    b = ProgramBuilder(8, name="comm")
+    x, y = b.ct_input("x"), b.ct_input("y")
+    a1 = b.add(x, y)
+    a2 = b.add(y, x)
+    program = b.build(b.mul(a1, a2))
+    optimized, changed, _ = run_pass(
+        CommonSubexpressionElimination(), program
+    )
+    assert changed and optimized.instruction_count() == 2
+
+
+def test_cse_does_not_merge_subtractions_across_operand_order():
+    b = ProgramBuilder(8, name="anticomm")
+    x, y = b.ct_input("x"), b.ct_input("y")
+    s1 = b.sub(x, y)
+    s2 = b.sub(y, x)
+    program = b.build(b.mul(s1, s2))
+    optimized, changed, _ = run_pass(
+        CommonSubexpressionElimination(), program
+    )
+    assert not changed
+    assert optimized.instruction_count() == 3
+
+
+# ---------------------------------------------------------------------------
+# DCE
+# ---------------------------------------------------------------------------
+
+
+def test_dce_removes_dead_chains_and_declarations():
+    b = ProgramBuilder(8, name="dead")
+    x = b.ct_input("x")
+    b.pt_input("unused_pt")
+    b.constant("unused_const", 7)
+    live = b.add(x, b.rotate(x, 1))
+    dead = b.mul(live, live)  # never consumed
+    b.rotate(dead, 3)  # chain off the dead multiply
+    program = b.build(live)
+    optimized, changed, ctx = run_pass(DeadCodeElimination(), program)
+    assert changed
+    assert optimized.instruction_count() == 2
+    assert optimized.pt_inputs == []
+    assert optimized.constants == {}
+    assert ctx.details["dce"]["removed"] == 2
+    assert np.array_equal(interpret(program), interpret(optimized))
+
+
+# ---------------------------------------------------------------------------
+# Rotation composition / hoisting
+# ---------------------------------------------------------------------------
+
+
+def test_rotation_composition_folds_same_sign_chains():
+    b = ProgramBuilder(16, name="chain")
+    x = b.ct_input("x")
+    r1 = b.rotate(x, 2)
+    r2 = b.rotate(r1, 3)
+    program = b.build(b.add(x, r2))
+    optimized, changed, _ = run_pass(RotationComposition(), program)
+    assert changed
+    # after DCE the inner rotation is gone; composition rewrote the outer
+    final = optimize_program(program)
+    assert final.rotation_count() == 1
+    assert final.rotation_amounts() == (5,)
+    assert np.array_equal(interpret(program), interpret(final))
+
+
+def test_rotation_composition_skips_mixed_signs():
+    b = ProgramBuilder(4, name="mixed")
+    x = b.ct_input("x")
+    r1 = b.rotate(x, 1)
+    r2 = b.rotate(r1, -1)  # NOT the identity under zero-fill shifts
+    program = b.build(b.add(x, r2))
+    _, changed, _ = run_pass(RotationComposition(), program)
+    assert not changed
+    expected = interpret(program)
+    assert np.array_equal(interpret(optimize_program(program)), expected)
+
+
+def test_rotation_composition_skips_overflowing_amounts():
+    b = ProgramBuilder(4, name="overflow")
+    x = b.ct_input("x")
+    r2 = b.rotate(b.rotate(x, 3), 2)  # 5 >= vector size
+    program = b.build(b.add(x, r2))
+    _, changed, _ = run_pass(RotationComposition(), program)
+    assert not changed
+
+
+def test_rotation_hoisting_merges_equal_shifts():
+    b = ProgramBuilder(8, name="hoist")
+    x, y = b.ct_input("x"), b.ct_input("y")
+    program = b.build(b.add(b.rotate(x, 2), b.rotate(y, 2)))
+    optimized = optimize_program(program)
+    assert optimized.rotation_count() == 1
+    assert optimized.instruction_count() == 2
+    assert np.array_equal(interpret(program), interpret(optimized))
+
+
+def test_rotation_hoisting_covers_sub_and_mul():
+    for op in ("sub", "mul"):
+        b = ProgramBuilder(8, name=f"hoist-{op}")
+        x, y = b.ct_input("x"), b.ct_input("y")
+        combined = getattr(b, op)(b.rotate(x, -3), b.rotate(y, -3))
+        program = b.build(combined)
+        optimized = optimize_program(program)
+        assert optimized.rotation_count() == 1
+        assert np.array_equal(interpret(program), interpret(optimized))
+
+
+def test_rotation_hoisting_skips_multiplies_in_explicit_programs():
+    """Re-optimizing an explicit-relin program must not rotate a 3-part
+    product (regression: hoisting a mul under the rotation crashed
+    validation because lazy-relin no-ops on already-explicit graphs)."""
+    b = ProgramBuilder(8, name="explicit-hoist", relin_mode="explicit")
+    x, y = b.ct_input("x"), b.ct_input("y")
+    program = b.build(b.relin(b.mul(b.rotate(x, 1), b.rotate(y, 1))))
+    optimized = optimize_program(program)  # must not raise
+    assert np.array_equal(interpret(program), interpret(optimized))
+
+
+def test_rotation_hoisting_leaves_shared_rotations_alone():
+    b = ProgramBuilder(8, name="shared")
+    x, y = b.ct_input("x"), b.ct_input("y")
+    rx = b.rotate(x, 2)
+    ry = b.rotate(y, 2)
+    both = b.add(rx, ry)
+    program = b.build(b.add(both, rx))  # rx has two consumers
+    _, changed, _ = run_pass(RotationHoisting(), program)
+    assert not changed
+
+
+# ---------------------------------------------------------------------------
+# Lazy relinearization
+# ---------------------------------------------------------------------------
+
+
+def test_lazy_relin_defers_until_output():
+    b = ProgramBuilder(8, name="sum-of-squares")
+    x, y = b.ct_input("x"), b.ct_input("y")
+    program = b.build(b.add(b.mul(x, x), b.mul(y, y)))
+    optimized, changed, ctx = run_pass(LazyRelinearization(), program)
+    assert changed
+    assert optimized.is_explicit_relin
+    assert optimized.relin_count() == 1  # two products, one fold
+    assert ctx.details["lazy-relin"] == {
+        "relins_before": 2,
+        "relins_after": 1,
+    }
+    parts = wire_part_counts(optimized)
+    assert parts.count(3) == 3  # both muls and their sum stay wide
+    assert np.array_equal(interpret(program), interpret(optimized))
+
+
+def test_lazy_relin_forces_fold_before_rotation_and_multiply():
+    b = ProgramBuilder(8, name="forced")
+    x = b.ct_input("x")
+    sq = b.mul(x, x)
+    rot = b.rotate(sq, 1)
+    program = b.build(b.mul(sq, rot))
+    optimized, _, _ = run_pass(LazyRelinearization(), program)
+    # sq feeds a rotation and a ct-ct multiply: exactly one shared relin,
+    # plus the final product must fold before leaving the program
+    assert optimized.relin_count() == 2
+    ops = [i.opcode for i in optimized.instructions]
+    assert ops.index(Opcode.RELIN) < ops.index(Opcode.ROTATE)
+
+
+def test_lazy_relin_equalizes_mixed_width_additions():
+    b = ProgramBuilder(8, name="mixed-add")
+    x, y = b.ct_input("x"), b.ct_input("y")
+    program = b.build(b.add(b.mul(x, x), y))  # 3-part + fresh 2-part
+    optimized, _, _ = run_pass(LazyRelinearization(), program)
+    parts = wire_part_counts(optimized)
+    assert 3 not in (parts[i] for i in range(len(parts)) if i)  # add is 2-part
+    assert optimized.relin_count() == 1
+
+
+def test_lazy_relin_keeps_plaintext_ops_wide():
+    b = ProgramBuilder(8, name="wide-pt")
+    x = b.ct_input("x")
+    k = b.constant("k", 3)
+    scaled = b.mul(b.mul(x, x), k)  # plain multiply of a 3-part product
+    program = b.build(scaled)
+    optimized, _, _ = run_pass(LazyRelinearization(), program)
+    assert optimized.relin_count() == 1  # only the output fold
+    ops = [i.opcode for i in optimized.instructions]
+    assert ops == [Opcode.MUL_CC, Opcode.MUL_CP, Opcode.RELIN]
+
+
+def test_lazy_relin_skips_explicit_programs():
+    b = ProgramBuilder(8, name="noop", relin_mode="explicit")
+    x = b.ct_input("x")
+    program = b.build(b.relin(b.mul(x, x)))
+    graph = GraphProgram.from_program(program)
+    assert LazyRelinearization().run(graph, RewriteContext()) is False
+
+
+# ---------------------------------------------------------------------------
+# Galois key minimization
+# ---------------------------------------------------------------------------
+
+
+def test_galois_analysis_records_key_set():
+    program = baseline_for("box_blur")
+    _, changed, ctx = run_pass(GaloisKeyMinimization(), program)
+    assert not changed  # analysis only by default
+    detail = ctx.details["galois-keys"]
+    assert detail["keys_before"] == detail["keys_after"] == 3
+    assert detail["amounts"] == [1, 5, 6]
+
+
+def test_galois_minimization_shares_inner_rotations():
+    """Decomposing reuses an existing (or just-created) inner rotation
+    instead of duplicating it per rewritten use."""
+    b = ProgramBuilder(16, name="shared-keys")
+    x = b.ct_input("x")
+    total = b.add(b.rotate(x, 1), b.rotate(x, 2))
+    total = b.add(total, b.rotate(x, 3))
+    total = b.add(total, b._emit(Opcode.ROTATE, (x,), 3))  # second rot 3
+    program = b.build(total)
+    assert program.rotation_count() == 4
+    graph = GraphProgram.from_program(program)
+    ctx = RewriteContext(options={"max_galois_keys": 2})
+    assert GaloisKeyMinimization().run(graph, ctx) is True
+    optimized = graph.to_program()
+    # 3 = 1 + 2: both rot-3 uses reuse the existing rot-1/rot-2 node as
+    # their inner stage instead of emitting fresh duplicates
+    assert set(optimized.rotation_amounts()) == {1, 2}
+    assert optimized.rotation_count() == 4  # rot1, rot2, two outer rots
+    assert np.array_equal(interpret(program), interpret(optimized))
+
+
+def test_galois_minimization_decomposes_to_budget():
+    b = ProgramBuilder(16, name="keys")
+    x = b.ct_input("x")
+    total = b.add(b.rotate(x, 1), b.rotate(x, 2))
+    total = b.add(total, b.rotate(x, 3))  # 3 = 1 + 2 is decomposable
+    program = b.build(total)
+    graph = GraphProgram.from_program(program)
+    ctx = RewriteContext(options={"max_galois_keys": 2})
+    assert GaloisKeyMinimization().run(graph, ctx) is True
+    optimized = graph.to_program()
+    assert optimized.galois_key_count() == 2
+    assert set(optimized.rotation_amounts()) == {1, 2}
+    assert np.array_equal(interpret(program), interpret(optimized))
+
+
+# ---------------------------------------------------------------------------
+# The manager
+# ---------------------------------------------------------------------------
+
+
+def test_manager_reverifies_each_pass_against_spec():
+    spec = get_spec("sobel")
+    program = baseline_for("sobel")
+    result = default_pass_manager().run(program, spec=spec)
+    assert result.verified
+    assert result.program.relin_count() < program.relin_count()
+    assert result.after["executable_ops"] < result.before["executable_ops"]
+    names = [r.name for r in result.reports]
+    assert names[0] == "cse" and "lazy-relin" in names
+    assert any(r.verify_seconds > 0 for r in result.reports if r.changed)
+
+
+def test_manager_raises_on_a_broken_rewrite():
+    class BreakIt:
+        name = "break-it"
+
+        def run(self, graph, ctx):
+            # maul the program: retarget the output to a rotation of it
+            out = graph.outputs[0]
+            graph.outputs = [graph.add_node(Opcode.ROTATE, (out,), 1)]
+            return True
+
+    spec = get_spec("box_blur")
+    program = baseline_for("box_blur")
+    manager = PassManager(passes=[BreakIt()])
+    with pytest.raises(RewriteVerificationError, match="break-it"):
+        manager.run(program, spec=spec)
+
+
+def test_dead_hoistable_subtree_does_not_crash_dce():
+    """Hoisting rewrites a dead consumer in place; DCE must still work.
+
+    Regression: the hoisted inner node has a higher id than its dead
+    consumer, so removal has to run in reverse topological order, not
+    reverse insertion order.
+    """
+    b = ProgramBuilder(8, name="dead-hoist")
+    x, y = b.ct_input("x"), b.ct_input("y")
+    b.sub(b.rotate(x, 1), b.rotate(y, 1))  # dead, hoistable
+    program = b.build(b.add(x, y))
+    optimized = optimize_program(program, spec=None)
+    assert optimized.instruction_count() == 1
+    assert np.array_equal(interpret(program), interpret(optimized))
+
+
+def test_manager_verifies_extra_outputs_against_pre_pass_values():
+    class CorruptExtra:
+        name = "corrupt-extra"
+
+        def run(self, graph, ctx):
+            # silently rotate the extra output: primary is untouched, so
+            # only the extra-output check can catch this
+            extra = graph.outputs[1]
+            graph.outputs[1] = graph.add_node(Opcode.ROTATE, (extra,), 1)
+            return True
+
+    from dataclasses import replace
+
+    from repro.quill.ir import Wire
+
+    # baselines are @cache-shared: copy before adding an output
+    blur = replace(baseline_for("box_blur"), extra_outputs=[Wire(0)])
+    manager = PassManager(passes=[CorruptExtra()])
+    with pytest.raises(RewriteVerificationError, match="no longer matches"):
+        manager.run(blur, spec=get_spec("box_blur"))
+
+
+def test_default_suite_preserves_extra_outputs():
+    from dataclasses import replace
+
+    from repro.quill.ir import Wire
+
+    blur = replace(baseline_for("box_blur"), extra_outputs=[Wire(0)])
+    result = default_pass_manager().run(blur, spec=get_spec("box_blur"))
+    assert len(result.program.outputs) == 2
+    # the first rotation is an extra output, so hoisting must keep it
+    rng = np.random.default_rng(0)
+    env = {"img": rng.integers(-5, 6, blur.vector_size)}
+    before = evaluate(blur, env, all_wires=True)
+    after_program = result.program
+    after = evaluate(after_program, env, all_wires=True)
+    assert np.array_equal(
+        before[blur.extra_outputs[0].index],
+        after[after_program.extra_outputs[0].index],
+    )
+
+
+def test_manager_summary_is_json_shaped():
+    import json
+
+    program = baseline_for("harris")
+    result = default_pass_manager().run(program, spec=get_spec("harris"))
+    payload = json.loads(json.dumps(result.summary()))
+    assert payload["verified"] is True
+    assert payload["after"]["relins"] < payload["before"]["relins"]
+    assert {p["name"] for p in payload["passes"]} >= {
+        "cse",
+        "dce",
+        "lazy-relin",
+        "galois-keys",
+    }

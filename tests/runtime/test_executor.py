@@ -76,6 +76,48 @@ def test_sanity_check(dot_executor):
     assert report.matches_reference
 
 
+def test_multi_output_program_decrypts_extras(dot_executor):
+    from dataclasses import replace
+
+    from repro.quill.interpreter import evaluate
+    from repro.quill.ir import Wire
+
+    spec = dot_product_spec()
+    # baselines are @cache-shared: copy before adding an output
+    program = replace(
+        baseline_for("dot_product"), extra_outputs=[Wire(0)]
+    )  # the x*w product vector
+    rng = np.random.default_rng(9)
+    logical = _logical(spec, rng)
+    report = dot_executor.run(program, logical)
+    assert report.matches_reference
+    assert len(report.extra_model_outputs) == 1
+    ct_env, pt_env = spec.packed_env(logical)
+    wires = evaluate(program, ct_env, pt_env, all_wires=True)
+    assert np.array_equal(report.extra_model_outputs[0], wires[0])
+
+
+def test_explicit_relin_tape_matches_eager(dot_executor):
+    """The same kernel, eager vs lazily-relinearized, decrypts identically."""
+    from repro.quill.rewrite import optimize_program
+
+    spec = get_spec("roberts")
+    program = baseline_for("roberts")
+    explicit = optimize_program(program, spec=spec)
+    assert explicit.is_explicit_relin
+    assert explicit.relin_count() < program.relin_count()
+    rng = np.random.default_rng(2)
+    logical = {"img": rng.integers(0, 8, (4, 4))}
+    # roberts' product exhausts the toy budget: use the spec's preset
+    eager_report = HEExecutor(spec, seed=8).run(program, logical)
+    lazy_report = HEExecutor(spec, seed=8).run(explicit, logical)
+    assert eager_report.matches_reference and lazy_report.matches_reference
+    assert np.array_equal(
+        eager_report.model_output, lazy_report.model_output
+    )
+    assert "relin" in lazy_report.instruction_seconds
+
+
 # ---------------------------------------------------------------------------
 # Displacement safety
 # ---------------------------------------------------------------------------

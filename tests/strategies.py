@@ -25,8 +25,13 @@ def quill_programs(
     max_instructions: int = 6,
     vector_size: int = 8,
     allow_plain: bool = True,
+    multi_output: bool = False,
 ):
-    """Generate a random, valid, straight-line Quill program."""
+    """Generate a random, valid, straight-line Quill program.
+
+    ``multi_output=True`` additionally exposes a random subset of wires
+    as extra outputs.
+    """
     ct_count = draw(st.integers(1, 2))
     ct_names = [f"x{i}" for i in range(ct_count)]
     pt_names: list[str] = []
@@ -91,7 +96,32 @@ def quill_programs(
             )
             program.instructions.append(Instruction(opcode, operands))
     program.output = Wire(count - 1)
+    if multi_output and count > 1:
+        extras = draw(
+            st.lists(
+                st.integers(0, count - 1), max_size=2, unique=True
+            )
+        )
+        program.extra_outputs = [Wire(i) for i in extras]
     return program
+
+
+@st.composite
+def explicit_relin_programs(draw, **kwargs):
+    """A random program converted to explicit (lazy) relin placement.
+
+    Running the lazy-relin pass is the one way to produce *valid*
+    explicit programs (random ``RELIN`` insertion would violate the
+    part-count discipline), so this is the generator for everything
+    that must round-trip or execute explicit-mode constructs.
+    """
+    from repro.quill.graph import GraphProgram
+    from repro.quill.rewrite import LazyRelinearization, RewriteContext
+
+    program = draw(quill_programs(**kwargs))
+    graph = GraphProgram.from_program(program)
+    LazyRelinearization().run(graph, RewriteContext())
+    return graph.to_program()
 
 
 def random_env(program: Program, rng: np.random.Generator, lo=-9, hi=10):
