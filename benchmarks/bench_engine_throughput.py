@@ -1,20 +1,30 @@
 """Synthesis-engine throughput benchmark: the perf trajectory tracker.
 
-Measures the search engine's enumeration rate (nodes/sec) per kernel,
-batched vs the pre-batching scalar path (``SearchOptions(batched=False)``),
-plus end-to-end synthesis wall times, and records everything into
-``BENCH_synthesis.json`` at the repository root.  Run it after touching
-anything on the synthesis hot path::
+Measures, per kernel, and records everything into ``BENCH_synthesis.json``
+at the repository root:
+
+* the search engine's enumeration rate (nodes/sec), batched vs the
+  pre-batching scalar path (``SearchOptions(batched=False)``);
+* the **per-rule pruning ablation**: exhaustive-search node counts with
+  each pruning rule individually disabled, and with all of them off,
+  attributing the searched-space reduction rule by rule;
+* end-to-end synthesis node counts and wall times, **pruned vs
+  unpruned** (byte-identical programs, the soundness receipt) and
+  **incremental vs from-scratch** CEGIS on seeds with real
+  counterexample rounds.
+
+Run it after touching anything on the synthesis hot path::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py          # full
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick  # CI
 
-``--check-floor`` compares the batched nodes/sec against the checked-in
-baselines in ``benchmarks/throughput_floor.json`` and exits nonzero when
-any kernel regresses more than 5x below its floor — a loose tripwire
-that survives noisy CI machines but catches algorithmic regressions.
-Refresh the floor file with ``--update-floor`` after an intentional
-change on a quiet machine.
+``--check-floor`` compares this run against ``benchmarks/
+throughput_floor.json``: batched nodes/sec must stay within 5x of the
+checked-in floor (a loose tripwire that survives noisy CI machines), and
+searched-node counts must not exceed their exact ceilings — node counts
+are deterministic, so a pruning regression fails CI deterministically
+instead of via flaky timing.  Refresh with ``--update-floor`` after an
+intentional change.
 
 The scalar ablation runs under a per-kernel time cap (nodes/sec is
 meaningful on a partial run; full-space equivalence is covered by
@@ -41,7 +51,12 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.cegis import SynthesisConfig, synthesize  # noqa: E402
 from repro.core.sketches import default_sketch_for  # noqa: E402
 from repro.quill.latency import default_latency_model  # noqa: E402
-from repro.solver.engine import SearchOptions, SketchSearch  # noqa: E402
+from repro.quill.printer import format_program  # noqa: E402
+from repro.solver.engine import (  # noqa: E402
+    PRUNE_RULES,
+    SearchOptions,
+    SketchSearch,
+)
 from repro.spec import get_spec  # noqa: E402
 
 MODEL = default_latency_model()
@@ -70,13 +85,23 @@ ENGINE_CASES = (
     EngineCase("gx", 3),
 )
 
-# end-to-end synthesis (phase 1 + phase 2) wall-time tracking
+# end-to-end synthesis (phase 1 + phase 2) tracking; the pruned-vs-unpruned
+# comparison also runs on the quick subset (byte-identity is the receipt
+# that every pruning rule is sound)
 SYNTH_CASES = {
     "quick": ("box_blur", "dot_product"),
     "full": ("box_blur", "dot_product", "hamming", "linear_regression"),
 }
 
+# (kernel, seed) pairs whose phase 1 goes through counterexample rounds,
+# exercising cross-round frontier reuse (column appends + rank resume)
+INCREMENTAL_CASES = {
+    "quick": (("dot_product", 5), ("linear_regression", 0)),
+    "full": (("dot_product", 5), ("linear_regression", 0), ("hamming", 1)),
+}
+
 SCALAR_CAP_SECONDS = 15.0
+ABLATION_CAP_SECONDS = 30.0
 
 
 def _outcome_payload(outcome, seconds: float) -> dict:
@@ -91,11 +116,21 @@ def _outcome_payload(outcome, seconds: float) -> dict:
     }
 
 
-def run_engine_case(case: EngineCase, scalar_cap: float) -> dict:
+def _exhaust(case: EngineCase, options: SearchOptions, cap: float | None):
     spec = get_spec(case.kernel)
     sketch = default_sketch_for(spec)
     rng = np.random.default_rng(case.seed)
     example_set = [spec.make_example(rng) for _ in range(case.examples)]
+    search = SketchSearch(
+        sketch, spec.layout, example_set, MODEL, case.length, options=options
+    )
+    deadline = time.perf_counter() + cap if cap else None
+    started = time.perf_counter()
+    outcome = search.run(lambda a: (False, None), deadline=deadline)
+    return outcome, time.perf_counter() - started
+
+
+def run_engine_case(case: EngineCase, scalar_cap: float) -> dict:
     payload: dict = {
         "kernel": case.kernel,
         "length": case.length,
@@ -105,16 +140,8 @@ def run_engine_case(case: EngineCase, scalar_cap: float) -> dict:
         ("batched", SearchOptions(), None),
         ("scalar", SearchOptions(batched=False), scalar_cap),
     ):
-        search = SketchSearch(
-            sketch, spec.layout, example_set, MODEL, case.length,
-            options=options,
-        )
-        deadline = time.monotonic() + cap if cap else None
-        started = time.perf_counter()
-        outcome = search.run(lambda a: (False, None), deadline=deadline)
-        payload[label] = _outcome_payload(
-            outcome, time.perf_counter() - started
-        )
+        outcome, seconds = _exhaust(case, options, cap)
+        payload[label] = _outcome_payload(outcome, seconds)
     batched_nps = payload["batched"]["nodes_per_sec"]
     scalar_nps = payload["scalar"]["nodes_per_sec"]
     payload["speedup"] = (
@@ -123,47 +150,196 @@ def run_engine_case(case: EngineCase, scalar_cap: float) -> dict:
     return payload
 
 
-def run_synth_case(kernel: str) -> dict:
-    spec = get_spec(kernel)
-    sketch = default_sketch_for(spec)
-    config = SynthesisConfig(optimize_timeout=30.0)
-    started = time.perf_counter()
-    result = synthesize(spec, sketch, config)
-    wall = time.perf_counter() - started
-    payload = {
-        "wall_seconds": round(wall, 4),
-        "initial_seconds": round(result.initial_time, 4),
-        "components": result.components,
-        "instructions": result.program.instruction_count(),
-        "examples": result.examples_used,
-        "final_cost": result.final_cost,
-        "proof_complete": result.proof_complete,
-        "nodes": result.nodes,
+def run_ablation_case(case: EngineCase, cap: float) -> dict:
+    """Exhaustion node counts with each pruning rule disabled in turn."""
+    base_outcome, base_seconds = _exhaust(case, SearchOptions(), cap)
+    payload: dict = {
+        "kernel": case.kernel,
+        "length": case.length,
+        "all_rules": {
+            "nodes": base_outcome.nodes,
+            "status": base_outcome.status,
+            "seconds": round(base_seconds, 4),
+            "pruned": {
+                rule: count
+                for rule, count in base_outcome.pruned.items()
+                if count
+            },
+        },
+        "rules": {},
     }
-    if result.search_stats is not None:
-        payload["engine"] = result.search_stats.summary()
+    for rule in PRUNE_RULES:
+        outcome, seconds = _exhaust(
+            case, SearchOptions().without(rule), cap
+        )
+        complete = outcome.status == "exhausted"
+        payload["rules"][rule] = {
+            "nodes": outcome.nodes,
+            "status": outcome.status,
+            "seconds": round(seconds, 4),
+            # nodes the rule saved (meaningless on a capped partial run)
+            "saved_nodes": (
+                outcome.nodes - base_outcome.nodes if complete else None
+            ),
+        }
+    none_outcome, none_seconds = _exhaust(
+        case, SearchOptions.no_prune(), cap
+    )
+    payload["no_prune"] = {
+        "nodes": none_outcome.nodes,
+        "status": none_outcome.status,
+        "seconds": round(none_seconds, 4),
+        "node_ratio": (
+            round(none_outcome.nodes / base_outcome.nodes, 2)
+            if none_outcome.status == "exhausted" and base_outcome.nodes
+            else None
+        ),
+    }
     return payload
 
 
-def check_floor(engine_results: dict) -> list[str]:
-    """Names of kernels more than 5x below their checked-in floor."""
+def run_synth_case(kernel: str) -> dict:
+    """End-to-end synthesis: default vs unpruned (byte-identity check)."""
+    spec = get_spec(kernel)
+    sketch = default_sketch_for(spec)
+
+    def compile_with(
+        options: SearchOptions | None, workers: int = 1
+    ) -> tuple[dict, str]:
+        config = SynthesisConfig(
+            optimize_timeout=30.0, search_options=options, workers=workers
+        )
+        started = time.perf_counter()
+        result = synthesize(spec, sketch, config)
+        wall = time.perf_counter() - started
+        payload = {
+            "wall_seconds": round(wall, 4),
+            "initial_seconds": round(result.initial_time, 4),
+            "components": result.components,
+            "instructions": result.program.instruction_count(),
+            "examples": result.examples_used,
+            "final_cost": result.final_cost,
+            "proof_complete": result.proof_complete,
+            "nodes": result.nodes,
+        }
+        if result.search_stats is not None:
+            payload["engine"] = result.search_stats.summary()
+        return payload, format_program(result.program)
+
+    pruned, pruned_text = compile_with(None)
+    unpruned, unpruned_text = compile_with(SearchOptions.no_prune())
+    pruned["unpruned"] = {
+        "nodes": unpruned["nodes"],
+        "wall_seconds": unpruned["wall_seconds"],
+        "proof_complete": unpruned["proof_complete"],
+        "node_ratio": (
+            round(unpruned["nodes"] / pruned["nodes"], 2)
+            if pruned["nodes"]
+            else None
+        ),
+        "program_identical": pruned_text == unpruned_text,
+    }
+    parallel, parallel_text = compile_with(None, workers=4)
+    pruned["workers4"] = {
+        "wall_seconds": parallel["wall_seconds"],
+        "steals": parallel.get("engine", {}).get("steals", 0),
+        "chunks": parallel.get("engine", {}).get("chunks", 0),
+        "program_identical": parallel_text == pruned_text,
+    }
+    return pruned
+
+
+def run_incremental_case(kernel: str, seed: int) -> dict:
+    """Multi-round CEGIS: incremental vs from-scratch node counts."""
+    spec = get_spec(kernel)
+    sketch = default_sketch_for(spec)
+
+    def compile_with(incremental: bool) -> tuple[dict, str]:
+        config = SynthesisConfig(
+            seed=seed, optimize_timeout=30.0, incremental=incremental
+        )
+        started = time.perf_counter()
+        result = synthesize(spec, sketch, config)
+        payload = {
+            "wall_seconds": round(time.perf_counter() - started, 4),
+            "nodes": result.nodes,
+            "examples": result.examples_used,
+            "proof_complete": result.proof_complete,
+        }
+        if result.search_stats is not None:
+            stats = result.search_stats
+            payload["reused_values"] = stats.reused_values
+            payload["appended_columns"] = stats.appended_columns
+            payload["ranks_skipped"] = stats.ranks_skipped
+        return payload, format_program(result.program)
+
+    incremental, inc_text = compile_with(True)
+    scratch, scratch_text = compile_with(False)
+    return {
+        "kernel": kernel,
+        "seed": seed,
+        "incremental": incremental,
+        "scratch": {
+            "nodes": scratch["nodes"],
+            "wall_seconds": scratch["wall_seconds"],
+        },
+        "nodes_saved": scratch["nodes"] - incremental["nodes"],
+        "program_identical": inc_text == scratch_text,
+    }
+
+
+def check_floor(engine_results: dict, synthesis_results: dict) -> list[str]:
+    """Violations of the checked-in floors and exact node ceilings."""
     if not FLOOR_FILE.exists():
         print(f"floor file {FLOOR_FILE} missing; nothing to check")
         return []
     floors = json.loads(FLOOR_FILE.read_text())
     failures = []
-    for key, floor in floors.items():
-        measured = engine_results.get(key, {}).get("batched", {}).get(
-            "nodes_per_sec"
-        )
-        if measured is None:
+    for key, floor in floors.get("engine", {}).items():
+        measured = engine_results.get(key, {}).get("batched", {})
+        if not measured:
             continue  # floor entry for a case this run did not measure
-        if measured < floor / 5.0:
+        nps = measured.get("nodes_per_sec")
+        if nps is not None and nps < floor["nodes_per_sec"] / 5.0:
             failures.append(
-                f"{key}: {measured:,.0f} nodes/s is >5x below the "
-                f"checked-in floor of {floor:,.0f}"
+                f"{key}: {nps:,.0f} nodes/s is >5x below the checked-in "
+                f"floor of {floor['nodes_per_sec']:,.0f}"
+            )
+        nodes = measured.get("nodes")
+        if nodes is not None and nodes > floor["max_nodes"]:
+            failures.append(
+                f"{key}: searched {nodes:,} nodes, above the exact ceiling "
+                f"of {floor['max_nodes']:,} — a pruning regression"
+            )
+    for kernel, ceiling in floors.get("synthesis", {}).items():
+        payload = synthesis_results.get(kernel)
+        if payload is None or not payload.get("proof_complete"):
+            continue  # ceilings only bind deterministic (complete) runs
+        if payload["nodes"] > ceiling:
+            failures.append(
+                f"synthesis {kernel}: {payload['nodes']:,} nodes, above the "
+                f"exact ceiling of {ceiling:,} — a pruning/reuse regression"
             )
     return failures
+
+
+def update_floor(engine_results: dict, synthesis_results: dict) -> None:
+    """Merge this run into the floor file (keep unmeasured entries)."""
+    floors = (
+        json.loads(FLOOR_FILE.read_text()) if FLOOR_FILE.exists() else {}
+    )
+    if "engine" not in floors:  # migrate the flat schema-1 layout
+        floors = {"schema": 2, "engine": {}, "synthesis": {}}
+    for key, payload in engine_results.items():
+        floors["engine"][key] = {
+            "nodes_per_sec": payload["batched"]["nodes_per_sec"],
+            "max_nodes": payload["batched"]["nodes"],
+        }
+    for kernel, payload in synthesis_results.items():
+        if payload.get("proof_complete"):
+            floors["synthesis"][kernel] = payload["nodes"]
+    FLOOR_FILE.write_text(json.dumps(floors, indent=2, sort_keys=True) + "\n")
+    print(f"floor refreshed: {FLOOR_FILE}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -173,19 +349,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI subset: fast kernels, short scalar cap")
     parser.add_argument("--check-floor", action="store_true",
-                        help="fail if nodes/sec regresses >5x below the "
-                             "checked-in floor")
+                        help="fail on >5x nodes/sec regressions or any "
+                             "searched-node ceiling violation")
     parser.add_argument("--update-floor", action="store_true",
                         help="rewrite benchmarks/throughput_floor.json from "
                              "this run's measurements")
     parser.add_argument("--no-synthesis", action="store_true",
-                        help="skip the end-to-end synthesis section")
+                        help="skip the end-to-end synthesis sections")
+    parser.add_argument("--no-ablation", action="store_true",
+                        help="skip the per-rule pruning ablation")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"result file (default {DEFAULT_OUTPUT})")
     args = parser.parse_args(argv)
 
     mode = "quick" if args.quick else "full"
     scalar_cap = 5.0 if args.quick else SCALAR_CAP_SECONDS
+    ablation_cap = 10.0 if args.quick else ABLATION_CAP_SECONDS
     cases = [c for c in ENGINE_CASES if c.quick] if args.quick else ENGINE_CASES
 
     engine_results: dict[str, dict] = {}
@@ -199,21 +378,53 @@ def main(argv: list[str] | None = None) -> int:
             f"  speedup {payload['speedup']}x"
         )
 
+    ablation_results: dict[str, dict] = {}
+    if not args.no_ablation:
+        for case in cases:
+            print(f"ablation {case.key} ...", flush=True)
+            payload = run_ablation_case(case, ablation_cap)
+            ablation_results[case.key] = payload
+            ratio = payload["no_prune"]["node_ratio"]
+            print(
+                f"  {payload['all_rules']['nodes']:,} nodes with all rules, "
+                f"{payload['no_prune']['nodes']:,} with none "
+                f"({ratio}x)" if ratio else "  (capped)"
+            )
+
     synthesis_results: dict[str, dict] = {}
+    incremental_results: dict[str, dict] = {}
     if not args.no_synthesis:
         for kernel in SYNTH_CASES[mode]:
             print(f"synthesize {kernel} ...", flush=True)
-            synthesis_results[kernel] = run_synth_case(kernel)
+            payload = run_synth_case(kernel)
+            synthesis_results[kernel] = payload
+            unpruned = payload["unpruned"]
             print(
-                f"  {synthesis_results[kernel]['wall_seconds']}s, "
-                f"{synthesis_results[kernel]['nodes']} nodes"
+                f"  {payload['wall_seconds']}s, {payload['nodes']:,} nodes "
+                f"(unpruned {unpruned['nodes']:,}, "
+                f"{unpruned['node_ratio']}x, identical="
+                f"{unpruned['program_identical']}; workers=4 identical="
+                f"{payload['workers4']['program_identical']}, "
+                f"{payload['workers4']['steals']} steals)"
+            )
+        for kernel, seed in INCREMENTAL_CASES[mode]:
+            print(f"incremental {kernel} seed={seed} ...", flush=True)
+            payload = run_incremental_case(kernel, seed)
+            incremental_results[f"{kernel}@s{seed}"] = payload
+            print(
+                f"  {payload['incremental']['nodes']:,} nodes incremental vs "
+                f"{payload['scratch']['nodes']:,} from scratch "
+                f"({payload['nodes_saved']:,} saved, identical="
+                f"{payload['program_identical']})"
             )
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "mode": mode,
         "engine": engine_results,
+        "ablation": ablation_results,
         "synthesis": synthesis_results,
+        "incremental": incremental_results,
         "metrics": {
             **{
                 f"{key}.nodes_per_sec": payload["batched"]["nodes_per_sec"]
@@ -224,8 +435,21 @@ def main(argv: list[str] | None = None) -> int:
                 for key, payload in engine_results.items()
             },
             **{
+                f"{key}.prune_ratio": payload["no_prune"]["node_ratio"]
+                for key, payload in ablation_results.items()
+                if payload["no_prune"]["node_ratio"] is not None
+            },
+            **{
                 f"{kernel}.wall_seconds": payload["wall_seconds"]
                 for kernel, payload in synthesis_results.items()
+            },
+            **{
+                f"{kernel}.synth_prune_ratio": payload["unpruned"]["node_ratio"]
+                for kernel, payload in synthesis_results.items()
+            },
+            **{
+                f"{key}.nodes_saved": payload["nodes_saved"]
+                for key, payload in incremental_results.items()
             },
         },
     }
@@ -233,20 +457,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"written to {args.output}")
 
     if args.update_floor:
-        # merge into the existing floors: a --quick refresh must not drop
-        # the full-run-only kernels from the tripwire
-        floors = (
-            json.loads(FLOOR_FILE.read_text()) if FLOOR_FILE.exists() else {}
-        )
-        floors.update(
-            (key, payload["batched"]["nodes_per_sec"])
-            for key, payload in engine_results.items()
-        )
-        FLOOR_FILE.write_text(json.dumps(floors, indent=2, sort_keys=True) + "\n")
-        print(f"floor refreshed: {FLOOR_FILE}")
+        update_floor(engine_results, synthesis_results)
 
     if args.check_floor:
-        failures = check_floor(engine_results)
+        failures = check_floor(engine_results, synthesis_results)
         for failure in failures:
             print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
         if failures:

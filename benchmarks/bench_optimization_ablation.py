@@ -51,8 +51,9 @@ def _exhaust(name, sketch, length, options, examples=2, seed=3):
 CONFIGS = [
     ("all optimizations", SearchOptions()),
     ("no OE dedup", SearchOptions(dedup=False)),
-    ("no symmetry breaking", SearchOptions(symmetry=False)),
+    ("no symmetry breaking", SearchOptions().without("commutative", "adjacent")),
     ("no dead-value bound", SearchOptions(dead_value=False)),
+    ("no pruning at all", SearchOptions.no_prune()),
     ("scalar evaluation", SearchOptions(batched=False)),
 ]
 

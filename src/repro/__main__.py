@@ -15,7 +15,10 @@ cache hit/miss).  All compilation goes through the
 :class:`repro.api.Porcupine` session; ``--cache-dir`` persists compiled
 kernels across invocations; ``--dump-ir`` prints the Quill IR after
 each program-changing optimizer pass and ``--timings`` includes the optimizer's
-op-count deltas and the displacement check.
+op-count deltas and the displacement check.  ``--no-prune`` /
+``--prune-rules=a,b,...`` thread pruning-rule ablations to the search
+engine (programs are identical either way; only the searched-node count
+changes).
 """
 
 from __future__ import annotations
@@ -35,6 +38,15 @@ def _session(args):
         defaults["optimize_timeout"] = args.opt_timeout
     if getattr(args, "no_optimize", False):
         defaults["optimize"] = False
+    if getattr(args, "no_prune", False) or getattr(args, "prune_rules", None):
+        from repro.solver import SearchOptions
+
+        if getattr(args, "no_prune", False):
+            defaults["search_options"] = SearchOptions.no_prune()
+        else:
+            defaults["search_options"] = SearchOptions.from_rules(
+                args.prune_rules
+            )
     return Porcupine(
         cache_dir=getattr(args, "cache_dir", None),
         seed=getattr(args, "seed", None),
@@ -248,6 +260,16 @@ def main(argv: list[str] | None = None) -> int:
         cmd.add_argument("--workers", type=int, default=None, metavar="N",
                          help="parallel search processes (results are "
                               "bit-identical to --workers 1)")
+        cmd.add_argument("--no-prune", action="store_true",
+                         help="disable every search pruning rule (the "
+                              "ablation baseline; identical programs, "
+                              "much larger search)")
+        cmd.add_argument("--prune-rules", metavar="RULES",
+                         help="enable exactly this comma-separated subset "
+                              "of pruning rules for ablation runs; "
+                              "available: dedup, commutative, adjacent, "
+                              "dead_value, rotation_collapse, zero_elide, "
+                              "cost_bound")
         cmd.add_argument("--json", action="store_true",
                          help="machine-readable output")
         cmd.add_argument("--cache-dir", metavar="DIR",
@@ -280,6 +302,15 @@ def main(argv: list[str] | None = None) -> int:
     profile.add_argument("--repeats", type=int, default=3)
 
     args = parser.parse_args(argv)
+    if getattr(args, "no_prune", False) and getattr(args, "prune_rules", None):
+        parser.error("--no-prune and --prune-rules are mutually exclusive")
+    if getattr(args, "prune_rules", None):
+        from repro.solver import SearchOptions
+
+        try:
+            SearchOptions.from_rules(args.prune_rules)
+        except ValueError as error:
+            parser.error(str(error))
     handlers = {
         "list": _cmd_list,
         "compile": _cmd_compile,

@@ -19,6 +19,7 @@ import hashlib
 import inspect
 import json
 import threading
+from dataclasses import asdict as dataclass_asdict
 from dataclasses import dataclass, fields
 from functools import cached_property
 from pathlib import Path
@@ -101,16 +102,22 @@ def config_fingerprint(config: SynthesisConfig) -> dict:
     """Canonical content summary of a synthesis configuration."""
     summary = {}
     for f in fields(config):
-        if f.name == "workers":
-            # parallel search is bit-identical to serial search whenever
-            # the search completes, so the worker count must not split
-            # the content-addressed cache.  (When optimize_timeout fires
+        if f.name in ("workers", "incremental"):
+            # parallel search and cross-round frontier reuse are both
+            # bit-identical to a serial from-scratch search whenever the
+            # search completes, so neither may split the
+            # content-addressed cache.  (When optimize_timeout fires
             # mid-search, the cached best-effort program already depends
             # on machine speed — worker count is no different.)
             continue
         value = getattr(config, f.name)
         if f.name == "latency_model":
             value = value.name if value is not None else None
+        elif f.name == "search_options":
+            # pruning toggles are sound (identical programs), but the
+            # ablation flags change which engine ran; keep them in the
+            # key so ablation runs never alias the default entries
+            value = dataclass_asdict(value) if value is not None else None
         summary[f.name] = value
     return summary
 

@@ -121,6 +121,47 @@ class CompiledKernel:
                     f"{profile['dedup_hits']} dedup hits]"
                 )
             lines.append(line)
+            if profile and "nodes" in profile:
+                pruned = {
+                    rule: count
+                    for rule, count in (profile.get("pruned") or {}).items()
+                    if count
+                }
+                if pruned:
+                    lines.append(
+                        "    pruned: "
+                        + ", ".join(
+                            f"{rule}={count}"
+                            for rule, count in pruned.items()
+                        )
+                    )
+                reuse_bits = []
+                if profile.get("reused_values"):
+                    reuse_bits.append(
+                        f"{profile['reused_values']} values carried"
+                    )
+                if profile.get("appended_columns"):
+                    reuse_bits.append(
+                        f"{profile['appended_columns']} example column(s) "
+                        "appended"
+                    )
+                if profile.get("ranks_skipped"):
+                    reuse_bits.append(
+                        f"{profile['ranks_skipped']} root branch(es) skipped"
+                    )
+                if profile.get("shift_cache_peak"):
+                    reuse_bits.append(
+                        f"shift cache peak {profile['shift_cache_peak']}"
+                    )
+                if reuse_bits:
+                    lines.append("    reuse: " + ", ".join(reuse_bits))
+                if profile.get("chunks"):
+                    lines.append(
+                        f"    stealing: {profile['chunks']} chunk(s), "
+                        f"{profile.get('steals', 0)} steal(s), "
+                        f"{profile.get('bound_updates', 0)} mid-round bound "
+                        "update(s)"
+                    )
         rewrite = self.pass_metrics.get("rewrite")
         if rewrite:
             before, after = rewrite.get("before", {}), rewrite.get("after", {})

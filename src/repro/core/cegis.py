@@ -15,12 +15,24 @@ proof, like the paper's re-issued synthesis queries with cost constraints)
 or a timeout fires (the paper times out after 20 minutes of no progress
 and returns the best solution found).
 
+The loop is *incremental* (``SynthesisConfig(incremental=True)``, the
+default): one :class:`~repro.solver.engine.SketchSearch` persists across
+rounds.  A counterexample is appended to the live value store as a single
+evaluated column, a resumed round skips every root branch the failed
+round exhausted without a match (example sets only grow, so a matchless
+branch stays matchless), a length increment seeds the deeper search from
+the exhausted frontier, and phase 2 inherits phase 1's search state
+outright.  Reuse never changes the synthesized program — the resumed
+enumeration visits exactly the candidates a from-scratch enumeration
+would still accept — so ``incremental=False`` exists purely as the
+benchmark baseline.
+
 Both phases run the search either in-process (``workers=1``) or through
-:class:`~repro.core.parallel.ParallelSynthesis` (``workers>1``), which
-partitions the root slot across a process pool.  Counterexamples and the
-best verified cost bound are re-shared with every worker between rounds,
-and the merged candidate stream is replayed in canonical enumeration
-order, so the synthesized program is bit-identical either way.
+:class:`~repro.core.parallel.ParallelSynthesis` (``workers>1``), a
+work-stealing pool with mid-round counterexample-frontier and cost-bound
+broadcast.  The merged candidate stream is replayed in canonical
+enumeration order, so the synthesized program is bit-identical either
+way.
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ from repro.quill.ir import Program
 from repro.quill.latency import LatencyModel, default_latency_model
 from repro.quill.parser import parse_program
 from repro.solver.engine import (
+    SearchOptions,
     SearchStats,
     SketchSearch,
     materialize_assignment,
@@ -61,6 +74,11 @@ class SynthesisConfig:
     optimize: bool = True
     latency_model: LatencyModel | None = None
     workers: int = 1  # search processes; results are identical for any value
+    #: pruning/evaluation toggles threaded to the engine (None = defaults)
+    search_options: SearchOptions | None = None
+    #: cross-round frontier reuse; False re-enumerates every round from
+    #: scratch (the ablation baseline — results are bit-identical)
+    incremental: bool = True
 
 
 @dataclass
@@ -80,6 +98,9 @@ class SynthesisResult:
     nodes: int
     examples: list[Example] = field(repr=False, default_factory=list)
     search_stats: SearchStats | None = field(repr=False, default=None)
+    #: phase 1's live search state, handed to minimize_cost for reuse
+    #: (serial incremental runs only; never serialized)
+    search: SketchSearch | None = field(repr=False, default=None, compare=False)
 
 
 def seed_examples(
@@ -99,37 +120,48 @@ def seed_examples(
 
 
 def synthesize_initial(
-    spec: Spec, sketch: Sketch, config: SynthesisConfig | None = None
+    spec: Spec,
+    sketch: Sketch,
+    config: SynthesisConfig | None = None,
+    *,
+    driver: ParallelSynthesis | None = None,
 ) -> SynthesisResult:
     """Phase 1 of Algorithm 1: the smallest verified completion of the sketch.
 
     Returns a result whose final program *is* the initial program; run
     :func:`minimize_cost` on it for the paper's phase-2 cost search.
+    ``driver`` shares one parallel worker pool across phases (created on
+    demand from ``config.workers`` when omitted).
     """
     config = config or SynthesisConfig()
     model = config.latency_model or default_latency_model(spec.params_name)
+    options = config.search_options or SearchOptions()
     rng = np.random.default_rng(config.seed)
     examples = seed_examples(spec, config, rng)
 
-    start = time.monotonic()
+    start = time.perf_counter()
     deadline = start + config.initial_timeout
     stats = SearchStats()
     initial_program: Program | None = None
     components_used = 0
-    driver = (
-        ParallelSynthesis(config.workers) if config.workers > 1 else None
-    )
+    own_driver = driver is None and config.workers > 1
+    if own_driver:
+        driver = ParallelSynthesis(
+            config.workers, options=options, incremental=config.incremental
+        )
 
     def fail_timeout(length: int) -> SynthesisError:
         return SynthesisError(
             f"{spec.name}: initial synthesis timed out at "
             f"{length} components after "
-            f"{time.monotonic() - start:.1f}s ({stats.nodes} nodes)"
+            f"{time.perf_counter() - start:.1f}s ({stats.nodes} nodes)"
         )
 
+    search: SketchSearch | None = None
     try:
         for length in range(config.min_components, config.max_components + 1):
             found_at_this_length = False
+            resume_rank = 0  # cross-round frontier within this length
             while True:  # counterexample loop at this sketch size
                 if driver is not None:
                     outcome, text = driver.find_first(
@@ -140,6 +172,7 @@ def synthesize_initial(
                         length,
                         deadline=deadline,
                         name=f"{spec.name}_synth",
+                        start_rank=resume_rank,
                     )
                     stats.record(outcome)
                     if text is not None:
@@ -150,6 +183,16 @@ def synthesize_initial(
                             components_used = length
                             found_at_this_length = True
                             break
+                        if (
+                            config.incremental
+                            and length >= 2
+                            and driver.last_match_rank >= 0
+                        ):
+                            # every branch below the failed match is
+                            # exhausted and matchless; adding an example
+                            # can only shrink the match set, so the next
+                            # round resumes at the match branch
+                            resume_rank = driver.last_match_rank
                         examples.append(
                             spec.example_from_witness(
                                 verdict.counterexample, rng
@@ -159,9 +202,13 @@ def synthesize_initial(
                     if outcome.status == "timeout":
                         raise fail_timeout(length)
                     break  # exhausted: no program of this size exists
-                search = SketchSearch(
-                    sketch, spec.layout, examples, model, length
-                )
+                if search is None or not config.incremental:
+                    search = SketchSearch(
+                        sketch, spec.layout, examples, model, length,
+                        options=options,
+                    )
+                elif search.length != length:
+                    search.set_length(length)
                 state: dict = {}
 
                 def on_candidate(assignment):
@@ -178,7 +225,9 @@ def synthesize_initial(
                         state["witness"] = verdict.counterexample
                     return True, None  # stop either way: accept or add example
 
-                outcome = search.run(on_candidate, deadline=deadline)
+                outcome = search.run(
+                    on_candidate, deadline=deadline, start_rank=resume_rank
+                )
                 stats.record(outcome)
                 if "program" in state:
                     initial_program = state["program"]
@@ -186,9 +235,12 @@ def synthesize_initial(
                     found_at_this_length = True
                     break
                 if "witness" in state:
-                    examples.append(
-                        spec.example_from_witness(state["witness"], rng)
-                    )
+                    example = spec.example_from_witness(state["witness"], rng)
+                    examples.append(example)
+                    if config.incremental:
+                        if length >= 2 and search.current_root_rank >= 0:
+                            resume_rank = search.current_root_rank
+                        search.extend_examples([example])
                     continue
                 if outcome.status == "timeout":
                     raise fail_timeout(length)
@@ -196,7 +248,7 @@ def synthesize_initial(
             if found_at_this_length:
                 break
     finally:
-        if driver is not None:
+        if own_driver:
             driver.close()
     if initial_program is None:
         raise SynthesisError(
@@ -204,7 +256,7 @@ def synthesize_initial(
             f"{config.max_components} components"
         )
 
-    initial_time = time.monotonic() - start
+    initial_time = time.perf_counter() - start
     initial_cost = program_cost(initial_program, model)
 
     return SynthesisResult(
@@ -221,6 +273,7 @@ def synthesize_initial(
         nodes=stats.nodes,
         examples=examples,
         search_stats=stats,
+        search=search if config.incremental else None,
     )
 
 
@@ -229,23 +282,34 @@ def minimize_cost(
     sketch: Sketch,
     initial: SynthesisResult,
     config: SynthesisConfig | None = None,
+    *,
+    driver: ParallelSynthesis | None = None,
 ) -> SynthesisResult:
     """Phase 2 of Algorithm 1: branch-and-bound cost minimization.
 
     Keeps searching ``initial``'s sketch size for verified programs with
-    strictly lower cost, reusing its example set, until the space is
+    strictly lower cost, reusing its example set — and, for serial
+    incremental runs, its live search state — until the space is
     exhausted (optimality proof) or ``config.optimize_timeout`` fires.
     """
     config = config or SynthesisConfig()
     model = config.latency_model or default_latency_model(spec.params_name)
-    start = time.monotonic()
+    options = config.search_options or SearchOptions()
+    start = time.perf_counter()
     optimize_deadline = start + config.optimize_timeout
     examples = list(initial.examples)
     best_box = {"program": initial.program, "cost": initial.final_cost}
     stats = SearchStats()
 
     if config.workers > 1 and initial.components > 1:
-        with ParallelSynthesis(config.workers) as driver:
+        own_driver = driver is None
+        if own_driver:
+            driver = ParallelSynthesis(
+                config.workers,
+                options=options,
+                incremental=config.incremental,
+            )
+        try:
             outcome, best_text, best_cost = driver.minimize(
                 sketch,
                 spec.layout,
@@ -259,14 +323,31 @@ def minimize_cost(
                 deadline=optimize_deadline,
                 name=f"{spec.name}_synth",
             )
+        finally:
+            if own_driver:
+                driver.close()
         stats.record(outcome)
         if best_text is not None:
             best_box["program"] = parse_program(best_text)
             best_box["cost"] = best_cost
     else:
-        search = SketchSearch(
-            sketch, spec.layout, examples, model, initial.components
-        )
+        search = None
+        carried = initial.search
+        if (
+            config.incremental
+            and carried is not None
+            and carried.sketch is sketch
+            and carried.length == initial.components
+            and len(carried.examples) == len(examples)
+            and carried.options == options
+            and carried.latency_model.table == model.table
+        ):
+            search = carried  # phase 1's frontier, store, and caches
+        if search is None:
+            search = SketchSearch(
+                sketch, spec.layout, examples, model, initial.components,
+                options=options,
+            )
 
         def on_better(assignment):
             program = materialize_assignment(
@@ -292,7 +373,7 @@ def minimize_cost(
         components=initial.components,
         examples_used=len(examples),
         initial_time=initial.initial_time,
-        total_time=initial.total_time + (time.monotonic() - start),
+        total_time=initial.total_time + (time.perf_counter() - start),
         initial_cost=initial.initial_cost,
         final_cost=best_box["cost"],
         proof_complete=outcome.status == "exhausted",
@@ -305,9 +386,24 @@ def minimize_cost(
 def synthesize(
     spec: Spec, sketch: Sketch, config: SynthesisConfig | None = None
 ) -> SynthesisResult:
-    """Compile a specification to a verified, optimized Quill kernel."""
+    """Compile a specification to a verified, optimized Quill kernel.
+
+    With ``workers > 1`` one parallel driver (and its forked worker pool)
+    serves both phases.
+    """
     config = config or SynthesisConfig()
-    result = synthesize_initial(spec, sketch, config)
-    if config.optimize:
-        result = minimize_cost(spec, sketch, result, config)
+    driver = None
+    if config.workers > 1:
+        driver = ParallelSynthesis(
+            config.workers,
+            options=config.search_options or SearchOptions(),
+            incremental=config.incremental,
+        )
+    try:
+        result = synthesize_initial(spec, sketch, config, driver=driver)
+        if config.optimize:
+            result = minimize_cost(spec, sketch, result, config, driver=driver)
+    finally:
+        if driver is not None:
+            driver.close()
     return result

@@ -1,23 +1,48 @@
-"""Process-parallel sketch search: stream the root slot across workers.
+"""Work-stealing process-parallel sketch search.
 
 The engine's enumeration tree fans out at the root slot into independent
 ``(component, operand1, rotation1)`` branches ("root ranks", numbered in
 canonical enumeration order by :class:`~repro.solver.engine.SketchSearch`).
-:class:`ParallelSynthesis` submits **one task per rank** to a
-``ProcessPoolExecutor``, keeps at most ``workers`` tasks in flight, and
-consumes results strictly in rank order.  That streaming shape is what
-makes the driver both fast and exact:
+:class:`ParallelSynthesis` groups those ranks into fine-grained
+*contiguous chunks* on a shared queue: each worker loops, atomically
+claiming the next unclaimed chunk — work stealing, so a worker that drew
+a cheap subtree immediately takes more instead of idling behind a
+straggler the way a static partition would.  Three pieces of shared state
+are broadcast *mid-round*, not just between rounds:
 
-* *Phase 1* (:meth:`find_first`) accepts a match the moment every lower
-  rank has completed without one — precisely the candidate a
-  single-process search reaches first — without waiting for higher
-  ranks to exhaust their (possibly enormous) subtrees.
-* *Phase 2* (:meth:`minimize`) re-reads the best *verified* cost bound
-  at every task submission, so a cheap program verified early prunes all
-  later ranks, like serial branch-and-bound.  In-flight tasks run under
-  a slightly stale (looser) bound, which only over-approximates the
-  candidate stream; the parent replays it in canonical order with serial
-  semantics, so the result is bit-identical to ``workers=1``.
+* the **cost bound** (phase 2): the parent re-verifies candidates in
+  canonical order and publishes every tightened verified bound to a
+  shared value that running engines poll each batch
+  (``run(bound_poll=...)``), so a cheap program found in an early rank
+  prunes the subtrees workers are *currently* searching;
+* the **match frontier** (phase 1): the lowest example-matching rank seen
+  so far; workers skip whole chunks above it, since the round's result is
+  decided at or below that rank;
+* the **cancel event**: cooperative abandonment of in-flight subtrees
+  when the round is decided (``Future.cancel()`` cannot stop a running
+  task).
+
+Determinism is preserved exactly as before: the parent consumes chunk
+results strictly in chunk order and replays each chunk's candidate
+stream with serial semantics, so ``workers=N`` stays bit-identical to
+serial.  Mid-round bounds only ever come from parent-verified programs in
+already-replayed (lower) chunks — a worker sees a bound no tighter than
+the one a serial search would hold at the same point, so workers emit a
+superset of the serial candidate stream and the ordered replay filters
+it.  The match frontier can only discard chunks strictly above the
+deciding rank.  Under deadline pressure the driver reports a timeout
+whenever a chunk times out before a decisive lower-rank result (a serial
+search would still be inside that subtree at the deadline), so it never
+returns a *different* program than serial.
+
+Workers also carry the **cross-round frontier**: each worker process
+caches its :class:`SketchSearch` between rounds and, when the next
+round's example list extends the cached one (the CEGIS loop only ever
+appends counterexamples), appends the new example columns to the live
+value store instead of rebuilding and re-evaluating everything
+(``extend_examples`` / ``set_length``).  The parent's ``start_rank``
+drops chunks for root branches already proven matchless in earlier
+rounds.
 
 Workers never tighten bounds on unverified candidates — a cheap
 example-matching program can still fail verification, and pruning on its
@@ -26,22 +51,20 @@ cost could hide the true optimum.  Verification stays in the parent: a
 implementation (often a lambda) and does not cross process boundaries,
 while sketches, layouts, examples, and latency tables are all plain
 picklable data; candidates come back as Quill program text.
-
-Under deadline pressure the driver reports a timeout whenever a rank
-times out before a lower-or-equal-rank match emerged (a serial search
-would still be inside that subtree at the deadline), so it never returns
-a *different* program than serial — at worst it times out where an
-unfinished serial run might have gotten lucky later.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
+import queue as queue_lib
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable
+
+import numpy as np
 
 from repro.quill.cost import program_cost
 from repro.quill.latency import LatencyModel
@@ -55,23 +78,42 @@ from repro.solver.engine import (
 from repro.spec.layout import Layout
 from repro.spec.reference import Example
 
+#: found_rank sentinel: no example match reported yet this round.
+_NO_RANK = 2**62
 
-# Set once per worker process (pool initializer): a shared event the
-# parent raises to abandon in-flight tasks.  Future.cancel() cannot stop
-# a task that already started; without this, a straggler rank would keep
-# exhausting its subtree against a stale example set, clogging pool
-# slots for the next CEGIS round.
-_CANCEL_EVENT = None
+#: target chunks per worker; smaller chunks steal better, larger chunks
+#: amortize the per-chunk root-scan overhead
+_CHUNKS_PER_WORKER = 8
+
+# Worker-process shared state, installed once by the pool initializer:
+# the cancel event, the shared bound/frontier values, the chunk cursor,
+# and the result queue (inherited through process creation, the only way
+# multiprocessing queues cross the boundary).
+_SHARED: dict = {}
+
+# One cached search per driver series, reused across rounds (the CEGIS
+# cross-round frontier, worker side).
+_SEARCH_CACHE: dict = {}
 
 
-def _init_worker(cancel_event) -> None:
-    global _CANCEL_EVENT
-    _CANCEL_EVENT = cancel_event
+def _init_worker(cancel, bound, found_rank, chunk_next, results) -> None:
+    _SHARED.update(
+        cancel=cancel,
+        bound=bound,
+        found_rank=found_rank,
+        chunk_next=chunk_next,
+        results=results,
+    )
 
 
 @dataclass(frozen=True)
 class ShardTask:
-    """Everything one worker needs to search a slice of the root slot."""
+    """One in-process search over a slice of the root slot.
+
+    Retained for the driver's serial fallback (tiny rank universes,
+    ``workers=1``) and as the minimal engine-driving harness in tests;
+    pool workers run :class:`ChunkTask` rounds instead.
+    """
 
     sketch: object
     layout: Layout
@@ -82,12 +124,33 @@ class ShardTask:
     ranks: tuple[int, ...] | None  # None = the whole root slot
     mode: str  # "first" | "collect"
     cost_bound: float
-    deadline: float | None  # absolute time.monotonic() deadline
+    deadline: float | None  # absolute time.perf_counter() deadline
     name: str
+    start_rank: int = 0  # cross-round frontier: skip ranks below this
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One worker's view of a whole work-stealing round."""
+
+    sketch: object
+    layout: Layout
+    examples: tuple[Example, ...]
+    model: LatencyModel
+    length: int
+    options: SearchOptions
+    mode: str  # "first" | "collect"
+    cost_bound: float
+    deadline: float | None
+    name: str
+    chunks: tuple[tuple[int, int], ...]  # contiguous [lo, hi) rank ranges
+    generation: int  # round id, echoed on every message
+    series: int  # worker-side search-cache key (sketch identity)
+    incremental: bool  # cross-round worker search reuse
 
 
 def _run_shard(task: ShardTask) -> tuple[SearchOutcome, list[tuple]]:
-    """Worker entry point: search one rank slice, return candidates as text.
+    """Serial entry point: search one rank slice, return candidates as text.
 
     ``first`` mode stops at the slice's first example-matching candidate
     and reports ``(root_rank, program_text)``.  ``collect`` mode
@@ -139,30 +202,177 @@ def _run_shard(task: ShardTask) -> tuple[SearchOutcome, list[tuple]]:
         cost_bound=task.cost_bound,
         deadline=task.deadline,
         root_ranks=frozenset(task.ranks) if task.ranks is not None else None,
-        should_stop=_CANCEL_EVENT.is_set if _CANCEL_EVENT is not None else None,
+        should_stop=(
+            _SHARED["cancel"].is_set if _SHARED.get("cancel") is not None
+            else None
+        ),
+        start_rank=task.start_rank,
     )
     return outcome, found
 
 
-class ParallelSynthesis:
-    """A reusable pool of search workers with deterministic merging.
+def _examples_extend(search: SketchSearch, examples: tuple) -> bool:
+    """True when ``examples`` is a content-equal extension of the search's."""
+    if len(search.examples) > len(examples):
+        return False
+    for mine, theirs in zip(search.examples, examples):
+        if not np.array_equal(mine.goal, theirs.goal):
+            return False
+        for attr in ("ct_env", "pt_env"):
+            a, b = getattr(mine, attr), getattr(theirs, attr)
+            if a.keys() != b.keys():
+                return False
+            for key in a:
+                if not np.array_equal(a[key], b[key]):
+                    return False
+    return True
 
-    One driver serves every round of a CEGIS phase: the pool forks once
-    and each :meth:`find_first`/:meth:`minimize` call re-streams the
-    root ranks with the current examples and bound.  Use as a context
-    manager (or call :meth:`close`) to release the pool.
+
+def _obtain_search(task: ChunkTask) -> SketchSearch:
+    """The worker's search for this round: cached + extended, or fresh."""
+    if task.incremental:
+        cached = _SEARCH_CACHE.get(task.series)
+        if (
+            cached is not None
+            and cached.options == task.options
+            and cached.sketch == task.sketch
+            and cached.latency_model.table == task.model.table
+            and _examples_extend(cached, task.examples)
+        ):
+            if cached.length != task.length:
+                cached.set_length(task.length)
+            if len(cached.examples) < len(task.examples):
+                cached.extend_examples(
+                    list(task.examples[len(cached.examples):])
+                )
+            return cached
+    search = SketchSearch(
+        task.sketch,
+        task.layout,
+        list(task.examples),
+        task.model,
+        task.length,
+        options=task.options,
+    )
+    if task.incremental:
+        _SEARCH_CACHE.clear()  # one live series per worker
+        _SEARCH_CACHE[task.series] = search
+    return search
+
+
+def _worker_round(task: ChunkTask) -> dict:
+    """Pool entry point: steal chunks until the queue (or round) is done."""
+    shared = _SHARED
+    search = _obtain_search(task)
+    grabbed = 0
+    while True:
+        if shared["cancel"].is_set():
+            break
+        with shared["chunk_next"].get_lock():
+            index = shared["chunk_next"].value
+            shared["chunk_next"].value = index + 1
+        if index >= len(task.chunks):
+            break
+        grabbed += 1
+        lo, hi = task.chunks[index]
+        if task.mode == "first" and lo > shared["found_rank"].value:
+            # mid-round frontier broadcast: the round is decided at or
+            # below found_rank, so this whole chunk is moot
+            shared["results"].put((task.generation, index, os.getpid(), None, []))
+            continue
+        found: list[tuple] = []
+        if task.mode == "first":
+
+            def on_candidate(assignment, search=search, found=found):
+                program = materialize_assignment(
+                    task.sketch, task.layout, assignment, name=task.name
+                )
+                found.append(
+                    (search.current_root_rank, format_program(program))
+                )
+                return True, None
+
+            cost_bound = float("inf")
+            bound_poll = None
+        else:
+            sequence = 0
+
+            def on_candidate(assignment, search=search, found=found):
+                nonlocal sequence
+                program = materialize_assignment(
+                    task.sketch, task.layout, assignment, name=task.name
+                )
+                cost = program_cost(program, task.model)
+                # the shared bound only ever holds parent-verified costs
+                # from fully-replayed lower chunks, so this filter is a
+                # subset of what the ordered replay would drop anyway
+                if cost < shared["bound"].value:
+                    found.append(
+                        (
+                            search.current_root_rank,
+                            sequence,
+                            cost,
+                            format_program(program),
+                        )
+                    )
+                sequence += 1
+                return False, None
+
+            cost_bound = shared["bound"].value
+            bound_poll = lambda: shared["bound"].value  # noqa: E731
+
+        outcome = search.run(
+            on_candidate,
+            cost_bound=cost_bound,
+            deadline=task.deadline,
+            root_ranks=frozenset(range(lo, hi)),
+            should_stop=shared["cancel"].is_set,
+            bound_poll=bound_poll,
+        )
+        if task.mode == "first" and found:
+            rank = found[0][0]
+            with shared["found_rank"].get_lock():
+                if rank < shared["found_rank"].value:
+                    shared["found_rank"].value = rank
+        shared["results"].put(
+            (task.generation, index, os.getpid(), outcome, found)
+        )
+    return {"worker": os.getpid(), "chunks": grabbed}
+
+
+class ParallelSynthesis:
+    """A reusable work-stealing pool of search workers with deterministic
+    merging.
+
+    One driver serves every round of a CEGIS run (both phases): the pool
+    forks once, worker processes keep their search state between rounds,
+    and each :meth:`find_first`/:meth:`minimize` call streams chunk
+    results in canonical order.  Use as a context manager (or call
+    :meth:`close`) to release the pool.
     """
 
     def __init__(
         self,
         workers: int | None = None,
         options: SearchOptions | None = None,
+        incremental: bool = True,
     ):
         self.workers = max(1, workers or os.cpu_count() or 1)
         self.options = options or SearchOptions()
+        self.incremental = incremental
         self._pool: ProcessPoolExecutor | None = None
         self._cancel = multiprocessing.Event()
+        self._bound = multiprocessing.Value("d", float("inf"))
+        self._found_rank = multiprocessing.Value("q", _NO_RANK)
+        self._chunk_next = multiprocessing.Value("q", 0)
+        self._results: multiprocessing.Queue = multiprocessing.Queue()
+        self._generation = 0
         self._rank_counts: dict[tuple[int, int], int] = {}
+        self._series_tokens: dict[int, int] = {}
+        self._series_next = 0
+        self._round_summaries: list[dict] = []
+        #: rank of the last find_first example match (cross-round frontier)
+        self.last_match_rank = -1
 
     # -- lifecycle --------------------------------------------------------
 
@@ -171,7 +381,13 @@ class ParallelSynthesis:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(self._cancel,),
+                initargs=(
+                    self._cancel,
+                    self._bound,
+                    self._found_rank,
+                    self._chunk_next,
+                    self._results,
+                ),
             )
         return self._pool
 
@@ -207,45 +423,108 @@ class ParallelSynthesis:
             total = self._rank_counts[key] = probe.root_choice_count()
         return total
 
-    def _stream_ranks(
-        self,
-        total: int,
-        make_task: Callable[[int], ShardTask],
-    ) -> Iterator[tuple[int, SearchOutcome, list[tuple]]]:
-        """Yield per-rank results in rank order, at most ``workers`` in
-        flight, submitting lazily so ``make_task`` sees current state
-        (the tightened cost bound).  Closing the generator cancels every
-        queued task and signals in-flight ones to abandon their subtrees
-        (engines poll the shared event and bail with a discarded
-        "timeout"), so the pool is clean for the next round."""
-        pool = self._ensure_pool()
-        # stragglers poll every batch, so the set->clear window between
-        # rounds (parent-side verification) is ample for them to bail
-        self._cancel.clear()
-        pending: dict[int, Future] = {}
-        next_rank = 0
-        try:
-            for emit_rank in range(total):
-                while next_rank < total and (
-                    sum(1 for f in pending.values() if not f.done())
-                    < self.workers
-                ):
-                    pending[next_rank] = pool.submit(
-                        _run_shard, make_task(next_rank)
-                    )
-                    next_rank += 1
-                outcome, found = pending.pop(emit_rank).result()
-                yield emit_rank, outcome, found
-        finally:
-            if pending:
-                self._cancel.set()
-            for future in pending.values():
-                future.cancel()
+    def _series_for(self, sketch) -> int:
+        token = self._series_tokens.get(id(sketch))
+        if token is None:
+            token = self._series_tokens[id(sketch)] = self._series_next
+            self._series_next += 1
+        return token
 
-    @staticmethod
+    def _chunk_ranges(
+        self, start_rank: int, total: int
+    ) -> tuple[tuple[int, int], ...]:
+        span = total - start_rank
+        size = max(1, math.ceil(span / (self.workers * _CHUNKS_PER_WORKER)))
+        return tuple(
+            (lo, min(lo + size, total))
+            for lo in range(start_rank, total, size)
+        )
+
+    def _stream_chunks(self, task: ChunkTask):
+        """Yield ``(chunk_index, outcome, found)`` strictly in chunk order.
+
+        ``outcome`` is ``None`` for a chunk skipped via the match
+        frontier (only ever above the deciding rank).  Closing the
+        generator cancels the round: queued chunks are never claimed,
+        in-flight engines bail at their next poll, and the result queue
+        is drained so the next round starts clean.
+        """
+        pool = self._ensure_pool()
+        self._cancel.clear()
+        with self._chunk_next.get_lock():
+            self._chunk_next.value = 0
+        with self._found_rank.get_lock():
+            self._found_rank.value = _NO_RANK
+        with self._bound.get_lock():
+            self._bound.value = task.cost_bound
+        futures = [
+            pool.submit(_worker_round, task)
+            for _ in range(min(self.workers, len(task.chunks)))
+        ]
+        buffered: dict[int, tuple] = {}
+        next_index = 0
+        try:
+            while next_index < len(task.chunks):
+                try:
+                    message = self._results.get(timeout=0.25)
+                except queue_lib.Empty:
+                    for future in futures:
+                        if future.done() and future.exception() is not None:
+                            raise future.exception()
+                    continue
+                generation, index, _worker, outcome, found = message
+                if generation != task.generation:
+                    continue  # straggler from a cancelled round
+                buffered[index] = (outcome, found)
+                while next_index in buffered:
+                    outcome, found = buffered.pop(next_index)
+                    yield next_index, outcome, found
+                    next_index += 1
+        finally:
+            self._cancel.set()
+            summaries = []
+            straggler = False
+            for future in futures:
+                try:
+                    summaries.append(future.result(timeout=60))
+                except Exception:
+                    # a worker that raised is done and harmless (stats are
+                    # best-effort); one that is *still running* past the
+                    # cancel window would share the chunk cursor and the
+                    # result queue with the next round — rebuild the pool
+                    # so every future round starts from clean workers
+                    straggler = straggler or not future.done()
+            if straggler and self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            while True:
+                try:
+                    self._results.get_nowait()
+                except queue_lib.Empty:
+                    break
+            self._round_summaries = summaries
+
+    def _steal_stats(self) -> tuple[int, int]:
+        """(chunks grabbed, grabs beyond an even share) for the last round."""
+        counts = [s["chunks"] for s in self._round_summaries]
+        total = sum(counts)
+        if not counts or total == 0:
+            return 0, 0
+        fair = math.ceil(total / len(counts))
+        return total, sum(max(0, count - fair) for count in counts)
+
     def _merge(
-        outcomes: list[SearchOutcome], status: str, wall_seconds: float
+        self,
+        outcomes: list[SearchOutcome],
+        status: str,
+        wall_seconds: float,
+        ranks_skipped: int = 0,
     ) -> SearchOutcome:
+        chunks, steals = self._steal_stats()
+        pruned: dict[str, int] = {}
+        for outcome in outcomes:
+            for rule, count in outcome.pruned.items():
+                pruned[rule] = pruned.get(rule, 0) + count
         return SearchOutcome(
             status=status,
             nodes=sum(o.nodes for o in outcomes),
@@ -253,11 +532,22 @@ class ParallelSynthesis:
             seconds=wall_seconds,
             batches=sum(o.batches for o in outcomes),
             dedup_hits=sum(o.dedup_hits for o in outcomes),
+            pruned=pruned,
+            reused_values=sum(o.reused_values for o in outcomes),
+            appended_columns=sum(o.appended_columns for o in outcomes),
+            ranks_skipped=ranks_skipped
+            + sum(o.ranks_skipped for o in outcomes),
+            shift_cache_peak=max(
+                (o.shift_cache_peak for o in outcomes), default=0
+            ),
+            bound_updates=sum(o.bound_updates for o in outcomes),
+            steals=steals,
+            chunks=chunks,
         )
 
-    def _task(
-        self, sketch, layout, examples, model, length, rank, mode, bound,
-        deadline, name,
+    def _serial_task(
+        self, sketch, layout, examples, model, length, mode, bound, deadline,
+        name, start_rank,
     ) -> ShardTask:
         return ShardTask(
             sketch=sketch,
@@ -266,11 +556,34 @@ class ParallelSynthesis:
             model=model,
             length=length,
             options=self.options,
-            ranks=None if rank is None else (rank,),
+            ranks=None,
             mode=mode,
             cost_bound=bound,
             deadline=deadline,
             name=name,
+            start_rank=start_rank,
+        )
+
+    def _chunk_task(
+        self, sketch, layout, examples, model, length, mode, bound, deadline,
+        name, start_rank, total,
+    ) -> ChunkTask:
+        self._generation += 1
+        return ChunkTask(
+            sketch=sketch,
+            layout=layout,
+            examples=tuple(examples),
+            model=model,
+            length=length,
+            options=self.options,
+            mode=mode,
+            cost_bound=bound,
+            deadline=deadline,
+            name=name,
+            chunks=self._chunk_ranges(start_rank, total),
+            generation=self._generation,
+            series=self._series_for(sketch),
+            incremental=self.incremental,
         )
 
     # -- search rounds ----------------------------------------------------
@@ -285,60 +598,72 @@ class ParallelSynthesis:
         *,
         deadline: float | None = None,
         name: str = "synthesized",
+        start_rank: int = 0,
     ) -> tuple[SearchOutcome, str | None]:
         """One phase-1 round: the globally-first example-matching program.
 
-        Ranks are consumed in order, so the first rank that reports a
-        match — with every lower rank already exhausted and match-free —
-        is exactly the candidate a single-process search reaches first;
-        higher in-flight ranks are abandoned immediately.  Returns the
-        merged outcome and the winning program's text (``None`` when the
-        space is exhausted, or on timeout).
+        Chunks are consumed in order, so the first chunk that reports a
+        match — with every lower chunk already exhausted and match-free —
+        holds exactly the candidate a single-process search reaches
+        first; chunks above the match frontier are skipped mid-round and
+        in-flight subtrees abandoned.  ``start_rank`` resumes a
+        counterexample round at the previous match's branch (lower
+        branches are proven matchless forever).  Returns the merged
+        outcome and the winning program's text (``None`` when the space
+        is exhausted, or on timeout); ``self.last_match_rank`` records
+        the match branch for the caller's next resume.
         """
         started = time.perf_counter()
         total = self.rank_count(sketch, layout, examples, model, length)
+        self.last_match_rank = -1
         # a length-1 search is pure goal-directed final-slot enumeration
         # (no root ranks to split); tiny rank universes aren't worth forks
-        if length < 2 or total < 2 or self.workers < 2:
+        if length < 2 or total - start_rank < 2 or self.workers < 2:
             outcome, found = _run_shard(
-                self._task(
-                    sketch, layout, examples, model, length, None, "first",
-                    float("inf"), deadline, name,
+                self._serial_task(
+                    sketch, layout, examples, model, length, "first",
+                    float("inf"), deadline, name, start_rank,
                 )
             )
             text = found[0][1] if found else None
+            if found:
+                self.last_match_rank = found[0][0]
             status = "stopped" if text is not None else outcome.status
+            self._round_summaries = []
             return (
                 self._merge([outcome], status, time.perf_counter() - started),
                 text,
             )
 
+        task = self._chunk_task(
+            sketch, layout, examples, model, length, "first", float("inf"),
+            deadline, name, start_rank, total,
+        )
         outcomes: list[SearchOutcome] = []
         best_text: str | None = None
         status = "exhausted"
-        stream = self._stream_ranks(
-            total,
-            lambda rank: self._task(
-                sketch, layout, examples, model, length, rank, "first",
-                float("inf"), deadline, name,
-            ),
-        )
+        stream = self._stream_chunks(task)
         try:
             for _, outcome, found in stream:
-                outcomes.append(outcome)
-                if outcome.status == "timeout":
-                    # a serial search would still be inside this subtree
-                    # at the deadline; never report a later-rank match
-                    status = "timeout"
-                    break
+                if outcome is not None:
+                    outcomes.append(outcome)
+                    if outcome.status == "timeout":
+                        # a serial search would still be inside this
+                        # subtree at the deadline; never report a
+                        # later-rank match
+                        status = "timeout"
+                        break
                 if found:
-                    best_text = found[0][1]
+                    self.last_match_rank, best_text = found[0]
                     status = "stopped"
                     break
         finally:
             stream.close()
         return (
-            self._merge(outcomes, status, time.perf_counter() - started),
+            self._merge(
+                outcomes, status, time.perf_counter() - started,
+                ranks_skipped=start_rank,
+            ),
             best_text,
         )
 
@@ -357,12 +682,13 @@ class ParallelSynthesis:
     ) -> tuple[SearchOutcome, str | None, float]:
         """One phase-2 round: the cheapest verified program under the bound.
 
-        Streams rank tasks under the *current* verified bound (tightened
-        as soon as ``verify`` accepts a cheaper candidate, pruning every
-        later rank) and replays each rank's candidates in canonical
-        order with serial branch-and-bound semantics.  Returns the
-        merged outcome, the best program's text (``None`` when nothing
-        beat ``cost_bound``), and its cost.
+        Chunk results are replayed in canonical order with serial
+        branch-and-bound semantics; every *verified* tightening is
+        broadcast to the shared bound that running engines poll mid-round
+        (``bound_poll``), so a cheap program verified in an early chunk
+        prunes every subtree still being searched.  Returns the merged
+        outcome, the best program's text (``None`` when nothing beat
+        ``cost_bound``), and its cost.
         """
         started = time.perf_counter()
         total = self.rank_count(sketch, layout, examples, model, length)
@@ -378,15 +704,20 @@ class ParallelSynthesis:
                 if verify(text):
                     bound_box["bound"] = cost
                     best_text = text
+                    # mid-round broadcast: parent-verified bounds only
+                    with self._bound.get_lock():
+                        if cost < self._bound.value:
+                            self._bound.value = cost
 
         if length < 2 or total < 2 or self.workers < 2:
             outcome, found = _run_shard(
-                self._task(
-                    sketch, layout, examples, model, length, None, "collect",
-                    cost_bound, deadline, name,
+                self._serial_task(
+                    sketch, layout, examples, model, length, "collect",
+                    cost_bound, deadline, name, 0,
                 )
             )
             replay(found)
+            self._round_summaries = []
             return (
                 self._merge(
                     [outcome], outcome.status, time.perf_counter() - started
@@ -395,18 +726,18 @@ class ParallelSynthesis:
                 bound_box["bound"],
             )
 
-        outcomes: list[SearchOutcome] = []
-        stream = self._stream_ranks(
-            total,
-            lambda rank: self._task(
-                sketch, layout, examples, model, length, rank, "collect",
-                bound_box["bound"], deadline, name,
-            ),
+        task = self._chunk_task(
+            sketch, layout, examples, model, length, "collect", cost_bound,
+            deadline, name, 0, total,
         )
+        outcomes: list[SearchOutcome] = []
+        stream = self._stream_chunks(task)
         try:
             for _, outcome, found in stream:
+                if outcome is None:
+                    continue
                 outcomes.append(outcome)
-                # candidates this rank emitted before any deadline are
+                # candidates this chunk emitted before any deadline are
                 # exactly the ones a serial search would have reached
                 replay(found)
                 if outcome.status == "timeout":

@@ -9,11 +9,17 @@ matter to the cost model.
 :class:`SearchStats` is the synthesis-side profile: it aggregates the
 per-run statistics of every engine :class:`~repro.solver.engine.SearchOutcome`
 a CEGIS run issued (counterexample rounds, length increments, parallel
-shards) into the nodes/sec numbers reported by ``BENCH_synthesis.json``,
-the session's per-pass timing report, and the CLI's ``--timings`` flag.
-It lives beside :class:`~repro.solver.engine.SearchOutcome` (so the
+chunks) into the numbers reported by ``BENCH_synthesis.json``, the
+session's per-pass timing report, and the CLI's ``--timings`` flag:
+nodes/sec, per-pruning-rule skip counters (``pruned``), cross-round
+reuse (``reused_values``, ``appended_columns``, ``ranks_skipped``), the
+value store's shift-cache high-water mark (``shift_cache_peak``), and
+the work-stealing driver's ``chunks``/``steals``/``bound_updates``.  It
+lives beside :class:`~repro.solver.engine.SearchOutcome` (so the
 synthesis path never imports the HE substrate) and is re-exported here
-as part of the profiling surface.
+as part of the profiling surface.  All wall-clock figures come from
+``time.perf_counter``; ``SearchStats.minus`` clamps every field at zero
+so per-phase shares stay well-ordered under clock granularity.
 """
 
 from __future__ import annotations

@@ -9,9 +9,21 @@ is an ``(E, n)`` int64 matrix: one row per CEGIS example.  The store keeps
   keys, hashed by the dict on every probe, dominated the old profile),
 * a per-value cache of rotated (shifted) variants, since the same operand
   rotation is probed many times across the search tree; cached rotations
-  are handed out as read-only views and the cache is cleared wholesale
-  when backtracking pressure grows it past ``shift_cache_limit`` entries,
-* the multiplicative depth of each value for cost lower bounds.
+  are handed out as read-only views and the cache is hard-bounded at
+  ``shift_cache_limit`` entries (cleared wholesale before the insert that
+  would overflow it),
+* the multiplicative depth of each value for cost lower bounds,
+* the nonzero-column support of each value, so the ``zero_elide`` pruning
+  rule can decide "this rotation is the all-zero vector" in O(1) without
+  materializing it.
+
+Stores are *persistent across CEGIS rounds*: when a counterexample
+arrives, :meth:`ValueStore.append_example` extends every live value with
+the new example's column in place — copying the already-evaluated
+``(K, E)`` rotation blocks and computing only the new column's rotations
+— instead of rebuilding the store and re-rotating all ``E`` examples
+from scratch.  The reuse counters (``appended_examples``,
+``reused_values``) feed the engine's :class:`SearchOutcome`.
 """
 
 from __future__ import annotations
@@ -73,10 +85,17 @@ class ValueStore:
         self._keys: list[object] = []  # per value, its bucket key
         self._shift_cache: list[dict[int, np.ndarray]] = []
         self._shift_entries = 0
+        self._shift_entries_peak = 0
         self.shift_cache_limit = shift_cache_limit
         self._serial = 0
         self._weights: np.ndarray | None = None
         self.dedup_hits = 0
+        # nonzero-column support [lo, hi) per value; lo == hi means all-zero
+        self.supports: list[tuple[int, int]] = []
+        self._zero_live = 0
+        # cross-round reuse counters (see append_example)
+        self.appended_examples = 0
+        self.reused_values = 0
         self._amounts = tuple(amounts) if amounts is not None else None
         self.rot_pos = (
             {amount: j for j, amount in enumerate(self._amounts)}
@@ -185,9 +204,38 @@ class ValueStore:
         self.vectors.append(vec)
         self.depths.append(depth)
         self._shift_cache.append({})
+        support = self._support(vec)
+        self.supports.append(support)
+        if support[0] == support[1]:
+            self._zero_live += 1
         if self._amounts is not None:
             self._fill_block(index, vec)
         return True
+
+    @staticmethod
+    def _support(vec: np.ndarray) -> tuple[int, int]:
+        """Smallest ``[lo, hi)`` column range containing every nonzero."""
+        nonzero = np.flatnonzero(vec.any(axis=0))
+        if nonzero.size == 0:
+            return (0, 0)
+        return (int(nonzero[0]), int(nonzero[-1]) + 1)
+
+    def is_zero_rotated(self, index: int, amount: int) -> bool:
+        """True when ``rotated(index, amount)`` is the all-zero vector.
+
+        Decided from the cached support bounds: a zero-fill shift erases
+        the value exactly when it pushes the whole support off the edge.
+        """
+        lo, hi = self.supports[index]
+        if lo == hi:
+            return True
+        if amount >= 0:
+            return amount >= hi
+        return -amount >= self.vectors[index].shape[1] - lo
+
+    def has_zero(self) -> bool:
+        """True when some live value is the all-zero vector."""
+        return self._zero_live > 0
 
     def _fill_block(self, index: int, vec: np.ndarray) -> None:
         if self._block is None:
@@ -249,14 +297,15 @@ class ValueStore:
             raise IndexError("cannot pop base input values")
         self.vectors.pop()
         self.depths.pop()
+        lo, hi = self.supports.pop()
+        if lo == hi:
+            self._zero_live -= 1
         self._shift_entries -= len(self._shift_cache.pop())
         key = self._keys.pop()
         bucket = self._buckets[key]
         bucket.pop()  # indices are ascending, so ours is last
         if not bucket:
             del self._buckets[key]
-        if self._shift_entries > self.shift_cache_limit:
-            self.clear_shift_cache()
 
     def clear_shift_cache(self) -> None:
         """Drop every cached rotation (they are rebuilt on demand)."""
@@ -268,6 +317,11 @@ class ValueStore:
     def shift_cache_size(self) -> int:
         return self._shift_entries
 
+    @property
+    def shift_cache_peak(self) -> int:
+        """High-water mark of live shift-cache entries (bound telemetry)."""
+        return self._shift_entries_peak
+
     def shifted(self, index: int, amount: int) -> np.ndarray:
         """The value at ``index`` rotated by ``amount`` (cached, read-only)."""
         if amount == 0:
@@ -275,8 +329,92 @@ class ValueStore:
         cache = self._shift_cache[index]
         hit = cache.get(amount)
         if hit is None:
+            if self._shift_entries >= self.shift_cache_limit:
+                # hard bound: the cache is shared across CEGIS rounds now
+                # that stores persist, so it must never outgrow its limit
+                self.clear_shift_cache()
+                cache = self._shift_cache[index]
             hit = shift_matrix(self.vectors[index], amount)
             hit.flags.writeable = False
             cache[amount] = hit
             self._shift_entries += 1
+            if self._shift_entries > self._shift_entries_peak:
+                self._shift_entries_peak = self._shift_entries
         return hit
+
+    # -- cross-round persistence -------------------------------------------
+
+    def append_example(self, rows: list[np.ndarray]) -> None:
+        """Extend every live value with one new example column (CEGIS reuse).
+
+        ``rows[i]`` is the new example's vector for base value ``i``.  The
+        store must be fully backtracked (only base values live), which is
+        exactly the state a search leaves it in between CEGIS rounds.  The
+        already-evaluated rotation blocks are *copied*, not recomputed:
+        only the new column's rotations are evaluated, then every live
+        value is re-hashed for the new element count.  The shift cache is
+        dropped wholesale (its entries have the old row count).
+        """
+        if len(self.vectors) != self.base_count:
+            raise ValueError(
+                "append_example requires a fully backtracked store "
+                f"({len(self.vectors)} live, {self.base_count} base)"
+            )
+        if len(rows) != self.base_count:
+            raise ValueError(
+                f"expected {self.base_count} rows, got {len(rows)}"
+            )
+        grown_vectors: list[np.ndarray] = []
+        for vec, row in zip(self.vectors, rows):
+            row = np.ascontiguousarray(row, dtype=np.int64).reshape(1, -1)
+            if row.shape[1] != vec.shape[1]:
+                raise ValueError("new example row has the wrong width")
+            grown = np.concatenate([vec, row])
+            grown.flags.writeable = False
+            grown_vectors.append(grown)
+        self.vectors = grown_vectors
+        # re-hash under the new element count (distinct values stay
+        # distinct when extended, so base uniqueness is preserved)
+        self._buckets.clear()
+        self._keys = []
+        for index, vec in enumerate(self.vectors):
+            key = self.value_hash(vec)
+            self._buckets.setdefault(key, []).append(index)
+            self._keys.append(key)
+        self._zero_live = 0
+        self.supports = []
+        for vec in self.vectors:
+            support = self._support(vec)
+            self.supports.append(support)
+            if support[0] == support[1]:
+                self._zero_live += 1
+        self.clear_shift_cache()
+        if self._block is not None:
+            examples = self._block.shape[2]
+            shape = self._block.shape
+            block = np.empty(
+                (shape[0], shape[1], examples + 1, shape[3]), dtype=np.int64
+            )
+            # carry the evaluated (K, E) columns forward untouched ...
+            block[:, :, :examples, :] = self._block
+            # ... and evaluate only the new column's rotations
+            for index, vec in enumerate(self.vectors):
+                row = vec[-1:]
+                for j, amount in enumerate(self._amounts):
+                    block[index, j, examples] = (
+                        row[0] if amount == 0 else shift_matrix(row, amount)[0]
+                    )
+            self._block = block
+            if self._block_out is not None:
+                out_shape = self._block_out.shape
+                block_out = np.empty(
+                    (out_shape[0], out_shape[1], examples + 1, out_shape[3]),
+                    dtype=np.int64,
+                )
+                block_out[:, :, :examples, :] = self._block_out
+                block_out[:, :, examples, :] = block[
+                    :, :, examples, :
+                ][:, :, self._out_idx]
+                self._block_out = block_out
+        self.appended_examples += 1
+        self.reused_values += len(self.vectors)

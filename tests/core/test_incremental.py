@@ -1,0 +1,189 @@
+"""Cross-round frontier reuse: incremental CEGIS is bit-identical.
+
+The contract: ``SynthesisConfig(incremental=True)`` (the default) —
+persistent search state, counterexample columns appended in place,
+resumed rounds skipping proven-matchless root branches, and phase 2
+inheriting phase 1's store — returns byte-identical programs to the
+from-scratch baseline (``incremental=False``), while searching no more
+nodes.  The seeds below are chosen so phase 1 really does go through
+counterexample rounds (multi-round CEGIS), not just length increments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cegis import (
+    SynthesisConfig,
+    synthesize,
+    synthesize_initial,
+)
+from repro.core.sketches import default_sketch_for
+from repro.quill.latency import default_latency_model
+from repro.quill.printer import format_program
+from repro.solver.engine import SketchSearch, materialize_assignment
+from repro.spec import get_spec
+
+MODEL = default_latency_model()
+
+# (kernel, seed) pairs whose phase 1 provably adds counterexamples
+MULTI_ROUND = [("dot_product", 5), ("linear_regression", 0), ("hamming", 1)]
+
+
+@pytest.mark.parametrize("name,seed", MULTI_ROUND, ids=[c[0] for c in MULTI_ROUND])
+def test_incremental_bit_identical_on_multi_round_kernels(name, seed):
+    spec = get_spec(name)
+    sketch = default_sketch_for(spec)
+    base = dict(seed=seed, optimize_timeout=20.0)
+    incremental = synthesize(spec, sketch, SynthesisConfig(**base))
+    scratch = synthesize(
+        spec, sketch, SynthesisConfig(**base, incremental=False)
+    )
+    assert incremental.examples_used >= 2  # the seed really is multi-round
+    assert format_program(incremental.program) == format_program(
+        scratch.program
+    )
+    assert incremental.final_cost == scratch.final_cost
+    assert incremental.proof_complete == scratch.proof_complete
+    assert incremental.examples_used == scratch.examples_used
+    # reuse never searches more than the from-scratch baseline
+    assert incremental.nodes <= scratch.nodes
+
+
+def test_incremental_reuse_counters_surface():
+    spec = get_spec("dot_product")
+    sketch = default_sketch_for(spec)
+    result = synthesize(
+        spec, sketch, SynthesisConfig(seed=5, optimize_timeout=20.0)
+    )
+    stats = result.search_stats
+    assert stats.appended_columns >= 1  # counterexamples appended in place
+    assert stats.reused_values > 0  # store entries carried across rounds
+    summary = stats.summary()
+    for key in (
+        "pruned",
+        "reused_values",
+        "appended_columns",
+        "ranks_skipped",
+        "shift_cache_peak",
+        "steals",
+        "chunks",
+        "bound_updates",
+    ):
+        assert key in summary
+
+
+def test_phase1_result_carries_live_search_state():
+    spec = get_spec("box_blur")
+    sketch = default_sketch_for(spec)
+    initial = synthesize_initial(spec, sketch, SynthesisConfig())
+    assert initial.search is not None
+    assert initial.search.length == initial.components
+    assert len(initial.search.examples) == initial.examples_used
+    scratch = synthesize_initial(
+        spec, sketch, SynthesisConfig(incremental=False)
+    )
+    assert scratch.search is None
+
+
+# -- engine-level equivalence of the incremental primitives ------------------
+
+
+def _exhaust(search):
+    programs = []
+
+    def on_candidate(assignment):
+        programs.append(
+            format_program(
+                materialize_assignment(
+                    search.sketch, search.layout, assignment
+                )
+            )
+        )
+        return False, None
+
+    outcome = search.run(on_candidate)
+    assert outcome.status == "exhausted"
+    return outcome, programs
+
+
+def test_extend_examples_matches_fresh_search():
+    spec = get_spec("dot_product")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(3)
+    examples = [spec.make_example(rng) for _ in range(3)]
+
+    grown = SketchSearch(sketch, spec.layout, examples[:1], MODEL, 3)
+    _exhaust(grown)  # a full round on one example
+    grown.extend_examples(examples[1:])
+    grown_outcome, grown_programs = _exhaust(grown)
+
+    fresh = SketchSearch(sketch, spec.layout, examples, MODEL, 3)
+    fresh_outcome, fresh_programs = _exhaust(fresh)
+
+    assert grown_programs == fresh_programs
+    assert grown_outcome.nodes == fresh_outcome.nodes
+    assert grown_outcome.candidates == fresh_outcome.candidates
+    assert grown_outcome.reused_values > 0
+    assert grown_outcome.appended_columns == 2
+
+
+def test_set_length_matches_fresh_search():
+    spec = get_spec("box_blur")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(1)
+    examples = [spec.make_example(rng) for _ in range(2)]
+
+    grown = SketchSearch(sketch, spec.layout, examples, MODEL, 2)
+    _exhaust(grown)
+    grown.set_length(3)
+    grown_outcome, grown_programs = _exhaust(grown)
+
+    fresh = SketchSearch(sketch, spec.layout, examples, MODEL, 3)
+    fresh_outcome, fresh_programs = _exhaust(fresh)
+
+    assert grown_programs == fresh_programs
+    assert grown_outcome.nodes == fresh_outcome.nodes
+
+
+def test_start_rank_resume_skips_matchless_prefix():
+    spec = get_spec("linear_regression")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(0)
+    examples = [spec.make_example(rng) for _ in range(2)]
+    search = SketchSearch(sketch, spec.layout, examples, MODEL, 3)
+
+    first = {}
+
+    def stop_on_first(assignment):
+        first["rank"] = search.current_root_rank
+        return True, None
+
+    full = search.run(stop_on_first)
+    assert full.status == "stopped"
+    match_rank = first["rank"]
+    assert match_rank > 0
+
+    resumed = search.run(stop_on_first, start_rank=match_rank)
+    assert resumed.status == "stopped"
+    assert first["rank"] == match_rank  # same branch found again
+    assert resumed.ranks_skipped == match_rank
+    assert resumed.nodes < full.nodes  # the skipped prefix was real work
+
+
+def test_timeout_unwinds_persistent_store():
+    spec = get_spec("hamming")
+    sketch = default_sketch_for(spec)
+    rng = np.random.default_rng(0)
+    examples = [spec.make_example(rng) for _ in range(2)]
+    search = SketchSearch(sketch, spec.layout, examples, MODEL, 4)
+    import time as time_module
+
+    outcome = search.run(
+        lambda a: (False, None),
+        deadline=time_module.perf_counter() - 1.0,  # already expired
+    )
+    assert outcome.status == "timeout"
+    assert len(search.store) == search.store.base_count
+    # the search object stays usable for the next round
+    follow_up = search.run(lambda a: (True, None))
+    assert follow_up.status in ("stopped", "exhausted")

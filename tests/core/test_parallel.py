@@ -184,6 +184,52 @@ def test_parallel_find_first_matches_serial_first_candidate():
     assert text == first_serial["text"]
 
 
+@pytest.mark.parametrize("kernel", ["gx", "box_blur"])
+def test_workers_mid_round_bound_sharing_bit_identical(kernel):
+    """Satellite regression: workers=2 — with the shared mid-round cost
+    bound and the work-stealing chunk queue live — is bit-identical to
+    serial on gx and box_blur, proof status and costs included."""
+    spec = get_spec(kernel)
+    sketch = default_sketch_for(spec)
+    config = dict(optimize_timeout=60.0)
+    serial = synthesize(spec, sketch, SynthesisConfig(**config, workers=1))
+    parallel = synthesize(spec, sketch, SynthesisConfig(**config, workers=2))
+    assert format_program(serial.program) == format_program(parallel.program)
+    assert serial.final_cost == parallel.final_cost
+    assert serial.initial_cost == parallel.initial_cost
+    assert serial.proof_complete and parallel.proof_complete
+    assert serial.examples_used == parallel.examples_used
+
+
+def test_parallel_outcome_reports_chunks_and_steals():
+    spec = get_spec("dot_product")
+    sketch = default_sketch_for(spec)
+    result = synthesize(
+        spec,
+        sketch,
+        SynthesisConfig(max_components=5, optimize_timeout=20.0, workers=3),
+    )
+    stats = result.search_stats
+    assert stats.chunks > 0  # the work-stealing queue actually ran
+    assert stats.steals >= 0
+    summary = stats.summary()
+    assert summary["chunks"] == stats.chunks
+    assert "steals" in summary and "bound_updates" in summary
+
+
+def test_multi_round_parallel_resume_matches_serial():
+    """Counterexample rounds + rank-frontier resume under workers=2."""
+    spec = get_spec("dot_product")
+    sketch = default_sketch_for(spec)
+    base = dict(seed=5, optimize_timeout=20.0)  # seed 5 is multi-round
+    serial = synthesize(spec, sketch, SynthesisConfig(**base, workers=1))
+    parallel = synthesize(spec, sketch, SynthesisConfig(**base, workers=2))
+    assert serial.examples_used >= 2
+    assert serial.examples_used == parallel.examples_used
+    assert format_program(serial.program) == format_program(parallel.program)
+    assert serial.final_cost == parallel.final_cost
+
+
 def test_session_workers_shares_cache_key():
     """workers must not split the compile cache: identical results."""
     serial = Porcupine(seed=0)

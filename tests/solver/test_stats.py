@@ -1,0 +1,103 @@
+"""SearchStats aggregation: totals, per-rule dicts, and clamped minus.
+
+Satellite of the incremental-CEGIS work: all engine/CEGIS wall-clock
+measurement uses ``time.perf_counter`` and ``merge``/``minus`` stay
+total-order safe when one side recorded zero seconds — the per-phase
+shares feed exact floor checks, so clock granularity must never produce
+negative fields.
+"""
+
+from repro.solver.engine import SearchOutcome, SearchStats
+
+
+def _outcome(**overrides):
+    base = dict(
+        status="exhausted",
+        nodes=100,
+        candidates=2,
+        seconds=0.5,
+        batches=10,
+        dedup_hits=3,
+        pruned={"dedup": 3, "commutative": 7},
+        reused_values=4,
+        appended_columns=1,
+        ranks_skipped=2,
+        shift_cache_peak=9,
+        bound_updates=1,
+        steals=1,
+        chunks=5,
+    )
+    base.update(overrides)
+    return SearchOutcome(**base)
+
+
+def test_record_folds_every_field():
+    stats = SearchStats()
+    stats.record(_outcome())
+    stats.record(_outcome(shift_cache_peak=4, pruned={"dedup": 1}))
+    assert stats.runs == 2
+    assert stats.nodes == 200
+    assert stats.pruned == {"dedup": 4, "commutative": 7}
+    assert stats.reused_values == 8
+    assert stats.appended_columns == 2
+    assert stats.ranks_skipped == 4
+    assert stats.shift_cache_peak == 9  # a high-water mark, not a sum
+    assert stats.bound_updates == 2
+    assert stats.steals == 2
+    assert stats.chunks == 10
+
+
+def test_merge_is_commutative_on_totals():
+    a, b = SearchStats(), SearchStats()
+    a.record(_outcome())
+    b.record(_outcome(nodes=50, seconds=0.25, pruned={"adjacent": 2}))
+    ab, ba = a.merge(b), b.merge(a)
+    assert ab.nodes == ba.nodes == 150
+    assert ab.seconds == ba.seconds
+    assert ab.pruned == ba.pruned
+    assert ab.shift_cache_peak == ba.shift_cache_peak == 9
+    assert a.merge(None).nodes == a.nodes
+
+
+def test_minus_recovers_phase_share():
+    phase1 = SearchStats()
+    phase1.record(_outcome())
+    both = phase1.merge(None)
+    both.record(_outcome(nodes=40, seconds=0.125, pruned={"dedup": 2}))
+    share = both.minus(phase1)
+    assert share.runs == 1
+    assert share.nodes == 40
+    assert share.seconds == 0.125
+    assert share.pruned["dedup"] == 2
+    assert share.pruned.get("commutative", 0) == 0
+
+
+def test_minus_clamps_when_one_side_has_zero_seconds():
+    """Clock granularity can report 0.0 seconds for a fast phase; the
+    difference of a copied snapshot must never go negative anywhere."""
+    fast = SearchStats()
+    fast.record(_outcome(seconds=0.0))
+    snapshot = fast.merge(None)
+    # a snapshot taken *after* more work, subtracted the wrong way round,
+    # still yields non-negative fields
+    snapshot.record(_outcome(seconds=0.0, nodes=10))
+    share = fast.minus(snapshot)
+    assert share.seconds == 0.0
+    assert share.nodes == 0
+    assert share.runs == 0
+    assert all(count >= 0 for count in share.pruned.values())
+    assert share.nodes_per_sec == 0.0  # zero seconds never divides
+
+
+def test_summary_schema_is_stable():
+    stats = SearchStats()
+    stats.record(_outcome())
+    summary = stats.summary()
+    for key in (
+        "runs", "nodes", "candidates", "seconds", "nodes_per_sec",
+        "batches", "dedup_hits", "pruned", "reused_values",
+        "appended_columns", "ranks_skipped", "shift_cache_peak",
+        "bound_updates", "steals", "chunks",
+    ):
+        assert key in summary
+    assert summary["pruned"] == {"commutative": 7, "dedup": 3}

@@ -162,18 +162,110 @@ def test_shifted_views_are_read_only():
     assert store.shifted(0, 1).tolist() == [[2, 3, 0]]
 
 
-def test_shift_cache_bounded_on_pop_pressure():
+def test_shift_cache_hard_bound_on_insert():
     store = ValueStore([_mat([1, 2, 3])], shift_cache_limit=2)
     store.try_push(_mat([4, 5, 6]), 0)
     store.shifted(0, 1)
     store.shifted(0, 2)
-    store.shifted(0, -1)
-    assert store.shift_cache_size == 3
-    store.pop()  # over the limit: the whole cache is dropped
-    assert store.shift_cache_size == 0
+    assert store.shift_cache_size == 2
+    store.shifted(0, -1)  # at the limit: wholesale clear, then insert
+    assert store.shift_cache_size == 1
     # entries are rebuilt on demand with the same contents
     assert store.shifted(0, 1).tolist() == [[2, 3, 0]]
+    assert store.shift_cache_size == 2
+    store.pop()  # pop releases the popped value's entries too
+    assert store.shift_cache_size <= store.shift_cache_limit
+
+
+def test_shift_cache_peak_never_exceeds_bound():
+    store = ValueStore([_mat([1, 2, 3, 4])], shift_cache_limit=2)
+    store.try_push(_mat([4, 5, 6, 7]), 0)
+    for amount in (1, 2, -1, 3, -2):
+        store.shifted(0, amount)
+        store.shifted(1, amount)
+        assert store.shift_cache_size <= store.shift_cache_limit
+    assert store.shift_cache_peak == store.shift_cache_limit
+    store.pop()
+    assert store.shift_cache_peak <= store.shift_cache_limit
+
+
+# -- cross-round persistence (append_example) --------------------------------
+
+
+def test_append_example_extends_values_and_rehashes():
+    store = ValueStore([_mat([1, 2]), _mat([3, 4])])
+    store.append_example([np.array([5, 6]), np.array([7, 8])])
+    assert store.vectors[0].tolist() == [[1, 2], [5, 6]]
+    assert store.vectors[1].tolist() == [[3, 4], [7, 8]]
+    assert store.appended_examples == 1
+    assert store.reused_values == 2
+    # dedup works against the extended values
+    assert not store.try_push(_mat([1, 2], [5, 6]), 0)
+    assert store.try_push(_mat([1, 2], [5, 7]), 0)  # differs on the new row
+
+
+def test_append_example_requires_backtracked_store():
+    store = ValueStore([_mat([1, 2])])
+    store.try_push(_mat([9, 9]), 0)
+    with pytest.raises(ValueError, match="backtracked"):
+        store.append_example([np.array([5, 6])])
+    store.pop()
+    with pytest.raises(ValueError, match="rows"):
+        store.append_example([np.array([5, 6]), np.array([7, 8])])
+
+
+def test_append_example_extends_rotation_block_in_place():
+    store = ValueStore(
+        [_mat([1, 2, 3, 4])], amounts=(0, 1, -2), out_slots=[0, 2], capacity=4
+    )
+    store.append_example([np.array([5, 6, 7, 8])])
+    for amount in (0, 1, -2):
+        expected = shift_matrix(store.vectors[0], amount)
+        assert store.rotated(0, amount).tolist() == expected.tolist()
+    ops = np.array([0, 0], dtype=np.intp)
+    rots = np.array([store.rot_pos[a] for a in (1, -2)], dtype=np.intp)
+    gathered = store.gather(ops, rots)
+    assert gathered.shape == (2, 2, 4)
+    out = store.gather_out(ops, rots)
+    assert out.tolist() == gathered[:, :, [0, 2]].tolist()
+    # pushes after the append land in the grown block
+    assert store.try_push(_mat([0, 1, 0, 0], [0, 0, 2, 0]), 1)
+    assert store.rotated(1, 1).tolist() == [[1, 0, 0, 0], [0, 2, 0, 0]]
+
+
+def test_append_example_clears_stale_shift_cache():
+    store = ValueStore([_mat([1, 2, 3])])
+    store.shifted(0, 1)
     assert store.shift_cache_size == 1
+    store.append_example([np.array([4, 5, 6])])
+    assert store.shift_cache_size == 0
+    assert store.shifted(0, 1).tolist() == [[2, 3, 0], [5, 6, 0]]
+
+
+# -- zero-support tracking (zero_elide) --------------------------------------
+
+
+def test_supports_and_zero_rotation_detection():
+    store = ValueStore([_mat([0, 7, 8, 0])])
+    assert store.supports[0] == (1, 3)
+    assert not store.has_zero()
+    assert store.is_zero_rotated(0, 3)  # support shifted off the left edge
+    assert store.is_zero_rotated(0, -3)
+    assert not store.is_zero_rotated(0, 2)
+    assert not store.is_zero_rotated(0, -1)
+    store.try_push(_mat([0, 0, 0, 0]), 0)
+    assert store.has_zero()
+    assert store.is_zero_rotated(1, 0)
+    store.pop()
+    assert not store.has_zero()
+
+
+def test_supports_recomputed_on_append_example():
+    store = ValueStore([_mat([0, 7, 0, 0])])
+    assert store.supports[0] == (1, 2)
+    store.append_example([np.array([0, 0, 0, 9])])
+    assert store.supports[0] == (1, 4)
+    assert not store.is_zero_rotated(0, 3)
 
 
 def test_rotation_block_matches_shift_cache():

@@ -60,6 +60,41 @@ def test_compile_timings_flag(capsys):
     assert "nodes/s" in captured.err
 
 
+def test_compile_no_prune_flag(capsys):
+    """Ablation baseline: identical program, every rule counter zero."""
+    assert main(
+        ["compile", "box_blur", "--opt-timeout", "5", "--no-prune",
+         "--timings"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert 'quill kernel "box_blur_synth"' in captured.out
+    assert "synthesized 4 instructions" in captured.err
+    assert "pruned:" not in captured.err  # nothing was pruned
+
+
+def test_compile_prune_rules_subset(capsys):
+    assert main(
+        ["compile", "box_blur", "--opt-timeout", "5",
+         "--prune-rules", "dedup,commutative", "--timings"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert 'quill kernel "box_blur_synth"' in captured.out
+    assert "pruned:" in captured.err
+    assert "commutative=" in captured.err
+
+
+def test_prune_rules_rejects_unknown_rule(capsys):
+    with pytest.raises(SystemExit):
+        main(["compile", "box_blur", "--prune-rules", "bogus"])
+    assert "unknown pruning rule" in capsys.readouterr().err
+
+
+def test_no_prune_and_prune_rules_conflict(capsys):
+    with pytest.raises(SystemExit):
+        main(["compile", "box_blur", "--no-prune", "--prune-rules", "dedup"])
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
 def test_profile_command(capsys):
     assert main(["profile", "--preset", "toy", "--repeats", "1"]) == 0
     out = capsys.readouterr().out
