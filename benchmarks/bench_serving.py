@@ -1,0 +1,308 @@
+"""Serving benchmark: batched dispatch vs one-at-a-time under load.
+
+Boots a real :class:`~repro.serve.server.PorcupineServer` (TCP + the
+full scheduler path) twice per kernel — once with coalescing disabled
+(``max_batch=1``: every request is its own lockstep pass, the serial
+one-at-a-time deployment) and once with the batch scheduler on — and
+drives both with closed-loop concurrent clients over
+:class:`~repro.serve.client.AsyncServeClient`.  For each offered-load
+level it records client-side p50/p99 latency, throughput, and the
+server's own scheduler counters (batch occupancy, coalesce ratio).
+
+The headline number is ``p50_speedup``: batched p50 over serial p50 at
+the same concurrency.  Coalescing amortizes everything outside the
+homomorphic ops themselves — key/tape setup, plaintext encoding, numpy
+dispatch — so its win is largest in overhead-bound regimes.  Both modes
+therefore run the ``toy`` parameter preset by default (``--params``
+overrides): on the big presets a ciphertext op's NTT work scales
+linearly with batch size, which makes lockstep batching roughly
+latency-neutral per request there (measured directly: a batch-4
+``run_many`` on the ``small`` preset costs about four singles), while
+the scheduler effects this benchmark isolates — queueing, linger,
+occupancy, fair-share — look the same at every preset.
+
+Everything lands in ``BENCH_serving.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick  # CI
+
+``--check-floor`` compares the measured p50 speedups at the highest
+shared concurrency against ``benchmarks/serving_floor.json`` and exits
+nonzero when one falls below 30% of its checked-in value (loose enough
+for noisy CI, tight enough to catch the scheduler quietly serializing).
+Refresh with ``--update-floor`` on a quiet machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FLOOR_FILE = Path(__file__).resolve().parent / "serving_floor.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serving.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import Porcupine  # noqa: E402
+from repro.serve import AsyncServeClient, PorcupineServer, ServeConfig  # noqa: E402
+from repro.serve.protocol import random_inputs  # noqa: E402
+
+KERNELS = ("gx", "box_blur")
+MAX_BATCH = 8
+LINGER_MS = 2.0
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+async def _client_loop(
+    host: str,
+    port: int,
+    kernel: str,
+    inputs_pool: list[dict],
+    requests: int,
+    start_gate: asyncio.Event,
+    latencies: list[float],
+) -> None:
+    client = await AsyncServeClient.connect(host, port)
+    try:
+        await start_gate.wait()
+        for i in range(requests):
+            env = inputs_pool[i % len(inputs_pool)]
+            started = time.perf_counter()
+            response = await client.run(kernel, env)
+            latencies.append(time.perf_counter() - started)
+            assert response.get("ok"), response.get("error")
+            assert response["matches_reference"] is True
+    finally:
+        await client.close()
+
+
+async def _bench_level(
+    server: PorcupineServer,
+    kernel: str,
+    session: Porcupine,
+    clients: int,
+    requests_per_client: int,
+) -> dict:
+    """One closed-loop load level against an already-booted server."""
+    spec = session.spec(kernel)
+    inputs_pool = [random_inputs(spec, seed=s) for s in range(8)]
+    host, port = server.host, server.port
+
+    # warm the path (keys, pinned tape, plaintext caches) outside timing,
+    # then zero the counters so occupancy reflects the measured window
+    warm = await AsyncServeClient.connect(host, port)
+    try:
+        response = await warm.run(kernel, inputs_pool[0])
+        assert response.get("ok"), response.get("error")
+    finally:
+        await warm.close()
+    server.metrics.snapshot(reset=True)
+
+    start_gate = asyncio.Event()
+    latencies: list[float] = []
+    tasks = [
+        asyncio.ensure_future(
+            _client_loop(
+                host, port, kernel, inputs_pool, requests_per_client,
+                start_gate, latencies,
+            )
+        )
+        for _ in range(clients)
+    ]
+    await asyncio.sleep(0.05)  # let every client connect before the gun
+    wall_start = time.perf_counter()
+    start_gate.set()
+    await asyncio.gather(*tasks)
+    wall = time.perf_counter() - wall_start
+
+    stats = server.metrics.snapshot()
+    scheduler = stats["scheduler"]
+    total = clients * requests_per_client
+    return {
+        "clients": clients,
+        "requests": total,
+        "wall_seconds": round(wall, 4),
+        "qps": round(total / wall, 2) if wall else None,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 2),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 2),
+        "mean_ms": round(statistics.mean(latencies) * 1e3, 2),
+        "mean_batch_occupancy": scheduler["mean_occupancy"],
+        "coalesce_ratio": scheduler["coalesce_ratio"],
+        "batches": scheduler["batches"],
+        "scheduler": scheduler,
+    }
+
+
+async def _bench_mode(
+    kernel: str,
+    params: str,
+    max_batch: int,
+    levels: list[int],
+    requests_per_client: int,
+) -> dict:
+    """Boot one server (serial or batched) and sweep the load levels."""
+    session = Porcupine()
+    config = ServeConfig(
+        backend="he",
+        params=params,
+        seed=0,
+        max_batch=max_batch,
+        linger_ms=LINGER_MS,
+        precompile=(kernel,),
+    )
+    server = PorcupineServer(session, config)
+    await server.start()
+    try:
+        rows = {}
+        for clients in levels:
+            rows[f"c{clients}"] = await _bench_level(
+                server, kernel, session, clients, requests_per_client
+            )
+        return rows
+    finally:
+        await server.stop()
+
+
+def bench_kernel(
+    kernel: str, params: str, levels: list[int], requests_per_client: int
+) -> dict:
+    serial = asyncio.run(
+        _bench_mode(kernel, params, 1, levels, requests_per_client)
+    )
+    batched = asyncio.run(
+        _bench_mode(kernel, params, MAX_BATCH, levels, requests_per_client)
+    )
+    speedups = {}
+    for level, serial_row in serial.items():
+        batched_row = batched.get(level)
+        if batched_row and batched_row["p50_ms"]:
+            speedups[level] = round(
+                serial_row["p50_ms"] / batched_row["p50_ms"], 2
+            )
+    return {"serial": serial, "batched": batched, "p50_speedup": speedups}
+
+
+def check_floor(params: str, results: dict, top: str) -> list[str]:
+    """Kernels whose batched-vs-serial p50 speedup collapsed."""
+    if not FLOOR_FILE.exists():
+        print(f"floor file {FLOOR_FILE} missing; nothing to check")
+        return []
+    floors = json.loads(FLOOR_FILE.read_text())
+    failures = []
+    for kernel, row in results.items():
+        floor = floors.get(f"{params}.{kernel}.{top}.p50_speedup")
+        measured = row["p50_speedup"].get(top)
+        if floor is None or measured is None:
+            continue
+        if measured < floor * 0.3:
+            failures.append(
+                f"{params}.{kernel}.{top}: batched p50 speedup {measured}x "
+                f"is below 30% of the checked-in floor {floor}x"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serving throughput/latency benchmark -> "
+                    "BENCH_serving.json"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI subset: toy HE parameters, fewer "
+                             "clients/requests")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="fail if a batched p50 speedup falls below 30% "
+                             "of the checked-in floor")
+    parser.add_argument("--update-floor", action="store_true",
+                        help="rewrite benchmarks/serving_floor.json from "
+                             "this run")
+    parser.add_argument("--params", default="toy",
+                        choices=("toy", "small", "large"),
+                        help="HE parameter preset (default: toy, the "
+                             "overhead-bound regime batching targets)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"result file (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    params = args.params
+    levels = [1, 4] if args.quick else [1, 2, 4, 8]
+    requests_per_client = 4 if args.quick else 12
+    top = f"c{levels[-1]}"
+
+    results: dict[str, dict] = {}
+    for kernel in KERNELS:
+        print(f"benchmarking {kernel} on {params} params ...", flush=True)
+        results[kernel] = bench_kernel(
+            kernel, params, levels, requests_per_client
+        )
+        for level in (f"c{c}" for c in levels):
+            serial_row = results[kernel]["serial"][level]
+            batched_row = results[kernel]["batched"][level]
+            print(
+                f"  {level:>3s}: serial p50 {serial_row['p50_ms']:>8.1f}ms"
+                f" ({serial_row['qps']:>6.1f} qps)   "
+                f"batched p50 {batched_row['p50_ms']:>8.1f}ms"
+                f" ({batched_row['qps']:>6.1f} qps, occupancy "
+                f"{batched_row['mean_batch_occupancy']:.2f})"
+                f"   speedup {results[kernel]['p50_speedup'][level]}x"
+            )
+
+    report = {
+        "schema": 1,
+        "mode": mode,
+        "params": params,
+        "config": {
+            "max_batch": MAX_BATCH,
+            "linger_ms": LINGER_MS,
+            "levels": levels,
+            "requests_per_client": requests_per_client,
+        },
+        "kernels": results,
+        "metrics": {
+            f"{kernel}.{level}.p50_speedup": value
+            for kernel, row in results.items()
+            for level, value in row["p50_speedup"].items()
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"written to {args.output}")
+
+    if args.update_floor:
+        floors = (
+            json.loads(FLOOR_FILE.read_text()) if FLOOR_FILE.exists() else {}
+        )
+        floors.update(
+            (f"{params}.{kernel}.{top}.p50_speedup",
+             row["p50_speedup"][top])
+            for kernel, row in results.items()
+            if top in row["p50_speedup"]
+        )
+        FLOOR_FILE.write_text(
+            json.dumps(floors, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"floor refreshed: {FLOOR_FILE}")
+
+    if args.check_floor:
+        failures = check_floor(params, results, top)
+        for failure in failures:
+            print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("floor check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,9 @@ Commands:
 * ``baseline <kernel>``        — print the hand-written baseline
 * ``run <kernel>``             — synthesize, then execute on a backend
   (``--batch N`` executes N inputs in one lockstep encrypted batch)
+* ``serve``                    — long-lived multi-tenant compile-and-run
+  service (JSON over TCP; coalesces concurrent same-program requests
+  into lockstep batches, see :mod:`repro.serve`)
 * ``profile``                  — measure per-instruction latencies
 
 ``list``, ``compile``, and ``run`` accept ``--json`` for
@@ -219,6 +222,50 @@ def _run_batch(args, session, compiled) -> int:
     return 0 if batch.all_match else 1
 
 
+def _cmd_serve(args) -> int:
+    """``porcupine serve``: run the batch-scheduling service until stopped."""
+    import asyncio
+
+    from repro.serve import PorcupineServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        params=args.params,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        linger_ms=args.linger_ms,
+        compile_workers=args.compile_workers,
+        cache_dir=args.cache_dir,
+        precompile=tuple(
+            name for name in (args.precompile or "").split(",") if name
+        ),
+    )
+    server = PorcupineServer(config=config)
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        # machine-parseable boot line: smoke scripts read the port from it
+        print(f"serving on {host}:{port}", flush=True)
+        if config.precompile:
+            print(
+                f"precompiled: {', '.join(sorted(server._hot))}",
+                file=sys.stderr,
+                flush=True,
+            )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    if args.timings:
+        print(server.metrics.format_table(), file=sys.stderr)
+    print("shutdown complete", flush=True)
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.he.params import large_params, small_params, toy_params
     from repro.runtime.profiler import format_latency_table, profile_instructions
@@ -296,6 +343,41 @@ def main(argv: list[str] | None = None) -> int:
     baseline = sub.add_parser("baseline", help="print a hand-written baseline")
     baseline.add_argument("kernel")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant compile-and-run service "
+             "(JSON-lines over TCP, request coalescing)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7707,
+                       help="TCP port (0 picks a free one; the bound port "
+                            "is printed as 'serving on HOST:PORT')")
+    serve.add_argument("--backend", choices=("he", "interpreter"),
+                       default="he",
+                       help="default execution backend (default: he)")
+    serve.add_argument("--params", choices=("toy", "small", "large"),
+                       default=None,
+                       help="override the HE parameter preset (the spec's "
+                            "own preset otherwise)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="execution-backend key seed")
+    serve.add_argument("--max-batch", type=int, default=8, metavar="N",
+                       help="max coalesced requests per lockstep batch")
+    serve.add_argument("--linger-ms", type=float, default=2.0, metavar="MS",
+                       help="max wait for co-batchable requests")
+    serve.add_argument("--compile-workers", type=int, default=0, metavar="N",
+                       help="compile worker processes sharing the on-disk "
+                            "cache (0: compile inline; requires --cache-dir "
+                            "when > 0)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="shared on-disk compile cache directory")
+    serve.add_argument("--precompile", metavar="K1,K2|all",
+                       help="registry kernels to compile (and pin) at boot")
+    serve.add_argument("--timings", action="store_true",
+                       help="print the scheduler stats table on shutdown "
+                            "(batches, occupancy, coalesce ratio, cache "
+                            "hit rate, p50/p99)")
+
     profile = sub.add_parser("profile", help="profile instruction latencies")
     profile.add_argument("--preset", choices=("toy", "small", "large"),
                          default="toy")
@@ -316,6 +398,7 @@ def main(argv: list[str] | None = None) -> int:
         "compile": _cmd_compile,
         "baseline": _cmd_baseline,
         "run": _cmd_run,
+        "serve": _cmd_serve,
         "profile": _cmd_profile,
     }
     return handlers[args.command](args)

@@ -130,14 +130,22 @@ class HEBackend:
     """Execute under real BFV encryption; executors are reused per spec.
 
     ``slow_reference=True`` runs on the retained big-integer BFV paths
-    (the oracle/baseline implementation).
+    (the oracle/baseline implementation).  ``params`` overrides the
+    spec's parameter preset by name (``"toy"``/``"small"``/``"large"``) —
+    the serving benchmark's quick mode runs on toy parameters this way.
     """
 
     name = "he"
 
-    def __init__(self, seed: int | None = None, slow_reference: bool = False):
+    def __init__(
+        self,
+        seed: int | None = None,
+        slow_reference: bool = False,
+        params: str | None = None,
+    ):
         self.seed = seed
         self.slow_reference = slow_reference
+        self.params_preset = params
         self._executors: dict[str, object] = {}
 
     def _executor_for(self, spec: Spec):
@@ -145,11 +153,38 @@ class HEBackend:
 
         executor = self._executors.get(spec.name)
         if executor is None:
+            params = None
+            if self.params_preset is not None:
+                from repro.he.params import (
+                    large_params,
+                    small_params,
+                    toy_params,
+                )
+
+                presets = {
+                    "toy": toy_params,
+                    "small": small_params,
+                    "large": large_params,
+                }
+                try:
+                    params = presets[self.params_preset]()
+                except KeyError:
+                    raise ValueError(
+                        f"unknown params preset {self.params_preset!r}; "
+                        f"available: {', '.join(presets)}"
+                    ) from None
             executor = HEExecutor(
-                spec, seed=self.seed, slow_reference=self.slow_reference
+                spec,
+                params=params,
+                seed=self.seed,
+                slow_reference=self.slow_reference,
             )
             self._executors[spec.name] = executor
         return executor
+
+    def pin(self, program: Program, spec: Spec) -> None:
+        """Keep a hot program's compiled tape resident across evictions."""
+        self._executor_for(spec).pin(program)
 
     def _to_result(self, program: Program, report) -> BackendResult:
         return BackendResult(

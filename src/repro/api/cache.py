@@ -10,7 +10,10 @@ while re-running the same benchmark suite hits every kernel.
 
 Entries live in memory; pass a directory for persistence across
 processes (programs are stored in Quill's canonical text format and
-re-parsed on load, so the cache files are human-auditable).
+re-parsed on load, so the cache files are human-auditable).  On-disk
+writes are atomic (write-to-temp + ``os.replace``), so any number of
+processes — the serving compile workers all share one cache directory —
+can read and write concurrently without ever observing a torn entry.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
+import os
 import threading
 from dataclasses import asdict as dataclass_asdict
 from dataclasses import dataclass, fields
@@ -317,11 +321,17 @@ class CompileCache:
             entry = self._memory.get(key)
             if entry is None and self.path is not None:
                 file = self._file_for(key)
-                if file.exists():
+                try:
+                    # read without an exists() pre-check: a concurrent
+                    # clear() between check and read would crash, while
+                    # a concurrent put() is invisible thanks to the
+                    # atomic-replace write (old or new file, never torn)
+                    payload = file.read_text()
+                except OSError:
+                    entry = None
+                else:
                     try:
-                        entry = CacheEntry.from_json(
-                            json.loads(file.read_text())
-                        )
+                        entry = CacheEntry.from_json(json.loads(payload))
                     except (json.JSONDecodeError, KeyError):
                         entry = None  # corrupt entry: treat as a miss
                     else:
@@ -337,16 +347,32 @@ class CompileCache:
             self._memory[key] = entry
             if self.path is not None:
                 self.path.mkdir(parents=True, exist_ok=True)
-                self._file_for(key).write_text(
-                    json.dumps(entry.to_json(), indent=2)
+                target = self._file_for(key)
+                # write-to-temp + atomic rename: concurrent readers (other
+                # compile workers sharing this directory) see either the
+                # complete old entry or the complete new one, never a
+                # partial write; the temp name is per-process *and*
+                # per-thread so two writers never collide on it either
+                # (last replace wins, and both entries are identical by
+                # content-addressing anyway)
+                tmp = target.with_suffix(
+                    f".tmp.{os.getpid()}.{threading.get_ident()}"
                 )
+                tmp.write_text(json.dumps(entry.to_json(), indent=2))
+                os.replace(tmp, target)
 
     def clear(self) -> None:
         with self._lock:
             self._memory.clear()
             if self.path is not None and self.path.exists():
                 for file in self.path.glob("*.json"):
-                    file.unlink()
+                    file.unlink(missing_ok=True)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from memory or disk (0.0 if none)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def __len__(self) -> int:
         return len(self._memory)

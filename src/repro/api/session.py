@@ -489,12 +489,70 @@ class Porcupine:
         overflows the plaintext modulus).
         """
         compiled = self.compile(kernel, **compile_kwargs)
-        definition = self._resolve(kernel)
-        spec = definition.spec()
+        spec = self._resolve(kernel).spec()
         if inputs is None:
             inputs = self._random_inputs(spec, seed)
+        return self.execute(
+            compiled, inputs, backend=backend, seed=seed, spec=spec
+        )
+
+    def execute(
+        self,
+        compiled: CompiledKernel,
+        inputs: dict[str, np.ndarray],
+        *,
+        backend: str | ExecutionBackend | None = None,
+        seed: int = 0,
+        spec: Spec | None = None,
+    ) -> BackendResult:
+        """Execute an already-compiled kernel (no compile step).
+
+        The serving scheduler's entry point: compilation (possibly in a
+        worker process against the shared cache) and execution are
+        separate stages there, so this takes the :class:`CompiledKernel`
+        directly instead of re-resolving through :meth:`compile`.
+        ``spec`` is only needed for ad-hoc kernels not in the registry.
+        """
+        if spec is None:
+            spec = self.spec(compiled.name)
         engine = self._resolve_backend(backend, seed)
         return engine.execute(compiled.program, spec, inputs)
+
+    def execute_batch(
+        self,
+        compiled: CompiledKernel,
+        envs: Sequence[dict[str, np.ndarray]],
+        *,
+        backend: str | ExecutionBackend | None = None,
+        seed: int = 0,
+        spec: Spec | None = None,
+    ) -> BatchResult:
+        """Execute one compiled kernel over a batch of environments.
+
+        Like :meth:`execute`, but in lockstep over the whole batch (one
+        ``run_many`` tape pass on the HE backend).  This is what the
+        serving batch scheduler calls once per coalesced batch; results
+        are positionally aligned with ``envs``.
+        """
+        if spec is None:
+            spec = self.spec(compiled.name)
+        engine = self._resolve_backend(backend, seed)
+        execute_many = getattr(engine, "execute_many", None)
+        if execute_many is not None:
+            return execute_many(compiled.program, spec, list(envs))
+        import time as _time
+
+        started = _time.perf_counter()
+        results = [
+            engine.execute(compiled.program, spec, env) for env in envs
+        ]
+        return BatchResult(
+            backend=getattr(engine, "name", "custom"),
+            kernel=compiled.program.name,
+            results=results,
+            batch_size=len(results),
+            total_seconds=_time.perf_counter() - started,
+        )
 
     def _resolve_backend(
         self, backend: str | ExecutionBackend | None, seed: int
@@ -555,22 +613,8 @@ class Porcupine:
                         for name in shared
                     }
                 )
-        engine = self._resolve_backend(backend, seed)
-        execute_many = getattr(engine, "execute_many", None)
-        if execute_many is not None:
-            return execute_many(compiled.program, spec, inputs)
-        import time as _time
-
-        started = _time.perf_counter()
-        results = [
-            engine.execute(compiled.program, spec, env) for env in inputs
-        ]
-        return BatchResult(
-            backend=getattr(engine, "name", "custom"),
-            kernel=compiled.program.name,
-            results=results,
-            batch_size=len(results),
-            total_seconds=_time.perf_counter() - started,
+        return self.execute_batch(
+            compiled, inputs, backend=backend, seed=seed, spec=spec
         )
 
     def run_all(

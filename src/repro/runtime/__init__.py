@@ -16,9 +16,12 @@ substrate the executor drags in.
 from importlib import import_module
 
 _EXPORTS = {
+    "BatchExecutionReport": "repro.runtime.executor",
     "ExecutionReport": "repro.runtime.executor",
     "HEExecutor": "repro.runtime.executor",
+    "SchedulerStats": "repro.runtime.profiler",
     "SearchStats": "repro.runtime.profiler",
+    "format_scheduler_table": "repro.runtime.profiler",
     "profile_instructions": "repro.runtime.profiler",
 }
 

@@ -242,6 +242,7 @@ class HEExecutor:
         self.ctx = BFVContext(params, seed=seed, slow_reference=slow_reference)
         self._plaintext_cache: dict[bytes, object] = {}
         self._compiled: dict[int, CompiledProgram] = {}
+        self._pinned: set[int] = set()
 
     # ------------------------------------------------------------------
     # Compilation: program -> tape
@@ -333,9 +334,32 @@ class HEExecutor:
             ),
         )
         if len(self._compiled) >= 32:  # bound the per-program tape cache
-            self._compiled.clear()
+            # pinned tapes survive the wholesale clear: the batch
+            # scheduler replays the same hot programs every tick, and
+            # evicting one mid-serve would silently re-pay displacement
+            # checks, Galois key generation, and constant encoding
+            self._compiled = {
+                key: value
+                for key, value in self._compiled.items()
+                if key in self._pinned
+            }
         self._compiled[id(program)] = compiled
         return compiled
+
+    def pin(self, program: Program) -> CompiledProgram:
+        """Compile ``program`` and keep its tape resident across evictions.
+
+        The serving batch scheduler pins every precompiled/hot program so
+        batch-stack state (tape, keys, encoded constants) is reused across
+        scheduler ticks no matter how many cold programs pass through.
+        """
+        compiled = self.compile(program)
+        self._pinned.add(id(program))
+        return compiled
+
+    def unpin(self, program: Program) -> None:
+        """Allow a previously pinned program's tape to be evicted again."""
+        self._pinned.discard(id(program))
 
     def prepare(self, program: Program) -> None:
         """Generate the Galois keys the program needs (outside timing)."""
@@ -468,7 +492,11 @@ class HEExecutor:
         whole batch.
         """
         if not logical_envs:
-            raise ValueError("run_many needs at least one environment")
+            raise ValueError(
+                "run_many needs at least one environment (got an empty "
+                "batch); call run() for single requests or pass envs"
+            )
+        self._validate_envs(logical_envs)
         t_start = time.perf_counter()
         compiled = self.compile(program)
         layout = self.spec.layout
@@ -551,6 +579,34 @@ class HEExecutor:
             decrypt_seconds=t_done - t_eval,
             total_seconds=t_done - t_start,
         )
+
+    def _validate_envs(
+        self, logical_envs: list[dict[str, np.ndarray]]
+    ) -> None:
+        """Reject malformed batches with a clear error, not a shape crash.
+
+        Every environment must bind exactly the layout's input names; a
+        missing or extra name in env ``i`` is reported by name and index
+        instead of surfacing later as a ``KeyError`` or a numpy stacking
+        failure halfway through encryption.
+        """
+        expected = {p.name for p in self.spec.layout.inputs}
+        for i, env in enumerate(logical_envs):
+            names = set(env)
+            if names == expected:
+                continue
+            missing = sorted(expected - names)
+            extra = sorted(names - expected)
+            problems = []
+            if missing:
+                problems.append(f"missing input(s) {missing}")
+            if extra:
+                problems.append(f"unexpected input(s) {extra}")
+            raise ValueError(
+                f"run_many environment {i} of {len(logical_envs)} does not "
+                f"match spec {self.spec.name!r}: {'; '.join(problems)} "
+                f"(expected exactly {sorted(expected)})"
+            )
 
     # ------------------------------------------------------------------
     # Plaintext cache

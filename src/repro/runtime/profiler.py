@@ -6,6 +6,15 @@ resulting table can be checked into :mod:`repro.quill.latency` so that
 synthesis stays deterministic across machines — only relative magnitudes
 matter to the cost model.
 
+:class:`SchedulerStats` is the serving-side profile: one metrics shape
+shared by the ``porcupine serve`` batch scheduler, the ``stats`` wire
+op, the serving benchmark (``BENCH_serving.json``), and the CLI's
+``--timings`` report — batches formed, mean batch occupancy, the
+coalesce ratio (fraction of requests that shared their tape pass with at
+least one other request), compile cache hit rate, and request-latency
+percentiles.  It lives here, next to :class:`SearchStats`, so online
+serving and offline reporting never drift apart in what they count.
+
 :class:`SearchStats` is the synthesis-side profile: it aggregates the
 per-run statistics of every engine :class:`~repro.solver.engine.SearchOutcome`
 a CEGIS run issued (counterexample rounds, length increments, parallel
@@ -25,6 +34,7 @@ so per-phase shares stay well-ordered under clock granularity.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -36,6 +46,132 @@ if TYPE_CHECKING:  # pragma: no cover - synthesis-only imports stay light
 
 from repro.quill.ir import Opcode
 from repro.quill.latency import LatencyModel
+
+
+@dataclass
+class SchedulerStats:
+    """Batch-scheduler counters: the one serving metrics shape.
+
+    Produced by ``repro.serve`` (per kernel, per tenant, and globally),
+    embedded verbatim in ``BENCH_serving.json``, returned by the
+    ``stats`` wire op, and rendered by ``porcupine serve --timings`` —
+    so a dashboard reading the bench file and an operator reading the
+    server's shutdown report see identical fields.
+    """
+
+    requests: int = 0  # accepted run requests
+    responses: int = 0  # completed (ok) responses
+    errors: int = 0
+    batches: int = 0  # lockstep tape passes formed
+    batched_requests: int = 0  # requests served through those batches
+    coalesced_requests: int = 0  # requests in a batch of size >= 2
+    max_batch: int = 0  # largest batch formed
+    queue_peak: int = 0  # high-water pending-queue depth
+    compile_hits: int = 0
+    compile_misses: int = 0
+    latency_ms: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Average requests per formed batch (1.0 = no coalescing won)."""
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Fraction of requests that shared a tape pass with another."""
+        return (
+            self.coalesced_requests / self.batched_requests
+            if self.batched_requests
+            else 0.0
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of compile requests served from the shared cache."""
+        total = self.compile_hits + self.compile_misses
+        return self.compile_hits / total if total else 0.0
+
+    def percentile_ms(self, q: float) -> float | None:
+        """Latency percentile (``q`` in [0, 100]) over recorded samples."""
+        if not self.latency_ms:
+            return None
+        return float(np.percentile(np.asarray(self.latency_ms), q))
+
+    def record(self, batch_size: int) -> None:
+        """Count one formed batch of ``batch_size`` requests."""
+        self.batches += 1
+        self.batched_requests += batch_size
+        if batch_size >= 2:
+            self.coalesced_requests += batch_size
+        self.max_batch = max(self.max_batch, batch_size)
+
+    def merge(self, other: "SchedulerStats") -> "SchedulerStats":
+        """Pointwise sum (per-kernel stats fold into the global row)."""
+        merged = SchedulerStats(
+            requests=self.requests + other.requests,
+            responses=self.responses + other.responses,
+            errors=self.errors + other.errors,
+            batches=self.batches + other.batches,
+            batched_requests=self.batched_requests + other.batched_requests,
+            coalesced_requests=(
+                self.coalesced_requests + other.coalesced_requests
+            ),
+            max_batch=max(self.max_batch, other.max_batch),
+            queue_peak=max(self.queue_peak, other.queue_peak),
+            compile_hits=self.compile_hits + other.compile_hits,
+            compile_misses=self.compile_misses + other.compile_misses,
+        )
+        merged.latency_ms = self.latency_ms + other.latency_ms
+        return merged
+
+    def summary(self) -> dict:
+        """JSON-ready snapshot (the serving bench/report schema)."""
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "errors": self.errors,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "mean_occupancy": round(self.mean_occupancy, 3),
+            "coalesce_ratio": round(self.coalesce_ratio, 3),
+            "max_batch": self.max_batch,
+            "queue_peak": self.queue_peak,
+            "compile_hits": self.compile_hits,
+            "compile_misses": self.compile_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 3),
+            "p50_ms": _round_or_none(self.percentile_ms(50)),
+            "p99_ms": _round_or_none(self.percentile_ms(99)),
+        }
+
+
+def _round_or_none(value: float | None, digits: int = 3) -> float | None:
+    return round(value, digits) if value is not None else None
+
+
+def format_scheduler_table(
+    overall: SchedulerStats, per_kernel: dict[str, SchedulerStats]
+) -> str:
+    """Render serving stats the way ``--timings`` renders pass timings."""
+    lines = [
+        "scheduler stats:",
+        f"  {'kernel':18s} {'reqs':>6s} {'batches':>8s} {'occ':>6s} "
+        f"{'coal':>6s} {'hit%':>6s} {'p50ms':>9s} {'p99ms':>9s}",
+    ]
+
+    def row(name: str, stats: SchedulerStats) -> str:
+        p50, p99 = stats.percentile_ms(50), stats.percentile_ms(99)
+        return (
+            f"  {name:18s} {stats.requests:6d} {stats.batches:8d} "
+            f"{stats.mean_occupancy:6.2f} {stats.coalesce_ratio:6.2f} "
+            f"{stats.cache_hit_rate * 100:5.0f}% "
+            f"{p50 if p50 is not None else float('nan'):9.2f} "
+            f"{p99 if p99 is not None else float('nan'):9.2f}"
+        )
+
+    for name in sorted(per_kernel):
+        lines.append(row(name, per_kernel[name]))
+    lines.append(row("(all)", overall))
+    return "\n".join(lines)
 
 
 def profile_instructions(

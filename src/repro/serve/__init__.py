@@ -1,0 +1,66 @@
+"""Porcupine Serve: a long-lived, multi-tenant HE compile-and-run service.
+
+The rest of the repository compiles and runs kernels one CLI invocation
+or one session call at a time.  This package ties the existing pieces —
+:class:`~repro.api.Porcupine` sessions, the content-addressed on-disk
+compile cache, and :meth:`~repro.runtime.executor.HEExecutor.run_many`
+lockstep batching — into a serving process shaped like production HE
+infrastructure (EVA/HEIR's "compile once, serve many" boundary):
+
+* an **asyncio front-end** (:class:`PorcupineServer`) speaking
+  newline-delimited JSON over TCP (:mod:`repro.serve.protocol`),
+* a **batch scheduler** (:class:`BatchScheduler`) that coalesces
+  concurrent requests for the same compiled program into a single
+  ``run_many`` lockstep batch — bounded by ``max_batch`` and a
+  ``linger`` window — with fair-share round-robin ordering across
+  tenants,
+* a **process-pool compile tier** (:class:`CompilePool`) whose workers
+  share one on-disk compile cache (atomic writes make that safe) and
+  precompile hot registry kernels at boot, and
+* **per-tenant/per-kernel bookkeeping** (:class:`MetricsRegistry`):
+  queue depth, batch occupancy, coalesce ratio, compile hit/miss, and
+  p50/p99 latency, all in the shared
+  :class:`~repro.runtime.profiler.SchedulerStats` shape.
+
+Results served through the batcher are bit-identical to a direct
+``session.run`` of the same request: lockstep batching broadcasts the
+very same instruction tape over a stacked batch axis, and the property
+tests in ``tests/serve`` pin byte equality against serial runs.
+
+Start a server from the CLI (``porcupine serve``) or in-process::
+
+    from repro.serve import PorcupineServer, ServeClient
+
+    server = PorcupineServer(backend="interpreter", precompile=("gx",))
+    host, port = await server.start()          # inside asyncio
+    ...
+    client = ServeClient(host, port)           # blocking, any thread
+    reply = client.run("gx", tenant="alice")
+"""
+
+from repro.serve.batcher import BatchScheduler, WorkItem
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.compilepool import CompilePool
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.protocol import (
+    MAX_LINE,
+    decode_message,
+    encode_message,
+    error_response,
+)
+from repro.serve.server import PorcupineServer, ServeConfig
+
+__all__ = [
+    "AsyncServeClient",
+    "BatchScheduler",
+    "CompilePool",
+    "MAX_LINE",
+    "MetricsRegistry",
+    "PorcupineServer",
+    "ServeClient",
+    "ServeConfig",
+    "WorkItem",
+    "decode_message",
+    "encode_message",
+    "error_response",
+]

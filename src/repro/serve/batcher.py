@@ -1,0 +1,264 @@
+"""The batch scheduler: request coalescing with linger and fair-share.
+
+Concurrent requests for the same compiled program are held briefly and
+dispatched as *one* lockstep ``run_many`` batch — the ``(batch, k, N)``
+residue stacks make the marginal cost of a coalesced request ~flat, so
+under load the scheduler converts queueing delay into batch occupancy.
+
+Two knobs bound the wait:
+
+* ``max_batch`` — a group dispatches immediately once this many
+  requests are pending (the stack height of one tape pass), and
+* ``linger_s`` — the *first* request of a group starts a linger timer;
+  when it fires, whatever has accumulated dispatches.  An idle service
+  therefore adds at most one linger window of latency, and a busy one
+  never waits at all.
+
+Dispatches are serialized per group — while a batch for a key is in
+flight, newly arriving requests accumulate (beyond ``max_batch`` if they
+must) and are drained fair-share when the batch lands.  The execution
+tier is one serial accelerator pass, so concurrent dispatches would only
+queue downstream; holding them here instead is what gives the fairness
+policy a backlog to be fair *about*.
+
+Requests only share a group when they are provably lockstep-compatible:
+the group key carries the kernel, backend, execution seed, and a digest
+of the server-side plaintext operands (``run_many`` shares those across
+the batch).  Within a group, requests are drained **fair-share**: one
+per tenant, round-robin, so a tenant flooding the queue cannot starve a
+light tenant out of the next batch.
+
+The scheduler is deliberately ignorant of HE: it coalesces opaque
+payloads and hands batches to an async ``run_batch`` callable, which
+makes it directly unit-testable (and reusable for any batched backend).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Hashable, Sequence
+
+from repro.serve.metrics import MetricsRegistry
+
+# an async callable: (group_key, payloads) -> one result per payload
+BatchRunner = Callable[[Hashable, list], Awaitable[Sequence[Any]]]
+
+
+@dataclass
+class WorkItem:
+    """One queued request, opaque payload plus scheduling bookkeeping."""
+
+    key: Hashable  # coalescing group (kernel, backend, seed, pt digest)
+    kernel: str
+    tenant: str
+    payload: Any
+    enqueued: float = field(default_factory=time.perf_counter)
+    batch_size: int = 0  # how many requests shared the dispatch (set late)
+    future: asyncio.Future = field(default_factory=asyncio.Future)
+
+
+class _Group:
+    """Pending requests for one coalescing key, queued per tenant."""
+
+    __slots__ = ("tenants", "rr", "timer", "size", "busy", "ready")
+
+    def __init__(self):
+        self.tenants: dict[str, deque[WorkItem]] = {}
+        self.rr = 0  # round-robin cursor, persistent across batches
+        self.timer: asyncio.TimerHandle | None = None
+        self.size = 0
+        self.busy = False  # a batch for this key is executing right now
+        self.ready = False  # flush was requested while busy; fire on landing
+
+    def add(self, item: WorkItem) -> None:
+        queue = self.tenants.get(item.tenant)
+        if queue is None:
+            queue = self.tenants[item.tenant] = deque()
+        queue.append(item)
+        self.size += 1
+
+    def pop_batch(self, limit: int) -> list[WorkItem]:
+        """Drain up to ``limit`` items, one per tenant, round-robin.
+
+        The cursor survives between batches, so with tenants A (many
+        pending) and B, C (one each), consecutive batches keep rotating
+        the first slot instead of always starting at A.
+        """
+        items: list[WorkItem] = []
+        names = list(self.tenants)
+        if not names:
+            return items
+        cursor = self.rr % len(names)
+        while len(items) < limit and self.size:
+            queue = self.tenants[names[cursor]]
+            if queue:
+                items.append(queue.popleft())
+                self.size -= 1
+            cursor = (cursor + 1) % len(names)
+            if not any(self.tenants[name] for name in names):
+                break
+        self.rr = cursor
+        # drop drained tenant queues so the rotation stays tight
+        for name in names:
+            if not self.tenants[name]:
+                del self.tenants[name]
+        return items
+
+
+class BatchScheduler:
+    """Coalesce submitted work items into batched dispatches."""
+
+    #: empty groups beyond this count are pruned (their only state worth
+    #: keeping is the fairness cursor, which resets harmlessly)
+    GROUP_LIMIT = 256
+
+    def __init__(
+        self,
+        run_batch: BatchRunner,
+        *,
+        max_batch: int = 8,
+        linger_s: float = 0.002,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if linger_s < 0:
+            raise ValueError("linger_s must be >= 0")
+        self.run_batch = run_batch
+        self.max_batch = max_batch
+        self.linger_s = linger_s
+        self.metrics = metrics
+        self._groups: dict[Hashable, _Group] = {}
+        self._inflight: set[asyncio.Task] = set()
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(self, item: WorkItem) -> Any:
+        """Queue one item and await its result.
+
+        Must be called on the event loop.  Dispatch happens immediately
+        at ``max_batch`` pending, else when the group's linger expires.
+        """
+        group = self._groups.get(item.key)
+        if group is None:
+            if len(self._groups) > self.GROUP_LIMIT:
+                self._groups = {
+                    key: g
+                    for key, g in self._groups.items()
+                    if g.size or g.busy
+                }
+            group = self._groups[item.key] = _Group()
+        group.add(item)
+        self._gauge(item.kernel)
+        if group.size >= self.max_batch:
+            self._flush(item.key)
+        elif group.timer is None:
+            loop = asyncio.get_running_loop()
+            group.timer = loop.call_later(
+                self.linger_s, self._flush, item.key
+            )
+        return await item.future
+
+    def depth(self, key: Hashable | None = None) -> int:
+        """Pending items in one group (or across all groups)."""
+        if key is not None:
+            group = self._groups.get(key)
+            return group.size if group else 0
+        return sum(group.size for group in self._groups.values())
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _flush(self, key: Hashable) -> None:
+        group = self._groups.get(key)
+        if group is None:
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+            group.timer = None
+        if group.busy:
+            # one batch per group at a time (the execution tier is one
+            # serial accelerator pass anyway): let the backlog build and
+            # fair-share it when the in-flight batch lands
+            group.ready = True
+            return
+        items = group.pop_batch(self.max_batch)
+        if not items:
+            return
+        group.busy = True
+        for item in items:
+            item.batch_size = len(items)
+        if self.metrics is not None:
+            self.metrics.batch(items[0].kernel, len(items))
+        self._gauge(items[0].kernel)
+        task = asyncio.get_running_loop().create_task(
+            self._dispatch(key, items)
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _dispatch(self, key: Hashable, items: list[WorkItem]) -> None:
+        try:
+            results = await self.run_batch(
+                key, [item.payload for item in items]
+            )
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"batch runner returned {len(results)} results for "
+                    f"{len(items)} items"
+                )
+            for item, result in zip(items, results):
+                if not item.future.done():
+                    item.future.set_result(result)
+        except Exception as error:  # noqa: BLE001 - forwarded to callers
+            for item in items:
+                if not item.future.done():
+                    item.future.set_exception(error)
+        finally:
+            self._on_batch_done(key)
+
+    def _on_batch_done(self, key: Hashable) -> None:
+        """Re-arm the group once its in-flight batch has landed."""
+        group = self._groups.get(key)
+        if group is None:
+            return
+        group.busy = False
+        if group.ready or group.size >= self.max_batch:
+            group.ready = False
+            self._flush(key)
+        elif group.size and group.timer is None:
+            group.timer = asyncio.get_running_loop().call_later(
+                self.linger_s, self._flush, key
+            )
+
+    def _gauge(self, kernel: str) -> None:
+        if self.metrics is not None:
+            pending = sum(
+                group.size
+                for key, group in self._groups.items()
+                if group.size and self._kernel_of(key) == kernel
+            )
+            self.metrics.depth(kernel, pending)
+
+    @staticmethod
+    def _kernel_of(key: Hashable) -> str:
+        # group keys are (kernel, ...) tuples by convention; fall back to
+        # the whole key so exotic keys still gauge *something*
+        if isinstance(key, tuple) and key and isinstance(key[0], str):
+            return key[0]
+        return str(key)
+
+    # -- shutdown ----------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Dispatch everything pending and wait for in-flight batches."""
+        while True:
+            for key in list(self._groups):
+                self._flush(key)
+            if not self._inflight:
+                break
+            await asyncio.gather(
+                *list(self._inflight), return_exceptions=True
+            )

@@ -1,0 +1,198 @@
+"""Clients for the serve protocol: blocking (tests/CLI) and asyncio (bench).
+
+:class:`ServeClient` is a plain-socket, one-request-at-a-time client —
+what a test, the CI smoke script, or a shell pipeline wants.
+:class:`AsyncServeClient` pipelines many requests over one connection
+and matches responses to requests by id, which is what the open-loop
+load generator needs (requests must leave on schedule regardless of how
+fast responses come back).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+from typing import Any
+
+import numpy as np
+
+from repro.serve.protocol import MAX_LINE, decode_message, encode_message
+
+
+def _prepare_inputs(inputs: dict | None) -> dict | None:
+    if inputs is None:
+        return None
+    return {
+        name: (
+            np.asarray(value).tolist()
+            if isinstance(value, np.ndarray)
+            else value
+        )
+        for name, value in inputs.items()
+    }
+
+
+class ServeClient:
+    """Blocking JSON-lines client: one in-flight request at a time."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        self._stash: dict[Any, dict] = {}  # out-of-order replies by id
+
+    def request(self, payload: dict) -> dict:
+        """Send one payload and return its (id-matched) response."""
+        request_id = payload.setdefault("id", f"c{next(self._ids)}")
+        if request_id in self._stash:
+            return self._stash.pop(request_id)
+        self._file.write(encode_message(payload))
+        self._file.flush()
+        while True:
+            line = self._file.readline(MAX_LINE)
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = decode_message(line)
+            if response.get("id") in (request_id, None):
+                return response
+            self._stash[response.get("id")] = response
+
+    def run(
+        self,
+        kernel: str,
+        inputs: dict | None = None,
+        *,
+        tenant: str = "default",
+        seed: int | None = None,
+        backend: str | None = None,
+    ) -> dict:
+        payload: dict = {
+            "op": "run",
+            "kernel": kernel,
+            "tenant": tenant,
+            "inputs": _prepare_inputs(inputs),
+        }
+        if seed is not None:
+            payload["seed"] = seed
+        if backend is not None:
+            payload["backend"] = backend
+        return self.request(payload)
+
+    def output_array(self, response: dict) -> np.ndarray:
+        """A run response's output as the int64 array ``session.run`` returns."""
+        return np.asarray(response["output"], dtype=np.int64).reshape(
+            response["shape"]
+        )
+
+    def compile(self, kernel: str) -> dict:
+        return self.request({"op": "compile", "kernel": kernel})
+
+    def stats(self, reset: bool = False) -> dict:
+        return self.request({"op": "stats", "reset": reset})
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """Pipelined asyncio client: many in-flight requests, matched by id."""
+
+    def __init__(self):
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[Any, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._reader_task: asyncio.Task | None = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServeClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE
+        )
+        client._reader_task = asyncio.get_running_loop().create_task(
+            client._read_loop()
+        )
+        return client
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            error = ConnectionError("server closed the connection")
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+
+    async def submit(self, payload: dict) -> dict:
+        """Send now, await the matching response (pipelining-safe)."""
+        assert self._writer is not None
+        request_id = payload.setdefault("id", f"a{next(self._ids)}")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_message(payload))
+        await self._writer.drain()
+        return await future
+
+    async def run(
+        self,
+        kernel: str,
+        inputs: dict | None = None,
+        *,
+        tenant: str = "default",
+        seed: int | None = None,
+        backend: str | None = None,
+    ) -> dict:
+        payload: dict = {
+            "op": "run",
+            "kernel": kernel,
+            "tenant": tenant,
+            "inputs": _prepare_inputs(inputs),
+        }
+        if seed is not None:
+            payload["seed"] = seed
+        if backend is not None:
+            payload["backend"] = backend
+        return await self.submit(payload)
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

@@ -1,0 +1,131 @@
+"""The compile tier: synthesis off the event loop, cache shared on disk.
+
+Compilation (CEGIS synthesis) is CPU-bound and can take seconds to
+minutes — far too long to run on the serving event loop.  The pool
+pushes it out:
+
+* ``workers > 0`` — a ``ProcessPoolExecutor`` whose workers each open
+  their own :class:`~repro.api.Porcupine` session *on the same on-disk
+  cache directory*.  The content-addressed cache's atomic writes make N
+  concurrent workers safe; a worker's result lands on disk and the
+  serving session reloads it from there (a guaranteed cache hit), so
+  program objects never cross the process boundary.
+* ``workers == 0`` — compile inline on a thread of the default
+  executor (tests, and deployments that always run pre-warmed).
+
+Either way, concurrent requests for the same kernel are deduplicated:
+one in-flight compile per kernel, everyone else awaits it.  Boot-time
+``precompile`` pushes the configured hot kernels through the same path
+so the first real request never pays synthesis.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import Iterable
+
+from repro.api import CompiledKernel, Porcupine
+from repro.serve.metrics import MetricsRegistry
+
+
+def _compile_in_worker(
+    cache_dir: str,
+    kernel: str,
+    seed: int | None,
+    synthesis_defaults: dict,
+) -> tuple[str, bool]:
+    """Run one compile in a worker process against the shared disk cache.
+
+    Returns ``(cache_key, cache_hit)``; the compiled entry itself stays
+    on disk, where the parent (and every sibling worker) can load it.
+    """
+    session = Porcupine(
+        cache_dir=cache_dir,
+        seed=seed,
+        synthesis_defaults=synthesis_defaults,
+    )
+    compiled = session.compile(kernel)
+    return compiled.cache_key, compiled.cache_hit
+
+
+class CompilePool:
+    """Deduplicated async compilation over a process pool (or inline)."""
+
+    def __init__(
+        self,
+        session: Porcupine,
+        workers: int = 0,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if workers > 0 and session.cache.path is None:
+            raise ValueError(
+                "compile workers need an on-disk cache to share; "
+                "construct the session with cache_dir=..."
+            )
+        self.session = session
+        self.workers = workers
+        self.metrics = metrics
+        self._pool = (
+            ProcessPoolExecutor(max_workers=workers) if workers > 0 else None
+        )
+        self._inflight: dict[str, asyncio.Task] = {}
+
+    async def compile(
+        self, kernel: str, record: bool = True
+    ) -> CompiledKernel:
+        """Compile ``kernel`` (deduplicated, cached, off the event loop).
+
+        ``record=False`` keeps the compile out of the hit/miss counters —
+        boot-time warming is not request traffic.
+        """
+        task = self._inflight.get(kernel)
+        if task is None:
+            task = asyncio.get_running_loop().create_task(
+                self._compile(kernel, record)
+            )
+            self._inflight[kernel] = task
+            task.add_done_callback(
+                lambda _done, name=kernel: self._inflight.pop(name, None)
+            )
+        return await asyncio.shield(task)
+
+    async def _compile(self, kernel: str, record: bool) -> CompiledKernel:
+        loop = asyncio.get_running_loop()
+        if self._pool is not None:
+            _key, hit = await loop.run_in_executor(
+                self._pool,
+                _compile_in_worker,
+                str(self.session.cache.path),
+                kernel,
+                self.session.seed,
+                self.session.synthesis_defaults,
+            )
+        else:
+            hit = None  # resolved from the inline compile below
+        # load into the serving session; after a worker compile this is a
+        # disk hit (the worker's atomic write is already visible)
+        compiled = await loop.run_in_executor(
+            None, partial(self.session.compile, kernel)
+        )
+        if hit is None:
+            hit = compiled.cache_hit
+        if record and self.metrics is not None:
+            self.metrics.compile_result(kernel, bool(hit))
+        return compiled
+
+    async def precompile(
+        self, kernels: Iterable[str]
+    ) -> dict[str, CompiledKernel]:
+        """Warm every named kernel concurrently (boot-time hot set)."""
+        names = list(kernels)
+        results = await asyncio.gather(
+            *(self.compile(name, record=False) for name in names)
+        )
+        return dict(zip(names, results))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None

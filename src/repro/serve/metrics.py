@@ -1,0 +1,122 @@
+"""Per-kernel and per-tenant serving metrics.
+
+Everything counts into :class:`~repro.runtime.profiler.SchedulerStats`,
+the one metrics shape shared by online serving (the ``stats`` wire op,
+``porcupine serve --timings``) and offline reporting
+(``BENCH_serving.json``).  Latency samples are kept in a bounded sliding
+window per scope so a long-lived server's memory stays flat; counters
+are cumulative until ``snapshot(reset=True)``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.runtime.profiler import SchedulerStats, format_scheduler_table
+
+
+class MetricsRegistry:
+    """Thread-safe serving counters, scoped globally/per-kernel/per-tenant.
+
+    The asyncio front-end mutates from the event loop and the execution
+    thread reports batch timings, hence the lock; every operation is a
+    few integer bumps, so contention is negligible next to an encrypted
+    tape pass.
+    """
+
+    def __init__(self, latency_window: int = 4096):
+        self.latency_window = latency_window
+        self.overall = SchedulerStats()
+        self.per_kernel: dict[str, SchedulerStats] = {}
+        self.per_tenant: dict[str, SchedulerStats] = {}
+        self.queue_depth: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _kernel(self, kernel: str) -> SchedulerStats:
+        stats = self.per_kernel.get(kernel)
+        if stats is None:
+            stats = self.per_kernel[kernel] = SchedulerStats()
+        return stats
+
+    def _tenant(self, tenant: str) -> SchedulerStats:
+        stats = self.per_tenant.get(tenant)
+        if stats is None:
+            stats = self.per_tenant[tenant] = SchedulerStats()
+        return stats
+
+    # -- recording ---------------------------------------------------------
+
+    def request(self, kernel: str, tenant: str) -> None:
+        with self._lock:
+            for stats in (self.overall, self._kernel(kernel),
+                          self._tenant(tenant)):
+                stats.requests += 1
+
+    def response(
+        self, kernel: str, tenant: str, latency_s: float, ok: bool = True
+    ) -> None:
+        latency_ms = latency_s * 1e3
+        with self._lock:
+            for stats in (self.overall, self._kernel(kernel),
+                          self._tenant(tenant)):
+                if ok:
+                    stats.responses += 1
+                    stats.latency_ms.append(latency_ms)
+                    if len(stats.latency_ms) > self.latency_window:
+                        del stats.latency_ms[: -self.latency_window]
+                else:
+                    stats.errors += 1
+
+    def error(self, kernel: str, tenant: str) -> None:
+        self.response(kernel, tenant, 0.0, ok=False)
+
+    def batch(self, kernel: str, size: int) -> None:
+        """One coalesced lockstep batch of ``size`` requests dispatched."""
+        with self._lock:
+            self.overall.record(size)
+            self._kernel(kernel).record(size)
+
+    def depth(self, kernel: str, depth: int) -> None:
+        """Gauge update: requests currently queued for ``kernel``."""
+        with self._lock:
+            self.queue_depth[kernel] = depth
+            kernel_stats = self._kernel(kernel)
+            kernel_stats.queue_peak = max(kernel_stats.queue_peak, depth)
+            total = sum(self.queue_depth.values())
+            self.overall.queue_peak = max(self.overall.queue_peak, total)
+
+    def compile_result(self, kernel: str, hit: bool) -> None:
+        with self._lock:
+            for stats in (self.overall, self._kernel(kernel)):
+                if hit:
+                    stats.compile_hits += 1
+                else:
+                    stats.compile_misses += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self, reset: bool = False) -> dict:
+        """JSON-ready view of every scope (the ``stats`` op's payload)."""
+        with self._lock:
+            payload = {
+                "scheduler": self.overall.summary(),
+                "kernels": {
+                    name: stats.summary()
+                    for name, stats in sorted(self.per_kernel.items())
+                },
+                "tenants": {
+                    name: stats.summary()
+                    for name, stats in sorted(self.per_tenant.items())
+                },
+                "queue_depth": dict(sorted(self.queue_depth.items())),
+            }
+            if reset:
+                self.overall = SchedulerStats()
+                self.per_kernel = {}
+                self.per_tenant = {}
+            return payload
+
+    def format_table(self) -> str:
+        """The ``--timings`` rendering (shared with offline reports)."""
+        with self._lock:
+            return format_scheduler_table(self.overall, self.per_kernel)

@@ -1,0 +1,153 @@
+"""Wire protocol: newline-delimited JSON requests and responses.
+
+One JSON object per line, UTF-8, at most :data:`MAX_LINE` bytes.  Every
+request carries an ``op`` plus op-specific fields; every response echoes
+the request's ``id`` (``null`` if the request was unparseable) and an
+``ok`` flag.  The protocol is deliberately plain — any language with a
+TCP socket and a JSON encoder is a client; no schema registry, no
+framing beyond the newline.
+
+Requests
+--------
+
+``{"op": "run", "id": "r1", "kernel": "gx", "tenant": "alice",
+"inputs": {"img": [[...]]}, "seed": 0}``
+    Compile (cached) and execute one kernel.  ``inputs`` maps logical
+    input names to nested integer lists matching the spec's shapes;
+    omit it to draw random in-range inputs from ``seed`` server-side.
+    Concurrent ``run`` requests for the same program coalesce into one
+    lockstep batch.
+
+``{"op": "compile", "kernel": "gx"}``
+    Warm the compile cache without executing.
+
+``{"op": "stats", "reset": false}``
+    Scheduler/tenant/kernel counters (optionally reset after reading).
+
+``{"op": "ping"}`` / ``{"op": "shutdown"}``
+    Liveness probe / graceful stop (drain queues, then exit).
+
+Responses
+---------
+
+``run`` replies carry the decrypted logical ``output`` (nested list) and
+its ``shape``, ``matches_reference``, ``noise_budget`` (HE only),
+``batched`` (how many requests shared the tape pass), and ``latency_s``
+(arrival to completion, queueing included).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.spec.reference import Spec
+
+#: Hard cap on one protocol line; ``asyncio.start_server(limit=...)`` and
+#: the blocking client both enforce it.  Model vectors are tiny (tens of
+#: slots), so 1 MiB leaves orders of magnitude of headroom.
+MAX_LINE = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be decoded into a well-formed operation."""
+
+
+def encode_message(payload: dict) -> bytes:
+    """One wire line: compact JSON + newline."""
+    line = json.dumps(payload, separators=(",", ":")).encode()
+    if len(line) + 1 > MAX_LINE:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the {MAX_LINE}-byte limit"
+        )
+    return line + b"\n"
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse one wire line into a payload dict."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("message must be a JSON object")
+    return payload
+
+
+def error_response(request_id: Any, message: str) -> dict:
+    return {"id": request_id, "ok": False, "error": message}
+
+
+def decode_inputs(
+    spec: Spec, payload: dict | None
+) -> dict[str, np.ndarray]:
+    """Validate and convert a request's ``inputs`` against the spec.
+
+    Checked here, before the request is enqueued, so a malformed request
+    fails alone instead of poisoning the whole coalesced batch it would
+    have joined.
+    """
+    if payload is None:
+        raise ProtocolError("missing 'inputs'")
+    if not isinstance(payload, dict):
+        raise ProtocolError("'inputs' must be an object of name -> array")
+    expected = {p.name: p.shape for p in spec.layout.inputs}
+    missing = sorted(set(expected) - set(payload))
+    extra = sorted(set(payload) - set(expected))
+    if missing or extra:
+        problems = []
+        if missing:
+            problems.append(f"missing input(s) {missing}")
+        if extra:
+            problems.append(f"unexpected input(s) {extra}")
+        raise ProtocolError(
+            f"inputs for {spec.name!r} malformed: {'; '.join(problems)}"
+        )
+    env: dict[str, np.ndarray] = {}
+    for name, shape in expected.items():
+        try:
+            array = np.asarray(payload[name], dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            raise ProtocolError(
+                f"input {name!r} is not an integer array"
+            ) from None
+        if array.shape != tuple(shape):
+            raise ProtocolError(
+                f"input {name!r} expects shape {tuple(shape)}, "
+                f"got {array.shape}"
+            )
+        env[name] = array
+    return env
+
+
+def random_inputs(spec: Spec, seed: int) -> dict[str, np.ndarray]:
+    """Server-side random in-range inputs (the load generator's friend)."""
+    rng = np.random.default_rng(seed)
+    return {
+        p.name: rng.integers(
+            0, spec.backend_bound + 1, p.shape, dtype=np.int64
+        )
+        for p in spec.layout.inputs
+    }
+
+
+def plaintext_digest(spec: Spec, env: dict[str, np.ndarray]) -> str:
+    """Content digest of the server-side (plaintext) operands.
+
+    ``run_many`` shares plaintext operands across a lockstep batch, so
+    requests may only coalesce when theirs agree — the digest goes into
+    the scheduler's group key.  Kernels without plaintext inputs all map
+    to the empty digest and coalesce freely.
+    """
+    names = spec.layout.pt_names
+    if not names:
+        return ""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for name in names:
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(env[name], dtype=np.int64).tobytes())
+    return digest.hexdigest()

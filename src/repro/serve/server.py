@@ -1,0 +1,425 @@
+"""The asyncio front-end: accept requests, coalesce, execute, respond.
+
+One :class:`PorcupineServer` owns a compiler session, a
+:class:`~repro.serve.batcher.BatchScheduler`, a
+:class:`~repro.serve.compilepool.CompilePool`, and a
+:class:`~repro.serve.metrics.MetricsRegistry`.  The event loop only ever
+parses JSON and moves queue entries; all heavy work happens elsewhere —
+synthesis in the compile pool's worker processes, encrypted execution on
+a dedicated executor thread (one thread models the one-accelerator
+deployment; batching, not thread fan-out, is the throughput mechanism).
+
+The execution path is exactly the library path: a coalesced batch runs
+through :meth:`Porcupine.execute_batch` → ``HEExecutor.run_many``, so a
+response served through the batcher is bit-identical to a direct
+``session.run`` of the same request — the lockstep tape broadcasts the
+same instructions over a stacked batch axis and BFV decryption is exact.
+
+Servers are usable without TCP for tests and embedding: ``await
+server.startup()`` then ``await server.handle_request({...})`` drives
+the full scheduling path in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Hashable
+
+from repro.api import CompiledKernel, Porcupine
+from repro.api.backends import backend_names
+from repro.serve.batcher import BatchScheduler, WorkItem
+from repro.serve.compilepool import CompilePool
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.protocol import (
+    MAX_LINE,
+    ProtocolError,
+    decode_inputs,
+    decode_message,
+    encode_message,
+    error_response,
+    plaintext_digest,
+    random_inputs,
+)
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``porcupine serve`` can turn."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: let the OS pick (the bound port is reported)
+    backend: str = "interpreter"  # default execution backend
+    params: str | None = None  # HE params preset override (toy/small/large)
+    seed: int = 0  # execution-backend seed (keys); NOT per-request
+    max_batch: int = 8  # coalesced requests per lockstep tape pass
+    linger_ms: float = 2.0  # max wait for co-batchable requests
+    compile_workers: int = 0  # 0: inline; N: process pool on shared cache
+    cache_dir: str | None = None  # on-disk compile cache (workers share it)
+    precompile: tuple[str, ...] = ()  # hot kernels to compile at boot
+    allow_shutdown: bool = True  # honor the remote "shutdown" op
+    latency_window: int = 4096  # latency samples kept per metrics scope
+
+    def resolve_precompile(self, session: Porcupine) -> list[str]:
+        if list(self.precompile) == ["all"]:
+            return session.kernels()
+        return list(self.precompile)
+
+
+class PorcupineServer:
+    """Async multi-tenant compile-and-run service over one session."""
+
+    def __init__(
+        self,
+        session: Porcupine | None = None,
+        config: ServeConfig | None = None,
+        **overrides,
+    ):
+        if config is None:
+            config = ServeConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either config or keyword overrides")
+        self.config = config
+        if session is None:
+            session = Porcupine(cache_dir=config.cache_dir)
+        self.session = session
+        self.metrics = MetricsRegistry(latency_window=config.latency_window)
+        self.scheduler = BatchScheduler(
+            self._run_batch,
+            max_batch=config.max_batch,
+            linger_s=config.linger_ms / 1e3,
+            metrics=self.metrics,
+        )
+        self.compile_pool = CompilePool(
+            session, workers=config.compile_workers, metrics=self.metrics
+        )
+        self._exec = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="porcupine-serve-exec"
+        )
+        self._hot: dict[str, CompiledKernel] = {}
+        self._started = False
+        self._server: asyncio.AbstractServer | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._connections: set[asyncio.Task] = set()
+        self.host = config.host
+        self.port: int | None = None
+        self.started_at = time.perf_counter()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def startup(self) -> None:
+        """Boot without TCP: pools up, hot kernels precompiled and pinned."""
+        if self._started:
+            return
+        self._started = True
+        self._stop_event = asyncio.Event()
+        hot = self.config.resolve_precompile(self.session)
+        if hot:
+            await asyncio.gather(
+                *(self._ensure_compiled(name, record=False) for name in hot)
+            )
+
+    async def start(self) -> tuple[str, int]:
+        """Boot and listen; returns the bound ``(host, port)``."""
+        await self.startup()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE,
+        )
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Listen until a ``shutdown`` op (or :meth:`request_stop`)."""
+        if self._server is None:
+            await self.start()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.stop()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to wind down (signal handlers etc.)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain batches, close pools."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.drain()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *list(self._connections), return_exceptions=True
+            )
+        self.compile_pool.shutdown()
+        self._exec.shutdown(wait=True)
+        self._started = False
+
+    # -- request handling --------------------------------------------------
+
+    async def handle_request(self, payload: dict) -> dict:
+        """Serve one decoded request payload; never raises."""
+        request_id = payload.get("id")
+        op = payload.get("op", "run")
+        handler = {
+            "run": self._op_run,
+            "compile": self._op_compile,
+            "stats": self._op_stats,
+            "ping": self._op_ping,
+            "shutdown": self._op_shutdown,
+        }.get(op)
+        if handler is None:
+            return error_response(request_id, f"unknown op {op!r}")
+        try:
+            return await handler(payload)
+        except ProtocolError as error:
+            return error_response(request_id, str(error))
+        except Exception as error:  # noqa: BLE001 - the wire eats it all
+            return error_response(
+                request_id, f"{type(error).__name__}: {error}"
+            )
+
+    async def _op_run(self, payload: dict) -> dict:
+        request_id = payload.get("id")
+        tenant = str(payload.get("tenant", "default"))
+        kernel = payload.get("kernel")
+        if not isinstance(kernel, str):
+            raise ProtocolError("run needs a 'kernel' name")
+        if kernel not in self.session.registry:
+            raise ProtocolError(
+                f"unknown kernel {kernel!r}; "
+                f"available: {', '.join(self.session.kernels())}"
+            )
+        backend = payload.get("backend") or self.config.backend
+        if backend not in backend_names():
+            raise ProtocolError(
+                f"unknown backend {backend!r}; "
+                f"available: {', '.join(backend_names())}"
+            )
+        spec = self.session.spec(kernel)
+        if payload.get("inputs") is None:
+            env = random_inputs(spec, int(payload.get("seed", 0)))
+        else:
+            env = decode_inputs(spec, payload.get("inputs"))
+        self.metrics.request(kernel, tenant)
+        arrived = time.perf_counter()
+        try:
+            await self._ensure_compiled(kernel)
+            # requests coalesce only when lockstep-compatible: same
+            # program, same backend, and identical server-side plaintext
+            # operands (run_many shares those across the batch)
+            key = (kernel, backend, plaintext_digest(spec, env))
+            item = WorkItem(
+                key=key, kernel=kernel, tenant=tenant, payload=env
+            )
+            result = await self.scheduler.submit(item)
+        except Exception:
+            self.metrics.error(kernel, tenant)
+            raise
+        latency = time.perf_counter() - arrived
+        self.metrics.response(kernel, tenant, latency)
+        output = result.logical_output
+        return {
+            "id": request_id,
+            "ok": True,
+            "kernel": kernel,
+            "tenant": tenant,
+            "backend": result.backend,
+            "output": output.tolist(),
+            "shape": list(output.shape),
+            "matches_reference": bool(result.matches_reference),
+            "noise_budget": result.noise_budget,
+            "batched": item.batch_size,
+            "latency_s": round(latency, 6),
+            "execute_s": round(result.wall_time, 6),
+        }
+
+    async def _op_compile(self, payload: dict) -> dict:
+        kernel = payload.get("kernel")
+        if not isinstance(kernel, str) or kernel not in self.session.registry:
+            raise ProtocolError(f"unknown kernel {kernel!r}")
+        compiled = await self._ensure_compiled(kernel)
+        return {
+            "id": payload.get("id"),
+            "ok": True,
+            "kernel": kernel,
+            "instructions": compiled.program.instruction_count(),
+            "rotations": compiled.program.rotation_count(),
+            "cache_key": compiled.cache_key,
+        }
+
+    async def _op_stats(self, payload: dict) -> dict:
+        snapshot = self.metrics.snapshot(
+            reset=bool(payload.get("reset", False))
+        )
+        snapshot.update(
+            {
+                "id": payload.get("id"),
+                "ok": True,
+                "uptime_s": round(time.perf_counter() - self.started_at, 3),
+                "hot_kernels": sorted(self._hot),
+                "config": {
+                    "backend": self.config.backend,
+                    "max_batch": self.config.max_batch,
+                    "linger_ms": self.config.linger_ms,
+                    "compile_workers": self.config.compile_workers,
+                },
+            }
+        )
+        return snapshot
+
+    async def _op_ping(self, payload: dict) -> dict:
+        return {
+            "id": payload.get("id"),
+            "ok": True,
+            "pong": True,
+            "kernels": self.session.kernels(),
+        }
+
+    async def _op_shutdown(self, payload: dict) -> dict:
+        if not self.config.allow_shutdown:
+            raise ProtocolError("shutdown over the wire is disabled")
+        return {"id": payload.get("id"), "ok": True, "stopping": True}
+
+    # -- compilation and execution ----------------------------------------
+
+    async def _ensure_compiled(
+        self, kernel: str, record: bool = True
+    ) -> CompiledKernel:
+        """The request-path compile: hot map, then the compile tier."""
+        compiled = self._hot.get(kernel)
+        if compiled is not None:
+            if record:
+                self.metrics.compile_result(kernel, True)
+            return compiled
+        compiled = await self.compile_pool.compile(kernel, record=record)
+        if kernel not in self._hot:
+            self._hot[kernel] = compiled
+            # pin the hot program's tape on the default backend so its
+            # keys/constants survive executor-side cache eviction across
+            # scheduler ticks (HE only; pinning is optional per backend)
+            engine = self._engine(self.config.backend)
+            pin = getattr(engine, "pin", None)
+            if pin is not None:
+                spec = self.session.spec(kernel)
+                await asyncio.get_running_loop().run_in_executor(
+                    self._exec, pin, compiled.program, spec
+                )
+        return self._hot[kernel]
+
+    def _engine(self, backend: str):
+        """The session's backend instance for serving (seed + params)."""
+        if backend == "he":
+            kwargs: dict = {"seed": self.config.seed}
+            if self.config.params is not None:
+                kwargs["params"] = self.config.params
+            return self.session.backend("he", **kwargs)
+        return self.session.backend(backend)
+
+    async def _run_batch(self, key: Hashable, envs: list) -> list:
+        """Scheduler callback: one lockstep pass on the executor thread."""
+        kernel, backend, _digest = key
+        compiled = self._hot[kernel]
+        spec = self.session.spec(kernel)
+        batch = await asyncio.get_running_loop().run_in_executor(
+            self._exec,
+            partial(
+                self.session.execute_batch,
+                compiled,
+                envs,
+                backend=self._engine(backend),
+                spec=spec,
+            ),
+        )
+        return batch.results
+
+    # -- TCP ---------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # a connection task must never finish cancelled: the streams
+        # machinery retrieves its result and would log the CancelledError
+        # as an "exception in callback" on every shutdown
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass  # server shutdown: close this connection quietly
+        finally:
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    async with write_lock:
+                        writer.write(
+                            encode_message(
+                                error_response(None, "request line too long")
+                            )
+                        )
+                        await writer.drain()
+                    break
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not line:
+                    break
+                # each request is its own task so pipelined requests on
+                # one connection still coalesce (responses carry ids and
+                # may complete out of order)
+                request = asyncio.get_running_loop().create_task(
+                    self._serve_line(line, writer, write_lock)
+                )
+                pending.add(request)
+                request.add_done_callback(pending.discard)
+        finally:
+            if pending:
+                await asyncio.gather(*list(pending), return_exceptions=True)
+
+    async def _serve_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        shutdown = False
+        try:
+            payload = decode_message(line)
+        except ProtocolError as error:
+            response = error_response(None, str(error))
+        else:
+            response = await self.handle_request(payload)
+            shutdown = (
+                payload.get("op") == "shutdown"
+                and bool(response.get("ok"))
+            )
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+            async with write_lock:
+                writer.write(encode_message(response))
+                await writer.drain()
+        if shutdown:
+            self.request_stop()

@@ -102,3 +102,99 @@ def test_same_seed_reproduces_identical_program(tmp_path):
     b = Porcupine(synthesis_defaults=FAST).compile("box_blur", seed=5)
     assert a.cache_key == b.cache_key
     assert str(a.program) == str(b.program)
+
+
+# ---------------------------------------------------------------------------
+# Atomic on-disk writes and multi-process sharing
+# ---------------------------------------------------------------------------
+
+def _entry(tag: str) -> CacheEntry:
+    return CacheEntry(program_text=f"program {tag}", seal_code=f"seal {tag}")
+
+
+def test_put_leaves_no_temp_files(tmp_path):
+    cache = CompileCache(tmp_path)
+    cache.put("k", _entry("a"))
+    assert [p.name for p in tmp_path.iterdir()] == ["k.json"]
+    # the landed file is complete, valid JSON
+    assert json.loads((tmp_path / "k.json").read_text())["program"]
+
+
+def test_concurrent_writers_readers_never_see_torn_entries(tmp_path):
+    """N caches over one directory model the serving compile workers:
+    every read must return a complete entry some writer put, never a
+    partial or interleaved write."""
+    import threading
+
+    keys = [f"k{i}" for i in range(4)]
+    valid = {f"program w{w} r{r}" for w in range(3) for r in range(20)}
+    errors = []
+
+    def writer(w):
+        cache = CompileCache(tmp_path)
+        for r in range(20):
+            for key in keys:
+                cache.put(key, _entry(f"w{w} r{r}"))
+
+    def reader():
+        cache = CompileCache(tmp_path)
+        for _ in range(50):
+            for key in keys:
+                cache._memory.clear()  # force the disk path every time
+                entry = cache.get(key)
+                if entry is not None and entry.program_text not in valid:
+                    errors.append(entry.program_text)
+
+    threads = [threading.Thread(target=writer, args=(w,)) for w in range(3)]
+    threads += [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert sorted(p.name for p in tmp_path.iterdir()) == sorted(
+        f"{k}.json" for k in keys
+    )
+
+
+def test_get_survives_concurrent_clear(tmp_path):
+    """A reader racing clear() sees a miss, not an exception."""
+    import threading
+
+    stop = threading.Event()
+    errors = []
+
+    def churn():
+        cache = CompileCache(tmp_path)
+        while not stop.is_set():
+            cache.put("k", _entry("x"))
+            cache.clear()
+
+    def read():
+        cache = CompileCache(tmp_path)
+        try:
+            for _ in range(300):
+                cache._memory.clear()
+                cache.get("k")  # hit or miss, never a crash
+        except Exception as error:  # noqa: BLE001 - the assertion target
+            errors.append(error)
+        finally:
+            stop.set()
+
+    writer = threading.Thread(target=churn)
+    reader = threading.Thread(target=read)
+    writer.start()
+    reader.start()
+    reader.join()
+    writer.join()
+    assert errors == []
+
+
+def test_hit_rate_property():
+    cache = CompileCache()
+    assert cache.hit_rate == 0.0
+    cache.get("k")
+    cache.put("k", _entry("a"))
+    cache.get("k")
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5

@@ -238,3 +238,68 @@ def test_session_run_many_shares_server_side_plaintexts(session):
     # outputs differ because the user-side inputs differ
     outs = [tuple(np.ravel(r.logical_output)) for r in batch.results]
     assert len(set(outs)) > 1
+
+
+# ---------------------------------------------------------------------------
+# run_many hardening and tape pinning (serving-path edge cases)
+# ---------------------------------------------------------------------------
+
+def test_run_many_empty_batch_message_names_the_fix():
+    spec = get_spec("box_blur")
+    executor = HEExecutor(spec, params=toy_params(), seed=4)
+    with pytest.raises(ValueError, match="at least one environment"):
+        executor.run_many(baseline_for("box_blur"), [])
+
+
+def test_run_many_single_element_batch_matches_run():
+    spec = get_spec("box_blur")
+    executor = HEExecutor(spec, params=toy_params(), seed=4)
+    program = baseline_for("box_blur")
+    rng = np.random.default_rng(6)
+    env = _logical(spec, rng)
+    batch = executor.run_many(program, [env])
+    assert batch.batch_size == 1
+    assert batch.all_match
+    single = executor.run(program, env)
+    assert np.array_equal(
+        batch.reports[0].logical_output, single.logical_output
+    )
+
+
+def test_run_many_names_missing_and_extra_inputs():
+    spec = get_spec("box_blur")
+    executor = HEExecutor(spec, params=toy_params(), seed=4)
+    program = baseline_for("box_blur")
+    rng = np.random.default_rng(7)
+    good = _logical(spec, rng)
+    renamed = {"image": next(iter(good.values()))}
+    with pytest.raises(ValueError) as excinfo:
+        executor.run_many(program, [good, renamed])
+    message = str(excinfo.value)
+    # the error names the offending environment and both problems
+    assert "environment 1 of 2" in message
+    assert "img" in message and "image" in message
+    extra = dict(good)
+    extra["stray"] = np.zeros(4, dtype=np.int64)
+    with pytest.raises(ValueError, match="unexpected input.*stray"):
+        executor.run_many(program, [extra])
+
+
+def test_pinned_tapes_survive_cache_eviction():
+    spec = get_spec("box_blur")
+    executor = HEExecutor(spec, params=toy_params(), seed=4)
+    hot = baseline_for("box_blur")
+    compiled = executor.pin(hot)
+    # flood the per-program tape cache past its bound with cold programs
+    cold = []
+    for _ in range(40):
+        program = baseline_for("box_blur")
+        cold.append(program)  # keep alive: ids must stay distinct
+        executor.compile(program)
+    assert executor.compile(hot) is compiled  # pinned: never evicted
+    executor.unpin(hot)
+    for program in cold:
+        executor.compile(program)
+    rng = np.random.default_rng(8)
+    report = executor.run(hot, _logical(spec, rng))
+    assert report.matches_reference
