@@ -30,7 +30,7 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.10",
     install_requires=["numpy"],
-    extras_require={"test": ["pytest", "hypothesis"]},
+    extras_require={"test": ["pytest", "hypothesis", "pytest-timeout"]},
     entry_points={
         "console_scripts": ["porcupine=repro.__main__:main"],
     },

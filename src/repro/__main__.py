@@ -10,6 +10,9 @@ Commands:
 * ``serve``                    — long-lived multi-tenant compile-and-run
   service (JSON over TCP; coalesces concurrent same-program requests
   into lockstep batches, see :mod:`repro.serve`)
+* ``synth <kernel>``           — checkpointed synthesis: search state is
+  persisted atomically every round; ``--resume`` restarts a killed run
+  from its last boundary with a byte-identical result
 * ``profile``                  — measure per-instruction latencies
 
 ``list``, ``compile``, and ``run`` accept ``--json`` for
@@ -222,6 +225,79 @@ def _run_batch(args, session, compiled) -> int:
     return 0 if batch.all_match else 1
 
 
+def _cmd_synth(args) -> int:
+    """``porcupine synth``: checkpointed synthesis with kill-safe resume.
+
+    Runs the CEGIS loop directly (no compile cache, no optimizer
+    pipeline) with an on-disk checkpoint: the search state is persisted
+    atomically at every round boundary, and ``--resume`` restarts a
+    killed run from its last boundary, producing a byte-identical
+    program to an uninterrupted run.
+    """
+    import dataclasses
+    from pathlib import Path
+
+    from repro.core.cegis import synthesize
+    from repro.quill.printer import format_program
+
+    session = _session(args)
+    if args.kernel not in session.kernels():
+        print(
+            f"unknown kernel {args.kernel!r}; "
+            f"available: {', '.join(session.kernels())}",
+            file=sys.stderr,
+        )
+        return 2
+    definition = session.definition(args.kernel)
+    if definition.is_composed:
+        print(
+            f"{args.kernel!r} is a composed kernel; its components "
+            "synthesize separately and would clobber one checkpoint "
+            "file — synth each component instead "
+            f"(e.g. {', '.join(session.registry.direct_names())})",
+            file=sys.stderr,
+        )
+        return 2
+    spec = session.spec(args.kernel)
+    sketch = definition.sketch(spec)
+    config = session.config_for(definition, checkpoint_path=args.checkpoint)
+
+    checkpoint = Path(args.checkpoint)
+    if checkpoint.exists() and not args.resume:
+        checkpoint.unlink()  # fresh run unless --resume asked to continue
+        print(f"# discarded existing checkpoint {checkpoint}",
+              file=sys.stderr)
+    elif args.resume and not checkpoint.exists():
+        print(f"# no checkpoint at {checkpoint}; starting fresh",
+              file=sys.stderr)
+    elif args.resume:
+        print(f"# resuming from {checkpoint}", file=sys.stderr)
+
+    result = synthesize(spec, sketch, config)
+    text = format_program(result.program)
+    if args.json:
+        print(json.dumps({
+            "kernel": args.kernel,
+            "components": result.components,
+            "examples_used": result.examples_used,
+            "initial_cost": result.initial_cost,
+            "final_cost": result.final_cost,
+            "proof_complete": result.proof_complete,
+            "checkpoint": str(checkpoint),
+            "quill": text,
+        }, indent=2))
+    else:
+        print(
+            f"# {result.program.instruction_count()} instructions, "
+            f"cost {result.final_cost:.1f} "
+            f"({'optimal' if result.proof_complete else 'best-effort'}); "
+            f"checkpoint at {checkpoint}",
+            file=sys.stderr,
+        )
+        print(text)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """``porcupine serve``: run the batch-scheduling service until stopped."""
     import asyncio
@@ -241,6 +317,9 @@ def _cmd_serve(args) -> int:
         precompile=tuple(
             name for name in (args.precompile or "").split(",") if name
         ),
+        default_timeout_ms=args.default_timeout_ms,
+        max_backlog=args.max_backlog if args.max_backlog > 0 else None,
+        pool_max_restarts=args.pool_max_restarts,
     )
     server = PorcupineServer(config=config)
 
@@ -377,6 +456,42 @@ def main(argv: list[str] | None = None) -> int:
                        help="print the scheduler stats table on shutdown "
                             "(batches, occupancy, coalesce ratio, cache "
                             "hit rate, p50/p99)")
+    serve.add_argument("--default-timeout-ms", type=float, default=None,
+                       metavar="MS",
+                       help="deadline for requests that carry no "
+                            "timeout_ms of their own (default: unbounded)")
+    serve.add_argument("--max-backlog", type=int, default=1024, metavar="N",
+                       help="reject new requests (typed OVERLOADED) "
+                            "beyond this many pending; 0 disables "
+                            "admission control")
+    serve.add_argument("--pool-max-restarts", type=int, default=3,
+                       metavar="N",
+                       help="compile-pool respawns after worker crashes "
+                            "before degrading to in-process compiles")
+
+    synth = sub.add_parser(
+        "synth",
+        help="checkpointed synthesis: kill-safe, --resume restores the "
+             "search and yields a byte-identical program",
+    )
+    synth.add_argument("kernel")
+    synth.add_argument("--checkpoint", required=True, metavar="FILE",
+                       help="atomic on-disk checkpoint file (written at "
+                            "every search round boundary)")
+    synth.add_argument("--resume", action="store_true",
+                       help="resume from the checkpoint instead of "
+                            "starting fresh")
+    synth.add_argument("--seed", type=int, default=0,
+                       help="synthesis/example seed (reproducible runs)")
+    synth.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="parallel search processes (results are "
+                            "bit-identical to --workers 1)")
+    synth.add_argument("--opt-timeout", type=float, default=30.0,
+                       help="cost-minimization budget in seconds")
+    synth.add_argument("--no-optimize", action="store_true",
+                       help="stop after the initial solution")
+    synth.add_argument("--json", action="store_true",
+                       help="machine-readable output")
 
     profile = sub.add_parser("profile", help="profile instruction latencies")
     profile.add_argument("--preset", choices=("toy", "small", "large"),
@@ -399,6 +514,7 @@ def main(argv: list[str] | None = None) -> int:
         "baseline": _cmd_baseline,
         "run": _cmd_run,
         "serve": _cmd_serve,
+        "synth": _cmd_synth,
         "profile": _cmd_profile,
     }
     return handlers[args.command](args)

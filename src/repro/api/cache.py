@@ -106,13 +106,15 @@ def config_fingerprint(config: SynthesisConfig) -> dict:
     """Canonical content summary of a synthesis configuration."""
     summary = {}
     for f in fields(config):
-        if f.name in ("workers", "incremental"):
+        if f.name in ("workers", "incremental", "checkpoint_path"):
             # parallel search and cross-round frontier reuse are both
             # bit-identical to a serial from-scratch search whenever the
             # search completes, so neither may split the
             # content-addressed cache.  (When optimize_timeout fires
             # mid-search, the cached best-effort program already depends
-            # on machine speed — worker count is no different.)
+            # on machine speed — worker count is no different.)  The
+            # checkpoint file location is pure operational plumbing — a
+            # resumed run is byte-identical to an uninterrupted one.
             continue
         value = getattr(config, f.name)
         if f.name == "latency_model":

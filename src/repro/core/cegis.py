@@ -42,6 +42,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.checkpoint import (
+    CheckpointState,
+    SynthesisCheckpoint,
+    restore_rng,
+    rng_state,
+)
 from repro.core.parallel import ParallelSynthesis
 from repro.core.sketch import Sketch
 from repro.quill.cost import program_cost
@@ -79,6 +85,10 @@ class SynthesisConfig:
     #: cross-round frontier reuse; False re-enumerates every round from
     #: scratch (the ablation baseline — results are bit-identical)
     incremental: bool = True
+    #: crash-safe checkpoint file: search state is persisted atomically
+    #: at every round boundary and a rerun with the same config resumes
+    #: from it, producing a byte-identical program (None: no checkpoint)
+    checkpoint_path: str | None = None
 
 
 @dataclass
@@ -139,6 +149,45 @@ def synthesize_initial(
     rng = np.random.default_rng(config.seed)
     examples = seed_examples(spec, config, rng)
 
+    checkpoint: SynthesisCheckpoint | None = None
+    restored: CheckpointState | None = None
+    start_length = config.min_components
+    restored_rank = 0  # resume rank for the restored length only
+    if config.checkpoint_path is not None:
+        checkpoint = SynthesisCheckpoint.for_run(
+            config.checkpoint_path, spec, sketch, config
+        )
+        restored = checkpoint.load()
+    if restored is not None and restored.phase != "initial":
+        # phase 1 completed before the crash: reconstruct its result
+        # (the program text is what byte-identity is measured on; the
+        # wall-clock and node counters of the lost run are gone)
+        program = parse_program(restored.initial_text)
+        cost = float(restored.initial_cost)
+        return SynthesisResult(
+            program=program,
+            initial_program=program,
+            spec_name=spec.name,
+            components=restored.components,
+            examples_used=len(restored.examples),
+            initial_time=0.0,
+            total_time=0.0,
+            initial_cost=cost,
+            final_cost=cost,
+            proof_complete=True,
+            nodes=0,
+            examples=list(restored.examples),
+            search_stats=SearchStats(),
+        )
+    if restored is not None and restored.length is not None:
+        # resume the counterexample loop at the checkpointed boundary:
+        # same examples, same rng stream, same sketch size, same rank
+        examples = list(restored.examples)
+        if restored.rng is not None:
+            restore_rng(rng, restored.rng)
+        start_length = restored.length
+        restored_rank = restored.resume_rank
+
     start = time.perf_counter()
     deadline = start + config.initial_timeout
     stats = SearchStats()
@@ -159,10 +208,24 @@ def synthesize_initial(
 
     search: SketchSearch | None = None
     try:
-        for length in range(config.min_components, config.max_components + 1):
+        for length in range(start_length, config.max_components + 1):
             found_at_this_length = False
-            resume_rank = 0  # cross-round frontier within this length
+            # cross-round frontier within this length (restored for the
+            # checkpointed length, 0 for every deeper one)
+            resume_rank = restored_rank if length == start_length else 0
             while True:  # counterexample loop at this sketch size
+                if checkpoint is not None:
+                    # a round boundary is deterministic given (examples,
+                    # length, start_rank) and the rng stream: saving
+                    # here makes a kill anywhere inside the round resume
+                    # to a byte-identical replay of it
+                    checkpoint.save(CheckpointState(
+                        phase="initial",
+                        length=length,
+                        resume_rank=resume_rank,
+                        examples=examples,
+                        rng=rng_state(rng),
+                    ))
                 if driver is not None:
                     outcome, text = driver.find_first(
                         sketch,
@@ -258,6 +321,22 @@ def synthesize_initial(
 
     initial_time = time.perf_counter() - start
     initial_cost = program_cost(initial_program, model)
+    if checkpoint is not None:
+        from repro.quill.printer import format_program
+
+        text = format_program(initial_program)
+        checkpoint.save(CheckpointState(
+            # optimize=False runs are complete here; otherwise phase 2
+            # restarts its branch-and-bound from this (program, bound)
+            phase="optimize" if config.optimize else "done",
+            examples=examples,
+            components=components_used,
+            initial_text=text,
+            initial_cost=initial_cost,
+            best_text=text,
+            best_cost=initial_cost,
+            proof_complete=True,
+        ))
 
     return SynthesisResult(
         program=initial_program,
@@ -301,6 +380,59 @@ def minimize_cost(
     best_box = {"program": initial.program, "cost": initial.final_cost}
     stats = SearchStats()
 
+    checkpoint: SynthesisCheckpoint | None = None
+    if config.checkpoint_path is not None:
+        checkpoint = SynthesisCheckpoint.for_run(
+            config.checkpoint_path, spec, sketch, config
+        )
+        restored = checkpoint.load()
+        if restored is not None and restored.phase == "done":
+            # the whole run finished before the crash
+            program = parse_program(restored.best_text)
+            return SynthesisResult(
+                program=program,
+                initial_program=initial.initial_program,
+                spec_name=initial.spec_name,
+                components=initial.components,
+                examples_used=len(examples),
+                initial_time=initial.initial_time,
+                total_time=initial.total_time,
+                initial_cost=initial.initial_cost,
+                final_cost=float(restored.best_cost),
+                proof_complete=restored.proof_complete,
+                nodes=initial.nodes,
+                examples=examples,
+                search_stats=initial.search_stats,
+            )
+        if (
+            restored is not None
+            and restored.phase == "optimize"
+            and restored.best_text is not None
+        ):
+            # restart the branch-and-bound from the checkpointed best:
+            # verified accepted programs form a strictly cost-decreasing
+            # sequence in canonical order, so the tightened bound skips
+            # exactly the candidates the lost run already rejected
+            best_box = {
+                "program": parse_program(restored.best_text),
+                "cost": float(restored.best_cost),
+            }
+
+    def save_progress(program: Program, cost: float) -> None:
+        if checkpoint is not None:
+            from repro.quill.printer import format_program
+
+            checkpoint.save(CheckpointState(
+                phase="optimize",
+                examples=examples,
+                components=initial.components,
+                initial_text=format_program(initial.initial_program),
+                initial_cost=initial.initial_cost,
+                best_text=format_program(program),
+                best_cost=cost,
+                proof_complete=True,
+            ))
+
     if config.workers > 1 and initial.components > 1:
         own_driver = driver is None
         if own_driver:
@@ -310,6 +442,21 @@ def minimize_cost(
                 incremental=config.incremental,
             )
         try:
+            saved = {"cost": best_box["cost"]}
+
+            def verify_text(text: str) -> bool:
+                program = parse_program(text)
+                if not spec.verify_program(program).equivalent:
+                    return False
+                cost = program_cost(program, model)
+                if cost < saved["cost"]:
+                    # parent-side verified tightening: the canonical
+                    # replay hands texts in accept order, so each save
+                    # is a strictly better checkpointed frontier
+                    saved["cost"] = cost
+                    save_progress(program, cost)
+                return True
+
             outcome, best_text, best_cost = driver.minimize(
                 sketch,
                 spec.layout,
@@ -317,9 +464,7 @@ def minimize_cost(
                 model,
                 initial.components,
                 cost_bound=best_box["cost"],
-                verify=lambda text: spec.verify_program(
-                    parse_program(text)
-                ).equivalent,
+                verify=verify_text,
                 deadline=optimize_deadline,
                 name=f"{spec.name}_synth",
             )
@@ -359,6 +504,7 @@ def minimize_cost(
             if spec.verify_program(program).equivalent:
                 best_box["program"] = program
                 best_box["cost"] = cost
+                save_progress(program, cost)
                 return False, cost
             return False, None  # matches examples but not the spec
 
@@ -366,6 +512,19 @@ def minimize_cost(
             on_better, cost_bound=best_box["cost"], deadline=optimize_deadline
         )
         stats.record(outcome)
+    if checkpoint is not None:
+        from repro.quill.printer import format_program
+
+        checkpoint.save(CheckpointState(
+            phase="done",
+            examples=examples,
+            components=initial.components,
+            initial_text=format_program(initial.initial_program),
+            initial_cost=initial.initial_cost,
+            best_text=format_program(best_box["program"]),
+            best_cost=best_box["cost"],
+            proof_complete=outcome.status == "exhausted",
+        ))
     return SynthesisResult(
         program=best_box["program"],
         initial_program=initial.initial_program,

@@ -69,6 +69,12 @@ class SchedulerStats:
     queue_peak: int = 0  # high-water pending-queue depth
     compile_hits: int = 0
     compile_misses: int = 0
+    deadline_exceeded: int = 0  # requests that ran out of budget
+    overloaded: int = 0  # requests rejected by admission control
+    retried_requests: int = 0  # client-declared retry attempts
+    pool_restarts: int = 0  # compile-pool respawns after worker crashes
+    executor_restarts: int = 0  # execution-thread supervisor restarts
+    degraded_compiles: int = 0  # compiles served in-process (pool down)
     latency_ms: list[float] = field(default_factory=list, repr=False)
 
     @property
@@ -120,6 +126,20 @@ class SchedulerStats:
             queue_peak=max(self.queue_peak, other.queue_peak),
             compile_hits=self.compile_hits + other.compile_hits,
             compile_misses=self.compile_misses + other.compile_misses,
+            deadline_exceeded=(
+                self.deadline_exceeded + other.deadline_exceeded
+            ),
+            overloaded=self.overloaded + other.overloaded,
+            retried_requests=(
+                self.retried_requests + other.retried_requests
+            ),
+            pool_restarts=self.pool_restarts + other.pool_restarts,
+            executor_restarts=(
+                self.executor_restarts + other.executor_restarts
+            ),
+            degraded_compiles=(
+                self.degraded_compiles + other.degraded_compiles
+            ),
         )
         merged.latency_ms = self.latency_ms + other.latency_ms
         return merged
@@ -139,6 +159,12 @@ class SchedulerStats:
             "compile_hits": self.compile_hits,
             "compile_misses": self.compile_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 3),
+            "deadline_exceeded": self.deadline_exceeded,
+            "overloaded": self.overloaded,
+            "retried_requests": self.retried_requests,
+            "pool_restarts": self.pool_restarts,
+            "executor_restarts": self.executor_restarts,
+            "degraded_compiles": self.degraded_compiles,
             "p50_ms": _round_or_none(self.percentile_ms(50)),
             "p99_ms": _round_or_none(self.percentile_ms(99)),
         }

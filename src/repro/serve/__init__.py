@@ -41,6 +41,19 @@ Start a server from the CLI (``porcupine serve``) or in-process::
 from repro.serve.batcher import BatchScheduler, WorkItem
 from repro.serve.client import AsyncServeClient, ServeClient
 from repro.serve.compilepool import CompilePool
+from repro.serve.errors import (
+    ConnectionLost,
+    Deadline,
+    DeadlineExceeded,
+    ExecutorCrashed,
+    Overloaded,
+    RetryPolicy,
+    ServeError,
+    Unavailable,
+    WorkerCrashed,
+    error_from_response,
+)
+from repro.serve.faults import FaultInjector
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import (
     MAX_LINE,
@@ -54,13 +67,24 @@ __all__ = [
     "AsyncServeClient",
     "BatchScheduler",
     "CompilePool",
+    "ConnectionLost",
+    "Deadline",
+    "DeadlineExceeded",
+    "ExecutorCrashed",
+    "FaultInjector",
     "MAX_LINE",
     "MetricsRegistry",
+    "Overloaded",
     "PorcupineServer",
+    "RetryPolicy",
     "ServeClient",
     "ServeConfig",
+    "ServeError",
+    "Unavailable",
     "WorkItem",
+    "WorkerCrashed",
     "decode_message",
     "encode_message",
+    "error_from_response",
     "error_response",
 ]

@@ -31,6 +31,24 @@ light tenant out of the next batch.
 The scheduler is deliberately ignorant of HE: it coalesces opaque
 payloads and hands batches to an async ``run_batch`` callable, which
 makes it directly unit-testable (and reusable for any batched backend).
+
+Failure handling (this is the layer where hangs would be born, so it is
+the layer that prevents them):
+
+* **Admission control** — ``max_backlog`` bounds the total pending
+  items across all groups; beyond it, :meth:`submit` fails fast with a
+  typed :class:`~repro.serve.errors.Overloaded` instead of letting one
+  slow tenant's backlog grow without bound.
+* **Deadlines** — a :class:`WorkItem` may carry a
+  :class:`~repro.serve.errors.Deadline`; the submitting waiter races it
+  (``wait_for`` around a ``shield``, so abandoning the wait never
+  cancels a future the whole batch shares), and expired items are
+  dropped *before* dispatch so a dead request cannot occupy a lockstep
+  slot.
+* **Dispatch-path containment** — if forming a batch itself fails, the
+  group is un-wedged (busy flag cleared, linger timer cancelled) and
+  the popped items get the exception; pruned empty groups have their
+  timers cancelled so a stale timer can never fire into a dead group.
 """
 
 from __future__ import annotations
@@ -41,10 +59,17 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Hashable, Sequence
 
+from repro.serve.errors import Deadline, DeadlineExceeded, Overloaded
 from repro.serve.metrics import MetricsRegistry
 
 # an async callable: (group_key, payloads) -> one result per payload
 BatchRunner = Callable[[Hashable, list], Awaitable[Sequence[Any]]]
+
+
+def _retrieve(future: asyncio.Future) -> None:
+    """Mark an abandoned future's eventual exception as retrieved."""
+    if not future.cancelled():
+        future.exception()
 
 
 @dataclass
@@ -57,6 +82,7 @@ class WorkItem:
     payload: Any
     enqueued: float = field(default_factory=time.perf_counter)
     batch_size: int = 0  # how many requests shared the dispatch (set late)
+    deadline: Deadline | None = None
     future: asyncio.Future = field(default_factory=asyncio.Future)
 
 
@@ -121,15 +147,19 @@ class BatchScheduler:
         *,
         max_batch: int = 8,
         linger_s: float = 0.002,
+        max_backlog: int | None = None,
         metrics: MetricsRegistry | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if linger_s < 0:
             raise ValueError("linger_s must be >= 0")
+        if max_backlog is not None and max_backlog < 1:
+            raise ValueError("max_backlog must be >= 1 (or None)")
         self.run_batch = run_batch
         self.max_batch = max_batch
         self.linger_s = linger_s
+        self.max_backlog = max_backlog
         self.metrics = metrics
         self._groups: dict[Hashable, _Group] = {}
         self._inflight: set[asyncio.Task] = set()
@@ -141,15 +171,28 @@ class BatchScheduler:
 
         Must be called on the event loop.  Dispatch happens immediately
         at ``max_batch`` pending, else when the group's linger expires.
+
+        Raises :class:`Overloaded` when the backlog bound is hit and
+        :class:`DeadlineExceeded` when the item's deadline elapses
+        before its batch lands (the item is then dropped pre-dispatch so
+        it never occupies a lockstep slot).
         """
+        if (
+            self.max_backlog is not None
+            and self.depth() >= self.max_backlog
+        ):
+            raise Overloaded(
+                f"scheduler backlog full ({self.max_backlog} pending); "
+                "retry with backoff"
+            )
+        if item.deadline is not None and item.deadline.expired:
+            raise DeadlineExceeded(
+                f"deadline expired before {item.kernel!r} was enqueued"
+            )
         group = self._groups.get(item.key)
         if group is None:
             if len(self._groups) > self.GROUP_LIMIT:
-                self._groups = {
-                    key: g
-                    for key, g in self._groups.items()
-                    if g.size or g.busy
-                }
+                self._prune_groups()
             group = self._groups[item.key] = _Group()
         group.add(item)
         self._gauge(item.kernel)
@@ -160,7 +203,32 @@ class BatchScheduler:
             group.timer = loop.call_later(
                 self.linger_s, self._flush, item.key
             )
-        return await item.future
+        if item.deadline is None:
+            return await item.future
+        # race the (shared) future against the deadline without ever
+        # cancelling it — other waiters in the same batch still need it
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(item.future), item.deadline.remaining()
+            )
+        except asyncio.TimeoutError:
+            item.future.add_done_callback(_retrieve)
+            raise DeadlineExceeded(
+                f"deadline exceeded waiting for {item.kernel!r} "
+                f"(batched with {item.batch_size or 'pending'})"
+            ) from None
+
+    def _prune_groups(self) -> None:
+        """Drop empty idle groups, cancelling their linger timers so a
+        stale timer can never fire into a group we no longer track."""
+        kept: dict[Hashable, _Group] = {}
+        for key, group in self._groups.items():
+            if group.size or group.busy:
+                kept[key] = group
+            elif group.timer is not None:
+                group.timer.cancel()
+                group.timer = None
+        self._groups = kept
 
     def depth(self, key: Hashable | None = None) -> int:
         """Pending items in one group (or across all groups)."""
@@ -185,17 +253,48 @@ class BatchScheduler:
             group.ready = True
             return
         items = group.pop_batch(self.max_batch)
-        if not items:
+        # an expired request must not occupy a lockstep slot: fail it
+        # typed now (its waiter has already timed out; _retrieve keeps
+        # the abandoned future quiet) and batch only the live ones
+        live: list[WorkItem] = []
+        for item in items:
+            if item.deadline is not None and item.deadline.expired:
+                if not item.future.done():
+                    item.future.add_done_callback(_retrieve)
+                    item.future.set_exception(DeadlineExceeded(
+                        f"deadline expired while {item.kernel!r} was "
+                        "queued"
+                    ))
+            else:
+                live.append(item)
+        if not live:
+            if group.size and group.timer is None:
+                group.timer = asyncio.get_running_loop().call_later(
+                    self.linger_s, self._flush, key
+                )
             return
         group.busy = True
-        for item in items:
-            item.batch_size = len(items)
-        if self.metrics is not None:
-            self.metrics.batch(items[0].kernel, len(items))
-        self._gauge(items[0].kernel)
-        task = asyncio.get_running_loop().create_task(
-            self._dispatch(key, items)
-        )
+        try:
+            for item in live:
+                item.batch_size = len(live)
+            if self.metrics is not None:
+                self.metrics.batch(live[0].kernel, len(live))
+            self._gauge(live[0].kernel)
+            task = asyncio.get_running_loop().create_task(
+                self._dispatch(key, live)
+            )
+        except Exception as error:  # noqa: BLE001 - contained, not raised
+            # dispatch never started: un-wedge the group (busy flag,
+            # linger timer) and hand the failure to the popped waiters
+            # instead of leaving them pending forever
+            group.busy = False
+            if group.timer is not None:
+                group.timer.cancel()
+                group.timer = None
+            for item in live:
+                if not item.future.done():
+                    item.future.set_exception(error)
+            return
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 

@@ -6,6 +6,21 @@ what a test, the CI smoke script, or a shell pipeline wants.
 and matches responses to requests by id, which is what the open-loop
 load generator needs (requests must leave on schedule regardless of how
 fast responses come back).
+
+Both clients take an optional :class:`~repro.serve.errors.RetryPolicy`.
+When set, **idempotent** requests (every serving op except ``shutdown``
+— a ``run`` is a pure function of kernel, inputs, and server seed) are
+retried with exponential backoff and jitter on transport failures and
+on wire errors the server marked ``retryable`` (``OVERLOADED``,
+``WORKER_CRASHED``, ``EXECUTOR_CRASHED``, ``UNAVAILABLE``); the
+connection is re-established first when it died.  Retried requests
+carry an ``attempt`` field so the server can count them.  Without a
+policy the clients behave exactly as before: one try, transport errors
+raised as a typed :class:`~repro.serve.errors.ConnectionLost` (a
+``ConnectionError`` subclass, so old ``except`` clauses keep working).
+
+A client-level ``timeout_ms`` stamps a deadline onto every ``run``
+request that does not carry one of its own.
 """
 
 from __future__ import annotations
@@ -14,10 +29,12 @@ import asyncio
 import itertools
 import json
 import socket
+import time
 from typing import Any
 
 import numpy as np
 
+from repro.serve.errors import ConnectionLost, RetryPolicy
 from repro.serve.protocol import MAX_LINE, decode_message, encode_message
 
 
@@ -34,18 +51,98 @@ def _prepare_inputs(inputs: dict | None) -> dict | None:
     }
 
 
+def _wants_retry(
+    retry: RetryPolicy | None, response: dict, attempt: int
+) -> bool:
+    """Whether an *error response* (not an exception) earns a retry."""
+    return (
+        retry is not None
+        and response.get("ok") is False
+        and bool(response.get("retryable"))
+        and attempt < retry.attempts
+    )
+
+
 class ServeClient:
     """Blocking JSON-lines client: one in-flight request at a time."""
 
-    def __init__(self, host: str, port: int, timeout: float = 120.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 120.0,
+        retry: RetryPolicy | None = None,
+        timeout_ms: float | None = None,
+    ):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = retry
+        self._timeout_ms = timeout_ms
+        self._sock: socket.socket | None = None
+        self._file = None
         self._ids = itertools.count(1)
         self._stash: dict[Any, dict] = {}  # out-of-order replies by id
+        self._connect()
 
-    def request(self, payload: dict) -> dict:
-        """Send one payload and return its (id-matched) response."""
+    # -- connection management --------------------------------------------
+
+    def _connect(self) -> None:
+        self._teardown()
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._file = self._sock.makefile("rwb")
+        self._stash = {}
+
+    def _teardown(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    # -- requests ----------------------------------------------------------
+
+    def request(self, payload: dict, *, idempotent: bool = True) -> dict:
+        """Send one payload and return its (id-matched) response.
+
+        With a retry policy, idempotent requests are retried (with
+        backoff, reconnecting first) on transport failures and on
+        retryable wire errors; the final failure is raised typed.
+        """
+        retry = self._retry if idempotent else None
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if self._file is None:
+                    self._connect()
+                response = self._request_once(payload, attempt)
+            except (ConnectionError, OSError, EOFError) as error:
+                self._teardown()  # the stream is in an unknown state
+                if retry is None or not retry.should_retry(error, attempt):
+                    if isinstance(error, ConnectionLost):
+                        raise
+                    raise ConnectionLost(str(error)) from error
+                time.sleep(retry.backoff(attempt - 1))
+                continue
+            if _wants_retry(retry, response, attempt):
+                time.sleep(retry.backoff(attempt - 1))
+                continue
+            return response
+
+    def _request_once(self, payload: dict, attempt: int) -> dict:
         request_id = payload.setdefault("id", f"c{next(self._ids)}")
+        if attempt > 1:
+            payload["attempt"] = attempt
         if request_id in self._stash:
             return self._stash.pop(request_id)
         self._file.write(encode_message(payload))
@@ -53,7 +150,7 @@ class ServeClient:
         while True:
             line = self._file.readline(MAX_LINE)
             if not line:
-                raise ConnectionError("server closed the connection")
+                raise ConnectionLost("server closed the connection")
             response = decode_message(line)
             if response.get("id") in (request_id, None):
                 return response
@@ -67,6 +164,7 @@ class ServeClient:
         tenant: str = "default",
         seed: int | None = None,
         backend: str | None = None,
+        timeout_ms: float | None = None,
     ) -> dict:
         payload: dict = {
             "op": "run",
@@ -78,6 +176,10 @@ class ServeClient:
             payload["seed"] = seed
         if backend is not None:
             payload["backend"] = backend
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        elif self._timeout_ms is not None:
+            payload["timeout_ms"] = self._timeout_ms
         return self.request(payload)
 
     def output_array(self, response: dict) -> np.ndarray:
@@ -96,13 +198,12 @@ class ServeClient:
         return self.request({"op": "ping"})
 
     def shutdown(self) -> dict:
-        return self.request({"op": "shutdown"})
+        # NOT idempotent: a retried shutdown could kill a freshly
+        # restarted server, so it gets exactly one try
+        return self.request({"op": "shutdown"}, idempotent=False)
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -120,46 +221,123 @@ class AsyncServeClient:
         self._pending: dict[Any, asyncio.Future] = {}
         self._ids = itertools.count(1)
         self._reader_task: asyncio.Task | None = None
+        self._host: str | None = None
+        self._port: int | None = None
+        self._retry: RetryPolicy | None = None
+        self._timeout_ms: float | None = None
+        self._dead: ConnectionLost | None = None  # why the reader died
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncServeClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        retry: RetryPolicy | None = None,
+        timeout_ms: float | None = None,
+    ) -> "AsyncServeClient":
         client = cls()
-        client._reader, client._writer = await asyncio.open_connection(
-            host, port, limit=MAX_LINE
-        )
-        client._reader_task = asyncio.get_running_loop().create_task(
-            client._read_loop()
-        )
+        client._host, client._port = host, port
+        client._retry = retry
+        client._timeout_ms = timeout_ms
+        await client._open()
         return client
 
+    async def _open(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port, limit=MAX_LINE
+        )
+        self._dead = None
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
     async def _read_loop(self) -> None:
+        """Match responses to pending futures until the transport dies.
+
+        However the loop exits — EOF, reset, cancellation, or an
+        undecodable frame — every pending future is failed with a typed
+        :class:`ConnectionLost` naming the cause, and the client is
+        marked dead so later submits fail fast instead of waiting on a
+        reader that will never run again.
+        """
         assert self._reader is not None
+        reason = "server closed the connection"
         try:
             while True:
                 line = await self._reader.readline()
                 if not line:
                     break
-                response = json.loads(line)
+                try:
+                    response = json.loads(line)
+                except json.JSONDecodeError as error:
+                    reason = f"undecodable response frame: {error}"
+                    break
+                if not isinstance(response, dict):
+                    reason = "malformed response frame (not an object)"
+                    break
                 future = self._pending.pop(response.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(response)
-        except (asyncio.CancelledError, ConnectionResetError):
-            pass
+        except asyncio.CancelledError:
+            reason = "client closed"
+        except (ConnectionResetError, OSError, ValueError) as error:
+            # ValueError: a frame over the MAX_LINE stream limit
+            reason = f"connection lost: {error}"
         finally:
-            error = ConnectionError("server closed the connection")
-            for future in self._pending.values():
+            error = ConnectionLost(reason)
+            self._dead = error
+            pending, self._pending = list(self._pending.values()), {}
+            for future in pending:
                 if not future.done():
-                    future.set_exception(error)
-            self._pending.clear()
+                    future.set_exception(ConnectionLost(reason))
 
-    async def submit(self, payload: dict) -> dict:
-        """Send now, await the matching response (pipelining-safe)."""
+    async def submit(
+        self, payload: dict, *, idempotent: bool = True
+    ) -> dict:
+        """Send now, await the matching response (pipelining-safe).
+
+        With a retry policy, idempotent requests are re-sent (with
+        backoff, reconnecting first when the connection died) on
+        transport failures and retryable wire errors.
+        """
+        retry = self._retry if idempotent else None
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if self._dead is not None or self._writer is None:
+                    await self._open()
+                response = await self._submit_once(payload, attempt)
+            except asyncio.CancelledError:
+                raise
+            except (ConnectionError, OSError, EOFError) as error:
+                if retry is None or not retry.should_retry(error, attempt):
+                    if isinstance(error, ConnectionLost):
+                        raise
+                    raise ConnectionLost(str(error)) from error
+                await asyncio.sleep(retry.backoff(attempt - 1))
+                continue
+            if _wants_retry(retry, response, attempt):
+                await asyncio.sleep(retry.backoff(attempt - 1))
+                continue
+            return response
+
+    async def _submit_once(self, payload: dict, attempt: int) -> dict:
+        if self._dead is not None:
+            raise ConnectionLost(str(self._dead))
         assert self._writer is not None
         request_id = payload.setdefault("id", f"a{next(self._ids)}")
+        if attempt > 1:
+            payload["attempt"] = attempt
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self._writer.write(encode_message(payload))
-        await self._writer.drain()
+        try:
+            self._writer.write(encode_message(payload))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._pending.pop(request_id, None)
+            raise ConnectionLost(str(error)) from error
         return await future
 
     async def run(
@@ -170,6 +348,7 @@ class AsyncServeClient:
         tenant: str = "default",
         seed: int | None = None,
         backend: str | None = None,
+        timeout_ms: float | None = None,
     ) -> dict:
         payload: dict = {
             "op": "run",
@@ -181,6 +360,10 @@ class AsyncServeClient:
             payload["seed"] = seed
         if backend is not None:
             payload["backend"] = backend
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        elif self._timeout_ms is not None:
+            payload["timeout_ms"] = self._timeout_ms
         return await self.submit(payload)
 
     async def close(self) -> None:
@@ -190,9 +373,11 @@ class AsyncServeClient:
                 await self._reader_task
             except asyncio.CancelledError:
                 pass
+            self._reader_task = None
         if self._writer is not None:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+            self._writer = None

@@ -70,6 +70,43 @@ class MetricsRegistry:
     def error(self, kernel: str, tenant: str) -> None:
         self.response(kernel, tenant, 0.0, ok=False)
 
+    def failure(self, kernel: str, tenant: str, code: str) -> None:
+        """One typed failure: counts as an error plus its code bucket."""
+        from repro.serve import errors as _errors
+
+        with self._lock:
+            scopes = (self.overall, self._kernel(kernel),
+                      self._tenant(tenant))
+            for stats in scopes:
+                stats.errors += 1
+                if code == _errors.DEADLINE_EXCEEDED:
+                    stats.deadline_exceeded += 1
+                elif code == _errors.OVERLOADED:
+                    stats.overloaded += 1
+
+    def retry(self, kernel: str, tenant: str) -> None:
+        """A request arrived flagged as a client retry (``attempt`` > 1)."""
+        with self._lock:
+            for stats in (self.overall, self._kernel(kernel),
+                          self._tenant(tenant)):
+                stats.retried_requests += 1
+
+    def pool_restart(self) -> None:
+        """The compile pool was respawned after a worker crash."""
+        with self._lock:
+            self.overall.pool_restarts += 1
+
+    def executor_restart(self) -> None:
+        """The supervised execution thread was restarted."""
+        with self._lock:
+            self.overall.executor_restarts += 1
+
+    def degraded_compile(self, kernel: str) -> None:
+        """A compile ran in-process because the pool is unhealthy."""
+        with self._lock:
+            for stats in (self.overall, self._kernel(kernel)):
+                stats.degraded_compiles += 1
+
     def batch(self, kernel: str, size: int) -> None:
         """One coalesced lockstep batch of ``size`` requests dispatched."""
         with self._lock:

@@ -76,8 +76,21 @@ def decode_message(line: bytes) -> dict:
     return payload
 
 
-def error_response(request_id: Any, message: str) -> dict:
-    return {"id": request_id, "ok": False, "error": message}
+def error_response(
+    request_id: Any,
+    message: str,
+    code: str = "PROTOCOL",
+    retryable: bool = False,
+) -> dict:
+    """A typed wire error: ``code`` from :mod:`repro.serve.errors`'
+    taxonomy plus a ``retryable`` hint for client retry policies."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": message,
+        "code": code,
+        "retryable": retryable,
+    }
 
 
 def decode_inputs(

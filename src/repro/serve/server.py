@@ -24,16 +24,23 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Hashable
+from typing import Callable, Hashable
 
 from repro.api import CompiledKernel, Porcupine
 from repro.api.backends import backend_names
 from repro.serve.batcher import BatchScheduler, WorkItem
 from repro.serve.compilepool import CompilePool
+from repro.serve.errors import (
+    Deadline,
+    ExecutorCrashed,
+    ServeError,
+)
+from repro.serve.faults import FaultInjector, apply_fault
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import (
     MAX_LINE,
@@ -63,11 +70,82 @@ class ServeConfig:
     precompile: tuple[str, ...] = ()  # hot kernels to compile at boot
     allow_shutdown: bool = True  # honor the remote "shutdown" op
     latency_window: int = 4096  # latency samples kept per metrics scope
+    default_timeout_ms: float | None = None  # deadline for requests that
+    # carry no timeout_ms of their own (None: unbounded, legacy behavior)
+    max_backlog: int | None = 1024  # scheduler admission bound; beyond
+    # this many pending requests new work is rejected typed OVERLOADED
+    pool_max_restarts: int = 3  # compile-pool respawns before degrading
+    # to in-process compiles
 
     def resolve_precompile(self, session: Porcupine) -> list[str]:
         if list(self.precompile) == ["all"]:
             return session.kernels()
         return list(self.precompile)
+
+
+class SupervisedExecutor:
+    """The execution thread, supervised: one serial accelerator lane.
+
+    Jobs run one at a time on a dedicated thread (the one-accelerator
+    deployment model).  A job that raises is treated as having poisoned
+    the thread's state — partially-mutated executor caches, a wedged
+    native call — so the supervisor retires the thread, starts a fresh
+    one (``executor_restarts`` counts it), and surfaces the failure as a
+    typed retryable :class:`~repro.serve.errors.ExecutorCrashed`.  Jobs
+    queued behind the failure run on the fresh thread; nothing waits on
+    a dead lane.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        name: str = "porcupine-serve-exec",
+    ):
+        self.metrics = metrics
+        self.name = name
+        self.restarts = 0
+        self._lock = threading.Lock()
+        self._exec = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=name
+        )
+
+    async def run(self, fn: Callable, *args):
+        """Run ``fn(*args)`` on the supervised thread."""
+        with self._lock:
+            exec_ = self._exec
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                exec_, fn, *args
+            )
+        except asyncio.CancelledError:
+            raise
+        except ServeError:
+            raise  # already typed; the thread is not implicated
+        except Exception as error:  # noqa: BLE001 - typed + restarted
+            self._restart(exec_)
+            raise ExecutorCrashed(
+                f"execution thread poisoned by "
+                f"{type(error).__name__}: {error}; thread restarted"
+            ) from error
+
+    def _restart(self, exec_: ThreadPoolExecutor) -> None:
+        # concurrent failures race here; only the first (for whom the
+        # executor is still current) performs the restart
+        with self._lock:
+            if exec_ is not self._exec:
+                return
+            self._exec = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=self.name
+            )
+            self.restarts += 1
+        exec_.shutdown(wait=False)
+        if self.metrics is not None:
+            self.metrics.executor_restart()
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            exec_ = self._exec
+        exec_.shutdown(wait=wait)
 
 
 class PorcupineServer:
@@ -77,6 +155,7 @@ class PorcupineServer:
         self,
         session: Porcupine | None = None,
         config: ServeConfig | None = None,
+        faults: FaultInjector | None = None,
         **overrides,
     ):
         if config is None:
@@ -87,19 +166,23 @@ class PorcupineServer:
         if session is None:
             session = Porcupine(cache_dir=config.cache_dir)
         self.session = session
+        self.faults = faults
         self.metrics = MetricsRegistry(latency_window=config.latency_window)
         self.scheduler = BatchScheduler(
             self._run_batch,
             max_batch=config.max_batch,
             linger_s=config.linger_ms / 1e3,
+            max_backlog=config.max_backlog,
             metrics=self.metrics,
         )
         self.compile_pool = CompilePool(
-            session, workers=config.compile_workers, metrics=self.metrics
+            session,
+            workers=config.compile_workers,
+            metrics=self.metrics,
+            max_restarts=config.pool_max_restarts,
+            faults=faults,
         )
-        self._exec = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="porcupine-serve-exec"
-        )
+        self._exec = SupervisedExecutor(metrics=self.metrics)
         self._hot: dict[str, CompiledKernel] = {}
         self._started = False
         self._server: asyncio.AbstractServer | None = None
@@ -185,9 +268,13 @@ class PorcupineServer:
             return await handler(payload)
         except ProtocolError as error:
             return error_response(request_id, str(error))
+        except ServeError as error:
+            return error.response(request_id)
         except Exception as error:  # noqa: BLE001 - the wire eats it all
             return error_response(
-                request_id, f"{type(error).__name__}: {error}"
+                request_id,
+                f"{type(error).__name__}: {error}",
+                code="INTERNAL",
             )
 
     async def _op_run(self, payload: dict) -> dict:
@@ -212,18 +299,32 @@ class PorcupineServer:
             env = random_inputs(spec, int(payload.get("seed", 0)))
         else:
             env = decode_inputs(spec, payload.get("inputs"))
+        try:
+            deadline = Deadline.from_timeout_ms(
+                payload.get("timeout_ms"), self.config.default_timeout_ms
+            )
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                "'timeout_ms' must be a positive number"
+            ) from None
         self.metrics.request(kernel, tenant)
+        if int(payload.get("attempt", 1) or 1) > 1:
+            self.metrics.retry(kernel, tenant)
         arrived = time.perf_counter()
         try:
-            await self._ensure_compiled(kernel)
+            await self._ensure_compiled(kernel, deadline=deadline)
             # requests coalesce only when lockstep-compatible: same
             # program, same backend, and identical server-side plaintext
             # operands (run_many shares those across the batch)
             key = (kernel, backend, plaintext_digest(spec, env))
             item = WorkItem(
-                key=key, kernel=kernel, tenant=tenant, payload=env
+                key=key, kernel=kernel, tenant=tenant, payload=env,
+                deadline=deadline,
             )
             result = await self.scheduler.submit(item)
+        except ServeError as error:
+            self.metrics.failure(kernel, tenant, error.code)
+            raise
         except Exception:
             self.metrics.error(kernel, tenant)
             raise
@@ -274,6 +375,14 @@ class PorcupineServer:
                     "max_batch": self.config.max_batch,
                     "linger_ms": self.config.linger_ms,
                     "compile_workers": self.config.compile_workers,
+                    "default_timeout_ms": self.config.default_timeout_ms,
+                    "max_backlog": self.config.max_backlog,
+                    "pool_max_restarts": self.config.pool_max_restarts,
+                },
+                "health": {
+                    "pool_restarts": self.compile_pool.restarts,
+                    "pool_degraded": self.compile_pool.degraded,
+                    "executor_restarts": self._exec.restarts,
                 },
             }
         )
@@ -295,7 +404,10 @@ class PorcupineServer:
     # -- compilation and execution ----------------------------------------
 
     async def _ensure_compiled(
-        self, kernel: str, record: bool = True
+        self,
+        kernel: str,
+        record: bool = True,
+        deadline: Deadline | None = None,
     ) -> CompiledKernel:
         """The request-path compile: hot map, then the compile tier."""
         compiled = self._hot.get(kernel)
@@ -303,7 +415,9 @@ class PorcupineServer:
             if record:
                 self.metrics.compile_result(kernel, True)
             return compiled
-        compiled = await self.compile_pool.compile(kernel, record=record)
+        compiled = await self.compile_pool.compile(
+            kernel, record=record, deadline=deadline
+        )
         if kernel not in self._hot:
             self._hot[kernel] = compiled
             # pin the hot program's tape on the default backend so its
@@ -313,9 +427,7 @@ class PorcupineServer:
             pin = getattr(engine, "pin", None)
             if pin is not None:
                 spec = self.session.spec(kernel)
-                await asyncio.get_running_loop().run_in_executor(
-                    self._exec, pin, compiled.program, spec
-                )
+                await self._exec.run(pin, compiled.program, spec)
         return self._hot[kernel]
 
     def _engine(self, backend: str):
@@ -332,17 +444,29 @@ class PorcupineServer:
         kernel, backend, _digest = key
         compiled = self._hot[kernel]
         spec = self.session.spec(kernel)
-        batch = await asyncio.get_running_loop().run_in_executor(
-            self._exec,
+        fault = (
+            self.faults.take(f"execute:{kernel}")
+            if self.faults is not None
+            else None
+        )
+        batch = await self._exec.run(
             partial(
-                self.session.execute_batch,
+                self._execute_batch_job,
+                fault,
                 compiled,
                 envs,
-                backend=self._engine(backend),
-                spec=spec,
-            ),
+                self._engine(backend),
+                spec,
+            )
         )
         return batch.results
+
+    def _execute_batch_job(self, fault, compiled, envs, engine, spec):
+        """The executor-thread body: injected fault, then the tape pass."""
+        apply_fault(fault)
+        return self.session.execute_batch(
+            compiled, envs, backend=engine, spec=spec
+        )
 
     # -- TCP ---------------------------------------------------------------
 

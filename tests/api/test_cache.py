@@ -190,6 +190,34 @@ def test_get_survives_concurrent_clear(tmp_path):
     assert errors == []
 
 
+def test_entry_vanishing_between_lookup_and_read_is_a_miss(
+    tmp_path, monkeypatch
+):
+    """The deterministic version of the clear() race: the entry file
+    disappears exactly between the lookup deciding to read it and the
+    read itself — a miss (and a recompile), never a crash."""
+    from pathlib import Path
+
+    cache = CompileCache(tmp_path)
+    cache.put("k", _entry("a"))
+    cache._memory.clear()  # force the disk path
+    real = Path.read_text
+
+    def vanished(self, *args, **kwargs):
+        if self.name == "k.json":
+            raise FileNotFoundError(self)
+        return real(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "read_text", vanished)
+    misses_before = cache.misses
+    assert cache.get("k") is None
+    assert cache.misses == misses_before + 1
+    monkeypatch.undo()
+    # the file was never actually gone: the next lookup hits normally
+    entry = cache.get("k")
+    assert entry is not None and entry.program_text == "program a"
+
+
 def test_hit_rate_property():
     cache = CompileCache()
     assert cache.hit_rate == 0.0

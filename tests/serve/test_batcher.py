@@ -8,8 +8,11 @@ from repro.serve.batcher import BatchScheduler, WorkItem
 from repro.serve.metrics import MetricsRegistry
 
 
-def _item(key="k", tenant="default", payload=None):
-    return WorkItem(key=key, kernel="gx", tenant=tenant, payload=payload)
+def _item(key="k", tenant="default", payload=None, deadline=None):
+    return WorkItem(
+        key=key, kernel="gx", tenant=tenant, payload=payload,
+        deadline=deadline,
+    )
 
 
 class _Recorder:
@@ -190,3 +193,168 @@ def test_metrics_record_batches_and_occupancy():
     assert stats.coalesce_ratio == pytest.approx(1.0)
     assert stats.max_batch == 4
     assert metrics.per_kernel["gx"].batches == 2
+
+
+# -- failure handling: admission, deadlines, dispatch containment ------------
+
+
+def test_backlog_bound_rejects_typed_overloaded():
+    from repro.serve.errors import Overloaded
+
+    async def scenario():
+        recorder = _Recorder()
+        scheduler = BatchScheduler(
+            recorder, max_batch=64, linger_s=60.0, max_backlog=2
+        )
+        first = [
+            asyncio.ensure_future(scheduler.submit(_item(payload=i)))
+            for i in range(2)
+        ]
+        await asyncio.sleep(0)  # both enqueued, backlog now full
+        with pytest.raises(Overloaded) as info:
+            await scheduler.submit(_item(payload=99))
+        assert info.value.retryable
+        await scheduler.drain()
+        return await asyncio.gather(*first), recorder.batches
+
+    results, batches = asyncio.run(scenario())
+    # the rejected item never occupied a slot; the admitted ones ran
+    assert results == ["out:0", "out:1"]
+    assert batches == [[0, 1]]
+
+
+def test_backlog_validation():
+    with pytest.raises(ValueError, match="max_backlog"):
+        BatchScheduler(_Recorder(), max_backlog=0)
+
+
+def test_expired_deadline_rejected_before_enqueue():
+    from repro.serve.errors import Deadline, DeadlineExceeded
+
+    async def scenario():
+        recorder = _Recorder()
+        scheduler = BatchScheduler(recorder, max_batch=4, linger_s=0.001)
+        with pytest.raises(DeadlineExceeded):
+            await scheduler.submit(
+                _item(payload=0, deadline=Deadline.after(-1.0))
+            )
+        return recorder.batches, scheduler.depth()
+
+    batches, depth = asyncio.run(scenario())
+    assert batches == []  # nothing was ever queued
+    assert depth == 0
+
+
+def test_deadline_races_the_queue_without_corrupting_the_batch():
+    from repro.serve.errors import Deadline, DeadlineExceeded
+
+    async def scenario():
+        recorder = _Recorder(delay=0.05)
+        scheduler = BatchScheduler(recorder, max_batch=2, linger_s=60.0)
+        # both dispatch together; the impatient one times out while the
+        # batch is in flight, the patient one still gets its result
+        impatient = asyncio.ensure_future(
+            scheduler.submit(
+                _item(payload=0, deadline=Deadline.after(0.01))
+            )
+        )
+        patient = asyncio.ensure_future(scheduler.submit(_item(payload=1)))
+        done = await asyncio.gather(
+            impatient, patient, return_exceptions=True
+        )
+        await scheduler.drain()
+        return done, recorder.batches
+
+    (timed_out, result), batches = asyncio.run(scenario())
+    assert isinstance(timed_out, DeadlineExceeded)
+    assert result == "out:1"
+    assert batches == [[0, 1]]  # the shared batch ran intact
+
+
+def test_expired_items_dropped_before_dispatch():
+    from repro.serve.errors import Deadline, DeadlineExceeded
+
+    async def scenario():
+        recorder = _Recorder()
+        scheduler = BatchScheduler(recorder, max_batch=64, linger_s=0.03)
+        doomed = asyncio.ensure_future(
+            scheduler.submit(
+                _item(payload="dead", deadline=Deadline.after(0.005))
+            )
+        )
+        alive = asyncio.ensure_future(scheduler.submit(_item(payload="ok")))
+        done = await asyncio.gather(doomed, alive, return_exceptions=True)
+        return done, recorder.batches
+
+    (dead, ok), batches = asyncio.run(scenario())
+    assert isinstance(dead, DeadlineExceeded)
+    assert ok == "out:ok"
+    # the expired item never reached the runner: no dead lockstep slot
+    assert batches == [["ok"]]
+
+
+def test_dispatch_path_failure_releases_the_group():
+    """A batch that fails to *form* must not wedge its group (satellite:
+    the linger-timer leak fix)."""
+
+    class _ExplodingMetrics(MetricsRegistry):
+        def __init__(self):
+            super().__init__()
+            self.armed = True
+
+        def batch(self, kernel, size):
+            if self.armed:
+                self.armed = False
+                raise RuntimeError("metrics backend down")
+            super().batch(kernel, size)
+
+    async def scenario():
+        recorder = _Recorder()
+        metrics = _ExplodingMetrics()
+        scheduler = BatchScheduler(
+            recorder, max_batch=2, linger_s=0.002, metrics=metrics
+        )
+        first = await asyncio.gather(
+            scheduler.submit(_item(payload=0)),
+            scheduler.submit(_item(payload=1)),
+            return_exceptions=True,
+        )
+        # the group must be fully released: no stale busy flag, no
+        # leaked linger timer — the next batch goes through normally
+        second = await asyncio.gather(
+            scheduler.submit(_item(payload=2)),
+            scheduler.submit(_item(payload=3)),
+        )
+        group = scheduler._groups["k"]
+        return first, second, recorder.batches, group.busy, group.timer
+
+    first, second, batches, busy, timer = asyncio.run(scenario())
+    assert all(isinstance(r, RuntimeError) for r in first)
+    assert second == ["out:2", "out:3"]
+    assert batches == [[2, 3]]
+    assert busy is False
+    assert timer is None
+
+
+def test_group_pruning_cancels_stale_timers():
+    async def scenario():
+        recorder = _Recorder()
+        scheduler = BatchScheduler(recorder, max_batch=8, linger_s=0.001)
+        # churn through many one-off groups to push past GROUP_LIMIT
+        for wave in range(3):
+            await asyncio.gather(
+                *(
+                    scheduler.submit(
+                        _item(key=f"g{wave}-{i}", payload=i)
+                    )
+                    for i in range(BatchScheduler.GROUP_LIMIT // 2)
+                )
+            )
+        # force one more group creation to trigger pruning
+        await scheduler.submit(_item(key="last", payload=0))
+        return scheduler
+
+    scheduler = asyncio.run(scenario())
+    # pruning kept the table bounded instead of growing one group per
+    # one-off key forever (their linger timers were cancelled with them)
+    assert len(scheduler._groups) <= BatchScheduler.GROUP_LIMIT + 1

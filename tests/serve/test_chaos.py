@@ -1,0 +1,536 @@
+"""Fault-injection harness: the server under chaos never hangs, never
+corrupts a batch, and every failure crosses the wire typed.
+
+Faults are armed by site (``compile:<kernel>``, ``execute:<kernel>``)
+through :class:`~repro.serve.faults.FaultInjector` and fire exactly the
+armed number of times, so every test is deterministic: worker kills take
+down a real process-pool worker, executor faults poison the real
+execution thread, and transport chaos (malformed frames, half-open and
+dropped connections) is played against a real TCP server.  The closing
+property: with retrying clients, a request storm under injected chaos
+still returns outputs byte-identical to serial ``session.run`` calls.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import Porcupine
+from repro.serve import (
+    AsyncServeClient,
+    ConnectionLost,
+    PorcupineServer,
+    RetryPolicy,
+    ServeClient,
+    ServeConfig,
+)
+from repro.serve.errors import (
+    CONNECTION_LOST,
+    DEADLINE_EXCEEDED,
+    OVERLOADED,
+    WORKER_CRASHED,
+    DeadlineExceeded,
+    ExecutorCrashed,
+    error_from_response,
+)
+from repro.serve.faults import FaultInjector, apply_fault
+from repro.serve.protocol import random_inputs
+from repro.serve.server import SupervisedExecutor
+
+RETRY = RetryPolicy(attempts=4, base_s=0.01, max_backoff_s=0.05, seed=0)
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("chaos-cache")
+    return Porcupine(cache_dir=str(cache))
+
+
+def _output(response: dict) -> np.ndarray:
+    assert response.get("ok"), response.get("error")
+    return np.asarray(response["output"], dtype=np.int64).reshape(
+        response["shape"]
+    )
+
+
+async def _with_server(session, config, body, faults=None):
+    server = PorcupineServer(session, config, faults=faults)
+    await server.startup()
+    try:
+        return await body(server)
+    finally:
+        await server.stop()
+
+
+# -- the injector itself -----------------------------------------------------
+
+
+def test_fault_injector_arms_and_trips_deterministically():
+    faults = FaultInjector()
+    faults.arm("compile:gx", ("raise", "boom"), times=2)
+    assert faults.pending("compile:gx") == 2
+    assert faults.take("compile:gx") == ("raise", "boom")
+    assert faults.take("compile:gx") == ("raise", "boom")
+    assert faults.take("compile:gx") is None  # exhausted
+    assert faults.tripped("compile:gx")
+    assert faults.take("execute:gx") is None  # unarmed site
+    with pytest.raises(RuntimeError, match="boom"):
+        apply_fault(("raise", "boom"))
+    with pytest.raises(ValueError):
+        apply_fault(("warp-core-breach",))
+    apply_fault(None)  # no-op
+
+
+# -- the supervised execution thread -----------------------------------------
+
+
+def _poison():
+    raise RuntimeError("segfault-adjacent state corruption")
+
+
+def test_supervised_executor_restarts_on_poison():
+    exec_ = SupervisedExecutor()
+
+    async def scenario():
+        try:
+            assert await exec_.run(lambda: 41 + 1) == 42
+            with pytest.raises(ExecutorCrashed) as info:
+                await exec_.run(_poison)
+            assert info.value.retryable
+            assert "thread restarted" in str(info.value)
+            assert exec_.restarts == 1
+            # the fresh thread serves the next job
+            assert await exec_.run(lambda: "alive") == "alive"
+        finally:
+            exec_.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_supervised_executor_passes_typed_errors_through():
+    exec_ = SupervisedExecutor()
+
+    def typed():
+        raise DeadlineExceeded("already typed")
+
+    async def scenario():
+        try:
+            with pytest.raises(DeadlineExceeded):
+                await exec_.run(typed)
+            # a typed failure does not implicate the thread
+            assert exec_.restarts == 0
+        finally:
+            exec_.shutdown()
+
+    asyncio.run(scenario())
+
+
+# -- compile-tier chaos through the full server ------------------------------
+
+
+def test_worker_kill_surfaces_typed_then_server_recovers(session):
+    """SIGKILL a real pool worker mid-compile: typed error, then service."""
+    faults = FaultInjector()
+    faults.arm("compile:box_blur", ("kill",))
+    config = ServeConfig(
+        backend="interpreter",
+        compile_workers=1,
+        cache_dir=str(session.cache.path),
+    )
+    spec = session.spec("box_blur")
+    env = random_inputs(spec, seed=3)
+    request = {
+        "op": "run",
+        "kernel": "box_blur",
+        "inputs": {name: arr.tolist() for name, arr in env.items()},
+    }
+
+    async def body(server):
+        first = await server.handle_request(dict(request, id="r1"))
+        second = await server.handle_request(dict(request, id="r2"))
+        stats = await server.handle_request({"op": "stats"})
+        return first, second, stats
+
+    first, second, stats = asyncio.run(
+        _with_server(session, config, body, faults=faults)
+    )
+    assert first["ok"] is False
+    assert first["code"] == WORKER_CRASHED
+    assert first["retryable"] is True
+    # the rehydrated client-side exception is typed too
+    assert error_from_response(first).code == WORKER_CRASHED
+    direct = session.run("box_blur", env, backend="interpreter")
+    assert _output(second).tobytes() == direct.logical_output.tobytes()
+    assert stats["health"]["pool_restarts"] == 1
+    assert stats["health"]["pool_degraded"] is False
+
+
+def test_slow_compile_hits_deadline_not_a_hang(session):
+    faults = FaultInjector()
+    faults.arm("compile:dot_product", ("sleep", 0.5))
+    config = ServeConfig(backend="interpreter")
+
+    async def body(server):
+        start = time.perf_counter()
+        response = await server.handle_request(
+            {"id": "r1", "op": "run", "kernel": "dot_product",
+             "timeout_ms": 60}
+        )
+        elapsed = time.perf_counter() - start
+        # the abandoned compile keeps running and lands in the cache;
+        # the retry is then served normally
+        await asyncio.sleep(0.7)
+        retry = await server.handle_request(
+            {"id": "r2", "op": "run", "kernel": "dot_product",
+             "attempt": 2}
+        )
+        return response, elapsed, retry
+
+    response, elapsed, retry = asyncio.run(
+        _with_server(session, config, body, faults=faults)
+    )
+    assert response["ok"] is False
+    assert response["code"] == DEADLINE_EXCEEDED
+    assert response["retryable"] is False
+    assert elapsed < 0.4, f"deadline response took {elapsed:.3f}s"
+    assert retry["ok"] is True
+
+
+def test_slow_execute_hits_deadline_then_serves_identically(session):
+    faults = FaultInjector()
+    faults.arm("execute:gx", ("sleep", 0.5))
+    config = ServeConfig(
+        backend="interpreter", precompile=("gx",), linger_ms=0.0
+    )
+    spec = session.spec("gx")
+    env = random_inputs(spec, seed=11)
+    request = {
+        "op": "run",
+        "kernel": "gx",
+        "inputs": {name: arr.tolist() for name, arr in env.items()},
+    }
+
+    async def body(server):
+        start = time.perf_counter()
+        slow = await server.handle_request(
+            dict(request, id="r1", timeout_ms=50)
+        )
+        elapsed = time.perf_counter() - start
+        ok = await server.handle_request(dict(request, id="r2"))
+        stats = await server.handle_request({"op": "stats"})
+        return slow, elapsed, ok, stats
+
+    slow, elapsed, ok, stats = asyncio.run(
+        _with_server(session, config, body, faults=faults)
+    )
+    assert slow["ok"] is False
+    assert slow["code"] == DEADLINE_EXCEEDED
+    assert elapsed < 0.4, f"deadline response took {elapsed:.3f}s"
+    direct = session.run("gx", env, backend="interpreter")
+    assert _output(ok).tobytes() == direct.logical_output.tobytes()
+    assert stats["scheduler"]["deadline_exceeded"] == 1
+
+
+def test_backlog_overflow_is_typed_overloaded(session):
+    config = ServeConfig(
+        backend="interpreter", precompile=("gx",),
+        max_batch=64, linger_ms=30.0, max_backlog=1,
+    )
+    spec = session.spec("gx")
+    envs = [random_inputs(spec, seed=s) for s in range(4)]
+
+    async def body(server):
+        return await asyncio.gather(
+            *(
+                server.handle_request(
+                    {
+                        "id": f"r{i}",
+                        "op": "run",
+                        "kernel": "gx",
+                        "inputs": {n: a.tolist() for n, a in env.items()},
+                    }
+                )
+                for i, env in enumerate(envs)
+            )
+        )
+
+    responses = asyncio.run(_with_server(session, config, body))
+    accepted = [r for r in responses if r.get("ok")]
+    rejected = [r for r in responses if not r.get("ok")]
+    assert accepted and rejected, "expected a mix under a full backlog"
+    for response in rejected:
+        assert response["code"] == OVERLOADED
+        assert response["retryable"] is True
+        assert error_from_response(response).retryable
+    for response in accepted:
+        env = envs[int(response["id"][1:])]
+        direct = session.run("gx", env, backend="interpreter")
+        assert _output(response).tobytes() == direct.logical_output.tobytes()
+
+
+# -- transport chaos over real TCP -------------------------------------------
+
+
+async def _raw_exchange(host, port, frames):
+    """Write raw frames, return one decoded response line per frame."""
+    reader, writer = await asyncio.open_connection(host, port)
+    responses = []
+    try:
+        for frame in frames:
+            writer.write(frame)
+            await writer.drain()
+            responses.append(json.loads(await reader.readline()))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    return responses
+
+
+def test_malformed_frames_answered_typed_connection_survives(session):
+    config = ServeConfig(backend="interpreter", precompile=("gx",))
+
+    async def body(server):
+        host, port = await server.start()
+        return await _raw_exchange(
+            host,
+            port,
+            [
+                b'{"op": }\n',  # undecodable JSON
+                b"[1, 2, 3]\n",  # not an object
+                b'{"op": "warp"}\n',  # unknown op
+                b'{"op": "ping"}\n',  # ...and the connection still works
+            ],
+        )
+
+    bad_json, bad_shape, bad_op, pong = asyncio.run(
+        _with_server(session, config, body)
+    )
+    for response in (bad_json, bad_shape, bad_op):
+        assert response["ok"] is False
+        assert response["code"] == "PROTOCOL"
+        assert response["retryable"] is False
+    assert pong["pong"] is True
+
+
+def test_half_open_and_dropped_connections_never_wedge_the_server(session):
+    config = ServeConfig(backend="interpreter", precompile=("gx",))
+
+    async def body(server):
+        host, port = await server.start()
+        # half-open: a partial frame, then EOF without a newline
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b'{"op": "pi')
+        await writer.drain()
+        writer.write_eof()
+        # the server answers the truncated frame typed (or just hangs
+        # up) and then closes its side — either way read() terminates
+        tail = await reader.read()
+        if tail:
+            assert json.loads(tail)["code"] == "PROTOCOL"
+        writer.close()
+        # dropped mid-request: send a run, slam the connection shut
+        # before the response can be written
+        _, writer = await asyncio.open_connection(host, port)
+        writer.write(b'{"op": "run", "kernel": "gx"}\n')
+        await writer.drain()
+        writer.close()
+        await asyncio.sleep(0.05)  # let the orphaned batch land
+        # the server is still fully alive for the next client
+        return await _raw_exchange(host, port, [b'{"op": "ping"}\n'])
+
+    (pong,) = asyncio.run(_with_server(session, config, body))
+    assert pong["pong"] is True
+
+
+def test_async_client_fails_pending_typed_on_connection_loss():
+    """Satellite: reader death fails every pending future typed."""
+
+    async def scenario():
+        accepted = asyncio.Event()
+
+        async def handler(reader, writer):
+            await reader.readline()  # swallow one request...
+            accepted.set()
+            writer.close()  # ...and hang up without answering
+
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        host, port = server.sockets[0].getsockname()[:2]
+        client = await AsyncServeClient.connect(host, port)
+        try:
+            with pytest.raises(ConnectionLost) as info:
+                await client.submit({"op": "ping"})
+            assert info.value.code == CONNECTION_LOST
+            assert info.value.retryable
+            # the client is marked dead: later submits fail fast
+            # instead of waiting on a reader that will never run
+            with pytest.raises(ConnectionLost):
+                await client.submit({"op": "ping"})
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
+        assert accepted.is_set()
+
+    asyncio.run(scenario())
+
+
+def test_async_client_retry_reconnects_after_drop():
+    """First connection dies mid-request; the retry opens a new one."""
+
+    async def scenario():
+        connections = 0
+        seen_attempts = []
+
+        async def handler(reader, writer):
+            nonlocal connections
+            connections += 1
+            line = await reader.readline()
+            request = json.loads(line)
+            seen_attempts.append(request.get("attempt", 1))
+            if connections == 1:
+                writer.close()  # drop the first connection unanswered
+                return
+            response = {"id": request["id"], "ok": True, "pong": True}
+            writer.write((json.dumps(response) + "\n").encode())
+            await writer.drain()
+
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        host, port = server.sockets[0].getsockname()[:2]
+        client = await AsyncServeClient.connect(host, port, retry=RETRY)
+        try:
+            response = await client.submit({"op": "ping"})
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
+        return connections, seen_attempts, response
+
+    connections, attempts, response = asyncio.run(scenario())
+    assert response["ok"] is True
+    assert connections == 2
+    assert attempts == [1, 2]  # the retry announced itself
+
+
+def _line_server(script):
+    """A blocking TCP server: per connection, run ``script`` steps.
+
+    Each step handles one request line: ``"drop"`` closes the
+    connection, a callable maps the decoded request to a response dict.
+    One connection per script entry, accepted sequentially.
+    """
+    listener = socket.create_server(("127.0.0.1", 0))
+    host, port = listener.getsockname()[:2]
+
+    def serve():
+        for steps in script:
+            conn, _ = listener.accept()
+            with conn, conn.makefile("rwb") as stream:
+                for step in steps:
+                    line = stream.readline()
+                    if not line:
+                        break
+                    request = json.loads(line)
+                    if step == "drop":
+                        break
+                    response = step(request)
+                    stream.write((json.dumps(response) + "\n").encode())
+                    stream.flush()
+        listener.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return host, port, thread
+
+
+def test_sync_client_retries_retryable_wire_errors():
+    def overloaded(request):
+        return {
+            "id": request["id"], "ok": False, "error": "backlog full",
+            "code": OVERLOADED, "retryable": True,
+        }
+
+    def ok(request):
+        return {"id": request["id"], "ok": True,
+                "attempt": request.get("attempt", 1)}
+
+    host, port, thread = _line_server([[overloaded, ok]])
+    with ServeClient(host, port, timeout=5.0, retry=RETRY) as client:
+        response = client.request({"op": "ping"})
+    thread.join(timeout=5.0)
+    assert response["ok"] is True
+    assert response["attempt"] == 2  # server saw the retry flag
+
+
+def test_sync_client_reconnects_after_server_drop():
+    def ok(request):
+        return {"id": request["id"], "ok": True,
+                "attempt": request.get("attempt", 1)}
+
+    host, port, thread = _line_server([["drop"], [ok]])
+    with ServeClient(host, port, timeout=5.0, retry=RETRY) as client:
+        response = client.request({"op": "ping"})
+    thread.join(timeout=5.0)
+    assert response["ok"] is True
+    assert response["attempt"] == 2
+
+
+def test_sync_client_without_retry_raises_typed():
+    host, port, thread = _line_server([["drop"]])
+    with ServeClient(host, port, timeout=5.0) as client:
+        with pytest.raises(ConnectionLost) as info:
+            client.request({"op": "ping"})
+    thread.join(timeout=5.0)
+    assert info.value.code == CONNECTION_LOST
+    assert isinstance(info.value, ConnectionError)  # legacy handlers
+
+
+# -- the closing property: chaos + retries == serial -------------------------
+
+
+def test_request_storm_under_chaos_is_bit_identical_to_serial(session):
+    """Executor poison + slow batches + retrying clients: every surviving
+    response matches serial ``session.run`` byte-for-byte."""
+    faults = FaultInjector()
+    faults.arm("execute:gx", ("raise", "injected chaos"), times=1)
+    faults.arm("execute:gx", ("sleep", 0.05), times=1)
+    config = ServeConfig(
+        backend="interpreter", precompile=("gx",),
+        max_batch=4, linger_ms=5.0,
+    )
+    spec = session.spec("gx")
+    envs = [random_inputs(spec, seed=s) for s in range(8)]
+
+    async def body(server):
+        host, port = await server.start()
+        client = await AsyncServeClient.connect(host, port, retry=RETRY)
+        try:
+            responses = await asyncio.gather(
+                *(
+                    client.run("gx", env, tenant=f"t{i % 3}")
+                    for i, env in enumerate(envs)
+                )
+            )
+            stats = await client.submit({"op": "stats"})
+        finally:
+            await client.close()
+        return responses, stats
+
+    responses, stats = asyncio.run(
+        _with_server(session, config, body, faults=faults)
+    )
+    for env, response in zip(envs, responses):
+        direct = session.run("gx", env, backend="interpreter")
+        assert _output(response).tobytes() == direct.logical_output.tobytes()
+    assert faults.tripped("execute:gx")
+    assert stats["health"]["executor_restarts"] >= 1
+    assert stats["scheduler"]["retried_requests"] >= 1
+    # the poisoned batch's failures all crossed the wire typed
+    assert stats["scheduler"]["errors"] >= 1

@@ -37,7 +37,17 @@ def test_decode_rejects_non_objects_and_garbage():
 
 def test_error_response_shape():
     response = error_response("r1", "boom")
-    assert response == {"id": "r1", "ok": False, "error": "boom"}
+    assert response == {
+        "id": "r1",
+        "ok": False,
+        "error": "boom",
+        "code": "PROTOCOL",
+        "retryable": False,
+    }
+    typed = error_response("r2", "try later", code="OVERLOADED",
+                           retryable=True)
+    assert typed["code"] == "OVERLOADED"
+    assert typed["retryable"] is True
 
 
 def test_decode_inputs_accepts_exact_match():
