@@ -5,12 +5,18 @@ Measures, against the retained big-integer reference path
 
 * per-opcode microbenchmark latencies (µs) of the RNS-native BFV runtime,
   single-ciphertext and batched (amortized per ciphertext),
+* per-kernel NTT row counts with the tape-level domain planner on and
+  off (deterministic: the plan is an exact simulation of the executor),
 * end-to-end ``HEExecutor.run`` wall times on the seed kernels' baseline
-  programs, and
-* ``run_many`` batch throughput versus sequential single runs.
+  programs,
+* ``run_many`` batch throughput — legacy single runs versus the tuned
+  batched path (domain planner + scratch arenas + ``--exec-workers``),
+  with both configurations recorded in the report, and
+* multicore lockstep scaling of the sharded ``run_many`` batch axis.
 
-Everything is recorded into ``BENCH_runtime.json`` at the repository
-root.  Run it after touching anything in ``repro.he`` or the executor::
+Everything is recorded into ``BENCH_runtime.json`` (schema 2) at the
+repository root.  Run it after touching anything in ``repro.he`` or the
+executor::
 
     PYTHONPATH=src python benchmarks/bench_he_runtime.py          # full
     PYTHONPATH=src python benchmarks/bench_he_runtime.py --quick  # CI
@@ -19,7 +25,10 @@ root.  Run it after touching anything in ``repro.he`` or the executor::
 checked-in ceilings in ``benchmarks/runtime_floor.json`` and exits
 nonzero when any opcode runs more than 5x *slower* than its floor entry —
 a loose tripwire that survives noisy CI machines but catches algorithmic
-regressions (mirroring the synthesis throughput floor).  Refresh with
+regressions (mirroring the synthesis throughput floor).  Planned NTT row
+counts are gated *exactly* (``toy-insecure.ntt_rows.<kernel>`` entries):
+they are deterministic functions of the tape and parameters, so any
+growth is a planner regression, not noise.  Refresh with
 ``--update-floor`` after an intentional change on a quiet machine.
 """
 
@@ -39,14 +48,15 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_runtime.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.baselines import baseline_for  # noqa: E402
+from repro.baselines import BASELINE_BUILDERS, baseline_for  # noqa: E402
 from repro.he import BFVContext  # noqa: E402
 from repro.he.params import small_params, toy_params  # noqa: E402
 from repro.runtime.executor import HEExecutor  # noqa: E402
 from repro.spec import get_spec  # noqa: E402
 
 E2E_KERNELS = ("box_blur", "gx")
-BATCH_SIZE = 4
+BATCH_SIZE = 4  # opcode microbenchmark batch width
+MULTICORE_KERNEL = "box_blur"
 
 
 def _best(fn, repeats: int) -> float:
@@ -121,28 +131,148 @@ def bench_opcodes(params, repeats: int, batch: int) -> dict:
             "speedup_batched": (
                 round(ref / rns_batched, 2) if rns_batched else None
             ),
+            # batched amortization vs the single-ciphertext RNS path:
+            # below 1.0 means batching made the opcode *slower* per ct
+            # (the cheap-opcode regression this reports on)
+            "batch_amortization": (
+                round(rns_single / rns_batched, 2) if rns_batched else None
+            ),
         }
     return out
 
 
-def bench_end_to_end(kernel: str, params, repeats: int, batch: int) -> dict:
-    """End-to-end executor runs: reference vs RNS vs batched run_many."""
+def _kernel_envs(spec, batch: int, seed: int = 2) -> list[dict]:
+    """Batch envs in the run_many contract: ct inputs vary per element,
+    server-side plaintext operands are shared across the batch."""
+    rng = np.random.default_rng(seed)
+    base = {p.name: rng.integers(0, 5, p.shape) for p in spec.layout.inputs}
+    ct_names = set(spec.packed_env(base)[0])
+    envs = [base]
+    for _ in range(1, batch):
+        drawn = {
+            p.name: rng.integers(0, 5, p.shape) for p in spec.layout.inputs
+        }
+        envs.append(
+            {
+                name: drawn[name] if name in ct_names else base[name]
+                for name in base
+            }
+        )
+    return envs
+
+
+def bench_ntt_counts(params) -> dict:
+    """Per-kernel NTT row counts, domain planner on vs off.
+
+    Counts are deterministic (the plan simulates the executor's domain
+    state machine exactly), and each planned count is re-measured
+    against the live counters so a simulation drift shows up here
+    before it shows up as a wrong floor entry.
+    """
+    out: dict[str, dict] = {}
+    for kernel in sorted(BASELINE_BUILDERS):
+        spec = get_spec(kernel)
+        program = baseline_for(kernel)
+        planned = HEExecutor(spec, params=params, seed=7, domain_plan=True)
+        plan = planned.compile(program).plan
+        env = _kernel_envs(spec, 1)[0]
+        planned.run(program, env)
+        lazy = HEExecutor(spec, params=params, seed=7)
+        lazy.run(program, env)
+        out[kernel] = {
+            "ntt_rows_lazy": plan.ntts_lazy,
+            "ntt_rows_planned": plan.ntts_planned,
+            "ntt_rows_elided": plan.ntts_elided,
+            "reduction_pct": (
+                round(100.0 * plan.ntts_elided / plan.ntts_lazy, 1)
+                if plan.ntts_lazy
+                else 0.0
+            ),
+            "measured_matches_plan": bool(
+                planned.stats.ntts_performed == plan.ntts_planned
+                and lazy.stats.ntts_performed == plan.ntts_lazy
+            ),
+        }
+    return out
+
+
+def bench_multicore(
+    kernel: str, params, batch: int, workers_list: tuple[int, ...]
+) -> dict:
+    """Lockstep sharding scale-up: one batch, increasing worker counts.
+
+    Outputs must be identical at every worker count (sharding is a pure
+    partition of the batch axis); wall-clock gains need real cores — on
+    a single-CPU host the per-shard tape overhead makes workers>1 a
+    wash, which the recorded numbers will show honestly.
+    """
     spec = get_spec(kernel)
     program = baseline_for(kernel)
-    rng = np.random.default_rng(2)
-    envs = [
-        {
-            p.name: rng.integers(0, 5, p.shape)
-            for p in spec.layout.inputs
+    envs = _kernel_envs(spec, batch)
+    executor = HEExecutor(spec, params=params, seed=7, domain_plan=True)
+    executor.compile(program)
+    rows: dict[str, dict] = {}
+    baseline_outputs = None
+    base_total = None
+    for workers in workers_list:
+        report = executor.run_many(program, envs, workers=workers)
+        report = executor.run_many(program, envs, workers=workers)  # warm
+        outputs = [r.model_output for r in report.reports]
+        if baseline_outputs is None:
+            baseline_outputs = outputs
+            base_total = report.total_seconds
+        identical = all(
+            np.array_equal(a, b)
+            for a, b in zip(baseline_outputs, outputs)
+        )
+        rows[str(workers)] = {
+            "total_seconds": round(report.total_seconds, 4),
+            "evaluate_seconds": round(report.evaluate_seconds, 4),
+            "seconds_per_run": round(report.total_seconds / batch, 4),
+            "scaling_vs_workers1": (
+                round(base_total / report.total_seconds, 2)
+                if report.total_seconds
+                else None
+            ),
+            "outputs_identical_to_workers1": bool(identical),
+            "all_match": bool(report.all_match),
         }
-        for _ in range(batch)
-    ]
+    return {"kernel": kernel, "batch_size": batch, "workers": rows}
+
+
+def bench_end_to_end(
+    kernel: str,
+    params,
+    repeats: int,
+    batch: int,
+    exec_workers: int,
+    domain_plan: bool,
+) -> dict:
+    """End-to-end executor runs: reference vs RNS vs batched run_many.
+
+    The single-run side uses the legacy default flags (no planner, one
+    worker); the batched side is the tuned serving configuration
+    (planner + arenas + ``exec_workers``).  Both configurations are
+    recorded in the row, so ``batch_vs_single_speedup`` is transparently
+    "tuned batched path vs legacy sequential singles".
+    """
+    spec = get_spec(kernel)
+    program = baseline_for(kernel)
+    envs = _kernel_envs(spec, batch)
 
     fast = HEExecutor(spec, params=params, seed=7)
     slow = HEExecutor(spec, params=params, seed=7, slow_reference=True)
-    # compile outside timing on both sides (keys/tape are one-time setup)
+    tuned = HEExecutor(
+        spec,
+        params=params,
+        seed=7,
+        domain_plan=domain_plan,
+        exec_workers=exec_workers,
+    )
+    # compile outside timing on all sides (keys/tape are one-time setup)
     fast.compile(program)
     slow.compile(program)
+    tuned.compile(program)
 
     def run_fast():
         report = fast.run(program, envs[0])
@@ -154,10 +284,15 @@ def bench_end_to_end(kernel: str, params, repeats: int, batch: int) -> dict:
         assert report.matches_reference
         return report
 
+    def run_batch():
+        report = tuned.run_many(program, envs)
+        assert report.all_match
+        return report
+
     rns_s = _best(run_fast, repeats)
     ref_s = _best(run_slow, repeats)
-    batch_report = fast.run_many(program, envs)
-    assert batch_report.all_match
+    run_batch()  # warm the arenas/worker pool out of the timed runs
+    batch_seconds = _best(run_batch, repeats)
     sequential = rns_s * batch
     return {
         "params": fast.params.name,
@@ -166,26 +301,33 @@ def bench_end_to_end(kernel: str, params, repeats: int, batch: int) -> dict:
         "rns_seconds": round(rns_s, 4),
         "speedup": round(ref_s / rns_s, 2) if rns_s else None,
         "batch_size": batch,
-        "batch_total_seconds": round(batch_report.total_seconds, 4),
-        "batch_seconds_per_run": round(batch_report.seconds_per_run, 4),
+        "single_config": {"domain_plan": False, "exec_workers": 1},
+        "batch_config": {
+            "domain_plan": domain_plan,
+            "exec_workers": exec_workers,
+        },
+        "batch_total_seconds": round(batch_seconds, 4),
+        "batch_seconds_per_run": round(batch_seconds / batch, 4),
         "batch_vs_single_speedup": (
-            round(sequential / batch_report.total_seconds, 2)
-            if batch_report.total_seconds
-            else None
+            round(sequential / batch_seconds, 2) if batch_seconds else None
         ),
         "batch_vs_reference_speedup": (
-            round(ref_s / batch_report.seconds_per_run, 2)
-            if batch_report.seconds_per_run
-            else None
+            round(ref_s * batch / batch_seconds, 2) if batch_seconds else None
         ),
     }
 
 
-def check_floor(params_name: str, opcode_results: dict) -> list[str]:
-    """Opcodes now more than 5x slower than their checked-in latency.
+def check_floor(
+    params_name: str, opcode_results: dict, ntt_results: dict
+) -> list[str]:
+    """Opcodes now more than 5x slower than their checked-in latency,
+    plus *exact* planned-NTT-row ceilings per kernel.
 
-    Floor entries are keyed ``<params>.<opcode>`` so quick (toy) and full
-    (secure preset) runs track separate baselines.
+    Latency floor entries are keyed ``<params>.<opcode>`` so quick (toy)
+    and full (secure preset) runs track separate baselines.  NTT entries
+    are keyed ``toy-insecure.ntt_rows.<kernel>`` and checked with no
+    slack: the count is a deterministic function of the tape and
+    parameters, so any growth is a planner regression.
     """
     if not FLOOR_FILE.exists():
         print(f"floor file {FLOOR_FILE} missing; nothing to check")
@@ -200,6 +342,21 @@ def check_floor(params_name: str, opcode_results: dict) -> list[str]:
             failures.append(
                 f"{params_name}.{name}: {row['rns_us']:,.0f}us is >5x above "
                 f"the checked-in floor of {floor_us:,.0f}us"
+            )
+    for kernel, row in ntt_results.items():
+        ceiling = floors.get(f"toy-insecure.ntt_rows.{kernel}")
+        if ceiling is None:
+            continue
+        if row["ntt_rows_planned"] > ceiling:
+            failures.append(
+                f"toy-insecure.ntt_rows.{kernel}: planner now schedules "
+                f"{row['ntt_rows_planned']} NTT rows, above the exact "
+                f"checked-in ceiling of {ceiling}"
+            )
+        if not row["measured_matches_plan"]:
+            failures.append(
+                f"toy-insecure.ntt_rows.{kernel}: measured NTT rows "
+                "diverge from the plan's prediction (simulation drift)"
             )
     return failures
 
@@ -218,12 +375,26 @@ def main(argv: list[str] | None = None) -> int:
                              "this run's measurements")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"result file (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--batch", type=int, default=16, metavar="N",
+                        help="batch size for the end-to-end and multicore "
+                             "sections (default 16)")
+    parser.add_argument("--exec-workers", type=int, default=4, metavar="W",
+                        help="worker count for the tuned batched "
+                             "configuration (default 4)")
+    parser.add_argument("--no-domain-plan", action="store_true",
+                        help="ablation: run the tuned batched side without "
+                             "the NTT-domain planner")
     args = parser.parse_args(argv)
 
     mode = "quick" if args.quick else "full"
     params = toy_params() if args.quick else small_params()
     repeats = 3 if args.quick else 7
-    e2e_params = toy_params() if args.quick else None
+    # the end-to-end/multicore sections measure executor overhead
+    # (dispatch amortization, planning, sharding), which the toy preset
+    # exposes; opcode latencies above track the secure preset in full
+    # mode.  Each e2e row records the params it ran on.
+    e2e_params = toy_params()
+    domain_plan = not args.no_domain_plan
 
     print(f"opcode microbenchmarks on {params.name} ...", flush=True)
     opcodes = bench_opcodes(params, repeats, BATCH_SIZE)
@@ -232,29 +403,74 @@ def main(argv: list[str] | None = None) -> int:
             f"  {name:10s} ref {row['reference_us']:>10,.0f}us"
             f"  rns {row['rns_us']:>9,.0f}us ({row['speedup']}x)"
             f"  batched {row['rns_batched_us_per_ct']:>9,.0f}us/ct"
-            f" ({row['speedup_batched']}x)"
+            f" ({row['speedup_batched']}x, "
+            f"amortization {row['batch_amortization']}x)"
+        )
+
+    # the secure preset's cheap opcodes are memory-bandwidth-bound, so
+    # batching is at best flat there; the dispatch-amortization story is
+    # a toy-preset measurement, tracked separately in full mode
+    opcodes_toy = opcodes
+    if not args.quick:
+        print("opcode microbenchmarks on toy-insecure ...", flush=True)
+        opcodes_toy = bench_opcodes(toy_params(), repeats, BATCH_SIZE)
+        for name, row in opcodes_toy.items():
+            print(
+                f"  {name:10s} rns {row['rns_us']:>9,.0f}us"
+                f"  batched {row['rns_batched_us_per_ct']:>9,.0f}us/ct"
+                f" (amortization {row['batch_amortization']}x)"
+            )
+
+    print("NTT domain planning on toy-insecure ...", flush=True)
+    ntt_counts = bench_ntt_counts(toy_params())
+    for kernel, row in ntt_counts.items():
+        print(
+            f"  {kernel:22s} lazy {row['ntt_rows_lazy']:>4d} rows ->"
+            f" planned {row['ntt_rows_planned']:>4d}"
+            f" (elided {row['ntt_rows_elided']}, "
+            f"{row['reduction_pct']}%)"
+            f"{'' if row['measured_matches_plan'] else '  DRIFT'}"
         )
 
     end_to_end: dict[str, dict] = {}
     for kernel in E2E_KERNELS:
         print(f"end-to-end {kernel} ...", flush=True)
         end_to_end[kernel] = bench_end_to_end(
-            kernel, e2e_params, repeats, BATCH_SIZE
+            kernel, e2e_params, repeats, args.batch,
+            args.exec_workers, domain_plan,
         )
         row = end_to_end[kernel]
         print(
             f"  ref {row['reference_seconds']}s -> rns {row['rns_seconds']}s "
             f"({row['speedup']}x); batch[{row['batch_size']}] "
             f"{row['batch_seconds_per_run']}s/run "
-            f"({row['batch_vs_reference_speedup']}x vs ref)"
+            f"({row['batch_vs_single_speedup']}x vs sequential singles, "
+            f"{row['batch_vs_reference_speedup']}x vs ref)"
+        )
+
+    print(f"multicore lockstep scaling ({MULTICORE_KERNEL}) ...", flush=True)
+    multicore = bench_multicore(
+        MULTICORE_KERNEL,
+        toy_params(),
+        args.batch,
+        tuple(sorted({1, 2, args.exec_workers})),
+    )
+    for workers, row in multicore["workers"].items():
+        print(
+            f"  workers={workers}: {row['total_seconds']}s total "
+            f"({row['scaling_vs_workers1']}x vs workers=1, "
+            f"identical={row['outputs_identical_to_workers1']})"
         )
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "mode": mode,
         "params": params.name,
         "opcodes": opcodes,
+        "opcodes_toy": opcodes_toy,
+        "ntt_counts": ntt_counts,
         "end_to_end": end_to_end,
+        "multicore": multicore,
         "metrics": {
             **{
                 f"{name}.speedup": row["speedup"]
@@ -263,6 +479,18 @@ def main(argv: list[str] | None = None) -> int:
             **{
                 f"{name}.speedup_batched": row["speedup_batched"]
                 for name, row in opcodes.items()
+            },
+            **{
+                f"{name}.batch_amortization": row["batch_amortization"]
+                for name, row in opcodes.items()
+            },
+            **{
+                f"toy.{name}.batch_amortization": row["batch_amortization"]
+                for name, row in opcodes_toy.items()
+            },
+            **{
+                f"{kernel}.ntt_rows_elided": row["ntt_rows_elided"]
+                for kernel, row in ntt_counts.items()
             },
             **{
                 f"{kernel}.e2e_speedup": row["speedup"]
@@ -285,13 +513,17 @@ def main(argv: list[str] | None = None) -> int:
             (f"{params.name}.{name}", row["rns_us"])
             for name, row in opcodes.items()
         )
+        floors.update(
+            (f"toy-insecure.ntt_rows.{kernel}", row["ntt_rows_planned"])
+            for kernel, row in ntt_counts.items()
+        )
         FLOOR_FILE.write_text(
             json.dumps(floors, indent=2, sort_keys=True) + "\n"
         )
         print(f"floor refreshed: {FLOOR_FILE}")
 
     if args.check_floor:
-        failures = check_floor(params.name, opcodes)
+        failures = check_floor(params.name, opcodes, ntt_counts)
         for failure in failures:
             print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
         if failures:

@@ -143,6 +143,13 @@ def _cmd_baseline(args) -> int:
     return 0
 
 
+def _print_executor_timings(session) -> None:
+    """``run --timings``: the executor's NTT/arena counter table."""
+    from repro.runtime.profiler import format_executor_stats
+
+    print(format_executor_stats(session.executor_stats()), file=sys.stderr)
+
+
 def _cmd_run(args) -> int:
     session = _session(args)
     spec = session.spec(args.kernel)
@@ -155,8 +162,11 @@ def _cmd_run(args) -> int:
         for p in spec.layout.inputs
     }
     report = session.run(
-        args.kernel, logical, backend=args.backend, seed=args.seed
+        args.kernel, logical, backend=args.backend, seed=args.seed,
+        domain_plan=args.domain_plan, exec_workers=args.exec_workers,
     )
+    if args.timings:
+        _print_executor_timings(session)
     if args.json:
         payload = compiled.summary()
         payload["execution"] = {
@@ -175,9 +185,14 @@ def _cmd_run(args) -> int:
     print(f"reference          = {np.asarray(report.expected_output).ravel().tolist()}")
     print(f"matches reference: {report.matches_reference}")
     if report.backend == "he":
+        from repro.api import Porcupine
         from repro.runtime.estimator import estimate_noise_budget
 
-        executor = session.backend("he", seed=args.seed)._executor_for(spec)
+        he_kwargs = Porcupine.he_backend_kwargs(
+            args.seed, domain_plan=args.domain_plan,
+            exec_workers=args.exec_workers,
+        )
+        executor = session.backend("he", **he_kwargs)._executor_for(spec)
         predicted = estimate_noise_budget(compiled.program, executor.params)
         print(
             f"noise budget: {report.noise_budget} bits measured, "
@@ -195,8 +210,11 @@ def _cmd_run(args) -> int:
 def _run_batch(args, session, compiled) -> int:
     """``run --batch N``: one lockstep batched execution of N inputs."""
     batch = session.run_many(
-        args.kernel, args.batch, backend=args.backend, seed=args.seed
+        args.kernel, args.batch, backend=args.backend, seed=args.seed,
+        domain_plan=args.domain_plan, exec_workers=args.exec_workers,
     )
+    if args.timings:
+        _print_executor_timings(session)
     if args.json:
         payload = compiled.summary()
         payload["batch"] = {
@@ -312,6 +330,8 @@ def _cmd_serve(args) -> int:
         seed=args.seed,
         max_batch=args.max_batch,
         linger_ms=args.linger_ms,
+        domain_plan=args.domain_plan,
+        exec_workers=args.exec_workers,
         compile_workers=args.compile_workers,
         cache_dir=args.cache_dir,
         precompile=tuple(
@@ -341,6 +361,13 @@ def _cmd_serve(args) -> int:
         pass
     if args.timings:
         print(server.metrics.format_table(), file=sys.stderr)
+        if config.backend == "he":
+            from repro.runtime.profiler import format_executor_stats
+
+            print(
+                format_executor_stats(server.session.executor_stats()),
+                file=sys.stderr,
+            )
     print("shutdown complete", flush=True)
     return 0
 
@@ -418,6 +445,19 @@ def main(argv: list[str] | None = None) -> int:
                              help="execute N random inputs as one lockstep "
                                   "encrypted batch (amortizes keys, "
                                   "encoding, and program setup)")
+            cmd.add_argument("--domain-plan", action="store_true",
+                             help="enable the tape-level NTT-domain "
+                                  "planner (bit-identical outputs; fewer "
+                                  "NTT transforms)")
+            cmd.add_argument("--exec-workers", type=int, default=1,
+                             metavar="W",
+                             help="shard the lockstep batch axis across W "
+                                  "threads with per-worker scratch arenas "
+                                  "(bit-identical to W=1; HE backend only)")
+            cmd.add_argument("--timings", action="store_true",
+                             help="print the executor's NTT/arena counter "
+                                  "table (NTT rows performed and elided, "
+                                  "arena high-water bytes) to stderr")
 
     baseline = sub.add_parser("baseline", help="print a hand-written baseline")
     baseline.add_argument("kernel")
@@ -442,6 +482,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="execution-backend key seed")
     serve.add_argument("--max-batch", type=int, default=8, metavar="N",
                        help="max coalesced requests per lockstep batch")
+    serve.add_argument("--domain-plan", action="store_true",
+                       help="enable the HE executor's tape-level NTT-domain "
+                            "planner (bit-identical responses)")
+    serve.add_argument("--exec-workers", type=int, default=1, metavar="W",
+                       help="shard each coalesced lockstep batch across W "
+                            "executor threads (bit-identical to W=1)")
     serve.add_argument("--linger-ms", type=float, default=2.0, metavar="MS",
                        help="max wait for co-batchable requests")
     serve.add_argument("--compile-workers", type=int, default=0, metavar="N",

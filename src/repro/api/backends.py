@@ -142,10 +142,14 @@ class HEBackend:
         seed: int | None = None,
         slow_reference: bool = False,
         params: str | None = None,
+        domain_plan: bool = False,
+        exec_workers: int = 1,
     ):
         self.seed = seed
         self.slow_reference = slow_reference
         self.params_preset = params
+        self.domain_plan = domain_plan
+        self.exec_workers = exec_workers
         self._executors: dict[str, object] = {}
 
     def _executor_for(self, spec: Spec):
@@ -178,9 +182,21 @@ class HEBackend:
                 params=params,
                 seed=self.seed,
                 slow_reference=self.slow_reference,
+                domain_plan=self.domain_plan,
+                exec_workers=self.exec_workers,
             )
             self._executors[spec.name] = executor
         return executor
+
+    def executor_stats(self):
+        """Merged :class:`~repro.runtime.profiler.ExecutorStats` across
+        every executor this backend has built."""
+        from repro.runtime.profiler import ExecutorStats
+
+        merged = ExecutorStats(exec_workers=self.exec_workers)
+        for executor in self._executors.values():
+            merged = merged.merge(executor.stats)
+        return merged
 
     def pin(self, program: Program, spec: Spec) -> None:
         """Keep a hot program's compiled tape resident across evictions."""

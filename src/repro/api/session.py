@@ -480,20 +480,25 @@ class Porcupine:
         *,
         backend: str | ExecutionBackend | None = None,
         seed: int = 0,
+        domain_plan: bool = False,
+        exec_workers: int = 1,
         **compile_kwargs,
     ) -> BackendResult:
         """Compile (cached) and execute a kernel on a named backend.
 
         Without explicit ``inputs``, random in-range inputs are drawn
         from ``seed`` (bounded by the spec's backend bound so nothing
-        overflows the plaintext modulus).
+        overflows the plaintext modulus).  ``domain_plan`` and
+        ``exec_workers`` select the HE executor's NTT-domain planner and
+        lockstep thread count (both bit-identical to the defaults).
         """
         compiled = self.compile(kernel, **compile_kwargs)
         spec = self._resolve(kernel).spec()
         if inputs is None:
             inputs = self._random_inputs(spec, seed)
         return self.execute(
-            compiled, inputs, backend=backend, seed=seed, spec=spec
+            compiled, inputs, backend=backend, seed=seed, spec=spec,
+            domain_plan=domain_plan, exec_workers=exec_workers,
         )
 
     def execute(
@@ -504,6 +509,8 @@ class Porcupine:
         backend: str | ExecutionBackend | None = None,
         seed: int = 0,
         spec: Spec | None = None,
+        domain_plan: bool = False,
+        exec_workers: int = 1,
     ) -> BackendResult:
         """Execute an already-compiled kernel (no compile step).
 
@@ -515,7 +522,9 @@ class Porcupine:
         """
         if spec is None:
             spec = self.spec(compiled.name)
-        engine = self._resolve_backend(backend, seed)
+        engine = self._resolve_backend(
+            backend, seed, domain_plan=domain_plan, exec_workers=exec_workers
+        )
         return engine.execute(compiled.program, spec, inputs)
 
     def execute_batch(
@@ -526,6 +535,8 @@ class Porcupine:
         backend: str | ExecutionBackend | None = None,
         seed: int = 0,
         spec: Spec | None = None,
+        domain_plan: bool = False,
+        exec_workers: int = 1,
     ) -> BatchResult:
         """Execute one compiled kernel over a batch of environments.
 
@@ -536,7 +547,9 @@ class Porcupine:
         """
         if spec is None:
             spec = self.spec(compiled.name)
-        engine = self._resolve_backend(backend, seed)
+        engine = self._resolve_backend(
+            backend, seed, domain_plan=domain_plan, exec_workers=exec_workers
+        )
         execute_many = getattr(engine, "execute_many", None)
         if execute_many is not None:
             return execute_many(compiled.program, spec, list(envs))
@@ -555,15 +568,54 @@ class Porcupine:
         )
 
     def _resolve_backend(
-        self, backend: str | ExecutionBackend | None, seed: int
+        self,
+        backend: str | ExecutionBackend | None,
+        seed: int,
+        *,
+        domain_plan: bool = False,
+        exec_workers: int = 1,
     ) -> ExecutionBackend:
         """Name-or-instance backend dispatch shared by run/run_many."""
         if isinstance(backend, str) or backend is None:
             name = backend or self.default_backend
-            return self.backend(
-                name, **({"seed": seed} if name == "he" else {})
+            kwargs = (
+                self.he_backend_kwargs(
+                    seed, domain_plan=domain_plan, exec_workers=exec_workers
+                )
+                if name == "he"
+                else {}
             )
+            return self.backend(name, **kwargs)
         return backend
+
+    @staticmethod
+    def he_backend_kwargs(
+        seed: int, *, domain_plan: bool = False, exec_workers: int = 1
+    ) -> dict:
+        """Construction kwargs for the session's cached HE backend.
+
+        Default flags are omitted so legacy call sites keep aliasing the
+        same backend instance (the cache keys on the kwargs tuple).
+        """
+        kwargs: dict = {"seed": seed}
+        if domain_plan:
+            kwargs["domain_plan"] = True
+        if exec_workers != 1:
+            kwargs["exec_workers"] = exec_workers
+        return kwargs
+
+    def executor_stats(self):
+        """Merged HE :class:`~repro.runtime.profiler.ExecutorStats`
+        across every backend this session has built (NTT rows performed
+        and elided, arena high-water bytes, lockstep worker count)."""
+        from repro.runtime.profiler import ExecutorStats
+
+        merged = ExecutorStats()
+        for engine in self._backends.values():
+            stats_fn = getattr(engine, "executor_stats", None)
+            if stats_fn is not None:
+                merged = merged.merge(stats_fn())
+        return merged
 
     def _random_inputs(self, spec: Spec, seed: int) -> dict[str, np.ndarray]:
         rng = np.random.default_rng(seed)
@@ -581,6 +633,8 @@ class Porcupine:
         *,
         backend: str | ExecutionBackend | None = None,
         seed: int = 0,
+        domain_plan: bool = False,
+        exec_workers: int = 1,
         **compile_kwargs,
     ) -> BatchResult:
         """Compile once and execute a batch of inputs in lockstep.
@@ -614,7 +668,8 @@ class Porcupine:
                     }
                 )
         return self.execute_batch(
-            compiled, inputs, backend=backend, seed=seed, spec=spec
+            compiled, inputs, backend=backend, seed=seed, spec=spec,
+            domain_plan=domain_plan, exec_workers=exec_workers,
         )
 
     def run_all(

@@ -122,6 +122,11 @@ class BFVContext:
         self._mac_lazy_ok = (
             self._digit_count * ((1 << 31) + 2 * pmax) * pmax < 1 << 63
         )
+        # base-T digits below every prime are already canonical residues,
+        # so the key-switch digit stack can skip its reduction entirely
+        self._digits_canonical = (1 << params.decomp_bits) <= min(
+            params.coeff_primes
+        )
         self._ext_ring = self._build_extension_ring()
         self._init_rescale_tables()
         self._keygen()
@@ -478,33 +483,73 @@ class BFVContext:
     # Homomorphic operations
     # ------------------------------------------------------------------
 
-    def add(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+    def add(
+        self,
+        ct1: Ciphertext,
+        ct2: Ciphertext,
+        out_domain: str | None = None,
+    ) -> Ciphertext:
         self._check_sizes(ct1, ct2)
-        return Ciphertext([a + b for a, b in zip(ct1.parts, ct2.parts)])
+        return Ciphertext(
+            [a.add(b, out_domain) for a, b in zip(ct1.parts, ct2.parts)]
+        )
 
-    def sub(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+    def sub(
+        self,
+        ct1: Ciphertext,
+        ct2: Ciphertext,
+        out_domain: str | None = None,
+    ) -> Ciphertext:
         self._check_sizes(ct1, ct2)
-        return Ciphertext([a - b for a, b in zip(ct1.parts, ct2.parts)])
+        return Ciphertext(
+            [a.sub(b, out_domain) for a, b in zip(ct1.parts, ct2.parts)]
+        )
 
     def negate(self, ct: Ciphertext) -> Ciphertext:
         return Ciphertext([-p for p in ct.parts])
 
-    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
-        m_scaled = pt.lift(self.ring, self.t).scalar_mul(self.delta)
-        parts = [ct.parts[0] + m_scaled] + [p.copy() for p in ct.parts[1:]]
+    def add_plain(
+        self, ct: Ciphertext, pt: Plaintext, out_domain: str | None = None
+    ) -> Ciphertext:
+        lift = self._plain_operand(pt, out_domain)
+        m_scaled = lift.scalar_mul(self.delta)
+        parts = [ct.parts[0].add(m_scaled, out_domain)]
+        parts += [p.copy() for p in ct.parts[1:]]
         return Ciphertext(parts)
 
-    def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
-        m_scaled = pt.lift(self.ring, self.t).scalar_mul(self.delta)
-        parts = [ct.parts[0] - m_scaled] + [p.copy() for p in ct.parts[1:]]
+    def sub_plain(
+        self, ct: Ciphertext, pt: Plaintext, out_domain: str | None = None
+    ) -> Ciphertext:
+        lift = self._plain_operand(pt, out_domain)
+        m_scaled = lift.scalar_mul(self.delta)
+        parts = [ct.parts[0].sub(m_scaled, out_domain)]
+        parts += [p.copy() for p in ct.parts[1:]]
         return Ciphertext(parts)
+
+    def _plain_operand(
+        self, pt: Plaintext, out_domain: str | None
+    ) -> RingElement:
+        """The plaintext's ring lift, with its NTT cache primed if the
+        plan wants the evaluation domain.
+
+        The lazy path forward-transforms the *transient* scaled operand
+        on every call; priming the cached lift instead pays the transform
+        once per plaintext (``scalar_mul`` scales every cached form)."""
+        lift = pt.lift(self.ring, self.t)
+        if out_domain == "eval":
+            lift.eval_rows()
+        return lift
 
     def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         lift = pt.lift(self.ring, self.t)
         return Ciphertext([p * lift for p in ct.parts])
 
     def multiply(
-        self, ct1: Ciphertext, ct2: Ciphertext, relinearize: bool = True
+        self,
+        ct1: Ciphertext,
+        ct2: Ciphertext,
+        relinearize: bool = True,
+        out_domain: str | None = None,
     ) -> Ciphertext:
         """BFV multiply: exact integer tensor, rescale by t/q, relinearize."""
         if ct1.size != 2 or ct2.size != 2:
@@ -515,7 +560,7 @@ class BFVContext:
             parts = self._tensor_rns(ct1, ct2)
         product = Ciphertext(parts)
         if relinearize:
-            product = self.relinearize(product)
+            product = self.relinearize(product, out_domain=out_domain)
         return product
 
     def _tensor_rns(self, ct1: Ciphertext, ct2: Ciphertext) -> list[RingElement]:
@@ -538,15 +583,17 @@ class BFVContext:
         operands = np.moveaxis(
             converted.reshape((k_ext,) + lead + (n,)), 0, -2
         )
-        fa0, fa1, fb0, fb1 = ext.batch_ntt.forward(operands)
+        fa0, fa1, fb0, fb1 = ext.batch_ntt.forward(operands, assume_reduced=True)
         p_col = ext._primes_col
-        fsa = (fa0 + fa1) % p_col
-        fsb = (fb0 + fb1) % p_col
+        fsa = RingElement._mod_add(fa0, fa1, p_col)
+        fsb = RingElement._mod_add(fb0, fb1, p_col)
         products = np.stack(
             [fa0 * fb0 % p_col, fa1 * fb1 % p_col, fsa * fsb % p_col]
         )
-        t00, t11, tss = ext.batch_ntt.inverse(products)
-        t01 = (tss - t00 - t11) % p_col
+        t00, t11, tss = ext.batch_ntt.inverse(products, assume_reduced=True)
+        t01 = RingElement._mod_sub(
+            RingElement._mod_sub(tss, t00, p_col), t11, p_col
+        )
         # rescale all three tensor parts in one vectorized sweep
         tensors = np.stack([t00, t01, t11])  # (3, ..., k_ext, n)
         rescaled = self._rns_rescale(self._cols(tensors))
@@ -646,18 +693,34 @@ class BFVContext:
         scaled = [(t * v + q // 2) // q for v in coeffs]
         return self.ring.from_int_coeffs(scaled)
 
-    def relinearize(self, ct: Ciphertext) -> Ciphertext:
+    def relinearize(
+        self, ct: Ciphertext, out_domain: str | None = None
+    ) -> Ciphertext:
         """Fold the quadratic part of a 3-part ciphertext back to 2 parts."""
         if ct.size == 2:
             return ct.copy()
         d0, d1 = self._key_switch(ct.parts[2], self.relin_key)
-        if not self.slow_reference:
-            # d0/d1 arrive in NTT form; prime both target parts' caches in
-            # one batched transform so the adds stay in the NTT domain.
-            self.ring.prime_evals([ct.parts[0], ct.parts[1]])
+        if self.slow_reference:
+            return Ciphertext([ct.parts[0] + d0, ct.parts[1] + d1])
+        if out_domain == "coeff":
+            # the tensor parts already hold coefficients, so when every
+            # consumer demands that domain it is cheaper to pull the two
+            # key-switch accumulators *back* than to push the parts forward
+            self.ring.prime_coeffs([d0, d1])
+            return Ciphertext(
+                [
+                    ct.parts[0].add(d0, "coeff"),
+                    ct.parts[1].add(d1, "coeff"),
+                ]
+            )
+        # d0/d1 arrive in NTT form; prime both target parts' caches in
+        # one batched transform so the adds stay in the NTT domain.
+        self.ring.prime_evals([ct.parts[0], ct.parts[1]])
         return Ciphertext([ct.parts[0] + d0, ct.parts[1] + d1])
 
-    def rotate_rows(self, ct: Ciphertext, steps: int) -> Ciphertext:
+    def rotate_rows(
+        self, ct: Ciphertext, steps: int, planned: bool = False
+    ) -> Ciphertext:
         """Rotate both batching rows left by ``steps`` (negative = right)."""
         if ct.size != 2:
             raise HEError("rotate expects a relinearized (2-part) ciphertext")
@@ -665,17 +728,31 @@ class BFVContext:
         if steps == 0:
             return ct.copy()
         g = self.encoder.galois_element_for_rotation(steps)
-        return self._apply_galois(ct, g)
+        return self._apply_galois(ct, g, planned=planned)
 
-    def rotate_columns(self, ct: Ciphertext) -> Ciphertext:
+    def rotate_columns(self, ct: Ciphertext, planned: bool = False) -> Ciphertext:
         """Swap the two batching rows."""
         if ct.size != 2:
             raise HEError("rotate expects a relinearized (2-part) ciphertext")
-        return self._apply_galois(ct, self.encoder.galois_element_row_swap)
+        return self._apply_galois(
+            ct, self.encoder.galois_element_row_swap, planned=planned
+        )
 
-    def _apply_galois(self, ct: Ciphertext, galois_elt: int) -> Ciphertext:
+    def _apply_galois(
+        self, ct: Ciphertext, galois_elt: int, planned: bool = False
+    ) -> Ciphertext:
         self.generate_galois_key(galois_elt)
         key = self.galois_keys.get(galois_elt)
+        if planned and not self.slow_reference:
+            # Planned routing: c0 permutes cached evaluation rows (the
+            # hoisted form below), while c1 routes through the coefficient
+            # domain — digit decomposition needs coefficients regardless,
+            # and the inverse transform caches on the *input* wire, so R
+            # rotations of one ciphertext pay it once instead of R times.
+            c0g = ct.parts[0].automorphism(galois_elt, domains="eval")
+            c1g = ct.parts[1].automorphism(galois_elt, domains="coeff")
+            d0, d1 = self._key_switch(c1g, key)
+            return Ciphertext([c0g + d0, d1])
         if not self.slow_reference:
             # Hoist: materialise c0's NTT form on the *input* ciphertext so
             # repeated rotations of the same ciphertext permute the cached
@@ -710,13 +787,24 @@ class BFVContext:
         n = self.params.poly_degree
         digits = self._digit_decomposer.digits(self._cols(res))
         depth = digits.shape[0]
-        stack = (
-            digits.reshape((depth,) + lead + (1, n))
-            % ring._primes_col
-        )  # (digits, ..., k, n)
-        evals = ring.batch_ntt.forward(
-            stack, reduce_output=not self._mac_lazy_ok
-        )
+        shaped = digits.reshape((depth,) + lead + (1, n))
+        if self._digits_canonical:
+            # digits < 2^T <= every prime: the broadcast across the prime
+            # axis is already canonical, so the transform's working copy
+            # materialises it without a division pass
+            stack = np.broadcast_to(
+                shaped, (depth,) + lead + (len(ring.basis), n)
+            )
+            evals = ring.batch_ntt.forward(
+                stack,
+                reduce_output=not self._mac_lazy_ok,
+                assume_reduced=True,
+            )
+        else:
+            stack = shaped % ring._primes_col  # (digits, ..., k, n)
+            evals = ring.batch_ntt.forward(
+                stack, reduce_output=not self._mac_lazy_ok
+            )
         p_col = ring._primes_col
         key0 = key._stack_0.reshape(
             (depth,) + (1,) * len(lead) + key._stack_0.shape[1:]

@@ -24,6 +24,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.he.arena import count_ntt_rows, current_arena
 from repro.he.primes import primitive_root_of_unity
 
 
@@ -225,13 +226,35 @@ class BatchNTT:
                 self._expanded[batch] = cached
         return cached
 
-    def _to_cols(self, residues: np.ndarray) -> tuple[np.ndarray, tuple]:
-        """``(..., k, n) -> (n, batch*k)`` contiguous working copy."""
+    def _to_cols(
+        self, residues: np.ndarray, tag: str
+    ) -> tuple[np.ndarray, tuple]:
+        """``(..., k, n) -> (n, batch*k)`` contiguous working copy.
+
+        Inside an active :func:`~repro.he.arena.execution_scope` the copy
+        lands in a reused arena buffer (the butterfly loop mutates it in
+        place), so steady-state transforms allocate no fresh workspace.
+        """
         a = np.asarray(residues, dtype=np.int64)
         shape = a.shape
-        return np.ascontiguousarray(a.reshape(-1, self.n).T), shape
+        flat = a.reshape(-1, self.n).T
+        arena = current_arena()
+        if arena is None:
+            return np.ascontiguousarray(flat), shape
+        buf = arena.take(tag, flat.shape)
+        np.copyto(buf, flat)
+        return buf, shape
 
-    def _from_cols(self, x: np.ndarray, shape: tuple) -> np.ndarray:
+    def _from_cols(
+        self, x: np.ndarray, shape: tuple, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is not None:
+            if out.shape != shape:
+                raise ValueError(
+                    f"out has shape {out.shape}, expected {shape}"
+                )
+            np.copyto(out.reshape(-1, self.n), x.T)
+            return out
         return np.ascontiguousarray(x.T).reshape(shape)
 
     @staticmethod
@@ -251,20 +274,31 @@ class BatchNTT:
     # -- transforms -----------------------------------------------------
 
     def forward(
-        self, residues: np.ndarray, reduce_output: bool = True
+        self,
+        residues: np.ndarray,
+        reduce_output: bool = True,
+        assume_reduced: bool = False,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Coefficient stack ``(..., k, n)`` -> evaluation stack.
 
         ``reduce_output=False`` skips the final canonical reduction; the
         result is congruent mod each prime but only bounded by ``2^31``
         (for consumers that fold the reduction into their own accumulate).
+        ``assume_reduced=True`` promises the input is already canonical
+        (every residue in ``[0, p)``), skipping the defensive entry
+        reduction — callers inside the ring layer uphold this invariant
+        by construction.  ``out`` receives the result in place (it must
+        match the input's shape).
         """
-        x, shape = self._to_cols(residues)
+        x, shape = self._to_cols(residues, "fwd")
         n = self.n
+        count_ntt_rows(x.shape[1])
         w_fwd, ws_fwd, _, _, p, _ = self._tables_for(x.shape[1] // len(self.primes))
         two_p = 2 * p
         pmax = self._pmax
-        np.mod(x, p, out=x)
+        if not assume_reduced:
+            np.mod(x, p, out=x)
         bound = pmax
         m, t = 1, n
         while m < n:
@@ -310,18 +344,28 @@ class BatchNTT:
                 t = t2
         if reduce_output:
             np.mod(x, p, out=x)
-        return self._from_cols(x, shape)
+        return self._from_cols(x, shape, out=out)
 
-    def inverse(self, values: np.ndarray) -> np.ndarray:
-        """Evaluation stack ``(..., k, n)`` -> coefficient stack."""
-        x, shape = self._to_cols(values)
+    def inverse(
+        self,
+        values: np.ndarray,
+        assume_reduced: bool = False,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Evaluation stack ``(..., k, n)`` -> coefficient stack.
+
+        ``assume_reduced`` / ``out`` behave as in :meth:`forward`.
+        """
+        x, shape = self._to_cols(values, "inv")
         n = self.n
+        count_ntt_rows(x.shape[1])
         _, _, w_inv, ws_inv, p, n_inv = self._tables_for(
             x.shape[1] // len(self.primes)
         )
         pmax = self._pmax
         pmin = self._pmin
-        np.mod(x, p, out=x)
+        if not assume_reduced:
+            np.mod(x, p, out=x)
         bound = pmax
         m, t = n, 1
         while m > 1:
@@ -379,8 +423,9 @@ class BatchNTT:
                 bound = max(2 * bound, 2 * pmax)
                 m //= 2
                 t *= 2
-        x = x * n_inv % p
-        return self._from_cols(x, shape)
+        np.multiply(x, n_inv, out=x)
+        np.mod(x, p, out=x)
+        return self._from_cols(x, shape, out=out)
 
 
 def naive_negacyclic_convolve(a, b, prime: int) -> np.ndarray:

@@ -104,10 +104,25 @@ class RingContext:
         if not pending:
             return
         evals = self.batch_ntt.forward(
-            np.stack([e._coeff for e in pending])
+            np.stack([e._coeff for e in pending]), assume_reduced=True
         )
         for element, rows in zip(pending, evals):
             element._eval = rows
+
+    def prime_coeffs(self, elements: list["RingElement"]) -> None:
+        """Fill the coefficient caches of several elements in one pass.
+
+        The inverse-domain twin of :meth:`prime_evals`, used by the
+        domain planner when a value's consumers all demand coefficients
+        (e.g. a relinearized product feeding another multiply)."""
+        pending = [e for e in elements if e._coeff is None]
+        if not pending:
+            return
+        coeffs = self.batch_ntt.inverse(
+            np.stack([e._eval for e in pending]), assume_reduced=True
+        )
+        for element, rows in zip(pending, coeffs):
+            element._coeff = rows
 
     def eval_automorphism_table(self, galois_elt: int) -> np.ndarray:
         """Permutation realising ``x -> x^g`` directly on evaluation rows.
@@ -163,13 +178,19 @@ class RingElement:
     def residues(self) -> np.ndarray:
         """Coefficient-domain residue matrix (materialised on demand)."""
         if self._coeff is None:
-            self._coeff = self.ctx.batch_ntt.inverse(self._eval)
+            # cached forms are canonical by construction (every producer
+            # reduces), so the transform skips its defensive entry mod
+            self._coeff = self.ctx.batch_ntt.inverse(
+                self._eval, assume_reduced=True
+            )
         return self._coeff
 
     def eval_rows(self) -> np.ndarray:
         """Evaluation-domain residue matrix (materialised on demand)."""
         if self._eval is None:
-            self._eval = self.ctx.batch_ntt.forward(self._coeff)
+            self._eval = self.ctx.batch_ntt.forward(
+                self._coeff, assume_reduced=True
+            )
         return self._eval
 
     @property
@@ -194,23 +215,88 @@ class RingElement:
             eval_rows=None if self._eval is None else self._eval.copy(),
         )
 
-    def _binary(self, other: "RingElement", op) -> "RingElement":
+    def batch_slice(self, lo: int, hi: int) -> "RingElement":
+        """A view of batch elements ``[lo, hi)`` of a batched element.
+
+        Slices every cached form along the leading batch axis without
+        copying; elements are value-immutable, so sharing the underlying
+        arrays with the parent is safe.  Used by the lockstep executor to
+        shard one encrypted ``(batch, k, N)`` stack across workers."""
+        return RingElement(
+            self.ctx,
+            None if self._coeff is None else self._coeff[lo:hi],
+            eval_rows=None if self._eval is None else self._eval[lo:hi],
+        )
+
+    @staticmethod
+    def _mod_add(a: np.ndarray, b: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """``(a + b) mod p`` for canonical operands, division-free.
+
+        Sums of two residues in ``[0, p)`` land in ``[0, 2p)``; one
+        conditional subtract restores the canonical range — bit-identical
+        to ``%`` and ~2x faster (int64 division is the expensive pass).
+        The fix-up runs per prime row with a scalar modulus: the
+        conditional's temporaries then stay row-sized instead of
+        whole-stack-sized, which keeps batched adds out of the allocator
+        (a fresh ``(batch, k, n)`` temp per op is page-fault-bound).
+        """
+        s = a + b
+        for i in range(p.shape[0]):
+            row = s[..., i, :]
+            pi = p[i, 0]
+            row -= (row >= pi) * pi
+        return s
+
+    @staticmethod
+    def _mod_sub(a: np.ndarray, b: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """``(a - b) mod p`` for canonical operands, division-free."""
+        d = a - b
+        for i in range(p.shape[0]):
+            row = d[..., i, :]
+            pi = p[i, 0]
+            row += (row < 0) * pi
+        return d
+
+    def _binary(
+        self, other: "RingElement", op, out_domain: str | None = None
+    ) -> "RingElement":
         """Apply a linear op in whichever domain avoids a transform.
 
-        Both forms present on both operands -> compute both (cheap numpy
-        adds) so downstream consumers of either domain stay transform-free.
+        ``out_domain=None`` keeps the historical lazy policy: both forms
+        present on both operands -> compute both (cheap numpy adds) so
+        downstream consumers of either domain stay transform-free.  A
+        domain plan passes ``"coeff"``/``"eval"`` to compute exactly the
+        form its consumers demand — transforms are exact bijections and
+        the op is linear, so every choice yields bit-identical values.
         """
         p = self.ctx._primes_col
+        fn = self._mod_add if op is np.add else self._mod_sub
+        if out_domain == "coeff":
+            return RingElement(self.ctx, fn(self.residues, other.residues, p))
+        if out_domain == "eval":
+            return RingElement(
+                self.ctx, eval_rows=fn(self.eval_rows(), other.eval_rows(), p)
+            )
         coeff = None
         eval_rows = None
         if self._coeff is not None and other._coeff is not None:
-            coeff = op(self._coeff, other._coeff) % p
+            coeff = fn(self._coeff, other._coeff, p)
         if self._eval is not None and other._eval is not None:
-            eval_rows = op(self._eval, other._eval) % p
+            eval_rows = fn(self._eval, other._eval, p)
         if coeff is None and eval_rows is None:
             # mixed domains: prefer evaluation (keeps hot chains in NTT form)
-            eval_rows = op(self.eval_rows(), other.eval_rows()) % p
+            eval_rows = fn(self.eval_rows(), other.eval_rows(), p)
         return RingElement(self.ctx, coeff, eval_rows=eval_rows)
+
+    def add(
+        self, other: "RingElement", out_domain: str | None = None
+    ) -> "RingElement":
+        return self._binary(other, np.add, out_domain)
+
+    def sub(
+        self, other: "RingElement", out_domain: str | None = None
+    ) -> "RingElement":
+        return self._binary(other, np.subtract, out_domain)
 
     def __add__(self, other: "RingElement") -> "RingElement":
         return self._binary(other, np.add)
@@ -245,19 +331,36 @@ class RingElement:
             ),
         )
 
-    def automorphism(self, galois_elt: int) -> "RingElement":
-        """``x -> x^g``, applied in every domain the element already has."""
+    def automorphism(
+        self, galois_elt: int, domains: str | None = None
+    ) -> "RingElement":
+        """``x -> x^g``, applied in every domain the element already has.
+
+        ``domains`` narrows the work under a domain plan: ``"coeff"`` /
+        ``"eval"`` produce exactly that form (materialising the source
+        form if missing), instead of permuting every cached form.  The
+        automorphism commutes with the NTT, so all choices agree.
+        """
+        want_coeff = (
+            self._coeff is not None if domains is None else domains == "coeff"
+        )
+        want_eval = (
+            self._eval is not None if domains is None else domains == "eval"
+        )
         coeff = None
         eval_rows = None
-        if self._coeff is not None:
+        if want_coeff:
             dest, sign = self.ctx.automorphism_tables(galois_elt)
-            out = np.empty_like(self._coeff)
-            signed = self._coeff * sign % self.ctx._primes_col
+            out = np.empty_like(self._coeff if self._coeff is not None else self.residues)
+            # sign is +-1, so the signed residues sit in (-p, p); one
+            # conditional add restores canonical form without a division
+            signed = self.residues * sign
+            signed += self.ctx._primes_col * (signed < 0)
             out[..., dest] = signed
             coeff = out
-        if self._eval is not None:
+        if want_eval:
             perm = self.ctx.eval_automorphism_table(galois_elt)
-            eval_rows = self._eval[..., perm]
+            eval_rows = self.eval_rows()[..., perm]
         return RingElement(self.ctx, coeff, eval_rows=eval_rows)
 
     def to_int_coeffs(self) -> list[int]:

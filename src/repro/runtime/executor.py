@@ -24,11 +24,14 @@ are all amortized across the batch.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.he import BFVContext
+from repro.he.arena import ExecCounters, ScratchArena, execution_scope
+from repro.he.context import Ciphertext
 from repro.he.params import BFVParams
 from repro.quill.ir import (
     CtInput,
@@ -40,6 +43,8 @@ from repro.quill.ir import (
     Wire,
 )
 from repro.quill.noise import multiplicative_depth
+from repro.runtime.planner import DomainPlan, plan_tape
+from repro.runtime.profiler import ExecutorStats
 from repro.spec.reference import Spec
 
 
@@ -160,6 +165,9 @@ class CompiledProgram:
     galois_elements: tuple[int, ...]
     constants: dict[str, object]
     extra_outputs: tuple[tuple, ...] = ()  # fetch descriptors, extras only
+    # NTT-domain residency plan for the tape (None on the slow-reference
+    # oracle); executed only when the executor's domain_plan flag is set
+    plan: DomainPlan | None = None
 
     def describe(self) -> str:
         return (
@@ -224,8 +232,14 @@ class HEExecutor:
         params: BFVParams | None = None,
         seed: int | None = None,
         slow_reference: bool = False,
+        domain_plan: bool = False,
+        exec_workers: int = 1,
     ):
+        if exec_workers < 1:
+            raise ValueError("exec_workers must be >= 1")
         self.spec = spec
+        self.domain_plan = domain_plan
+        self.exec_workers = exec_workers
         if params is None:
             from repro.he.params import large_params, small_params
 
@@ -243,6 +257,14 @@ class HEExecutor:
         self._plaintext_cache: dict[bytes, object] = {}
         self._compiled: dict[int, CompiledProgram] = {}
         self._pinned: set[int] = set()
+        self._arena = ScratchArena()
+        self._worker_arenas: dict[int, ScratchArena] = {}
+        self.stats = ExecutorStats(exec_workers=exec_workers)
+
+    @property
+    def _planning(self) -> bool:
+        """Domain plans apply only on the fast path (the oracle stays lazy)."""
+        return self.domain_plan and not self.ctx.slow_reference
 
     # ------------------------------------------------------------------
     # Compilation: program -> tape
@@ -322,16 +344,28 @@ class HEExecutor:
             )
             for name in program.constants
         }
+        output_desc = fetch(program.output)
+        extra_descs = tuple(fetch(ref) for ref in program.extra_outputs)
+        plan = None
+        if not self.ctx.slow_reference:
+            plan = plan_tape(
+                steps,
+                output_desc,
+                extra_descs,
+                eager=not program.is_explicit_relin,
+                k=len(self.params.coeff_primes),
+                k_ext=len(self.ctx._ext_ring.basis),
+                digits=self.ctx._digit_count,
+            )
         compiled = CompiledProgram(
             program=program,
             steps=steps,
             slot_count=slot_count,
-            output=fetch(program.output),
+            output=output_desc,
             galois_elements=tuple(galois),
             constants=constants,
-            extra_outputs=tuple(
-                fetch(ref) for ref in program.extra_outputs
-            ),
+            extra_outputs=extra_descs,
+            plan=plan,
         )
         if len(self._compiled) >= 32:  # bound the per-program tape cache
             # pinned tapes survive the wholesale clear: the batch
@@ -381,22 +415,30 @@ class HEExecutor:
         return encrypted, plain
 
     def _execute_tape(
-        self, compiled: CompiledProgram, encrypted: dict, plain: dict
+        self,
+        compiled: CompiledProgram,
+        encrypted: dict,
+        plain: dict,
+        planned: bool = False,
     ):
-        """Replay the instruction tape; returns (output ct, per-op seconds)."""
+        """Replay the instruction tape; returns (output ct, per-op seconds).
+
+        ``planned=True`` executes the compiled domain plan: per-step
+        residency hints plus planned rotation routing.  Transforms are
+        exact bijections, so both modes are bit-identical.
+        """
         ctx = self.ctx
         slots: list = [None] * compiled.slot_count
         per_opcode: dict[str, float] = {}
+        plan = compiled.plan if planned else None
         # explicit-relin programs defer the fold to their RELIN steps;
         # eager programs keep the historical relinearize-every-multiply
         eager = not compiled.program.is_explicit_relin
         dispatch = {
             Opcode.ADD_CC: ctx.add,
             Opcode.SUB_CC: ctx.sub,
-            Opcode.MUL_CC: lambda x, y: ctx.multiply(x, y, relinearize=eager),
             Opcode.ADD_CP: ctx.add_plain,
             Opcode.SUB_CP: ctx.sub_plain,
-            Opcode.MUL_CP: ctx.multiply_plain,
         }
 
         def resolve(desc):
@@ -407,14 +449,28 @@ class HEExecutor:
                 return encrypted[key]
             return plain[key]
 
-        for opcode, a, b, amount, out_slot, frees in compiled.steps:
+        for index, (opcode, a, b, amount, out_slot, frees) in enumerate(
+            compiled.steps
+        ):
+            hint = plan.hints[index] if plan is not None else None
             t0 = time.perf_counter()
             if opcode is Opcode.ROTATE:
-                value = ctx.rotate_rows(resolve(a), amount)
+                value = ctx.rotate_rows(
+                    resolve(a), amount, planned=plan is not None
+                )
             elif opcode is Opcode.RELIN:
-                value = ctx.relinearize(resolve(a))
+                value = ctx.relinearize(resolve(a), out_domain=hint)
+            elif opcode is Opcode.MUL_CC:
+                value = ctx.multiply(
+                    resolve(a),
+                    resolve(b),
+                    relinearize=eager,
+                    out_domain=hint,
+                )
+            elif opcode is Opcode.MUL_CP:
+                value = ctx.multiply_plain(resolve(a), resolve(b))
             else:
-                value = dispatch[opcode](resolve(a), resolve(b))
+                value = dispatch[opcode](resolve(a), resolve(b), hint)
             elapsed = time.perf_counter() - t0
             key = opcode.value
             per_opcode[key] = per_opcode.get(key, 0.0) + elapsed
@@ -442,11 +498,15 @@ class HEExecutor:
         encrypted, plain = self._encrypt_env(logical_env)
         plain.update(compiled.constants)
 
+        planned = self._planning
+        counters = ExecCounters()
         start = time.perf_counter()
-        output_ct, extra_cts, per_opcode = self._execute_tape(
-            compiled, encrypted, plain
-        )
+        with execution_scope(self._arena, counters):
+            output_ct, extra_cts, per_opcode = self._execute_tape(
+                compiled, encrypted, plain, planned=planned
+            )
         wall = time.perf_counter() - start
+        self._record_stats(compiled, counters, batch=1, planned=planned)
 
         plaintext, budgets = self.ctx.decrypt_with_budgets(
             output_ct, check_budget=False
@@ -482,6 +542,7 @@ class HEExecutor:
         program: Program,
         logical_envs: list[dict[str, np.ndarray]],
         check: bool = True,
+        workers: int | None = None,
     ) -> BatchExecutionReport:
         """Execute one program over a batch of inputs in lockstep.
 
@@ -490,6 +551,14 @@ class HEExecutor:
         over the batch axis.  Key generation, constant encoding, tape
         setup, and numpy dispatch overhead are all paid once for the
         whole batch.
+
+        With ``workers > 1`` (argument or the executor's ``exec_workers``)
+        the encrypted batch axis is sharded across a thread pool after
+        the single batched encryption — every worker replays the same
+        tape over its contiguous slice with a private scratch arena, so
+        outputs, parts, and noise budgets are bit-identical to the
+        single-worker pass (the numpy/NTT hot loops release the GIL, so
+        shards genuinely overlap on multicore hosts).
         """
         if not logical_envs:
             raise ValueError(
@@ -501,6 +570,11 @@ class HEExecutor:
         compiled = self.compile(program)
         layout = self.spec.layout
         batch = len(logical_envs)
+        if workers is None:
+            workers = self.exec_workers
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        workers = min(workers, batch)
 
         # pack every environment, stack per input name, encrypt batched
         ct_rows: dict[str, list[np.ndarray]] = {}
@@ -529,20 +603,36 @@ class HEExecutor:
         plain.update(compiled.constants)
         t_setup = time.perf_counter()
 
-        output_ct, extra_cts, per_opcode = self._execute_tape(
-            compiled, encrypted, plain
+        planned = self._planning
+        counters = ExecCounters()
+        if workers == 1:
+            with execution_scope(self._arena, counters):
+                output_ct, extra_cts, per_opcode = self._execute_tape(
+                    compiled, encrypted, plain, planned=planned
+                )
+            t_eval = time.perf_counter()
+            plaintext, budgets = self.ctx.decrypt_with_budgets(
+                output_ct, check_budget=False
+            )
+            decrypted = self.ctx.decode(plaintext)
+            extra_decrypted = [
+                self.ctx.decode(self.ctx.decrypt(ct, check_budget=False))
+                for ct in extra_cts
+            ]
+            t_done = time.perf_counter()
+        else:
+            decrypted, budgets, extra_decrypted, per_opcode = (
+                self._run_sharded(
+                    compiled, encrypted, plain, batch, workers, counters,
+                    planned,
+                )
+            )
+            # workers decrypt their own shards, so evaluation and
+            # decryption share the pool's wall time
+            t_eval = t_done = time.perf_counter()
+        self._record_stats(
+            compiled, counters, batch=batch, planned=planned, workers=workers
         )
-        t_eval = time.perf_counter()
-
-        plaintext, budgets = self.ctx.decrypt_with_budgets(
-            output_ct, check_budget=False
-        )
-        decrypted = self.ctx.decode(plaintext)
-        extra_decrypted = [
-            self.ctx.decode(self.ctx.decrypt(ct, check_budget=False))
-            for ct in extra_cts
-        ]
-        t_done = time.perf_counter()
 
         share = (t_eval - t_setup) / batch
         reports = []
@@ -579,6 +669,100 @@ class HEExecutor:
             decrypt_seconds=t_done - t_eval,
             total_seconds=t_done - t_start,
         )
+
+    def _run_sharded(
+        self,
+        compiled: CompiledProgram,
+        encrypted: dict,
+        plain: dict,
+        batch: int,
+        workers: int,
+        counters: ExecCounters,
+        planned: bool,
+    ):
+        """Shard the encrypted batch axis across a lockstep thread pool.
+
+        The whole batch is already encrypted (one RNG stream, identical
+        to the single-worker path); shards are contiguous views of the
+        ``(batch, k, N)`` stacks, so no ciphertext bytes are copied.
+        Workers share the read-only tape/keys/plaintexts and own a
+        private arena + counters; results are stitched back in batch
+        order.  Every homomorphic op is elementwise along the batch
+        axis, so shard boundaries cannot change any output bit.
+        """
+        bounds = [
+            (batch * w) // workers for w in range(workers + 1)
+        ]
+        shards = [
+            (w, bounds[w], bounds[w + 1])
+            for w in range(workers)
+            if bounds[w] < bounds[w + 1]
+        ]
+        for w, _lo, _hi in shards:
+            self._worker_arenas.setdefault(w, ScratchArena())
+
+        def run_shard(shard):
+            w, lo, hi = shard
+            shard_cts = {
+                name: Ciphertext(
+                    [part.batch_slice(lo, hi) for part in ct.parts]
+                )
+                for name, ct in encrypted.items()
+            }
+            shard_counters = ExecCounters()
+            with execution_scope(self._worker_arenas[w], shard_counters):
+                output_ct, extra_cts, per_opcode = self._execute_tape(
+                    compiled, shard_cts, plain, planned=planned
+                )
+            plaintext, budgets = self.ctx.decrypt_with_budgets(
+                output_ct, check_budget=False
+            )
+            decrypted = self.ctx.decode(plaintext)
+            extra_decrypted = [
+                self.ctx.decode(self.ctx.decrypt(ct, check_budget=False))
+                for ct in extra_cts
+            ]
+            return decrypted, budgets, extra_decrypted, per_opcode, (
+                shard_counters
+            )
+
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            results = list(pool.map(run_shard, shards))
+
+        decrypted = np.concatenate([r[0] for r in results])
+        budgets = [b for r in results for b in r[1]]
+        extra_count = len(compiled.extra_outputs)
+        extra_decrypted = [
+            np.concatenate([r[2][j] for r in results])
+            for j in range(extra_count)
+        ]
+        per_opcode: dict[str, float] = {}
+        for r in results:
+            for key, seconds in r[3].items():
+                per_opcode[key] = per_opcode.get(key, 0.0) + seconds
+            counters.merge(r[4])
+        return decrypted, budgets, extra_decrypted, per_opcode
+
+    def _record_stats(
+        self,
+        compiled: CompiledProgram,
+        counters: ExecCounters,
+        batch: int,
+        planned: bool,
+        workers: int = 1,
+    ) -> None:
+        """Fold one tape execution into the executor's running counters."""
+        stats = self.stats
+        stats.runs += 1
+        stats.ntts_performed += counters.ntt_rows
+        if planned and compiled.plan is not None:
+            stats.ntts_planned += compiled.plan.ntts_planned * batch
+            stats.ntts_elided += compiled.plan.ntts_elided * batch
+        arena_bytes = self._arena.bytes_held + sum(
+            arena.bytes_held for arena in self._worker_arenas.values()
+        )
+        stats.arena_bytes = max(stats.arena_bytes, arena_bytes)
+        stats.exec_workers = max(stats.exec_workers, workers)
 
     def _validate_envs(
         self, logical_envs: list[dict[str, np.ndarray]]

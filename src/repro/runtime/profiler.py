@@ -170,6 +170,65 @@ class SchedulerStats:
         }
 
 
+@dataclass
+class ExecutorStats:
+    """HE-executor transform/memory counters (the planner's scoreboard).
+
+    Accumulated across every ``run``/``run_many`` of one
+    :class:`~repro.runtime.executor.HEExecutor`; surfaced by
+    ``porcupine run --timings`` and the serve ``stats`` op next to
+    :class:`SchedulerStats`.  ``ntts_performed`` counts measured NTT row
+    transforms (one length-``N`` butterfly pass) inside tape execution;
+    ``ntts_planned``/``ntts_elided`` are the domain plan's predicted
+    rows and its savings versus the lazy policy, scaled by batch size —
+    when planning is on, ``ntts_performed == ntts_planned`` holds
+    exactly (the property tests pin it).  ``arena_bytes`` is the
+    high-water scratch footprint across the executor's arenas.
+    """
+
+    runs: int = 0  # tape executions (a batched run counts once)
+    ntts_performed: int = 0
+    ntts_planned: int = 0
+    ntts_elided: int = 0
+    arena_bytes: int = 0  # high-water bytes held by scratch arenas
+    exec_workers: int = 1  # widest lockstep worker pool used
+
+    def merge(self, other: "ExecutorStats") -> "ExecutorStats":
+        """Pointwise fold (per-kernel executor rows into a global row)."""
+        return ExecutorStats(
+            runs=self.runs + other.runs,
+            ntts_performed=self.ntts_performed + other.ntts_performed,
+            ntts_planned=self.ntts_planned + other.ntts_planned,
+            ntts_elided=self.ntts_elided + other.ntts_elided,
+            arena_bytes=max(self.arena_bytes, other.arena_bytes),
+            exec_workers=max(self.exec_workers, other.exec_workers),
+        )
+
+    def summary(self) -> dict:
+        """JSON-ready snapshot (bench / stats-op / --timings schema)."""
+        return {
+            "runs": self.runs,
+            "ntts_performed": self.ntts_performed,
+            "ntts_planned": self.ntts_planned,
+            "ntts_elided": self.ntts_elided,
+            "arena_bytes": self.arena_bytes,
+            "exec_workers": self.exec_workers,
+        }
+
+
+def format_executor_stats(stats: ExecutorStats) -> str:
+    """Render executor counters the way ``--timings`` renders timings."""
+    return (
+        "executor stats:\n"
+        f"  tape runs          {stats.runs}\n"
+        f"  ntts performed     {stats.ntts_performed}\n"
+        f"  ntts planned       {stats.ntts_planned}\n"
+        f"  ntts elided        {stats.ntts_elided}\n"
+        f"  arena bytes        {stats.arena_bytes}\n"
+        f"  exec workers       {stats.exec_workers}"
+    )
+
+
 def _round_or_none(value: float | None, digits: int = 3) -> float | None:
     return round(value, digits) if value is not None else None
 

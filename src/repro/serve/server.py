@@ -65,6 +65,8 @@ class ServeConfig:
     seed: int = 0  # execution-backend seed (keys); NOT per-request
     max_batch: int = 8  # coalesced requests per lockstep tape pass
     linger_ms: float = 2.0  # max wait for co-batchable requests
+    domain_plan: bool = False  # HE executor's tape-level NTT-domain planner
+    exec_workers: int = 1  # lockstep batch shards per tape pass (HE only)
     compile_workers: int = 0  # 0: inline; N: process pool on shared cache
     cache_dir: str | None = None  # on-disk compile cache (workers share it)
     precompile: tuple[str, ...] = ()  # hot kernels to compile at boot
@@ -378,7 +380,10 @@ class PorcupineServer:
                     "default_timeout_ms": self.config.default_timeout_ms,
                     "max_backlog": self.config.max_backlog,
                     "pool_max_restarts": self.config.pool_max_restarts,
+                    "domain_plan": self.config.domain_plan,
+                    "exec_workers": self.config.exec_workers,
                 },
+                "executor": self.session.executor_stats().summary(),
                 "health": {
                     "pool_restarts": self.compile_pool.restarts,
                     "pool_degraded": self.compile_pool.degraded,
@@ -433,7 +438,11 @@ class PorcupineServer:
     def _engine(self, backend: str):
         """The session's backend instance for serving (seed + params)."""
         if backend == "he":
-            kwargs: dict = {"seed": self.config.seed}
+            kwargs = Porcupine.he_backend_kwargs(
+                self.config.seed,
+                domain_plan=self.config.domain_plan,
+                exec_workers=self.config.exec_workers,
+            )
             if self.config.params is not None:
                 kwargs["params"] = self.config.params
             return self.session.backend("he", **kwargs)
