@@ -11,7 +11,17 @@ at the repository root:
 * end-to-end synthesis node counts and wall times, **pruned vs
   unpruned** (byte-identical programs, the soundness receipt) and
   **incremental vs from-scratch** CEGIS on seeds with real
-  counterexample rounds.
+  counterexample rounds;
+* **warm-start** node counts: a kernel searched with a lemma store
+  warmed by a sibling kernel (gx warming gy, gx+gy warming roberts)
+  or by its own prior run must search *strictly fewer* nodes than a
+  cold run and still synthesize byte-identical programs;
+* **rewrite-seeded** synthesis: phase 2 entered with the baseline's
+  verified rewrite frontier as the initial cost bound — the bound is
+  at most the baseline's cost and the result stays byte-identical to
+  an unseeded run;
+* **shard** merges: the same search split into N ``--shard i/N`` rank
+  ranges and merged must reproduce the serial program byte for byte.
 
 Run it after touching anything on the synthesis hot path::
 
@@ -36,6 +46,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -48,10 +59,25 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_synthesis.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.cegis import SynthesisConfig, synthesize  # noqa: E402
+from harness import (  # noqa: E402
+    ceiling_failure,
+    floor_failure,
+    load_floors,
+    report_failures,
+    save_floors,
+)
+from repro.baselines import baseline_for  # noqa: E402
+from repro.core.cegis import (  # noqa: E402
+    SynthesisConfig,
+    SynthesisError,
+    synthesize,
+)
 from repro.core.sketches import default_sketch_for  # noqa: E402
+from repro.quill.cost import program_cost  # noqa: E402
 from repro.quill.latency import default_latency_model  # noqa: E402
+from repro.quill.parser import parse_program  # noqa: E402
 from repro.quill.printer import format_program  # noqa: E402
+from repro.quill.rewrite import seed_frontier  # noqa: E402
 from repro.solver.engine import (  # noqa: E402
     PRUNE_RULES,
     SearchOptions,
@@ -98,6 +124,41 @@ SYNTH_CASES = {
 INCREMENTAL_CASES = {
     "quick": (("dot_product", 5), ("linear_regression", 0)),
     "full": (("dot_product", 5), ("linear_regression", 0), ("hamming", 1)),
+}
+
+# (target, warmers, optimize): the target kernel searched cold vs with a
+# lemma store warmed by the warmer kernels.  Same-kernel warming replays
+# the recorded candidate (0 nodes); cross-kernel warming reuses the
+# sibling's finals/instruction-value lemmas (the sketch families share
+# slot-0 equivalence classes).  Cross-kernel pairs run phase 1 only so
+# the quick subset stays CI-sized.
+WARM_START_CASES = {
+    "quick": (
+        ("box_blur", ("box_blur",), True),
+        ("gy", ("gx",), False),
+    ),
+    "full": (
+        ("box_blur", ("box_blur",), True),
+        ("gy", ("gx",), False),
+        ("roberts", ("gx", "gy"), False),
+    ),
+}
+
+# kernels whose hand-written baseline seeds phase 2 via its verified
+# rewrite frontier; the seeded run must start with a bound <= the
+# baseline's cost and synthesize the same bytes as an unseeded run
+SEEDED_CASES = {
+    "quick": ("box_blur",),
+    "full": ("box_blur", "gy"),
+}
+
+# (kernel, seed, shard_count): serial run vs N disjoint --shard-style
+# rank-range searches merged through a shared lemma store.  dot_product
+# at seed 5 goes through real counterexample rounds, so the merge replays
+# a multi-round search rather than a single exhaustion.
+SHARD_CASES = {
+    "quick": (("box_blur", 0, 2),),
+    "full": (("box_blur", 0, 2), ("dot_product", 5, 3)),
 }
 
 SCALAR_CAP_SECONDS = 15.0
@@ -288,48 +349,266 @@ def run_incremental_case(kernel: str, seed: int) -> dict:
     }
 
 
-def check_floor(engine_results: dict, synthesis_results: dict) -> list[str]:
+def _synth_with(kernel: str, config: SynthesisConfig) -> tuple[dict, str]:
+    """One synthesis run -> (payload, program text)."""
+    spec = get_spec(kernel)
+    sketch = default_sketch_for(spec)
+    started = time.perf_counter()
+    result = synthesize(spec, sketch, config)
+    payload = {
+        "wall_seconds": round(time.perf_counter() - started, 4),
+        "nodes": result.nodes,
+        "final_cost": result.final_cost,
+    }
+    if result.search_stats is not None:
+        stats = result.search_stats
+        payload["lemma_hits"] = stats.lemma_hits
+        payload["lemma_skips"] = stats.lemma_skips
+        payload["seed_bounds"] = stats.seed_bounds
+        payload["seed_retries"] = stats.seed_retries
+    return payload, format_program(result.program)
+
+
+def run_warm_start_case(
+    target: str, warmers: tuple[str, ...], optimize: bool
+) -> dict:
+    """Cold vs lemma-store-warmed node counts for one kernel."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_store = Path(tmp) / "cold_lemmas.json"
+        warm_store = Path(tmp) / "warm_lemmas.json"
+        # the cold run gets its own empty store so both sides pay the
+        # same recording overhead; an empty store never changes a search
+        cold, cold_text = _synth_with(
+            target,
+            SynthesisConfig(
+                optimize=optimize,
+                optimize_timeout=30.0,
+                lemma_path=cold_store,
+            ),
+        )
+        for warmer in warmers:
+            _synth_with(
+                warmer,
+                SynthesisConfig(
+                    optimize=optimize,
+                    optimize_timeout=30.0,
+                    lemma_path=warm_store,
+                ),
+            )
+        warm, warm_text = _synth_with(
+            target,
+            SynthesisConfig(
+                optimize=optimize,
+                optimize_timeout=30.0,
+                lemma_path=warm_store,
+            ),
+        )
+    return {
+        "target": target,
+        "warmers": list(warmers),
+        "optimize": optimize,
+        "cold": cold,
+        "warm": warm,
+        "nodes_saved": cold["nodes"] - warm["nodes"],
+        "warm_strictly_fewer": warm["nodes"] < cold["nodes"],
+        "program_identical": warm_text == cold_text,
+    }
+
+
+def run_seeded_case(kernel: str) -> dict:
+    """Rewrite-seeded vs unseeded phase 2 for one baselined kernel."""
+    spec = get_spec(kernel)
+    baseline = baseline_for(kernel)
+    model = default_latency_model(spec.params_name)
+    baseline_cost = program_cost(baseline, model)
+    seeds = seed_frontier(baseline, spec)
+    seed_costs = [
+        program_cost(parse_program(text), model) for text in seeds
+    ]
+    unseeded, unseeded_text = _synth_with(
+        kernel, SynthesisConfig(optimize_timeout=30.0)
+    )
+    seeded, seeded_text = _synth_with(
+        kernel,
+        SynthesisConfig(
+            optimize_timeout=30.0, seed_programs=tuple(seeds)
+        ),
+    )
+    return {
+        "kernel": kernel,
+        "baseline_cost": baseline_cost,
+        "seed_count": len(seeds),
+        "min_seed_cost": min(seed_costs) if seed_costs else None,
+        # the baseline itself is in the frontier, so the entry bound the
+        # seeds provide can never exceed the baseline's cost
+        "bound_leq_baseline": (
+            bool(seed_costs) and min(seed_costs) <= baseline_cost
+        ),
+        "unseeded": unseeded,
+        "seeded": seeded,
+        "program_identical": seeded_text == unseeded_text,
+    }
+
+
+def run_shard_case(kernel: str, seed: int, shards: int) -> dict:
+    """Serial vs N-way sharded-and-merged synthesis for one kernel."""
+    serial, serial_text = _synth_with(
+        kernel, SynthesisConfig(seed=seed, optimize_timeout=30.0)
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "shard_lemmas.json"
+        shard_nodes = []
+        for index in range(shards):
+            try:
+                payload, _ = _synth_with(
+                    kernel,
+                    SynthesisConfig(
+                        seed=seed,
+                        optimize_timeout=30.0,
+                        lemma_path=store,
+                        shard=(index, shards),
+                    ),
+                )
+                shard_nodes.append(payload["nodes"])
+            except SynthesisError:
+                # this shard's rank ranges hold no solution — expected;
+                # the merge below reconstitutes the full answer
+                shard_nodes.append(None)
+        merge, merge_text = _synth_with(
+            kernel,
+            SynthesisConfig(
+                seed=seed, optimize_timeout=30.0, lemma_path=store
+            ),
+        )
+    return {
+        "kernel": kernel,
+        "seed": seed,
+        "shards": shards,
+        "serial_nodes": serial["nodes"],
+        "shard_nodes": shard_nodes,
+        "merge_nodes": merge["nodes"],
+        "program_identical": merge_text == serial_text,
+    }
+
+
+def check_floor(
+    engine_results: dict,
+    synthesis_results: dict,
+    warm_results: dict | None = None,
+    seeded_results: dict | None = None,
+    shard_results: dict | None = None,
+) -> list[str]:
     """Violations of the checked-in floors and exact node ceilings."""
-    if not FLOOR_FILE.exists():
-        print(f"floor file {FLOOR_FILE} missing; nothing to check")
+    floors = load_floors(FLOOR_FILE)
+    if floors is None:
         return []
-    floors = json.loads(FLOOR_FILE.read_text())
     failures = []
     for key, floor in floors.get("engine", {}).items():
         measured = engine_results.get(key, {}).get("batched", {})
         if not measured:
             continue  # floor entry for a case this run did not measure
         nps = measured.get("nodes_per_sec")
-        if nps is not None and nps < floor["nodes_per_sec"] / 5.0:
-            failures.append(
-                f"{key}: {nps:,.0f} nodes/s is >5x below the checked-in "
-                f"floor of {floor['nodes_per_sec']:,.0f}"
+        if nps is not None:
+            failure = floor_failure(
+                key, nps, floor["nodes_per_sec"],
+                fraction=0.2, unit=" nodes/s",
             )
+            if failure:
+                failures.append(failure)
         nodes = measured.get("nodes")
-        if nodes is not None and nodes > floor["max_nodes"]:
-            failures.append(
-                f"{key}: searched {nodes:,} nodes, above the exact ceiling "
-                f"of {floor['max_nodes']:,} — a pruning regression"
+        if nodes is not None:
+            failure = ceiling_failure(
+                key, nodes, floor["max_nodes"],
+                unit=" nodes", detail=" — a pruning regression",
             )
+            if failure:
+                failures.append(failure)
     for kernel, ceiling in floors.get("synthesis", {}).items():
         payload = synthesis_results.get(kernel)
         if payload is None or not payload.get("proof_complete"):
             continue  # ceilings only bind deterministic (complete) runs
-        if payload["nodes"] > ceiling:
+        failure = ceiling_failure(
+            f"synthesis {kernel}", payload["nodes"], ceiling,
+            unit=" nodes", detail=" — a pruning/reuse regression",
+        )
+        if failure:
+            failures.append(failure)
+    # warm-start: exact node ceilings on both sides, plus the two
+    # run-invariants the lemma store promises — strictly fewer warm
+    # nodes and byte-identical programs
+    for key, floor in floors.get("warm_start", {}).items():
+        payload = (warm_results or {}).get(key)
+        if payload is None:
+            continue
+        for side in ("cold", "warm"):
+            failure = ceiling_failure(
+                f"warm_start {key} ({side})",
+                payload[side]["nodes"],
+                floor[f"{side}_max_nodes"],
+                unit=" nodes",
+                detail=" — a lemma-reuse regression",
+            )
+            if failure:
+                failures.append(failure)
+    for key, payload in (warm_results or {}).items():
+        if not payload["warm_strictly_fewer"]:
             failures.append(
-                f"synthesis {kernel}: {payload['nodes']:,} nodes, above the "
-                f"exact ceiling of {ceiling:,} — a pruning/reuse regression"
+                f"warm_start {key}: warm run searched "
+                f"{payload['warm']['nodes']:,} nodes, not strictly fewer "
+                f"than the cold run's {payload['cold']['nodes']:,}"
+            )
+        if not payload["program_identical"]:
+            failures.append(
+                f"warm_start {key}: warmed synthesis produced a different "
+                "program than the cold run — the lemma store is UNSOUND"
+            )
+    # seeded: exact node ceiling plus the two seeding invariants
+    for kernel, ceiling in floors.get("seeded", {}).items():
+        payload = (seeded_results or {}).get(kernel)
+        if payload is None:
+            continue
+        failure = ceiling_failure(
+            f"seeded {kernel}", payload["seeded"]["nodes"], ceiling,
+            unit=" nodes", detail=" — a seed-bound regression",
+        )
+        if failure:
+            failures.append(failure)
+    for kernel, payload in (seeded_results or {}).items():
+        if not payload["bound_leq_baseline"]:
+            failures.append(
+                f"seeded {kernel}: min seed cost {payload['min_seed_cost']}"
+                f" exceeds the baseline cost {payload['baseline_cost']}"
+            )
+        if not payload["program_identical"]:
+            failures.append(
+                f"seeded {kernel}: seeded synthesis produced a different "
+                "program than the unseeded run — seeding is UNSOUND"
+            )
+    # shards carry no floor numbers: byte-identity is the whole contract
+    for key, payload in (shard_results or {}).items():
+        if not payload["program_identical"]:
+            failures.append(
+                f"shards {key}: merged {payload['shards']}-way sharded "
+                "search produced a different program than the serial run"
             )
     return failures
 
 
-def update_floor(engine_results: dict, synthesis_results: dict) -> None:
+def update_floor(
+    engine_results: dict,
+    synthesis_results: dict,
+    warm_results: dict | None = None,
+    seeded_results: dict | None = None,
+) -> None:
     """Merge this run into the floor file (keep unmeasured entries)."""
     floors = (
         json.loads(FLOOR_FILE.read_text()) if FLOOR_FILE.exists() else {}
     )
     if "engine" not in floors:  # migrate the flat schema-1 layout
-        floors = {"schema": 2, "engine": {}, "synthesis": {}}
+        floors = {"engine": {}, "synthesis": {}}
+    floors["schema"] = 3
+    floors.setdefault("warm_start", {})
+    floors.setdefault("seeded", {})
     for key, payload in engine_results.items():
         floors["engine"][key] = {
             "nodes_per_sec": payload["batched"]["nodes_per_sec"],
@@ -338,8 +617,14 @@ def update_floor(engine_results: dict, synthesis_results: dict) -> None:
     for kernel, payload in synthesis_results.items():
         if payload.get("proof_complete"):
             floors["synthesis"][kernel] = payload["nodes"]
-    FLOOR_FILE.write_text(json.dumps(floors, indent=2, sort_keys=True) + "\n")
-    print(f"floor refreshed: {FLOOR_FILE}")
+    for key, payload in (warm_results or {}).items():
+        floors["warm_start"][key] = {
+            "cold_max_nodes": payload["cold"]["nodes"],
+            "warm_max_nodes": payload["warm"]["nodes"],
+        }
+    for kernel, payload in (seeded_results or {}).items():
+        floors["seeded"][kernel] = payload["seeded"]["nodes"]
+    save_floors(FLOOR_FILE, floors)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -418,13 +703,55 @@ def main(argv: list[str] | None = None) -> int:
                 f"{payload['program_identical']})"
             )
 
+    warm_results: dict[str, dict] = {}
+    seeded_results: dict[str, dict] = {}
+    shard_results: dict[str, dict] = {}
+    if not args.no_synthesis:
+        for target, warmers, optimize in WARM_START_CASES[mode]:
+            key = f"{'+'.join(warmers)}->{target}"
+            print(f"warm-start {key} ...", flush=True)
+            payload = run_warm_start_case(target, warmers, optimize)
+            warm_results[key] = payload
+            print(
+                f"  cold {payload['cold']['nodes']:,} nodes -> warm "
+                f"{payload['warm']['nodes']:,} ({payload['nodes_saved']:,} "
+                f"saved, {payload['warm'].get('lemma_skips', 0)} lemma "
+                f"skips, identical={payload['program_identical']})"
+            )
+        for kernel in SEEDED_CASES[mode]:
+            print(f"seeded {kernel} ...", flush=True)
+            payload = run_seeded_case(kernel)
+            seeded_results[kernel] = payload
+            print(
+                f"  {payload['seed_count']} seeds, min cost "
+                f"{payload['min_seed_cost']} vs baseline "
+                f"{payload['baseline_cost']} "
+                f"(bound<=baseline={payload['bound_leq_baseline']}); "
+                f"{payload['seeded']['nodes']:,} nodes seeded vs "
+                f"{payload['unseeded']['nodes']:,} unseeded, identical="
+                f"{payload['program_identical']}"
+            )
+        for kernel, seed, shards in SHARD_CASES[mode]:
+            key = f"{kernel}@s{seed}/{shards}"
+            print(f"shards {key} ...", flush=True)
+            payload = run_shard_case(kernel, seed, shards)
+            shard_results[key] = payload
+            print(
+                f"  serial {payload['serial_nodes']:,} nodes; merge "
+                f"{payload['merge_nodes']:,} nodes after {shards} shards, "
+                f"identical={payload['program_identical']}"
+            )
+
     report = {
-        "schema": 2,
+        "schema": 3,
         "mode": mode,
         "engine": engine_results,
         "ablation": ablation_results,
         "synthesis": synthesis_results,
         "incremental": incremental_results,
+        "warm_start": warm_results,
+        "seeded": seeded_results,
+        "shards": shard_results,
         "metrics": {
             **{
                 f"{key}.nodes_per_sec": payload["batched"]["nodes_per_sec"]
@@ -451,21 +778,36 @@ def main(argv: list[str] | None = None) -> int:
                 f"{key}.nodes_saved": payload["nodes_saved"]
                 for key, payload in incremental_results.items()
             },
+            **{
+                f"warm.{key}.nodes_saved": payload["nodes_saved"]
+                for key, payload in warm_results.items()
+            },
+            **{
+                f"seeded.{kernel}.identical": payload["program_identical"]
+                for kernel, payload in seeded_results.items()
+            },
+            **{
+                f"shards.{key}.identical": payload["program_identical"]
+                for key, payload in shard_results.items()
+            },
         },
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"written to {args.output}")
 
     if args.update_floor:
-        update_floor(engine_results, synthesis_results)
+        update_floor(
+            engine_results, synthesis_results, warm_results, seeded_results
+        )
 
     if args.check_floor:
-        failures = check_floor(engine_results, synthesis_results)
-        for failure in failures:
-            print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
-        if failures:
-            return 1
-        print("floor check passed")
+        return report_failures(check_floor(
+            engine_results,
+            synthesis_results,
+            warm_results,
+            seeded_results,
+            shard_results,
+        ))
     return 0
 
 

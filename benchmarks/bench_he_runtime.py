@@ -48,6 +48,12 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_runtime.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from harness import (  # noqa: E402
+    ceiling_failure,
+    load_floors,
+    report_failures,
+    save_floors,
+)
 from repro.baselines import BASELINE_BUILDERS, baseline_for  # noqa: E402
 from repro.he import BFVContext  # noqa: E402
 from repro.he.params import small_params, toy_params  # noqa: E402
@@ -329,30 +335,36 @@ def check_floor(
     slack: the count is a deterministic function of the tape and
     parameters, so any growth is a planner regression.
     """
-    if not FLOOR_FILE.exists():
-        print(f"floor file {FLOOR_FILE} missing; nothing to check")
+    floors = load_floors(FLOOR_FILE)
+    if floors is None:
         return []
-    floors = json.loads(FLOOR_FILE.read_text())
     failures = []
     for name, row in opcode_results.items():
         floor_us = floors.get(f"{params_name}.{name}")
         if floor_us is None:
             continue
-        if row["rns_us"] > floor_us * 5.0:
-            failures.append(
-                f"{params_name}.{name}: {row['rns_us']:,.0f}us is >5x above "
-                f"the checked-in floor of {floor_us:,.0f}us"
-            )
+        failure = ceiling_failure(
+            f"{params_name}.{name}",
+            row["rns_us"],
+            floor_us,
+            slack=5.0,
+            unit="us",
+            detail=" (opcode latency)",
+        )
+        if failure:
+            failures.append(failure)
     for kernel, row in ntt_results.items():
         ceiling = floors.get(f"toy-insecure.ntt_rows.{kernel}")
         if ceiling is None:
             continue
-        if row["ntt_rows_planned"] > ceiling:
-            failures.append(
-                f"toy-insecure.ntt_rows.{kernel}: planner now schedules "
-                f"{row['ntt_rows_planned']} NTT rows, above the exact "
-                f"checked-in ceiling of {ceiling}"
-            )
+        failure = ceiling_failure(
+            f"toy-insecure.ntt_rows.{kernel}",
+            row["ntt_rows_planned"],
+            ceiling,
+            detail=" (planned NTT rows — a planner regression)",
+        )
+        if failure:
+            failures.append(failure)
         if not row["measured_matches_plan"]:
             failures.append(
                 f"toy-insecure.ntt_rows.{kernel}: measured NTT rows "
@@ -506,29 +518,18 @@ def main(argv: list[str] | None = None) -> int:
     print(f"written to {args.output}")
 
     if args.update_floor:
-        floors = (
-            json.loads(FLOOR_FILE.read_text()) if FLOOR_FILE.exists() else {}
-        )
-        floors.update(
-            (f"{params.name}.{name}", row["rns_us"])
+        updates = {
+            f"{params.name}.{name}": row["rns_us"]
             for name, row in opcodes.items()
-        )
-        floors.update(
+        }
+        updates.update(
             (f"toy-insecure.ntt_rows.{kernel}", row["ntt_rows_planned"])
             for kernel, row in ntt_counts.items()
         )
-        FLOOR_FILE.write_text(
-            json.dumps(floors, indent=2, sort_keys=True) + "\n"
-        )
-        print(f"floor refreshed: {FLOOR_FILE}")
+        save_floors(FLOOR_FILE, updates, merge=True)
 
     if args.check_floor:
-        failures = check_floor(params.name, opcodes, ntt_counts)
-        for failure in failures:
-            print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
-        if failures:
-            return 1
-        print("floor check passed")
+        return report_failures(check_floor(params.name, opcodes, ntt_counts))
     return 0
 
 

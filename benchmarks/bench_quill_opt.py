@@ -47,6 +47,12 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_quill_opt.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from harness import (  # noqa: E402
+    ceiling_failure,
+    load_floors,
+    report_failures,
+    save_floors,
+)
 from repro.api.registry import KernelRegistry  # noqa: E402
 from repro.he.params import toy_params  # noqa: E402
 from repro.quill.latency import default_latency_model  # noqa: E402
@@ -173,22 +179,23 @@ def bench_end_to_end(registry: KernelRegistry, quick: bool, repeats: int) -> dic
 
 
 def check_floor(op_counts: dict, end_to_end: dict) -> list[str]:
-    if not FLOOR_FILE.exists():
-        print(f"floor file {FLOOR_FILE} missing; nothing to check")
+    floors = load_floors(FLOOR_FILE)
+    if floors is None:
         return []
-    floors = json.loads(FLOOR_FILE.read_text())
     failures = []
     for name, row in op_counts.items():
         for metric in ("executable_ops", "rotations", "relins", "galois_keys"):
             ceiling = floors.get(f"{name}.{metric}")
             if ceiling is None:
                 continue
-            measured = row["after"][metric]
-            if measured > ceiling:
-                failures.append(
-                    f"{name}.{metric}: optimized program has {measured}, "
-                    f"above the committed ceiling of {ceiling}"
-                )
+            failure = ceiling_failure(
+                f"{name}.{metric}",
+                row["after"][metric],
+                ceiling,
+                detail=" (optimized program op count)",
+            )
+            if failure:
+                failures.append(failure)
     for name in GUARD_KERNELS:
         row = end_to_end.get(name)
         if row is None or row["ratio"] is None:
@@ -288,27 +295,22 @@ def main(argv: list[str] | None = None) -> int:
     print(f"written to {args.output}")
 
     if args.update_floor:
-        floors = {}
-        for name, row in op_counts.items():
-            for metric in (
-                "executable_ops",
-                "rotations",
-                "relins",
-                "galois_keys",
-            ):
-                floors[f"{name}.{metric}"] = row["after"][metric]
-        FLOOR_FILE.write_text(
-            json.dumps(floors, indent=2, sort_keys=True) + "\n"
+        save_floors(
+            FLOOR_FILE,
+            {
+                f"{name}.{metric}": row["after"][metric]
+                for name, row in op_counts.items()
+                for metric in (
+                    "executable_ops",
+                    "rotations",
+                    "relins",
+                    "galois_keys",
+                )
+            },
         )
-        print(f"floor refreshed: {FLOOR_FILE}")
 
     if args.check_floor:
-        failures = check_floor(op_counts, end_to_end)
-        for failure in failures:
-            print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
-        if failures:
-            return 1
-        print("floor check passed")
+        return report_failures(check_floor(op_counts, end_to_end))
     return 0
 
 

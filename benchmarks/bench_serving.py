@@ -49,6 +49,12 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serving.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from harness import (  # noqa: E402
+    floor_failure,
+    load_floors,
+    report_failures,
+    save_floors,
+)
 from repro.api import Porcupine  # noqa: E402
 from repro.serve import AsyncServeClient, PorcupineServer, ServeConfig  # noqa: E402
 from repro.serve.protocol import random_inputs  # noqa: E402
@@ -195,21 +201,25 @@ def bench_kernel(
 
 def check_floor(params: str, results: dict, top: str) -> list[str]:
     """Kernels whose batched-vs-serial p50 speedup collapsed."""
-    if not FLOOR_FILE.exists():
-        print(f"floor file {FLOOR_FILE} missing; nothing to check")
+    floors = load_floors(FLOOR_FILE)
+    if floors is None:
         return []
-    floors = json.loads(FLOOR_FILE.read_text())
     failures = []
     for kernel, row in results.items():
         floor = floors.get(f"{params}.{kernel}.{top}.p50_speedup")
         measured = row["p50_speedup"].get(top)
         if floor is None or measured is None:
             continue
-        if measured < floor * 0.3:
-            failures.append(
-                f"{params}.{kernel}.{top}: batched p50 speedup {measured}x "
-                f"is below 30% of the checked-in floor {floor}x"
-            )
+        failure = floor_failure(
+            f"{params}.{kernel}.{top}",
+            measured,
+            floor,
+            fraction=0.3,
+            unit="x",
+            detail=" (batched p50 speedup)",
+        )
+        if failure:
+            failures.append(failure)
     return failures
 
 
@@ -280,27 +290,18 @@ def main(argv: list[str] | None = None) -> int:
     print(f"written to {args.output}")
 
     if args.update_floor:
-        floors = (
-            json.loads(FLOOR_FILE.read_text()) if FLOOR_FILE.exists() else {}
+        save_floors(
+            FLOOR_FILE,
+            {
+                f"{params}.{kernel}.{top}.p50_speedup": row["p50_speedup"][top]
+                for kernel, row in results.items()
+                if top in row["p50_speedup"]
+            },
+            merge=True,
         )
-        floors.update(
-            (f"{params}.{kernel}.{top}.p50_speedup",
-             row["p50_speedup"][top])
-            for kernel, row in results.items()
-            if top in row["p50_speedup"]
-        )
-        FLOOR_FILE.write_text(
-            json.dumps(floors, indent=2, sort_keys=True) + "\n"
-        )
-        print(f"floor refreshed: {FLOOR_FILE}")
 
     if args.check_floor:
-        failures = check_floor(params, results, top)
-        for failure in failures:
-            print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
-        if failures:
-            return 1
-        print("floor check passed")
+        return report_failures(check_floor(params, results, top))
     return 0
 
 

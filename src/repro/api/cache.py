@@ -106,7 +106,15 @@ def config_fingerprint(config: SynthesisConfig) -> dict:
     """Canonical content summary of a synthesis configuration."""
     summary = {}
     for f in fields(config):
-        if f.name in ("workers", "incremental", "checkpoint_path"):
+        if f.name in (
+            "workers",
+            "incremental",
+            "checkpoint_path",
+            "lemma_path",
+            "seed_programs",
+            "seed_rewrites",
+            "shard",
+        ):
             # parallel search and cross-round frontier reuse are both
             # bit-identical to a serial from-scratch search whenever the
             # search completes, so neither may split the
@@ -115,6 +123,10 @@ def config_fingerprint(config: SynthesisConfig) -> dict:
             # on machine speed — worker count is no different.)  The
             # checkpoint file location is pure operational plumbing — a
             # resumed run is byte-identical to an uninterrupted one.
+            # Likewise the lemma store, rewrite seed bounds, and shard
+            # descriptors are advisory-but-sound accelerations: warm,
+            # seeded, and shard-merged runs all synthesize the same
+            # bytes as a cold serial run, so none may split the cache.
             continue
         value = getattr(config, f.name)
         if f.name == "latency_model":

@@ -153,6 +153,17 @@ class CompiledKernel:
                     reuse_bits.append(
                         f"shift cache peak {profile['shift_cache_peak']}"
                     )
+                if profile.get("lemma_hits") or profile.get("lemma_skips"):
+                    reuse_bits.append(
+                        f"lemma store {profile.get('lemma_hits', 0)} hit(s) / "
+                        f"{profile.get('lemma_misses', 0)} miss(es) / "
+                        f"{profile.get('lemma_skips', 0)} skip(s)"
+                    )
+                if profile.get("seed_bounds"):
+                    reuse_bits.append(
+                        f"{profile['seed_bounds']} seeded bound(s), "
+                        f"{profile.get('seed_retries', 0)} unseeded retry(ies)"
+                    )
                 if reuse_bits:
                     lines.append("    reuse: " + ", ".join(reuse_bits))
                 if profile.get("chunks"):

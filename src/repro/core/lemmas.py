@@ -1,0 +1,620 @@
+"""Persistent cross-kernel synthesis lemmas.
+
+CEGIS rediscovers the same facts over and over: ``gy``'s search walks
+the exact value space ``gx`` just exhausted (same input example, same
+component menu, different goal), and a re-run of a solved kernel replays
+a search whose outcome is already known.  This module gives synthesis a
+content-addressed, on-disk memory — a *lemma store* — recording facts
+that are sound to reuse because enumeration order is canonical and
+value evaluation is goal-independent:
+
+``finals``
+    For a (sketch family, example inputs, program length) that a search
+    fully exhausted, the complete set of 64-bit signatures of every
+    final value (restricted to the output slots) the engine evaluated.
+    A later search over the same family and inputs whose goal signature
+    is absent can skip the entire length: by completeness the cold
+    search would enumerate exactly this value set and match nothing.
+    Collisions only suppress skips (a reachable goal's signature is
+    always present), never cause one.
+
+``instrs``
+    Full evaluated value matrices of single-instruction programs over
+    the base wires, keyed by example *inputs* alone — sketch-agnostic.
+    A sibling kernel sharing the inputs (``roberts`` after ``gx``/
+    ``gy``) consults these at length 1 to discard whole components whose
+    every candidate is known not to match its goal.  Unknown
+    instructions are conservatively unskippable; comparisons are exact
+    (no hashing), so a skip is always sound.
+
+``matchless``
+    Proven-matchless root-rank ranges ``[start, end)`` per (family,
+    example chain, length): the canonical enumeration produced no
+    example match anywhere in the range.  Sound to skip for any search
+    replaying the identical chain — which both a re-run of the same
+    kernel and a ``--merge-shards`` replay do.
+
+``candidates``
+    The first example-matching program at a given root rank for a
+    (family, chain, length).  Combined with matchless coverage of every
+    rank before it, a warm round can jump straight to verification.
+
+``phase2``
+    Branch-and-bound outcomes: for a (family, chain, length) and entry
+    bound, either a full-range proof (with the best accepted program,
+    if any) or a range that produced zero accepts under that bound.
+    Ranges recorded under bound ``b`` are reusable under any entry
+    bound ``b' <= b`` — a candidate rejected under the looser bound is
+    rejected under the tighter one too.
+
+``markers``
+    Solution markers per (family, seed chain): the length and cost at
+    which some shard solved the kernel, so sibling shards stop instead
+    of searching ever-deeper ranks that cannot win.
+
+``shards``
+    Completed shard descriptors per (family, seed chain), validated by
+    ``--merge-shards`` before a merge replay trusts the store.
+
+The store is advisory-but-sound: a *missing* record merely costs search
+work, so concurrent writers (shard processes sharing one path) use
+merge-on-save — each save re-reads the file and unions it into memory
+before the atomic ``write-temp + os.replace``, mirroring the compile
+cache's torn-write guarantee.  A lost race drops a record, never
+corrupts one.  Corrupt or version-skewed files load as empty.
+
+The store path never participates in compile-cache keys (see
+``config_fingerprint``): warm, cold, sharded, and merged runs all
+produce byte-identical programs, so they must share cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+LEMMA_FORMAT = 1
+
+#: finals sets larger than this are not recorded: the big exhausted
+#: lengths of a deep search would dominate store size and load time
+#: while a consumer saves at most one sweep it could mostly prune anyway
+FINALS_CAP = 200_000
+
+_SECTIONS = (
+    "finals",
+    "instrs",
+    "matchless",
+    "candidates",
+    "phase2",
+    "markers",
+    "shards",
+)
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _digest(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+def family_fingerprint(spec, sketch, options) -> str:
+    """Identity of a search *family*: everything that shapes enumeration
+    except the kernel's name and goal.
+
+    Two sketches that differ only in name (``gx`` vs ``gy``) share a
+    family; anything touching the candidate stream — component menu,
+    rotations, constants, layout, prune options — splits it.
+    """
+    # lazy import: api.cache imports core.cegis, which imports this module
+    from dataclasses import asdict
+
+    from repro.api.cache import sketch_fingerprint, spec_fingerprint
+
+    sketch_fp = sketch_fingerprint(sketch)
+    sketch_fp.pop("name", None)
+    spec_fp = spec_fingerprint(spec)
+    return _digest(
+        {
+            "format": LEMMA_FORMAT,
+            "sketch": sketch_fp,
+            "layout": spec_fp["layout"],
+            "options": asdict(options) if options is not None else None,
+        }
+    )
+
+
+def _array_payload(value: np.ndarray) -> list:
+    return [list(value.shape), value.reshape(-1).tolist()]
+
+
+def inputs_fingerprint(layout, examples) -> str:
+    """Identity of the example *inputs* (ciphertext and plaintext
+    environments in layout order), goal-agnostic.
+
+    Single-instruction values and reachable-value sets depend only on
+    these — enumeration never looks at the goal — so records keyed here
+    transfer across kernels that share inputs.
+    """
+    payload = []
+    for example in examples:
+        entry = []
+        for placement in layout.inputs:
+            env = example.ct_env if placement.kind == "ct" else example.pt_env
+            value = np.asarray(env[placement.name])
+            entry.append([placement.name, placement.kind, _array_payload(value)])
+        payload.append(entry)
+    return _digest(payload)
+
+
+def chain_fingerprint(layout, examples) -> str:
+    """Identity of the full example chain: inputs *and* goals.
+
+    Matchless ranges and candidate records are goal-dependent, so they
+    key on the chain; a counterexample round extends the chain and the
+    key moves with it.
+    """
+    payload = [inputs_fingerprint(layout, examples)]
+    for example in examples:
+        payload.append(_array_payload(np.asarray(example.goal)))
+    return _digest(payload)
+
+
+def finals_key(family: str, inputs: str, length: int) -> str:
+    return f"{family}|{inputs}|L{length}"
+
+
+def chain_key(family: str, chain: str, length: int) -> str:
+    return f"{family}|{chain}|L{length}"
+
+
+def marker_key(family: str, seed_chain: str) -> str:
+    return f"{family}|{seed_chain}"
+
+
+# ---------------------------------------------------------------------------
+# Range arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _normalize_ranges(ranges: Iterable[tuple[int, int]]) -> list[list[int]]:
+    """Sort, drop empties, and coalesce overlapping/adjacent ranges."""
+    merged: list[list[int]] = []
+    for start, end in sorted((int(s), int(e)) for s, e in ranges):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return merged
+
+
+def covered_prefix(ranges: list[list[int]], start: int) -> int:
+    """Largest ``r`` such that ``[start, r)`` is fully covered."""
+    rank = start
+    for lo, hi in ranges:
+        if lo > rank:
+            break
+        if hi > rank:
+            rank = hi
+    return rank
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+class LemmaStore:
+    """On-disk lemma store with merge-on-save concurrency semantics.
+
+    Counters (``hits``/``misses``/``skips``) tally consult outcomes:
+    a *hit* found a usable record, a *miss* found none, and a *skip*
+    counts one search action avoided (a length, a candidate range, a
+    phase-2 search).  Engine-level skip volume (candidates never
+    enumerated) is reported separately via ``SearchOutcome.lemma_skips``.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.RLock()
+        self._data = self._load(self.path)
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self.skips = 0
+
+    # -- persistence --------------------------------------------------------
+
+    @staticmethod
+    def _empty() -> dict:
+        return {"format": LEMMA_FORMAT, "sections": {s: {} for s in _SECTIONS}}
+
+    @classmethod
+    def _load(cls, path: Path) -> dict:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            return cls._empty()
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != LEMMA_FORMAT
+            or not isinstance(payload.get("sections"), dict)
+        ):
+            return cls._empty()  # version skew or foreign file: start fresh
+        data = cls._empty()
+        for section in _SECTIONS:
+            stored = payload["sections"].get(section)
+            if isinstance(stored, dict):
+                data["sections"][section] = stored
+        return data
+
+    def _section(self, name: str) -> dict:
+        return self._data["sections"][name]
+
+    @classmethod
+    def _merge_into(cls, ours: dict, theirs: dict) -> None:
+        """Union a just-read on-disk payload into ``ours`` (ours wins on
+        scalar conflicts; set-like sections take the union)."""
+        for section in _SECTIONS:
+            disk = theirs["sections"].get(section, {})
+            mine = ours["sections"][section]
+            for key, value in disk.items():
+                if key not in mine:
+                    mine[key] = value
+                elif section == "finals":
+                    sigs = set(mine[key].get("sigs", []))
+                    sigs.update(value.get("sigs", []))
+                    mine[key]["sigs"] = sorted(sigs)
+                elif section == "matchless":
+                    mine[key] = _normalize_ranges(
+                        [tuple(r) for r in mine[key]] + [tuple(r) for r in value]
+                    )
+                elif section in ("candidates", "instrs"):
+                    merged = dict(value)
+                    merged.update(mine[key])
+                    mine[key] = merged
+                elif section == "phase2":
+                    seen = {cls._phase2_identity(e) for e in mine[key]}
+                    for entry in value:
+                        if cls._phase2_identity(entry) not in seen:
+                            mine[key].append(entry)
+                elif section == "markers":
+                    if value.get("length", 1 << 60) < mine[key].get(
+                        "length", 1 << 60
+                    ):
+                        mine[key] = value
+                elif section == "shards":
+                    completed = dict(value.get("completed", {}))
+                    completed.update(mine[key].get("completed", {}))
+                    mine[key]["completed"] = completed
+
+    @staticmethod
+    def _phase2_identity(entry: dict) -> tuple:
+        return (
+            entry.get("bound"),
+            entry.get("start"),
+            entry.get("end"),
+            entry.get("best_text"),
+        )
+
+    def flush(self) -> None:
+        """Merge-on-save: union the current on-disk content into memory,
+        then write atomically.  Mirrors the compile cache's guarantee —
+        concurrent readers see a complete old or new file, never a torn
+        one; a racing writer can drop (never corrupt) a record."""
+        with self._lock:
+            if not self._dirty:
+                return
+            self._merge_into(self._data, self._load(self.path))
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(
+                f".tmp.{os.getpid()}.{threading.get_ident()}"
+            )
+            tmp.write_text(
+                json.dumps(self._data, sort_keys=True, separators=(",", ":"))
+            )
+            os.replace(tmp, self.path)
+            self._dirty = False
+
+    # -- recording ----------------------------------------------------------
+
+    def record_finals(self, key: str, sigs: Iterable[int]) -> None:
+        with self._lock:
+            existing = self._section("finals").get(key)
+            sig_set = set(int(s) for s in sigs)
+            if existing is not None:
+                sig_set.update(existing.get("sigs", []))
+            self._section("finals")[key] = {"sigs": sorted(sig_set)}
+            self._dirty = True
+
+    def record_instr(self, inputs: str, instr: str, value: np.ndarray) -> None:
+        with self._lock:
+            table = self._section("instrs").setdefault(inputs, {})
+            if instr not in table:
+                table[instr] = _array_payload(np.asarray(value))
+                self._dirty = True
+
+    def record_matchless(self, key: str, start: int, end: int) -> None:
+        if end <= start:
+            return
+        with self._lock:
+            section = self._section("matchless")
+            section[key] = _normalize_ranges(
+                [tuple(r) for r in section.get(key, [])] + [(start, end)]
+            )
+            self._dirty = True
+
+    def record_candidate(self, key: str, rank: int, text: str) -> None:
+        with self._lock:
+            self._section("candidates").setdefault(key, {})[str(rank)] = text
+            self._dirty = True
+
+    def record_phase2(
+        self,
+        key: str,
+        *,
+        bound: float,
+        start: int,
+        end: int | None,
+        best_text: str | None,
+        best_cost: float | None,
+    ) -> None:
+        with self._lock:
+            entries = self._section("phase2").setdefault(key, [])
+            entry = {
+                "bound": bound,
+                "start": int(start),
+                "end": None if end is None else int(end),
+                "best_text": best_text,
+                "best_cost": best_cost,
+            }
+            if self._phase2_identity(entry) not in {
+                self._phase2_identity(e) for e in entries
+            }:
+                entries.append(entry)
+                self._dirty = True
+
+    def record_marker(self, key: str, length: int, cost: float) -> None:
+        with self._lock:
+            existing = self._section("markers").get(key)
+            if existing is None or length < existing.get("length", 1 << 60):
+                self._section("markers")[key] = {
+                    "length": int(length),
+                    "cost": cost,
+                }
+                self._dirty = True
+
+    def record_shard(
+        self,
+        key: str,
+        *,
+        index: int,
+        count: int,
+        start: int,
+        end: int,
+        rank_count: int,
+    ) -> None:
+        with self._lock:
+            section = self._section("shards")
+            entry = section.setdefault(
+                key, {"count": int(count), "rank_count": int(rank_count), "completed": {}}
+            )
+            entry["count"] = int(count)
+            entry["rank_count"] = int(rank_count)
+            entry["completed"][str(index)] = [int(start), int(end)]
+            self._dirty = True
+
+    # -- consulting ---------------------------------------------------------
+
+    def has_finals(self, key: str) -> bool:
+        """Whether a finals set is already recorded (no counter effects)."""
+        with self._lock:
+            return key in self._section("finals")
+
+    def finals_skip(self, key: str, goal_sig: int) -> bool:
+        """True when the whole length is provably matchless for this goal."""
+        with self._lock:
+            record = self._section("finals").get(key)
+            if record is None:
+                self.misses += 1
+                return False
+            self.hits += 1
+            if int(goal_sig) in set(record.get("sigs", [])):
+                return False
+            self.skips += 1
+            return True
+
+    def instr_values(self, inputs: str) -> dict[str, np.ndarray]:
+        """Decoded single-instruction value matrices for an input set."""
+        with self._lock:
+            table = self._section("instrs").get(inputs, {})
+            decoded = {}
+            for instr, (shape, flat) in table.items():
+                decoded[instr] = np.array(flat, dtype=np.int64).reshape(shape)
+            return decoded
+
+    def matchless_ranges(self, key: str) -> list[list[int]]:
+        with self._lock:
+            return [list(r) for r in self._section("matchless").get(key, [])]
+
+    def candidate_after(
+        self, key: str, resume_rank: int
+    ) -> tuple[int, str] | None:
+        """The recorded candidate the canonical search starting at
+        ``resume_rank`` would find first — valid only when every rank in
+        ``[resume_rank, rank)`` is covered by matchless ranges."""
+        with self._lock:
+            table = self._section("candidates").get(key)
+            if not table:
+                self.misses += 1
+                return None
+            ranks = sorted(int(r) for r in table if int(r) >= resume_rank)
+            if not ranks:
+                self.misses += 1
+                return None
+            rank = ranks[0]
+            ranges = self._section("matchless").get(key, [])
+            if covered_prefix(ranges, resume_rank) < rank:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return rank, table[str(rank)]
+
+    def phase2_entries(self, key: str) -> list[dict]:
+        with self._lock:
+            return [dict(e) for e in self._section("phase2").get(key, [])]
+
+    def phase2_full(self, key: str, bound: float) -> dict | None:
+        """A full-range phase-2 proof recorded under an entry bound no
+        tighter than ``bound``, if any (its final result is the cold
+        result for every entry bound ``<=`` its recorded bound)."""
+        with self._lock:
+            for entry in self._section("phase2").get(key, []):
+                if entry.get("start") == 0 and entry.get("end") is None:
+                    if entry.get("bound", -1) >= bound:
+                        self.hits += 1
+                        return dict(entry)
+            self.misses += 1
+            return None
+
+    def phase2_dead_ranges(self, key: str, bound: float) -> list[list[int]]:
+        """Ranges provably accept-free under entry bound ``bound``:
+        zero-accept phase-2 ranges recorded under a bound ``>= bound``,
+        plus matchless ranges (no example match means no accepts under
+        any bound)."""
+        with self._lock:
+            ranges = [tuple(r) for r in self._section("matchless").get(key, [])]
+            for entry in self._section("phase2").get(key, []):
+                if entry.get("best_text") is not None:
+                    continue
+                if entry.get("end") is None:
+                    continue
+                if entry.get("bound", -1) >= bound:
+                    ranges.append((entry["start"], entry["end"]))
+            return _normalize_ranges(ranges)
+
+    def marker(self, key: str) -> dict | None:
+        with self._lock:
+            record = self._section("markers").get(key)
+            return dict(record) if record is not None else None
+
+    def shard_status(self, key: str) -> dict | None:
+        with self._lock:
+            record = self._section("shards").get(key)
+            return json.loads(json.dumps(record)) if record is not None else None
+
+    def counters(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "skips": self.skips}
+
+
+# ---------------------------------------------------------------------------
+# Engine tap
+# ---------------------------------------------------------------------------
+
+
+class LemmaTap:
+    """Engine-side lemma recorder/consultant.
+
+    Attached to a :class:`~repro.solver.engine.SketchSearch` as
+    ``lemma_tap`` for one run.  It records slot-0 instruction values and
+    (when ``collect_finals``) the signature of every final value the
+    run evaluates, and answers the single engine-side consult: can a
+    whole final component be skipped at length 1 because every one of
+    its candidates has a recorded value that misses the goal?
+    """
+
+    def __init__(
+        self,
+        store: LemmaStore,
+        inputs: str,
+        *,
+        collect_finals: bool = False,
+        consult_instrs: bool = True,
+    ):
+        self.store = store
+        self.inputs = inputs
+        self.collect_finals = collect_finals
+        self.consult_instrs = consult_instrs
+        # signatures accumulate as raw uint64 blocks (one append per
+        # evaluated batch) and are deduplicated once at recording time
+        self._final_blocks: list[np.ndarray] = []
+        self._final_raw = 0
+        # any engine-side skip makes this run's final-value sweep
+        # incomplete, so finals must not be recorded from it
+        self.finals_valid = True
+        # a sweep past the cap stops collecting: a multi-million-entry
+        # set costs more to store and reload than it could ever skip
+        self.finals_overflow = False
+        self._seen_instrs: set[str] = set()
+        self._known = store.instr_values(inputs) if consult_instrs else {}
+
+    @property
+    def final_sigs(self) -> list[int]:
+        """Sorted, deduplicated final-value signatures collected so far."""
+        if not self._final_blocks:
+            return []
+        return [int(s) for s in np.unique(np.concatenate(self._final_blocks))]
+
+    @staticmethod
+    def instr_id(comp, op1: int, r1: int, op2, r2) -> str:
+        """Canonical single-instruction identity over base-wire indices
+        and rotation *amounts* (commutative operands ordered)."""
+        opcode = comp.opcode.value
+        if comp.commutative and (op2, r2) < (op1, r1):
+            op1, r1, op2, r2 = op2, r2, op1, r1
+        return f"{opcode}|{op1}:{r1}|{op2}:{r2}"
+
+    def record_instr(self, instr: str, value: np.ndarray) -> None:
+        if instr in self._seen_instrs:
+            return
+        self._seen_instrs.add(instr)
+        if instr not in self._known:
+            self.store.record_instr(self.inputs, instr, value)
+
+    def _push_finals(self, sigs: np.ndarray) -> None:
+        self._final_blocks.append(sigs)
+        self._final_raw += sigs.size
+        if self._final_raw > FINALS_CAP:
+            self.finals_overflow = True
+            self._final_blocks.clear()
+
+    def record_final_block(self, values: np.ndarray) -> None:
+        if not self.collect_finals or self.finals_overflow:
+            return
+        from repro.solver.values import signature_block
+
+        self._push_finals(signature_block(values))
+
+    def record_final(self, out_value: np.ndarray) -> None:
+        if not self.collect_finals or self.finals_overflow:
+            return
+        from repro.solver.values import signature_block
+
+        self._push_finals(signature_block(out_value[np.newaxis, :, :]))
+
+    def known_miss(self, instr: str, out_slots, goal: np.ndarray) -> bool:
+        """True when ``instr`` has a recorded value that provably does
+        not match ``goal`` on ``out_slots``.  Unknown instructions and
+        shape skews answer False (conservative)."""
+        value = self._known.get(instr)
+        if value is None:
+            self.store.misses += 1
+            return False
+        if value.shape[0] != goal.shape[0] or value.shape[1] <= max(
+            out_slots, default=0
+        ):
+            self.store.misses += 1
+            return False
+        self.store.hits += 1
+        return not np.array_equal(value[:, out_slots], goal)

@@ -543,6 +543,7 @@ class ParallelSynthesis:
             bound_updates=sum(o.bound_updates for o in outcomes),
             steals=steals,
             chunks=chunks,
+            lemma_skips=sum(o.lemma_skips for o in outcomes),
         )
 
     def _serial_task(

@@ -229,6 +229,31 @@ def format_executor_stats(stats: ExecutorStats) -> str:
     )
 
 
+def format_search_stats(summary: dict) -> str:
+    """Render a ``SearchStats.summary()`` dict the way ``--timings``
+    renders the other stat blocks (lemma-store and seed-bound counters
+    included when any are non-zero)."""
+    lines = [
+        "search stats:",
+        f"  nodes              {summary.get('nodes', 0)}",
+        f"  nodes/s            {summary.get('nodes_per_sec', 0):,.0f}",
+        f"  runs               {summary.get('runs', 0)}",
+        f"  dedup hits         {summary.get('dedup_hits', 0)}",
+    ]
+    if summary.get("lemma_hits") or summary.get("lemma_misses"):
+        lines.append(
+            f"  lemma store        {summary.get('lemma_hits', 0)} hit(s) / "
+            f"{summary.get('lemma_misses', 0)} miss(es) / "
+            f"{summary.get('lemma_skips', 0)} skip(s)"
+        )
+    if summary.get("seed_bounds"):
+        lines.append(
+            f"  seeded bounds      {summary.get('seed_bounds', 0)} "
+            f"({summary.get('seed_retries', 0)} unseeded retry(ies))"
+        )
+    return "\n".join(lines)
+
+
 def _round_or_none(value: float | None, digits: int = 3) -> float | None:
     return round(value, digits) if value is not None else None
 

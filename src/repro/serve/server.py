@@ -384,6 +384,7 @@ class PorcupineServer:
                     "exec_workers": self.config.exec_workers,
                 },
                 "executor": self.session.executor_stats().summary(),
+                "synthesis": self._synthesis_stats(),
                 "health": {
                     "pool_restarts": self.compile_pool.restarts,
                     "pool_degraded": self.compile_pool.degraded,
@@ -407,6 +408,23 @@ class PorcupineServer:
         return {"id": payload.get("id"), "ok": True, "stopping": True}
 
     # -- compilation and execution ----------------------------------------
+
+    def _synthesis_stats(self) -> dict:
+        """Lemma-store and seed-bound counters summed over hot kernels."""
+        keys = (
+            "lemma_hits",
+            "lemma_misses",
+            "lemma_skips",
+            "seed_bounds",
+            "seed_retries",
+        )
+        totals = dict.fromkeys(keys, 0)
+        for compiled in self._hot.values():
+            for metrics in (compiled.pass_metrics or {}).values():
+                if isinstance(metrics, dict):
+                    for key in keys:
+                        totals[key] += int(metrics.get(key, 0) or 0)
+        return totals
 
     async def _ensure_compiled(
         self,

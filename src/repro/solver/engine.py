@@ -96,6 +96,7 @@ class SearchOutcome:
     bound_updates: int = 0  # mid-run tightenings taken from bound_poll
     steals: int = 0  # work-stealing chunk grabs beyond an even share (driver)
     chunks: int = 0  # chunk tasks executed (driver)
+    lemma_skips: int = 0  # candidates skipped via lemma-store value records
 
     @property
     def nodes_per_sec(self) -> float:
@@ -126,12 +127,18 @@ class SearchStats:
     bound_updates: int = 0  # mid-run bound tightenings (parallel driver)
     steals: int = 0  # work-stealing chunk grabs beyond an even share
     chunks: int = 0  # chunk tasks executed by the parallel driver
+    lemma_hits: int = 0  # lemma-store consults that found a usable record
+    lemma_misses: int = 0  # lemma-store consults that found nothing
+    lemma_skips: int = 0  # search work avoided via lemma records
+    seed_bounds: int = 0  # phase-2 entries tightened by a rewrite seed
+    seed_retries: int = 0  # zero-accept seeded searches replayed unseeded
 
     #: additive integer fields folded verbatim by record/merge/minus
     _SUM_FIELDS = (
         "runs", "nodes", "candidates", "batches", "dedup_hits",
         "reused_values", "appended_columns", "ranks_skipped",
-        "bound_updates", "steals", "chunks",
+        "bound_updates", "steals", "chunks", "lemma_hits",
+        "lemma_misses", "lemma_skips", "seed_bounds", "seed_retries",
     )
 
     @property
@@ -152,6 +159,7 @@ class SearchStats:
         self.bound_updates += outcome.bound_updates
         self.steals += outcome.steals
         self.chunks += outcome.chunks
+        self.lemma_skips += outcome.lemma_skips
         self.shift_cache_peak = max(
             self.shift_cache_peak, outcome.shift_cache_peak
         )
@@ -221,6 +229,11 @@ class SearchStats:
             "bound_updates": self.bound_updates,
             "steals": self.steals,
             "chunks": self.chunks,
+            "lemma_hits": self.lemma_hits,
+            "lemma_misses": self.lemma_misses,
+            "lemma_skips": self.lemma_skips,
+            "seed_bounds": self.seed_bounds,
+            "seed_retries": self.seed_retries,
         }
 
 
@@ -406,6 +419,11 @@ class SketchSearch:
         self.min_latency = min(c.latency for c in self.components)
         #: Root branch the engine is currently exploring (see run()).
         self.current_root_rank = -1
+        #: Optional :class:`~repro.core.lemmas.LemmaTap`, attached by the
+        #: CEGIS loop for one run at a time.  Not a constructor argument:
+        #: taps hold a live store handle and must never ride along when a
+        #: search is pickled to parallel workers.
+        self.lemma_tap = None
         # cross-round reuse accounting, consumed by the next run()
         self._pending_reused_values = 0
         self._pending_appended_columns = 0
@@ -592,6 +610,7 @@ class SketchSearch:
         self._ranks_skipped = 0
         self._root_rank = -1
         self.current_root_rank = -1
+        self._lemma_skips = 0
         self._nodes = 0
         self._batches = 0
         self._candidates = 0
@@ -638,6 +657,7 @@ class SketchSearch:
             ranks_skipped=self._ranks_skipped,
             shift_cache_peak=self.store.shift_cache_peak,
             bound_updates=self._bound_updates,
+            lemma_skips=self._lemma_skips,
         )
 
     # -- bookkeeping helpers -----------------------------------------------
@@ -918,6 +938,21 @@ class SketchSearch:
         self, slot, comp, op1, r1, op2, r2, value, prev, prev_wire,
         key_hash=None,
     ) -> None:
+        # lemma tap: slot-0 ct-ct fills are single-instruction programs
+        # over the base wires — record their full value matrices *before*
+        # dedup, so a duplicate-valued distinct instruction is recorded
+        # too (the length-1 consult enumerates it as its own candidate).
+        # Slot 0 can only reference base wires, so its instruction set is
+        # length-invariant; tapping the length-2 run alone keeps the
+        # per-push overhead out of the big deeper searches
+        if (
+            slot == 0
+            and op2 is not None
+            and self.length == 2
+            and self.lemma_tap is not None
+        ):
+            tap = self.lemma_tap
+            tap.record_instr(tap.instr_id(comp, op1, r1, op2, r2), value)
         # canonical order for adjacent independent components (symmetry
         # breaking, paper 6.2): if this slot does not consume the previous
         # wire, require its encoding to exceed the previous slot's.
@@ -1031,12 +1066,32 @@ class SketchSearch:
                         if self._stopped:
                             return
                 continue
+            tap = self.lemma_tap
+            if tap is not None and self.length == 1 and tap.consult_instrs:
+                # length-1 searches are pure final-slot enumeration over
+                # single instructions; a sibling kernel's recorded values
+                # can rule a whole component out without evaluating it
+                cands, _ = self._final_ct_cands(unused, comp)
+                if cands and self._lemma_skip_component(tap, comp, cands):
+                    self._lemma_skips += len(cands)
+                    continue
             if self.options.batched:
                 self._final_ct_batched(unused, comp)
             else:
                 self._final_ct_scalar(unused, comp)
             if self._stopped:
                 return
+
+    def _lemma_skip_component(self, tap, comp, cands) -> bool:
+        """True when every candidate of ``comp`` has a recorded value
+        known not to match the goal (then none needs evaluating)."""
+        for op1, r1, op2, r2 in cands:
+            instr = tap.instr_id(comp, op1, r1, op2, r2)
+            if not tap.known_miss(instr, self.out_slots, self.goal):
+                return False
+        # skipping candidates makes this run's final-value sweep partial
+        tap.finals_valid = False
+        return True
 
     def _final_ct_cands(self, unused, comp) -> tuple[list, int]:
         """Final-slot ct-ct fills in canonical order, plus the skip count.
@@ -1114,6 +1169,8 @@ class SketchSearch:
             store.gather_out(ops1, pos1),
             store.gather_out(ops2, pos2),
         )
+        if self.lemma_tap is not None:
+            self.lemma_tap.record_final_block(values)
         # one (K, E, |out_slots|) comparison against the goal
         hits = (values == self.goal[None, :, :]).all(axis=(1, 2))
         for k in np.flatnonzero(hits):
@@ -1150,7 +1207,10 @@ class SketchSearch:
                     yield a, b, True
 
     def _check_goal(self, comp, op1, r1, op2, r2, value) -> None:
-        if not np.array_equal(value[:, self.out_slots], self.goal):
+        out = value[:, self.out_slots]
+        if self.lemma_tap is not None:
+            self.lemma_tap.record_final(out)
+        if not np.array_equal(out, self.goal):
             return
         self._record_candidate(comp, op1, r1, op2, r2)
 

@@ -1,0 +1,185 @@
+"""Shardable rank ranges: N disjoint searches, one canonical answer.
+
+A synthesis search splits into ``shard=(i, N)`` descriptors — disjoint
+root-rank ranges run by independent serial processes against a shared
+lemma store — and a final merge run (same store, no shard) replays the
+recorded candidates in canonical order.  The contract: the merged
+program is byte-identical to an uninterrupted serial run, for any shard
+count, on kernels with real multi-round counterexample loops
+(dot_product @ seed 5), and even when a shard process is power-cut
+mid-search and resumed from its checkpoint.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cegis import SynthesisConfig, SynthesisError, synthesize
+from repro.core.sketches import default_sketch_for
+from repro.quill.printer import format_program
+from repro.spec import get_spec
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _synth(kernel, seed=0, **overrides):
+    spec = get_spec(kernel)
+    sketch = default_sketch_for(spec)
+    config = SynthesisConfig(seed=seed, optimize_timeout=10.0, **overrides)
+    return synthesize(spec, sketch, config)
+
+
+def _shard_and_merge(kernel, seed, shards, store_path):
+    """Run every shard (non-solving ones raise), then the merge run."""
+    for index in range(shards):
+        try:
+            _synth(
+                kernel,
+                seed=seed,
+                lemma_path=store_path,
+                shard=(index, shards),
+            )
+        except SynthesisError:
+            pass  # this shard's rank ranges hold no solution — expected
+    return _synth(kernel, seed=seed, lemma_path=store_path)
+
+
+# -- byte-identity across shard counts ---------------------------------------
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_merge_is_byte_identical(tmp_path, shards):
+    serial = _synth("box_blur")
+    merged = _shard_and_merge(
+        "box_blur", 0, shards, str(tmp_path / "lemmas.json")
+    )
+    assert format_program(merged.program) == format_program(serial.program)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(shards=st.integers(1, 4), seed=st.sampled_from([0, 3, 5]))
+def test_multi_round_shard_merge_matches_serial(tmp_path, shards, seed):
+    """dot_product @ seed 5 provably runs counterexample rounds, so the
+    merge must survive per-shard example sets diverging mid-search."""
+    store = str(
+        tmp_path / f"lemmas_{shards}_{seed}.json"
+    )
+    serial = _synth("dot_product", seed=seed)
+    merged = _shard_and_merge("dot_product", seed, shards, store)
+    assert format_program(merged.program) == format_program(serial.program)
+
+
+def test_nonsolving_shard_raises_with_merge_hint(tmp_path):
+    """Some shard of a 4-way box_blur split cannot contain the solution
+    (the solving root rank lives in exactly one range)."""
+    errors = []
+    for index in range(4):
+        try:
+            _synth(
+                "box_blur",
+                lemma_path=str(tmp_path / "l.json"),
+                shard=(index, 4),
+            )
+        except SynthesisError as err:
+            errors.append(str(err))
+    assert errors, "every shard claimed to solve — ranges overlap?"
+    assert any("--merge-shards" in e or "shard" in e for e in errors)
+
+
+def test_invalid_shard_descriptors_are_rejected():
+    for bad in ((2, 2), (-1, 2), (0, 0)):
+        with pytest.raises(ValueError):
+            _synth("box_blur", shard=bad)
+
+
+def test_shard_forces_serial_search(tmp_path):
+    """workers>1 with a shard descriptor must not spin up the parallel
+    driver: shard determinism is defined over the serial rank order."""
+    result = _synth(
+        "box_blur",
+        lemma_path=str(tmp_path / "l.json"),
+        shard=(0, 1),
+        workers=4,
+    )
+    serial = _synth("box_blur")
+    assert format_program(result.program) == format_program(serial.program)
+    assert result.search_stats.steals == 0
+    assert result.search_stats.chunks == 0
+
+
+# -- power cut mid-shard ------------------------------------------------------
+
+_RUNNER = """
+import sys
+from repro.core.cegis import SynthesisConfig, SynthesisError, synthesize
+from repro.core.sketches import default_sketch_for
+from repro.quill.printer import format_program
+from repro.spec import get_spec
+
+name, seed, lemmas, ckpt, shard = sys.argv[1:6]
+spec = get_spec(name)
+config = SynthesisConfig(
+    seed=int(seed),
+    optimize_timeout=10.0,
+    lemma_path=lemmas or None,
+    checkpoint_path=ckpt or None,
+    shard=tuple(int(p) for p in shard.split("/")) if shard else None,
+)
+try:
+    result = synthesize(spec, default_sketch_for(spec), config)
+except SynthesisError:
+    sys.exit(0)  # a non-solving shard is a clean, empty-handed exit
+sys.stdout.write(format_program(result.program))
+"""
+
+
+def _run_child(kernel, seed, lemmas, ckpt, shard, crash_after=None):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env.pop("PORCUPINE_CHECKPOINT_CRASH_AFTER", None)
+    if crash_after is not None:
+        env["PORCUPINE_CHECKPOINT_CRASH_AFTER"] = str(crash_after)
+    return subprocess.run(
+        [sys.executable, "-c", _RUNNER,
+         kernel, str(seed), lemmas, ckpt, shard],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_shard_killed_and_resumed_merge_is_byte_identical(tmp_path):
+    kernel, seed = "dot_product", 5  # multi-round CEGIS
+    baseline = _run_child(kernel, seed, "", "", "")
+    assert baseline.returncode == 0, baseline.stderr
+    assert baseline.stdout, "serial baseline synthesized nothing"
+
+    lemmas = str(tmp_path / "lemmas.json")
+    # power-cut shard 0/2 right after its first checkpoint write
+    ckpt0 = str(tmp_path / "shard0.ckpt")
+    crashed = _run_child(kernel, seed, lemmas, ckpt0, "0/2", crash_after=1)
+    assert crashed.returncode == 137, (
+        f"expected the deterministic power cut, got rc="
+        f"{crashed.returncode}: {crashed.stderr}"
+    )
+    assert Path(ckpt0).exists(), "crash left no checkpoint behind"
+    # resume shard 0 from its checkpoint, then run shard 1 cold
+    resumed = _run_child(kernel, seed, lemmas, ckpt0, "0/2")
+    assert resumed.returncode == 0, resumed.stderr
+    other = _run_child(kernel, seed, lemmas, str(tmp_path / "s1.ckpt"), "1/2")
+    assert other.returncode == 0, other.stderr
+
+    merged = _run_child(kernel, seed, lemmas, "", "")
+    assert merged.returncode == 0, merged.stderr
+    assert merged.stdout == baseline.stdout, (
+        "sharded kill+resume+merge produced different bytes than serial"
+    )
