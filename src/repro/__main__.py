@@ -150,6 +150,16 @@ def _print_executor_timings(session) -> None:
     print(format_executor_stats(session.executor_stats()), file=sys.stderr)
 
 
+def _noise_guard(value):
+    """Parse ``--noise-guard``: off/output/mul or an every-N-ops int."""
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return value
+
+
 def _cmd_run(args) -> int:
     session = _session(args)
     spec = session.spec(args.kernel)
@@ -164,6 +174,9 @@ def _cmd_run(args) -> int:
     report = session.run(
         args.kernel, logical, backend=args.backend, seed=args.seed,
         domain_plan=args.domain_plan, exec_workers=args.exec_workers,
+        guard=_noise_guard(args.noise_guard),
+        noise_margin_bits=args.noise_margin_bits,
+        escalate=not args.no_escalate,
     )
     if args.timings:
         _print_executor_timings(session)
@@ -191,17 +204,26 @@ def _cmd_run(args) -> int:
         he_kwargs = Porcupine.he_backend_kwargs(
             args.seed, domain_plan=args.domain_plan,
             exec_workers=args.exec_workers,
+            guard=_noise_guard(args.noise_guard),
+            noise_margin_bits=args.noise_margin_bits,
+            escalate=not args.no_escalate,
         )
-        executor = session.backend("he", **he_kwargs)._executor_for(spec)
+        engine = session.backend("he", **he_kwargs)
+        executor = engine._executor_for(spec)
         predicted = estimate_noise_budget(compiled.program, executor.params)
         print(
             f"noise budget: {report.noise_budget} bits measured, "
             f">= {predicted:.0f} bits predicted"
         )
-        print(
-            f"evaluation time: {report.wall_time:.2f}s on "
-            f"{executor.params.name}"
-        )
+        escalations = engine.drain_escalations()
+        ran_on = executor.params.name
+        if escalations:
+            ran_on = engine.last_escalation_params_name or ran_on
+            print(
+                f"noise escalations: {escalations} (re-ran on a larger "
+                "parameter preset after a noise guard tripped)"
+            )
+        print(f"evaluation time: {report.wall_time:.2f}s on {ran_on}")
     else:
         print(f"evaluation time: {report.wall_time:.4f}s on {report.backend}")
     return 0 if report.matches_reference else 1
@@ -212,6 +234,9 @@ def _run_batch(args, session, compiled) -> int:
     batch = session.run_many(
         args.kernel, args.batch, backend=args.backend, seed=args.seed,
         domain_plan=args.domain_plan, exec_workers=args.exec_workers,
+        guard=_noise_guard(args.noise_guard),
+        noise_margin_bits=args.noise_margin_bits,
+        escalate=not args.no_escalate,
     )
     if args.timings:
         _print_executor_timings(session)
@@ -448,6 +473,10 @@ def _cmd_serve(args) -> int:
         default_timeout_ms=args.default_timeout_ms,
         max_backlog=args.max_backlog if args.max_backlog > 0 else None,
         pool_max_restarts=args.pool_max_restarts,
+        noise_guard=_noise_guard(args.noise_guard),
+        noise_margin_bits=args.noise_margin_bits,
+        noise_escalation=not args.no_noise_escalation,
+        shadow_verify=args.shadow_verify,
     )
     server = PorcupineServer(config=config)
 
@@ -565,7 +594,24 @@ def main(argv: list[str] | None = None) -> int:
             cmd.add_argument("--timings", action="store_true",
                              help="print the executor's NTT/arena counter "
                                   "table (NTT rows performed and elided, "
-                                  "arena high-water bytes) to stderr")
+                                  "arena high-water bytes, guard checks/"
+                                  "trips, min output budget) to stderr")
+            cmd.add_argument("--noise-guard", metavar="MODE", default=None,
+                             help="runtime noise guards: 'output' (check "
+                                  "the decrypted output budget), 'mul' "
+                                  "(after every ciphertext multiply), or "
+                                  "an integer N (every N tape ops); "
+                                  "default: off")
+            cmd.add_argument("--noise-margin-bits", type=float, default=None,
+                             metavar="BITS",
+                             help="predictive admission: refuse to run "
+                                  "programs whose estimated output noise "
+                                  "budget is below BITS (escalates to a "
+                                  "larger preset unless --no-escalate)")
+            cmd.add_argument("--no-escalate", action="store_true",
+                             help="fail with NoiseBudgetExhausted instead "
+                                  "of transparently re-running on the "
+                                  "next-larger parameter preset")
 
     baseline = sub.add_parser("baseline", help="print a hand-written baseline")
     baseline.add_argument("kernel")
@@ -622,6 +668,25 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="N",
                        help="compile-pool respawns after worker crashes "
                             "before degrading to in-process compiles")
+    serve.add_argument("--noise-guard", metavar="MODE", default="output",
+                       help="HE runtime noise guards: 'off', 'output' "
+                            "(default; free — output budgets are measured "
+                            "anyway), 'mul', or an integer N (every N "
+                            "tape ops)")
+    serve.add_argument("--noise-margin-bits", type=float, default=None,
+                       metavar="BITS",
+                       help="predictive admission margin in bits for "
+                            "served HE kernels")
+    serve.add_argument("--no-noise-escalation", action="store_true",
+                       help="surface noise-budget exhaustion as a typed "
+                            "retryable NOISE_BUDGET error instead of "
+                            "re-running on the next-larger preset")
+    serve.add_argument("--shadow-verify", type=float, default=0.0,
+                       metavar="FRACTION",
+                       help="cross-check this fraction of HE batches "
+                            "against the interpreter backend; mismatches "
+                            "are withheld as NOISE_BUDGET errors "
+                            "(deterministic sampling; 0 disables)")
 
     synth = sub.add_parser(
         "synth",

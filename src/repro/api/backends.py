@@ -24,6 +24,7 @@ from typing import Callable, Protocol
 
 import numpy as np
 
+from repro.he.errors import NoiseBudgetExhausted
 from repro.quill.interpreter import evaluate
 from repro.quill.ir import Program
 from repro.spec.reference import Spec
@@ -133,6 +134,14 @@ class HEBackend:
     (the oracle/baseline implementation).  ``params`` overrides the
     spec's parameter preset by name (``"toy"``/``"small"``/``"large"``) —
     the serving benchmark's quick mode runs on toy parameters this way.
+
+    Noise safety: ``guard`` turns on runtime noise-budget guards (see
+    :class:`~repro.runtime.executor.NoiseGuardPolicy`),
+    ``noise_margin_bits`` enables predictive admission at tape-compile
+    time, and with ``escalate`` (the default) a
+    :class:`~repro.he.errors.NoiseBudgetExhausted` from either is
+    recovered transparently by recompiling and re-running on the
+    next-larger preset up the :data:`~repro.he.params.PRESET_LADDER`.
     """
 
     name = "he"
@@ -144,49 +153,108 @@ class HEBackend:
         params: str | None = None,
         domain_plan: bool = False,
         exec_workers: int = 1,
+        guard=None,
+        noise_margin_bits: float | None = None,
+        escalate: bool = True,
+        max_escalations: int | None = None,
     ):
         self.seed = seed
         self.slow_reference = slow_reference
         self.params_preset = params
         self.domain_plan = domain_plan
         self.exec_workers = exec_workers
-        self._executors: dict[str, object] = {}
+        self.guard = guard
+        self.noise_margin_bits = noise_margin_bits
+        self.escalate = escalate
+        self.max_escalations = max_escalations
+        self._executors: dict[tuple[str, str], object] = {}
+        # escalations not yet collected by drain_escalations() (the
+        # serving tier folds them into its MetricsRegistry per batch)
+        self._unreported_escalations = 0
+        # preset the most recent escalated run actually landed on
+        self.last_escalation_params_name: str | None = None
 
-    def _executor_for(self, spec: Spec):
+    def _make_executor(self, spec: Spec, params):
         from repro.runtime.executor import HEExecutor
 
-        executor = self._executors.get(spec.name)
-        if executor is None:
-            params = None
-            if self.params_preset is not None:
-                from repro.he.params import (
-                    large_params,
-                    small_params,
-                    toy_params,
-                )
+        return HEExecutor(
+            spec,
+            params=params,
+            seed=self.seed,
+            slow_reference=self.slow_reference,
+            domain_plan=self.domain_plan,
+            exec_workers=self.exec_workers,
+            guard=self.guard,
+            noise_margin_bits=self.noise_margin_bits,
+        )
 
-                presets = {
-                    "toy": toy_params,
-                    "small": small_params,
-                    "large": large_params,
-                }
-                try:
-                    params = presets[self.params_preset]()
-                except KeyError:
-                    raise ValueError(
-                        f"unknown params preset {self.params_preset!r}; "
-                        f"available: {', '.join(presets)}"
-                    ) from None
-            executor = HEExecutor(
-                spec,
-                params=params,
-                seed=self.seed,
-                slow_reference=self.slow_reference,
-                domain_plan=self.domain_plan,
-                exec_workers=self.exec_workers,
-            )
-            self._executors[spec.name] = executor
+    def _executor_for(self, spec: Spec, params=None):
+        """The cached executor for ``spec`` (per parameter set).
+
+        ``params`` selects an explicit :class:`BFVParams` (the escalation
+        path); by default the backend's preset override or the spec's own
+        preset applies.
+        """
+        if params is None and self.params_preset is not None:
+            from repro.he.errors import InvalidParameterError
+            from repro.he.params import preset_params
+
+            try:
+                params = preset_params(self.params_preset)
+            except InvalidParameterError:
+                raise ValueError(
+                    f"unknown params preset {self.params_preset!r}; "
+                    "available: toy, small, large"
+                ) from None
+        key = (spec.name, params.name if params is not None else "")
+        executor = self._executors.get(key)
+        if executor is None:
+            executor = self._make_executor(spec, params)
+            self._executors[key] = executor
         return executor
+
+    # -- graceful degradation -------------------------------------------
+
+    def _escalation_ladder(self, spec: Spec, params) -> list:
+        """Presets strictly above ``params`` whose rows fit the vector."""
+        from repro.he.params import next_larger_params
+
+        ladder = []
+        current = params
+        while True:
+            current = next_larger_params(current)
+            if current is None:
+                break
+            if spec.layout.vector_size <= current.row_size:
+                ladder.append(current)
+        if self.max_escalations is not None:
+            ladder = ladder[: self.max_escalations]
+        return ladder
+
+    def _run_escalated(self, spec: Spec, base_executor, attempt, error):
+        """Walk the preset ladder until one attempt survives its guards."""
+        for params in self._escalation_ladder(spec, base_executor.params):
+            executor = self._executor_for(spec, params=params)
+            executor.stats.noise_escalations += 1
+            self._unreported_escalations += 1
+            try:
+                result = attempt(executor)
+            except NoiseBudgetExhausted as next_error:
+                error = next_error
+                continue
+            self.last_escalation_params_name = params.name
+            return result
+        raise error
+
+    def drain_escalations(self) -> int:
+        """Escalations since the last drain (serving metrics hook)."""
+        count = self._unreported_escalations
+        self._unreported_escalations = 0
+        return count
+
+    def arm_tape_fault(self, spec: Spec, fault: tuple | None) -> None:
+        """Arm a one-shot runtime corruption on the spec's executor."""
+        self._executor_for(spec).arm_tape_fault(fault)
 
     def executor_stats(self):
         """Merged :class:`~repro.runtime.profiler.ExecutorStats` across
@@ -217,8 +285,16 @@ class HEBackend:
     def execute(
         self, program: Program, spec: Spec, logical_env: dict[str, np.ndarray]
     ) -> BackendResult:
+        def attempt(executor) -> BackendResult:
+            return self._to_result(program, executor.run(program, logical_env))
+
         executor = self._executor_for(spec)
-        return self._to_result(program, executor.run(program, logical_env))
+        try:
+            return attempt(executor)
+        except NoiseBudgetExhausted as error:
+            if not self.escalate:
+                raise
+            return self._run_escalated(spec, executor, attempt, error)
 
     def execute_many(
         self,
@@ -227,18 +303,28 @@ class HEBackend:
         logical_envs: list[dict[str, np.ndarray]],
     ) -> BatchResult:
         """One lockstep encrypted execution over the whole batch."""
+
+        def attempt(executor) -> BatchResult:
+            batch = executor.run_many(program, logical_envs)
+            return BatchResult(
+                backend=self.name,
+                kernel=program.name,
+                results=[
+                    self._to_result(program, report)
+                    for report in batch.reports
+                ],
+                batch_size=batch.batch_size,
+                total_seconds=batch.total_seconds,
+                setup_seconds=batch.setup_seconds,
+            )
+
         executor = self._executor_for(spec)
-        batch = executor.run_many(program, logical_envs)
-        return BatchResult(
-            backend=self.name,
-            kernel=program.name,
-            results=[
-                self._to_result(program, report) for report in batch.reports
-            ],
-            batch_size=batch.batch_size,
-            total_seconds=batch.total_seconds,
-            setup_seconds=batch.setup_seconds,
-        )
+        try:
+            return attempt(executor)
+        except NoiseBudgetExhausted as error:
+            if not self.escalate:
+                raise
+            return self._run_escalated(spec, executor, attempt, error)
 
 
 _BACKEND_FACTORIES: dict[str, Callable[..., ExecutionBackend]] = {

@@ -317,7 +317,16 @@ class CacheEntry:
 
 
 class CompileCache:
-    """Thread-safe in-memory cache with optional on-disk persistence."""
+    """Thread-safe in-memory cache with optional on-disk persistence.
+
+    On-disk entries are integrity-checked: ``put`` embeds a SHA-256
+    digest of the entry payload and ``get`` verifies it before trusting
+    the bytes.  A truncated, bit-flipped, or otherwise corrupt file is
+    *quarantined* (renamed to ``<key>.json.corrupt`` for post-mortem)
+    and reported as a miss, so the caller transparently recompiles
+    instead of crashing — or worse, executing a tampered program.  The
+    ``quarantined`` counter records every such event.
+    """
 
     def __init__(self, path: str | Path | None = None):
         self.path = Path(path) if path is not None else None
@@ -325,10 +334,40 @@ class CompileCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _file_for(self, key: str) -> Path:
         assert self.path is not None
         return self.path / f"{key}.json"
+
+    def _quarantine(self, file: Path, reason: str) -> None:
+        """Move a corrupt entry aside and count it (never raises)."""
+        self.quarantined += 1
+        try:
+            os.replace(file, file.parent / f"{file.name}.corrupt")
+        except OSError:
+            pass  # already quarantined/removed by a concurrent reader
+        import warnings
+
+        warnings.warn(
+            f"quarantined corrupt compile-cache entry {file.name} "
+            f"({reason}); the kernel will be recompiled",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _load_entry(self, file: Path, payload: str) -> CacheEntry | None:
+        """Parse + digest-verify one on-disk entry; quarantine on failure."""
+        try:
+            decoded = json.loads(payload)
+            stored = decoded.pop("digest", None)
+            if stored is not None and stored != _digest(decoded):
+                self._quarantine(file, "digest mismatch")
+                return None
+            return CacheEntry.from_json(decoded)
+        except (json.JSONDecodeError, KeyError, TypeError, AttributeError):
+            self._quarantine(file, "unreadable payload")
+            return None
 
     def get(self, key: str) -> CacheEntry | None:
         with self._lock:
@@ -344,11 +383,8 @@ class CompileCache:
                 except OSError:
                     entry = None
                 else:
-                    try:
-                        entry = CacheEntry.from_json(json.loads(payload))
-                    except (json.JSONDecodeError, KeyError):
-                        entry = None  # corrupt entry: treat as a miss
-                    else:
+                    entry = self._load_entry(file, payload)
+                    if entry is not None:
                         self._memory[key] = entry
             if entry is None:
                 self.misses += 1
@@ -372,7 +408,9 @@ class CompileCache:
                 tmp = target.with_suffix(
                     f".tmp.{os.getpid()}.{threading.get_ident()}"
                 )
-                tmp.write_text(json.dumps(entry.to_json(), indent=2))
+                payload = entry.to_json()
+                payload["digest"] = _digest(payload)
+                tmp.write_text(json.dumps(payload, indent=2))
                 os.replace(tmp, target)
 
     def clear(self) -> None:
@@ -380,6 +418,8 @@ class CompileCache:
             self._memory.clear()
             if self.path is not None and self.path.exists():
                 for file in self.path.glob("*.json"):
+                    file.unlink(missing_ok=True)
+                for file in self.path.glob("*.json.corrupt"):
                     file.unlink(missing_ok=True)
 
     @property

@@ -493,6 +493,9 @@ class Porcupine:
         seed: int = 0,
         domain_plan: bool = False,
         exec_workers: int = 1,
+        guard=None,
+        noise_margin_bits: float | None = None,
+        escalate: bool = True,
         **compile_kwargs,
     ) -> BackendResult:
         """Compile (cached) and execute a kernel on a named backend.
@@ -502,6 +505,11 @@ class Porcupine:
         overflows the plaintext modulus).  ``domain_plan`` and
         ``exec_workers`` select the HE executor's NTT-domain planner and
         lockstep thread count (both bit-identical to the defaults).
+
+        ``guard``/``noise_margin_bits`` enable the HE backend's runtime
+        noise guards and predictive admission; with ``escalate`` (the
+        default) a tripped guard transparently recompiles and re-runs on
+        the next-larger parameter preset instead of failing.
         """
         compiled = self.compile(kernel, **compile_kwargs)
         spec = self._resolve(kernel).spec()
@@ -510,6 +518,8 @@ class Porcupine:
         return self.execute(
             compiled, inputs, backend=backend, seed=seed, spec=spec,
             domain_plan=domain_plan, exec_workers=exec_workers,
+            guard=guard, noise_margin_bits=noise_margin_bits,
+            escalate=escalate,
         )
 
     def execute(
@@ -522,6 +532,9 @@ class Porcupine:
         spec: Spec | None = None,
         domain_plan: bool = False,
         exec_workers: int = 1,
+        guard=None,
+        noise_margin_bits: float | None = None,
+        escalate: bool = True,
     ) -> BackendResult:
         """Execute an already-compiled kernel (no compile step).
 
@@ -534,7 +547,9 @@ class Porcupine:
         if spec is None:
             spec = self.spec(compiled.name)
         engine = self._resolve_backend(
-            backend, seed, domain_plan=domain_plan, exec_workers=exec_workers
+            backend, seed, domain_plan=domain_plan, exec_workers=exec_workers,
+            guard=guard, noise_margin_bits=noise_margin_bits,
+            escalate=escalate,
         )
         return engine.execute(compiled.program, spec, inputs)
 
@@ -548,6 +563,9 @@ class Porcupine:
         spec: Spec | None = None,
         domain_plan: bool = False,
         exec_workers: int = 1,
+        guard=None,
+        noise_margin_bits: float | None = None,
+        escalate: bool = True,
     ) -> BatchResult:
         """Execute one compiled kernel over a batch of environments.
 
@@ -559,7 +577,9 @@ class Porcupine:
         if spec is None:
             spec = self.spec(compiled.name)
         engine = self._resolve_backend(
-            backend, seed, domain_plan=domain_plan, exec_workers=exec_workers
+            backend, seed, domain_plan=domain_plan, exec_workers=exec_workers,
+            guard=guard, noise_margin_bits=noise_margin_bits,
+            escalate=escalate,
         )
         execute_many = getattr(engine, "execute_many", None)
         if execute_many is not None:
@@ -585,13 +605,18 @@ class Porcupine:
         *,
         domain_plan: bool = False,
         exec_workers: int = 1,
+        guard=None,
+        noise_margin_bits: float | None = None,
+        escalate: bool = True,
     ) -> ExecutionBackend:
         """Name-or-instance backend dispatch shared by run/run_many."""
         if isinstance(backend, str) or backend is None:
             name = backend or self.default_backend
             kwargs = (
                 self.he_backend_kwargs(
-                    seed, domain_plan=domain_plan, exec_workers=exec_workers
+                    seed, domain_plan=domain_plan, exec_workers=exec_workers,
+                    guard=guard, noise_margin_bits=noise_margin_bits,
+                    escalate=escalate,
                 )
                 if name == "he"
                 else {}
@@ -601,7 +626,14 @@ class Porcupine:
 
     @staticmethod
     def he_backend_kwargs(
-        seed: int, *, domain_plan: bool = False, exec_workers: int = 1
+        seed: int,
+        *,
+        domain_plan: bool = False,
+        exec_workers: int = 1,
+        guard=None,
+        noise_margin_bits: float | None = None,
+        escalate: bool = True,
+        max_escalations: int | None = None,
     ) -> dict:
         """Construction kwargs for the session's cached HE backend.
 
@@ -613,6 +645,14 @@ class Porcupine:
             kwargs["domain_plan"] = True
         if exec_workers != 1:
             kwargs["exec_workers"] = exec_workers
+        if guard is not None:
+            kwargs["guard"] = guard
+        if noise_margin_bits is not None:
+            kwargs["noise_margin_bits"] = noise_margin_bits
+        if not escalate:
+            kwargs["escalate"] = False
+        if max_escalations is not None:
+            kwargs["max_escalations"] = max_escalations
         return kwargs
 
     def executor_stats(self):
@@ -646,6 +686,9 @@ class Porcupine:
         seed: int = 0,
         domain_plan: bool = False,
         exec_workers: int = 1,
+        guard=None,
+        noise_margin_bits: float | None = None,
+        escalate: bool = True,
         **compile_kwargs,
     ) -> BatchResult:
         """Compile once and execute a batch of inputs in lockstep.
@@ -681,6 +724,8 @@ class Porcupine:
         return self.execute_batch(
             compiled, inputs, backend=backend, seed=seed, spec=spec,
             domain_plan=domain_plan, exec_workers=exec_workers,
+            guard=guard, noise_margin_bits=noise_margin_bits,
+            escalate=escalate,
         )
 
     def run_all(

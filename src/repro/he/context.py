@@ -349,8 +349,14 @@ class BFVContext:
                 self._budget_bits(q, u) for u in self._noise_magnitudes(ct, acc)
             ]
             if check_budget and min(budgets) <= 0:
+                worst = min(range(len(budgets)), key=budgets.__getitem__)
                 raise NoiseBudgetExhausted(
-                    "ciphertext noise budget exhausted; decryption would corrupt"
+                    f"ciphertext noise budget exhausted: minimum budget "
+                    f"{budgets[worst]} bits at batch element {worst} of "
+                    f"{len(budgets)}; decryption would corrupt",
+                    min_budget=budgets[worst],
+                    batch_index=worst,
+                    params_name=self.params.name,
                 )
             if not want_budgets:
                 budgets = None

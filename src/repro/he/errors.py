@@ -15,7 +15,33 @@ class NoiseBudgetExhausted(HEError):
     BFV ciphertexts carry noise that grows with every operation; once the
     invariant noise exceeds 1/2 the plaintext can no longer be recovered
     (paper section 2.2, "Noise").
+
+    Structured fields let guards and escalation machinery report exactly
+    where the budget died; all default to ``None`` so the exception stays
+    constructible from a plain message.
+
+    Attributes:
+        min_budget: the worst (minimum) observed or predicted budget, bits.
+        batch_index: batch element whose budget bottomed out, if known.
+        op_index: tape step at which a runtime guard tripped (``None`` for
+            output-decrypt checks and compile-time admission rejections).
+        params_name: name of the parameter preset that was in effect.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        min_budget: float | None = None,
+        batch_index: int | None = None,
+        op_index: int | None = None,
+        params_name: str | None = None,
+    ):
+        super().__init__(message)
+        self.min_budget = min_budget
+        self.batch_index = batch_index
+        self.op_index = op_index
+        self.params_name = params_name
 
 
 class DecryptionError(HEError):

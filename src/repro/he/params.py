@@ -156,3 +156,48 @@ def params_for_depth(depth: int) -> BFVParams:
         f"no preset supports multiplicative depth {depth}; "
         "construct BFVParams explicitly"
     )
+
+
+# Ordered escalation ladder, smallest ring first.  Noise-safety machinery
+# (predictive admission and graceful degradation) walks this ladder to find
+# the next-larger preset when a program's noise budget does not fit.
+PRESET_LADDER: tuple[str, ...] = ("toy-insecure", "n4096-depth1", "n8192-depth3")
+
+_PRESET_FACTORIES = {
+    "toy-insecure": toy_params,
+    "toy": toy_params,
+    "n4096-depth1": small_params,
+    "small": small_params,
+    "n8192-depth3": large_params,
+    "large": large_params,
+}
+
+
+def preset_params(name: str) -> BFVParams:
+    """Resolve a preset by ladder name or short alias (toy/small/large)."""
+    try:
+        return _PRESET_FACTORIES[name]()
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown parameter preset {name!r}; "
+            f"known: {', '.join(sorted(_PRESET_FACTORIES))}"
+        ) from None
+
+
+def next_larger_params(params: BFVParams) -> BFVParams | None:
+    """The next preset up the ladder, or ``None`` at the top.
+
+    Custom parameter sets (names outside the ladder) escalate to the first
+    ladder preset with a strictly larger ring, so hand-rolled params still
+    get a recovery path.
+    """
+    if params.name in PRESET_LADDER:
+        index = PRESET_LADDER.index(params.name) + 1
+        if index >= len(PRESET_LADDER):
+            return None
+        return preset_params(PRESET_LADDER[index])
+    for name in PRESET_LADDER:
+        candidate = preset_params(name)
+        if candidate.poly_degree > params.poly_degree:
+            return candidate
+    return None

@@ -32,6 +32,7 @@ import numpy as np
 from repro.he import BFVContext
 from repro.he.arena import ExecCounters, ScratchArena, execution_scope
 from repro.he.context import Ciphertext
+from repro.he.errors import NoiseBudgetExhausted
 from repro.he.params import BFVParams
 from repro.quill.ir import (
     CtInput,
@@ -140,6 +141,53 @@ def check_displacement(program: Program, spec: Spec) -> DisplacementReport:
 TapeStep = tuple[Opcode, tuple, tuple | None, int, int, tuple[int, ...]]
 
 
+@dataclass(frozen=True)
+class NoiseGuardPolicy:
+    """Where and how an executor samples noise budgets at runtime.
+
+    BFV noise exhaustion decrypts to garbage, not an error (paper section
+    2.2), so without guards a dead ciphertext silently propagates to the
+    caller.  Guards trade a budget measurement (one decrypt-cost pass per
+    check) for a typed :class:`NoiseBudgetExhausted` naming the tape step
+    and batch element the moment the budget bottoms out.
+
+    Attributes:
+        after_multiplies: sample after every ct-ct multiply, the only
+            opcode with multiplicative noise growth.
+        every_n_ops: additionally sample after every N tape steps.
+        check_output: also gate the output decrypt on a positive budget
+            instead of returning garbage.
+        min_budget_bits: trip threshold; budgets at or below this raise.
+    """
+
+    after_multiplies: bool = False
+    every_n_ops: int | None = None
+    check_output: bool = True
+    min_budget_bits: int = 0
+
+    @classmethod
+    def coerce(
+        cls, guard: "NoiseGuardPolicy | str | int | None"
+    ) -> "NoiseGuardPolicy | None":
+        """Normalize the user-facing knob: off | output | mul | every-N."""
+        if guard is None or guard == "off":
+            return None
+        if isinstance(guard, cls):
+            return guard
+        if guard == "output":
+            return cls()
+        if guard == "mul":
+            return cls(after_multiplies=True)
+        if isinstance(guard, int) and not isinstance(guard, bool):
+            if guard < 1:
+                raise ValueError("guard interval must be >= 1")
+            return cls(every_n_ops=guard)
+        raise ValueError(
+            f"unknown noise guard {guard!r}; expected 'off', 'output', "
+            "'mul', an op interval, or a NoiseGuardPolicy"
+        )
+
+
 @dataclass
 class CompiledProgram:
     """A Quill program lowered onto one executor: checked, keyed, encoded.
@@ -168,6 +216,9 @@ class CompiledProgram:
     # NTT-domain residency plan for the tape (None on the slow-reference
     # oracle); executed only when the executor's domain_plan flag is set
     plan: DomainPlan | None = None
+    # worst-case predicted output budget under this executor's params
+    # (Fan-Vercauteren bounds, bits); the admission margin gates on it
+    predicted_noise_budget: float | None = None
 
     def describe(self) -> str:
         return (
@@ -234,12 +285,19 @@ class HEExecutor:
         slow_reference: bool = False,
         domain_plan: bool = False,
         exec_workers: int = 1,
+        guard: NoiseGuardPolicy | str | int | None = None,
+        noise_margin_bits: float | None = None,
     ):
         if exec_workers < 1:
             raise ValueError("exec_workers must be >= 1")
         self.spec = spec
         self.domain_plan = domain_plan
         self.exec_workers = exec_workers
+        self.guard = NoiseGuardPolicy.coerce(guard)
+        # predictive admission: compile() rejects programs whose predicted
+        # budget falls below this margin (None disables admission)
+        self.noise_margin_bits = noise_margin_bits
+        self._tape_fault: tuple | None = None
         if params is None:
             from repro.he.params import large_params, small_params
 
@@ -281,6 +339,21 @@ class HEExecutor:
         if cached is not None and cached.program is program:
             return cached
         check_displacement(program, self.spec)
+        from repro.runtime.estimator import estimate_noise_budget
+
+        predicted = estimate_noise_budget(program, self.params)
+        if (
+            self.noise_margin_bits is not None
+            and predicted < self.noise_margin_bits
+        ):
+            raise NoiseBudgetExhausted(
+                f"program {program.name!r} predicted to finish with "
+                f"{predicted:.1f} bits of noise budget under params "
+                f"{self.params.name!r}, below the {self.noise_margin_bits}"
+                f"-bit admission margin; use a larger preset",
+                min_budget=predicted,
+                params_name=self.params.name,
+            )
 
         # last use of each wire (every program output counts as a final use)
         last_use: dict[int, int] = {}
@@ -366,6 +439,7 @@ class HEExecutor:
             constants=constants,
             extra_outputs=extra_descs,
             plan=plan,
+            predicted_noise_budget=predicted,
         )
         if len(self._compiled) >= 32:  # bound the per-program tape cache
             # pinned tapes survive the wholesale clear: the batch
@@ -400,6 +474,55 @@ class HEExecutor:
         self.compile(program)
 
     # ------------------------------------------------------------------
+    # Runtime fault injection (chaos testing only)
+    # ------------------------------------------------------------------
+
+    def arm_tape_fault(self, fault: tuple | None) -> None:
+        """Arm a one-shot mid-tape ciphertext corruption.
+
+        Fault shapes (see :mod:`repro.serve.faults` for the wire-level
+        sites that deliver them):
+
+        - ``("bitflip", [step], [bit])`` — XOR one evaluation-domain
+          residue bit of the ciphertext produced at tape step ``step``
+          (default 0).  A single flipped NTT point inverse-transforms to
+          a dense ~q-scale coefficient error, so the corruption is
+          exactly the silent-garbage hazard guards exist to catch.
+        - ``("poison", [step])`` — replace the step's result with a
+          scrambled (cyclically shifted) residue matrix: a valid-looking
+          but meaningless ciphertext, as a stuck/poisoned slot would be.
+        """
+        self._tape_fault = tuple(fault) if fault is not None else None
+
+    def _trip_tape_fault(self, value, index: int):
+        """Apply the armed fault if this tape step is its trigger."""
+        fault = self._tape_fault
+        step = int(fault[1]) if len(fault) > 1 else 0
+        if index != step:
+            return value
+        self._tape_fault = None  # one-shot
+        return self._corrupt_ciphertext(value, fault)
+
+    def _corrupt_ciphertext(self, ct: Ciphertext, fault: tuple) -> Ciphertext:
+        from repro.he.poly import RingElement
+
+        kind = fault[0]
+        part = ct.parts[0]
+        if kind == "bitflip":
+            bit = int(fault[2]) if len(fault) > 2 else 10
+            rows = np.array(part.eval_rows(), copy=True)
+            flat = rows.reshape(-1)
+            prime = int(self.params.coeff_primes[0])
+            flat[0] = (int(flat[0]) ^ (1 << bit)) % prime
+            corrupted = RingElement(part.ctx, eval_rows=rows)
+        elif kind == "poison":
+            residues = np.roll(np.array(part.residues, copy=True), 1, axis=-1)
+            corrupted = RingElement(part.ctx, residues)
+        else:
+            raise ValueError(f"unknown tape fault kind {fault[0]!r}")
+        return Ciphertext([corrupted, *ct.parts[1:]])
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
@@ -426,8 +549,12 @@ class HEExecutor:
         ``planned=True`` executes the compiled domain plan: per-step
         residency hints plus planned rotation routing.  Transforms are
         exact bijections, so both modes are bit-identical.
+
+        Returns ``(output ct, extra cts, per-op seconds, guard checks)``.
         """
         ctx = self.ctx
+        guard = self.guard
+        guard_checks = 0
         slots: list = [None] * compiled.slot_count
         per_opcode: dict[str, float] = {}
         plan = compiled.plan if planned else None
@@ -474,13 +601,40 @@ class HEExecutor:
             elapsed = time.perf_counter() - t0
             key = opcode.value
             per_opcode[key] = per_opcode.get(key, 0.0) + elapsed
+            if self._tape_fault is not None:
+                value = self._trip_tape_fault(value, index)
+            if guard is not None and (
+                (guard.after_multiplies and opcode is Opcode.MUL_CC)
+                or (
+                    guard.every_n_ops is not None
+                    and (index + 1) % guard.every_n_ops == 0
+                )
+            ):
+                guard_checks += 1
+                budgets = ctx.noise_budgets(value)
+                low = min(budgets)
+                if low <= guard.min_budget_bits:
+                    # the run aborts here, so account the checks that
+                    # _record_stats will never see
+                    self.stats.guard_checks += guard_checks
+                    self.stats.guard_trips += 1
+                    worst = budgets.index(low)
+                    raise NoiseBudgetExhausted(
+                        f"noise guard tripped at tape step {index} "
+                        f"({opcode.value}): budget {low} bits at batch "
+                        f"element {worst} under params {self.params.name!r}",
+                        min_budget=low,
+                        batch_index=worst,
+                        op_index=index,
+                        params_name=self.params.name,
+                    )
             for slot in frees:
                 if slot != out_slot:
                     slots[slot] = None  # release dead intermediates
             if out_slot >= 0:
                 slots[out_slot] = value
         extras = [resolve(desc) for desc in compiled.extra_outputs]
-        return resolve(compiled.output), extras, per_opcode
+        return resolve(compiled.output), extras, per_opcode, guard_checks
 
     def run(
         self,
@@ -502,15 +656,19 @@ class HEExecutor:
         counters = ExecCounters()
         start = time.perf_counter()
         with execution_scope(self._arena, counters):
-            output_ct, extra_cts, per_opcode = self._execute_tape(
-                compiled, encrypted, plain, planned=planned
+            output_ct, extra_cts, per_opcode, guard_checks = (
+                self._execute_tape(compiled, encrypted, plain, planned=planned)
             )
         wall = time.perf_counter() - start
-        self._record_stats(compiled, counters, batch=1, planned=planned)
+        self._record_stats(
+            compiled, counters, batch=1, planned=planned,
+            guard_checks=guard_checks,
+        )
 
         plaintext, budgets = self.ctx.decrypt_with_budgets(
             output_ct, check_budget=False
         )
+        self._note_output_budgets(budgets)
         budget = min(budgets)
         decrypted = self.ctx.decode(plaintext)
         model_output = decrypted[: layout.vector_size]
@@ -607,8 +765,10 @@ class HEExecutor:
         counters = ExecCounters()
         if workers == 1:
             with execution_scope(self._arena, counters):
-                output_ct, extra_cts, per_opcode = self._execute_tape(
-                    compiled, encrypted, plain, planned=planned
+                output_ct, extra_cts, per_opcode, guard_checks = (
+                    self._execute_tape(
+                        compiled, encrypted, plain, planned=planned
+                    )
                 )
             t_eval = time.perf_counter()
             plaintext, budgets = self.ctx.decrypt_with_budgets(
@@ -621,7 +781,7 @@ class HEExecutor:
             ]
             t_done = time.perf_counter()
         else:
-            decrypted, budgets, extra_decrypted, per_opcode = (
+            decrypted, budgets, extra_decrypted, per_opcode, guard_checks = (
                 self._run_sharded(
                     compiled, encrypted, plain, batch, workers, counters,
                     planned,
@@ -631,8 +791,10 @@ class HEExecutor:
             # decryption share the pool's wall time
             t_eval = t_done = time.perf_counter()
         self._record_stats(
-            compiled, counters, batch=batch, planned=planned, workers=workers
+            compiled, counters, batch=batch, planned=planned, workers=workers,
+            guard_checks=guard_checks,
         )
+        self._note_output_budgets(budgets)
 
         share = (t_eval - t_setup) / batch
         reports = []
@@ -710,10 +872,24 @@ class HEExecutor:
                 for name, ct in encrypted.items()
             }
             shard_counters = ExecCounters()
-            with execution_scope(self._worker_arenas[w], shard_counters):
-                output_ct, extra_cts, per_opcode = self._execute_tape(
-                    compiled, shard_cts, plain, planned=planned
-                )
+            try:
+                with execution_scope(self._worker_arenas[w], shard_counters):
+                    output_ct, extra_cts, per_opcode, guard_checks = (
+                        self._execute_tape(
+                            compiled, shard_cts, plain, planned=planned
+                        )
+                    )
+            except NoiseBudgetExhausted as error:
+                # re-raise with the batch index rebased from shard-local
+                # to global, so the caller can name the offending element
+                index = error.batch_index
+                raise NoiseBudgetExhausted(
+                    f"{error} [shard covering batch elements {lo}:{hi}]",
+                    min_budget=error.min_budget,
+                    batch_index=None if index is None else lo + index,
+                    op_index=error.op_index,
+                    params_name=error.params_name,
+                ) from error
             plaintext, budgets = self.ctx.decrypt_with_budgets(
                 output_ct, check_budget=False
             )
@@ -724,7 +900,7 @@ class HEExecutor:
             ]
             return decrypted, budgets, extra_decrypted, per_opcode, (
                 shard_counters
-            )
+            ), guard_checks
 
         with ThreadPoolExecutor(max_workers=len(shards)) as pool:
             results = list(pool.map(run_shard, shards))
@@ -737,11 +913,13 @@ class HEExecutor:
             for j in range(extra_count)
         ]
         per_opcode: dict[str, float] = {}
+        guard_checks = 0
         for r in results:
             for key, seconds in r[3].items():
                 per_opcode[key] = per_opcode.get(key, 0.0) + seconds
             counters.merge(r[4])
-        return decrypted, budgets, extra_decrypted, per_opcode
+            guard_checks += r[5]
+        return decrypted, budgets, extra_decrypted, per_opcode, guard_checks
 
     def _record_stats(
         self,
@@ -750,10 +928,12 @@ class HEExecutor:
         batch: int,
         planned: bool,
         workers: int = 1,
+        guard_checks: int = 0,
     ) -> None:
         """Fold one tape execution into the executor's running counters."""
         stats = self.stats
         stats.runs += 1
+        stats.guard_checks += guard_checks
         stats.ntts_performed += counters.ntt_rows
         if planned and compiled.plan is not None:
             stats.ntts_planned += compiled.plan.ntts_planned * batch
@@ -763,6 +943,34 @@ class HEExecutor:
         )
         stats.arena_bytes = max(stats.arena_bytes, arena_bytes)
         stats.exec_workers = max(stats.exec_workers, workers)
+
+    def _note_output_budgets(self, budgets: list[int]) -> None:
+        """Track the output-budget low-water mark and gate on the guard.
+
+        With ``check_output`` set the executor refuses to hand back a
+        decryption whose budget bottomed out — the typed raise replaces
+        the silent garbage BFV would otherwise return.
+        """
+        low = min(budgets)
+        stats = self.stats
+        if stats.min_output_budget is None or low < stats.min_output_budget:
+            stats.min_output_budget = int(low)
+        guard = self.guard
+        if (
+            guard is not None
+            and guard.check_output
+            and low <= guard.min_budget_bits
+        ):
+            stats.guard_trips += 1
+            worst = budgets.index(low)
+            raise NoiseBudgetExhausted(
+                f"output noise budget exhausted: {low} bits at batch "
+                f"element {worst} of {len(budgets)} under params "
+                f"{self.params.name!r}; decryption would return garbage",
+                min_budget=low,
+                batch_index=worst,
+                params_name=self.params.name,
+            )
 
     def _validate_envs(
         self, logical_envs: list[dict[str, np.ndarray]]

@@ -75,6 +75,11 @@ class SchedulerStats:
     pool_restarts: int = 0  # compile-pool respawns after worker crashes
     executor_restarts: int = 0  # execution-thread supervisor restarts
     degraded_compiles: int = 0  # compiles served in-process (pool down)
+    noise_budget_errors: int = 0  # requests failed with NOISE_BUDGET
+    guard_trips: int = 0  # runtime noise guards that fired while serving
+    noise_escalations: int = 0  # transparent re-runs at a larger preset
+    shadow_checks: int = 0  # batches cross-checked against the interpreter
+    shadow_mismatches: int = 0  # shadow checks that caught a wrong output
     latency_ms: list[float] = field(default_factory=list, repr=False)
 
     @property
@@ -140,6 +145,17 @@ class SchedulerStats:
             degraded_compiles=(
                 self.degraded_compiles + other.degraded_compiles
             ),
+            noise_budget_errors=(
+                self.noise_budget_errors + other.noise_budget_errors
+            ),
+            guard_trips=self.guard_trips + other.guard_trips,
+            noise_escalations=(
+                self.noise_escalations + other.noise_escalations
+            ),
+            shadow_checks=self.shadow_checks + other.shadow_checks,
+            shadow_mismatches=(
+                self.shadow_mismatches + other.shadow_mismatches
+            ),
         )
         merged.latency_ms = self.latency_ms + other.latency_ms
         return merged
@@ -165,6 +181,11 @@ class SchedulerStats:
             "pool_restarts": self.pool_restarts,
             "executor_restarts": self.executor_restarts,
             "degraded_compiles": self.degraded_compiles,
+            "noise_budget_errors": self.noise_budget_errors,
+            "guard_trips": self.guard_trips,
+            "noise_escalations": self.noise_escalations,
+            "shadow_checks": self.shadow_checks,
+            "shadow_mismatches": self.shadow_mismatches,
             "p50_ms": _round_or_none(self.percentile_ms(50)),
             "p99_ms": _round_or_none(self.percentile_ms(99)),
         }
@@ -192,9 +213,18 @@ class ExecutorStats:
     ntts_elided: int = 0
     arena_bytes: int = 0  # high-water bytes held by scratch arenas
     exec_workers: int = 1  # widest lockstep worker pool used
+    guard_checks: int = 0  # mid-tape noise-budget samples taken
+    guard_trips: int = 0  # guard checks (mid-tape or output) that raised
+    noise_escalations: int = 0  # re-runs at the next-larger preset
+    min_output_budget: int | None = None  # lowest output budget seen, bits
 
     def merge(self, other: "ExecutorStats") -> "ExecutorStats":
         """Pointwise fold (per-kernel executor rows into a global row)."""
+        budgets = [
+            b
+            for b in (self.min_output_budget, other.min_output_budget)
+            if b is not None
+        ]
         return ExecutorStats(
             runs=self.runs + other.runs,
             ntts_performed=self.ntts_performed + other.ntts_performed,
@@ -202,6 +232,12 @@ class ExecutorStats:
             ntts_elided=self.ntts_elided + other.ntts_elided,
             arena_bytes=max(self.arena_bytes, other.arena_bytes),
             exec_workers=max(self.exec_workers, other.exec_workers),
+            guard_checks=self.guard_checks + other.guard_checks,
+            guard_trips=self.guard_trips + other.guard_trips,
+            noise_escalations=(
+                self.noise_escalations + other.noise_escalations
+            ),
+            min_output_budget=min(budgets) if budgets else None,
         )
 
     def summary(self) -> dict:
@@ -213,11 +249,20 @@ class ExecutorStats:
             "ntts_elided": self.ntts_elided,
             "arena_bytes": self.arena_bytes,
             "exec_workers": self.exec_workers,
+            "guard_checks": self.guard_checks,
+            "guard_trips": self.guard_trips,
+            "noise_escalations": self.noise_escalations,
+            "min_output_budget": self.min_output_budget,
         }
 
 
 def format_executor_stats(stats: ExecutorStats) -> str:
     """Render executor counters the way ``--timings`` renders timings."""
+    budget = (
+        "n/a"
+        if stats.min_output_budget is None
+        else f"{stats.min_output_budget} bits"
+    )
     return (
         "executor stats:\n"
         f"  tape runs          {stats.runs}\n"
@@ -225,7 +270,11 @@ def format_executor_stats(stats: ExecutorStats) -> str:
         f"  ntts planned       {stats.ntts_planned}\n"
         f"  ntts elided        {stats.ntts_elided}\n"
         f"  arena bytes        {stats.arena_bytes}\n"
-        f"  exec workers       {stats.exec_workers}"
+        f"  exec workers       {stats.exec_workers}\n"
+        f"  guard checks       {stats.guard_checks}\n"
+        f"  guard trips        {stats.guard_trips}\n"
+        f"  noise escalations  {stats.noise_escalations}\n"
+        f"  min output budget  {budget}"
     )
 
 

@@ -5,8 +5,8 @@ contract (EVA's compile-service deployment, HEIR's pipeline-robustness
 emphasis): a client must be able to tell *mechanically* whether an error
 was its own fault (``PROTOCOL``), a transient server condition worth
 retrying (``OVERLOADED``, ``WORKER_CRASHED``, ``EXECUTOR_CRASHED``,
-``UNAVAILABLE``), a budget it set itself (``DEADLINE_EXCEEDED``), or a
-bug (``INTERNAL``).  Every wire error therefore carries a ``code`` from
+``UNAVAILABLE``, ``NOISE_BUDGET``), a budget it set itself
+(``DEADLINE_EXCEEDED``), or a bug (``INTERNAL``).  Every wire error therefore carries a ``code`` from
 the closed taxonomy below plus a ``retryable`` hint, and every
 :class:`ServeError` knows how to render itself as a wire response.
 
@@ -46,6 +46,10 @@ EXECUTOR_CRASHED = "EXECUTOR_CRASHED"
 CONNECTION_LOST = "CONNECTION_LOST"
 #: the server is shutting down or a required tier is unavailable
 UNAVAILABLE = "UNAVAILABLE"
+#: the noise budget was (or would be) exhausted and could not be
+#: recovered by parameter escalation; the result was withheld rather
+#: than risk returning corrupt plaintext
+NOISE_BUDGET = "NOISE_BUDGET"
 #: anything else (a bug: unexpected exception on the serving path)
 INTERNAL = "INTERNAL"
 
@@ -57,13 +61,14 @@ ERROR_CODES = (
     EXECUTOR_CRASHED,
     CONNECTION_LOST,
     UNAVAILABLE,
+    NOISE_BUDGET,
     INTERNAL,
 )
 
 #: codes a client may safely retry for idempotent operations
 RETRYABLE_CODES = frozenset(
     {OVERLOADED, WORKER_CRASHED, EXECUTOR_CRASHED, CONNECTION_LOST,
-     UNAVAILABLE}
+     UNAVAILABLE, NOISE_BUDGET}
 )
 
 
@@ -141,6 +146,20 @@ class Unavailable(ServeError):
     retryable = True
 
 
+class NoiseBudgetError(ServeError):
+    """The batch tripped a noise guard (or failed shadow verification)
+    and escalation could not recover it; the server withheld the output
+    rather than return silently-corrupt plaintext.
+
+    Retryable: the corruption is a transient runtime event (an injected
+    or real bit-flip, a mis-sized request), not a property of the
+    request itself — a fresh execution re-encrypts from scratch.
+    """
+
+    code = NOISE_BUDGET
+    retryable = True
+
+
 class InternalError(ServeError):
     """An unexpected exception escaped on the serving path."""
 
@@ -155,6 +174,7 @@ _CODE_TO_CLASS: dict[str, type[ServeError]] = {
     EXECUTOR_CRASHED: ExecutorCrashed,
     CONNECTION_LOST: ConnectionLost,
     UNAVAILABLE: Unavailable,
+    NOISE_BUDGET: NoiseBudgetError,
     INTERNAL: InternalError,
 }
 

@@ -18,6 +18,18 @@ wants and the serving code trips them at well-defined points:
     supervisor must restart it), ``("sleep", s)`` makes the batch slow
     (deadline propagation must fire).
 
+``runtime:<kernel>``
+    Consulted at the same point but *forwarded into the executor* as a
+    one-shot mid-tape ciphertext corruption
+    (:meth:`HEExecutor.arm_tape_fault`) rather than applied at the
+    site: ``("bitflip", step, bit)`` XORs one bit of one NTT-domain
+    residue point of the value produced at tape step ``step``;
+    ``("poison", step)`` rotates a residue row wholesale.  Both model
+    silent data corruption (a DRAM flip, a truncated page) that the
+    noise-safety machinery must catch — the serve client must see a
+    typed retryable ``NOISE_BUDGET`` error or a correct escalated
+    result, never wrong plaintext.
+
 Faults are **one-shot** by default: armed once, tripped once, then
 gone — so "the worker dies, the pool respawns, and the *next* compile
 succeeds" is a single test with no extra coordination.  Arm with

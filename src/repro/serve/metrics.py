@@ -83,6 +83,8 @@ class MetricsRegistry:
                     stats.deadline_exceeded += 1
                 elif code == _errors.OVERLOADED:
                     stats.overloaded += 1
+                elif code == _errors.NOISE_BUDGET:
+                    stats.noise_budget_errors += 1
 
     def retry(self, kernel: str, tenant: str) -> None:
         """A request arrived flagged as a client retry (``attempt`` > 1)."""
@@ -121,6 +123,31 @@ class MetricsRegistry:
             kernel_stats.queue_peak = max(kernel_stats.queue_peak, depth)
             total = sum(self.queue_depth.values())
             self.overall.queue_peak = max(self.overall.queue_peak, total)
+
+    def noise_escalations(self, kernel: str, count: int) -> None:
+        """``count`` parameter escalations recovered batches for
+        ``kernel`` (drained from the engine after each batch)."""
+        if count <= 0:
+            return
+        with self._lock:
+            for stats in (self.overall, self._kernel(kernel)):
+                stats.noise_escalations += count
+
+    def guard_trip(self, kernel: str) -> None:
+        """A runtime noise guard stopped a batch mid-tape."""
+        with self._lock:
+            for stats in (self.overall, self._kernel(kernel)):
+                stats.guard_trips += 1
+
+    def shadow_verify(self, kernel: str, ok: bool) -> None:
+        """One sampled response was cross-checked against the
+        interpreter backend (``ok=False`` means the ciphertext path
+        disagreed with the plaintext model — silent corruption caught)."""
+        with self._lock:
+            for stats in (self.overall, self._kernel(kernel)):
+                stats.shadow_checks += 1
+                if not ok:
+                    stats.shadow_mismatches += 1
 
     def compile_result(self, kernel: str, hit: bool) -> None:
         with self._lock:

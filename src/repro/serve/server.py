@@ -31,13 +31,17 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Hashable
 
+import numpy as np
+
 from repro.api import CompiledKernel, Porcupine
 from repro.api.backends import backend_names
+from repro.he.errors import NoiseBudgetExhausted
 from repro.serve.batcher import BatchScheduler, WorkItem
 from repro.serve.compilepool import CompilePool
 from repro.serve.errors import (
     Deadline,
     ExecutorCrashed,
+    NoiseBudgetError,
     ServeError,
 )
 from repro.serve.faults import FaultInjector, apply_fault
@@ -78,6 +82,18 @@ class ServeConfig:
     # this many pending requests new work is rejected typed OVERLOADED
     pool_max_restarts: int = 3  # compile-pool respawns before degrading
     # to in-process compiles
+    noise_guard: str | int | None = "output"  # HE runtime noise guards:
+    # "off", "output" (free: output budgets are measured anyway), "mul"
+    # (after every ciphertext multiply), or an every-N-ops int
+    noise_margin_bits: float | None = None  # predictive admission: reject
+    # (or escalate) kernels whose estimated output budget is below this
+    noise_escalation: bool = True  # recover noise-budget exhaustion by
+    # recompiling on the next-larger parameter preset
+    max_escalations: int | None = None  # ladder steps tried per failure
+    shadow_verify: float = 0.0  # fraction of HE batches cross-checked
+    # against the interpreter backend (deterministic sampling; 0: off,
+    # 1.0: every batch) — a mismatch withholds the result as a typed
+    # retryable NOISE_BUDGET error instead of returning wrong plaintext
 
     def resolve_precompile(self, session: Porcupine) -> list[str]:
         if list(self.precompile) == ["all"]:
@@ -186,6 +202,7 @@ class PorcupineServer:
         )
         self._exec = SupervisedExecutor(metrics=self.metrics)
         self._hot: dict[str, CompiledKernel] = {}
+        self._shadow_acc = 0.0  # deterministic shadow-verify sampler
         self._started = False
         self._server: asyncio.AbstractServer | None = None
         self._stop_event: asyncio.Event | None = None
@@ -382,6 +399,9 @@ class PorcupineServer:
                     "pool_max_restarts": self.config.pool_max_restarts,
                     "domain_plan": self.config.domain_plan,
                     "exec_workers": self.config.exec_workers,
+                    "noise_guard": self.config.noise_guard,
+                    "noise_margin_bits": self.config.noise_margin_bits,
+                    "shadow_verify": self.config.shadow_verify,
                 },
                 "executor": self.session.executor_stats().summary(),
                 "synthesis": self._synthesis_stats(),
@@ -456,13 +476,18 @@ class PorcupineServer:
     def _engine(self, backend: str):
         """The session's backend instance for serving (seed + params)."""
         if backend == "he":
+            config = self.config
             kwargs = Porcupine.he_backend_kwargs(
-                self.config.seed,
-                domain_plan=self.config.domain_plan,
-                exec_workers=self.config.exec_workers,
+                config.seed,
+                domain_plan=config.domain_plan,
+                exec_workers=config.exec_workers,
+                guard=config.noise_guard,
+                noise_margin_bits=config.noise_margin_bits,
+                escalate=config.noise_escalation,
+                max_escalations=config.max_escalations,
             )
-            if self.config.params is not None:
-                kwargs["params"] = self.config.params
+            if config.params is not None:
+                kwargs["params"] = config.params
             return self.session.backend("he", **kwargs)
         return self.session.backend(backend)
 
@@ -471,29 +496,93 @@ class PorcupineServer:
         kernel, backend, _digest = key
         compiled = self._hot[kernel]
         spec = self.session.spec(kernel)
-        fault = (
-            self.faults.take(f"execute:{kernel}")
-            if self.faults is not None
-            else None
-        )
+        engine = self._engine(backend)
+        fault = corruption = None
+        if self.faults is not None:
+            fault = self.faults.take(f"execute:{kernel}")
+            corruption = self.faults.take(f"runtime:{kernel}")
+        if corruption is not None:
+            arm = getattr(engine, "arm_tape_fault", None)
+            if arm is not None:
+                arm(spec, corruption)
         batch = await self._exec.run(
             partial(
                 self._execute_batch_job,
                 fault,
                 compiled,
                 envs,
-                self._engine(backend),
+                engine,
                 spec,
+                kernel,
+                self._sample_shadow(backend),
             )
         )
         return batch.results
 
-    def _execute_batch_job(self, fault, compiled, envs, engine, spec):
-        """The executor-thread body: injected fault, then the tape pass."""
+    def _sample_shadow(self, backend: str) -> bool:
+        """Deterministic sampling: shadow-verify this batch?"""
+        fraction = self.config.shadow_verify
+        if fraction <= 0 or backend == "interpreter":
+            return False
+        self._shadow_acc += min(1.0, fraction)
+        if self._shadow_acc >= 1.0:
+            self._shadow_acc -= 1.0
+            return True
+        return False
+
+    def _execute_batch_job(
+        self, fault, compiled, envs, engine, spec, kernel, shadow
+    ):
+        """The executor-thread body: injected fault, then the tape pass.
+
+        A :class:`~repro.he.errors.NoiseBudgetExhausted` that survives
+        the engine's own escalation ladder converts to a typed retryable
+        :class:`~repro.serve.errors.NoiseBudgetError` here — it is a
+        caught runtime condition, not a poisoned thread, so the
+        supervisor must not restart the executor lane over it.
+        """
         apply_fault(fault)
-        return self.session.execute_batch(
-            compiled, envs, backend=engine, spec=spec
+        try:
+            batch = self.session.execute_batch(
+                compiled, envs, backend=engine, spec=spec
+            )
+        except NoiseBudgetExhausted as error:
+            self.metrics.guard_trip(kernel)
+            raise NoiseBudgetError(
+                f"noise budget exhausted serving kernel {kernel!r}: "
+                f"{error}"
+            ) from error
+        drain = getattr(engine, "drain_escalations", None)
+        if drain is not None:
+            self.metrics.noise_escalations(kernel, drain())
+        if shadow:
+            self._shadow_check(kernel, compiled, envs, spec, batch)
+        return batch
+
+    def _shadow_check(self, kernel, compiled, envs, spec, batch) -> None:
+        """Cross-check one sampled batch against the interpreter backend.
+
+        The last line of defense against silent corruption: whatever the
+        encrypted path returned must agree with the plaintext behavioral
+        model on the same program and inputs.  On mismatch the result is
+        withheld as a retryable ``NOISE_BUDGET`` error — the client gets
+        a typed failure, never wrong plaintext.
+        """
+        reference = self.session.execute_batch(
+            compiled, envs,
+            backend=self.session.backend("interpreter"), spec=spec,
         )
+        ok = all(
+            np.array_equal(got.logical_output, want.logical_output)
+            for got, want in zip(batch.results, reference.results)
+        )
+        self.metrics.shadow_verify(kernel, ok)
+        if not ok:
+            raise NoiseBudgetError(
+                f"shadow verification failed for kernel {kernel!r}: "
+                "encrypted output disagrees with the interpreter "
+                "reference; withholding the corrupt result"
+            )
 
     # -- TCP ---------------------------------------------------------------
 

@@ -226,3 +226,82 @@ def test_hit_rate_property():
     cache.get("k")
     assert cache.hits == 1 and cache.misses == 1
     assert cache.hit_rate == 0.5
+
+
+# ---------------------------------------------------------------------------
+# Integrity: content digests and quarantine of tampered entries
+# ---------------------------------------------------------------------------
+
+def test_entries_carry_a_content_digest(tmp_path):
+    cache = CompileCache(tmp_path)
+    cache.put("k", _entry("a"))
+    payload = json.loads((tmp_path / "k.json").read_text())
+    assert payload["digest"]
+    # a fresh cache verifies and serves the intact entry silently
+    assert CompileCache(tmp_path).get("k").program_text == "program a"
+
+
+def test_bit_flipped_entry_is_quarantined_not_served(tmp_path):
+    import pytest
+
+    cache = CompileCache(tmp_path)
+    cache.put("k", _entry("a"))
+    file = tmp_path / "k.json"
+    payload = json.loads(file.read_text())
+    payload["program"] = "program TAMPERED"  # digest no longer matches
+    file.write_text(json.dumps(payload))
+    fresh = CompileCache(tmp_path)
+    with pytest.warns(RuntimeWarning, match="quarantined corrupt"):
+        assert fresh.get("k") is None  # a miss, never the tampered text
+    assert fresh.quarantined == 1
+    assert not file.exists()
+    assert (tmp_path / "k.json.corrupt").exists()  # kept for forensics
+
+
+def test_legacy_digestless_entries_still_load(tmp_path):
+    cache = CompileCache(tmp_path)
+    cache.put("k", _entry("a"))
+    file = tmp_path / "k.json"
+    payload = json.loads(file.read_text())
+    del payload["digest"]  # an entry written before digests existed
+    file.write_text(json.dumps(payload))
+    fresh = CompileCache(tmp_path)
+    assert fresh.get("k").program_text == "program a"
+    assert fresh.quarantined == 0
+
+
+def test_clear_removes_quarantined_files(tmp_path):
+    import pytest
+
+    cache = CompileCache(tmp_path)
+    cache.put("k", _entry("a"))
+    file = tmp_path / "k.json"
+    file.write_text(file.read_text().replace("program a", "program x"))
+    with pytest.warns(RuntimeWarning):
+        assert CompileCache(tmp_path).get("k") is None
+    survivor = CompileCache(tmp_path)
+    survivor.clear()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_tampered_entry_triggers_recompile_and_repair(tmp_path):
+    """Satellite regression: a corrupted compile-cache entry is
+    quarantined and the kernel recompiles to an identical program —
+    never executes a tampered tape."""
+    import pytest
+
+    session = Porcupine(cache_dir=tmp_path, synthesis_defaults=FAST)
+    compiled = session.compile("box_blur")
+    path = tmp_path / f"{compiled.cache_key}.json"
+    payload = json.loads(path.read_text())
+    payload["seal_code"] = payload["seal_code"] + "/* flipped */"
+    path.write_text(json.dumps(payload))
+    fresh = Porcupine(cache_dir=tmp_path, synthesis_defaults=FAST)
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        recompiled = fresh.compile("box_blur")
+    assert not recompiled.cache_hit
+    assert str(recompiled.program) == str(compiled.program)
+    assert fresh.cache.quarantined == 1
+    # the recompile repaired the entry on disk: the next session hits
+    third = Porcupine(cache_dir=tmp_path, synthesis_defaults=FAST)
+    assert third.compile("box_blur").cache_hit

@@ -91,3 +91,48 @@ def test_rotations_cost_less_than_multiplications():
 def test_toy_preset_rejects_deep_kernels():
     assert not fits(baseline_for("harris"), toy_params())
     assert fits(baseline_for("harris"), large_params())
+
+
+# Worst-case slack of the estimator across the registry suite: the
+# prediction is a sound lower bound, but conservatism has a ceiling too
+# — measured harris budgets run ~23 bits above the prediction (the
+# estimator charges every multiply the worst-case operand magnitude),
+# and every other kernel sits within ~13 bits.  A gap beyond this means
+# the estimator got uselessly pessimistic (admission would refuse
+# kernels that run fine) and needs re-deriving, not just re-measuring.
+ESTIMATOR_SLACK_BITS = 32
+
+
+def test_estimator_validates_against_every_registry_kernel():
+    """Satellite: predictions vs measurements for all 11 kernels.
+
+    Two-sided: the prediction never exceeds the measured budget (sound —
+    admission never passes a program that then exhausts), and it trails
+    the measurement by at most :data:`ESTIMATOR_SLACK_BITS` (useful —
+    admission doesn't reject the whole suite out of pessimism).
+    """
+    from repro.he.params import preset_params
+
+    assert len(BASELINE_BUILDERS) == 11
+    for name, build in BASELINE_BUILDERS.items():
+        spec = get_spec(name)
+        params = preset_params(spec.params_name)
+        program = build()
+        executor = HEExecutor(spec, params=params, seed=31)
+        rng = np.random.default_rng(7)
+        logical = {
+            p.name: rng.integers(0, 5, p.shape)
+            for p in spec.layout.inputs
+        }
+        report = executor.run(program, logical)
+        predicted = estimate_noise_budget(program, params)
+        measured = report.output_noise_budget
+        assert predicted <= measured, (
+            f"{name}: predicted {predicted:.1f} > measured {measured} — "
+            "the bound is unsound; admission would pass exhausting "
+            "programs"
+        )
+        assert measured - predicted <= ESTIMATOR_SLACK_BITS, (
+            f"{name}: prediction trails measurement by "
+            f"{measured - predicted:.1f} bits (> {ESTIMATOR_SLACK_BITS})"
+        )

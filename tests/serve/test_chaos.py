@@ -534,3 +534,226 @@ def test_request_storm_under_chaos_is_bit_identical_to_serial(session):
     assert stats["scheduler"]["retried_requests"] >= 1
     # the poisoned batch's failures all crossed the wire typed
     assert stats["scheduler"]["errors"] >= 1
+
+
+# -- noise chaos: silent corruption must never cross the wire ----------------
+#
+# BFV noise-budget exhaustion and mid-tape ciphertext corruption do not
+# raise on their own — they decrypt to *wrong plaintext*.  These tests
+# pin the no-silent-corruption contract: under an armed runtime fault or
+# genuine exhaustion, a serve client gets either a typed retryable
+# NOISE_BUDGET error or a correct escalated result — never a wrong
+# answer.
+
+
+def _quad_session():
+    """A session with a registered depth-2 kernel that exhausts toy
+    params (cache pre-seeded, so serving it never synthesizes)."""
+    from repro.api.cache import CacheEntry
+    from repro.core.sketch import ComponentChoice, CtHole, Sketch
+    from repro.quill.builder import ProgramBuilder
+    from repro.quill.ir import Opcode
+    from repro.quill.printer import format_program
+    from repro.spec.layout import vector_layout
+    from repro.spec.reference import Spec
+
+    n = 4
+    base = vector_layout([("x", "ct", n)])
+    layout = vector_layout(
+        [("x", "ct", n)],
+        output_slots=list(range(base.origin, base.origin + n)),
+        output_shape=(n,),
+    )
+    spec = Spec(
+        name="noise_quad", layout=layout,
+        reference=lambda x: [int(v) ** 4 for v in x],
+        description="x^4 per element (noise-exhaustion probe)",
+    )
+    sketch = Sketch(
+        name="noise_quad",
+        choices=(ComponentChoice(Opcode.MUL_CC, CtHole(), CtHole()),
+                 ComponentChoice(Opcode.MUL_CC, CtHole(), CtHole())),
+        rotations=(),
+    )
+    b = ProgramBuilder(vector_size=layout.vector_size, name="noise_quad")
+    x = b.ct_input("x")
+    sq = b.mul(x, x)
+    program = b.build(b.mul(sq, sq))
+
+    quad = Porcupine()
+    definition = quad.register("noise_quad", spec, sketch=sketch)
+    key = quad._cache_key(definition, spec, None, quad.config_for(definition))
+    quad.cache.put(key, CacheEntry(
+        program_text=format_program(program), seal_code=""))
+    return quad
+
+
+def test_runtime_bitflip_is_typed_noise_budget_then_retry_succeeds(session):
+    """A mid-tape ciphertext bit-flip with escalation disabled: the
+    output guard withholds the corrupt plaintext as a typed retryable
+    NOISE_BUDGET error, and the (re-encrypted) retry is bit-identical
+    to the interpreter reference."""
+    from repro.serve.errors import NOISE_BUDGET
+
+    faults = FaultInjector()
+    faults.arm("runtime:gx", ("bitflip", 3, 11))
+    config = ServeConfig(
+        backend="he", params="toy", seed=7, noise_escalation=False,
+    )
+    request = {"op": "run", "kernel": "gx", "seed": 5}
+
+    async def body(server):
+        flipped = await server.handle_request(dict(request, id="r1"))
+        retry = await server.handle_request(
+            dict(request, id="r2", attempt=2)
+        )
+        stats = await server.handle_request({"op": "stats"})
+        return flipped, retry, stats
+
+    flipped, retry, stats = asyncio.run(
+        _with_server(session, config, body, faults=faults)
+    )
+    assert flipped["ok"] is False
+    assert flipped["code"] == NOISE_BUDGET
+    assert flipped["retryable"] is True
+    assert error_from_response(flipped).retryable
+    assert "noise budget" in flipped["error"]
+    assert retry["ok"] is True
+    assert retry["matches_reference"] is True
+    env = random_inputs(session.spec("gx"), seed=5)
+    direct = session.run("gx", env, backend="interpreter")
+    assert _output(retry).tobytes() == direct.logical_output.tobytes()
+    assert faults.tripped("runtime:gx") == 1
+    assert stats["scheduler"]["noise_budget_errors"] == 1
+    assert stats["scheduler"]["guard_trips"] == 1
+    assert stats["scheduler"]["retried_requests"] == 1
+
+
+def test_runtime_bitflip_recovers_transparently_via_escalation(session):
+    """Same corruption with escalation on: the guard trips, the engine
+    re-runs on the next-larger preset, and the client just gets the
+    right answer (plus an escalation counter)."""
+    faults = FaultInjector()
+    faults.arm("runtime:gx", ("bitflip", 3, 11))
+    config = ServeConfig(backend="he", params="toy", seed=7)
+    request = {"op": "run", "kernel": "gx", "seed": 5}
+
+    async def body(server):
+        response = await server.handle_request(dict(request, id="r1"))
+        stats = await server.handle_request({"op": "stats"})
+        return response, stats
+
+    response, stats = asyncio.run(
+        _with_server(session, config, body, faults=faults)
+    )
+    assert response["ok"] is True
+    assert response["matches_reference"] is True
+    env = random_inputs(session.spec("gx"), seed=5)
+    direct = session.run("gx", env, backend="interpreter")
+    assert _output(response).tobytes() == direct.logical_output.tobytes()
+    assert stats["scheduler"]["noise_escalations"] == 1
+    assert stats["scheduler"]["noise_budget_errors"] == 0
+
+
+def test_genuine_exhaustion_escalates_to_correct_result():
+    """A depth-2 kernel served on toy params genuinely exhausts the
+    budget (no injected fault): the server recompiles on the larger
+    preset and returns the exact plaintext answer."""
+    quad = _quad_session()
+    config = ServeConfig(backend="he", params="toy", seed=7)
+    request = {"op": "run", "kernel": "noise_quad",
+               "inputs": {"x": [1, 2, 3, 2]}}
+
+    async def body(server):
+        response = await server.handle_request(dict(request, id="r1"))
+        stats = await server.handle_request({"op": "stats"})
+        return response, stats
+
+    response, stats = asyncio.run(_with_server(quad, config, body))
+    assert response["ok"] is True
+    assert response["matches_reference"] is True
+    assert _output(response).tolist() == [1, 16, 81, 16]
+    assert stats["scheduler"]["noise_escalations"] == 1
+
+
+def test_genuine_exhaustion_without_escalation_is_typed():
+    from repro.serve.errors import NOISE_BUDGET
+
+    quad = _quad_session()
+    config = ServeConfig(
+        backend="he", params="toy", seed=7, noise_escalation=False,
+    )
+    request = {"op": "run", "kernel": "noise_quad",
+               "inputs": {"x": [1, 2, 3, 2]}}
+
+    async def body(server):
+        return await server.handle_request(dict(request, id="r1"))
+
+    response = asyncio.run(_with_server(quad, config, body))
+    assert response["ok"] is False
+    assert response["code"] == NOISE_BUDGET
+    assert response["retryable"] is True
+
+
+def test_shadow_verify_catches_corruption_with_guards_off(session):
+    """Defense in depth: noise guards disabled, but shadow verification
+    cross-checks the batch against the interpreter and withholds the
+    corrupt result typed — the client never sees wrong plaintext."""
+    from repro.serve.errors import NOISE_BUDGET
+
+    faults = FaultInjector()
+    faults.arm("runtime:gx", ("bitflip", 3, 11))
+    config = ServeConfig(
+        backend="he", params="toy", seed=7,
+        noise_guard="off", noise_escalation=False, shadow_verify=1.0,
+    )
+    request = {"op": "run", "kernel": "gx", "seed": 5}
+
+    async def body(server):
+        corrupt = await server.handle_request(dict(request, id="r1"))
+        clean = await server.handle_request(dict(request, id="r2"))
+        stats = await server.handle_request({"op": "stats"})
+        return corrupt, clean, stats
+
+    corrupt, clean, stats = asyncio.run(
+        _with_server(session, config, body, faults=faults)
+    )
+    assert corrupt["ok"] is False
+    assert corrupt["code"] == NOISE_BUDGET
+    assert "shadow verification" in corrupt["error"]
+    assert clean["ok"] is True
+    assert clean["matches_reference"] is True
+    assert stats["scheduler"]["shadow_checks"] == 2
+    assert stats["scheduler"]["shadow_mismatches"] == 1
+    assert stats["scheduler"]["noise_budget_errors"] == 1
+
+
+def test_poison_fault_never_returns_wrong_plaintext(session):
+    """The wholesale residue-poison fault: every configuration either
+    errors typed or recovers — across guard modes, no response carries
+    a wrong answer."""
+    from repro.serve.errors import NOISE_BUDGET
+
+    request = {"op": "run", "kernel": "gx", "seed": 5}
+    env = random_inputs(session.spec("gx"), seed=5)
+    expected = session.run("gx", env, backend="interpreter").logical_output
+
+    for escalate in (False, True):
+        faults = FaultInjector()
+        faults.arm("runtime:gx", ("poison", 2))
+        config = ServeConfig(
+            backend="he", params="toy", seed=7,
+            noise_escalation=escalate,
+        )
+
+        async def body(server):
+            return await server.handle_request(dict(request, id="r1"))
+
+        response = asyncio.run(
+            _with_server(session, config, body, faults=faults)
+        )
+        if response["ok"]:
+            assert _output(response).tobytes() == expected.tobytes()
+        else:
+            assert response["code"] == NOISE_BUDGET
+            assert response["retryable"] is True
